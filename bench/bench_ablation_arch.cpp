@@ -1,0 +1,67 @@
+// Architecture ablations (DESIGN.md §5): the paper's §III.C design knobs.
+//  * filter-count scaling (knob 1: "Number and Size of Filters")
+//  * input-size scaling   (knob 2: "Input Image Size")
+//  * batch-norm folding at inference (finer-level optimization, §V future work)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "eval/fps_meter.hpp"
+#include "platform/platform_model.hpp"
+
+int main() {
+    using namespace dronet;
+    using namespace dronet::bench;
+
+    std::printf("== Ablation 1: filter-count scaling of DroNet (input 416) ==\n");
+    std::printf("%8s %10s %10s %12s %12s\n", "scale", "params(K)", "flops(M)",
+                "i5 FPS", "Odroid FPS");
+    for (float scale : {0.25f, 0.5f, 0.75f, 1.0f, 1.5f, 2.0f}) {
+        Network net = build_model(ModelId::kDroNet,
+                                  {.input_size = 416, .filter_scale = scale});
+        std::printf("%8.2f %10.1f %10.1f %12.2f %12.2f\n", scale,
+                    net.total_params() / 1e3, net.total_flops() / 1e6,
+                    estimate_fps(net, intel_i5_2520m()),
+                    estimate_fps(net, odroid_xu4()));
+    }
+
+    std::printf("\n== Ablation 2: input-size scaling of DroNet (full filters) ==\n");
+    std::printf("%8s %10s %12s %12s %14s\n", "size", "flops(M)", "i5 FPS",
+                "Odroid FPS", "RPi3 FPS");
+    for (int size : kPaperSizes) {
+        Network net = build_model(ModelId::kDroNet, {.input_size = size});
+        std::printf("%8d %10.1f %12.2f %12.2f %14.2f\n", size,
+                    net.total_flops() / 1e6, estimate_fps(net, intel_i5_2520m()),
+                    estimate_fps(net, odroid_xu4()),
+                    estimate_fps(net, raspberry_pi3()));
+    }
+
+    std::printf("\n== Ablation 3: batch-norm folding (measured on this host) ==\n");
+    for (ModelId id : {ModelId::kDroNet, ModelId::kSmallYoloV3}) {
+        Network net = build_model(id, {.input_size = 416});
+        Tensor input(net.input_shape());
+        const double fps_bn = measure_fps([&] { net.forward(input); }, 1, 3);
+        net.fold_batchnorm();
+        const double fps_folded = measure_fps([&] { net.forward(input); }, 1, 3);
+        std::printf("%-12s: %6.2f FPS with BN, %6.2f FPS folded (%.1f%% faster)\n",
+                    to_string(id).c_str(), fps_bn, fps_folded,
+                    100.0 * (fps_folded / fps_bn - 1.0));
+    }
+
+    std::printf("\n== Ablation 4: weight-memory vs cache (why TinyYoloVoc dies on "
+                "the Odroid) ==\n");
+    std::printf("%-12s %14s %20s\n", "model", "max layer (MB)", "Odroid cache scale");
+    for (ModelId id : all_models()) {
+        Network net = build_model(id, {.input_size = 416});
+        double worst_bytes = 0;
+        for (std::size_t i = 0; i < net.num_layers(); ++i) {
+            const Layer& l = net.layer(static_cast<int>(i));
+            if (l.kind() == LayerKind::kConvolutional) {
+                worst_bytes = std::max(
+                    worst_bytes, static_cast<double>(l.param_count()) * sizeof(float));
+            }
+        }
+        std::printf("%-12s %14.2f %20.3f\n", to_string(id).c_str(), worst_bytes / 1e6,
+                    cache_scale(odroid_xu4(), worst_bytes));
+    }
+    return 0;
+}

@@ -1,0 +1,142 @@
+// GEMM / convolution-lowering ablation (DESIGN.md §5, knobs 1-2): naive vs
+// blocked vs threaded GEMM on DroNet-shaped problems, and im2col+GEMM vs
+// direct convolution — the execution strategy darknet (and hence the paper's
+// deployment) relies on.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "models/model_zoo.hpp"
+#include "nn/network.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace dronet;
+
+// DroNet stage shapes at input 416: (filters, in_c*k*k, out_h*out_w).
+struct GemmShape {
+    int m, k, n;
+};
+const GemmShape kDroNetStages[] = {
+    {8, 27, 208 * 208},   // stem 3x3 on RGB (per the 208 post-pool plane)
+    {16, 72, 104 * 104},  // stage-2 3x3
+    {32, 144, 52 * 52},   // stage-3 3x3
+    {64, 288, 26 * 26},   // stage-4 3x3
+};
+
+void fill_random(std::vector<float>& v, std::uint64_t seed) {
+    Rng rng(seed);
+    rng.fill_uniform(v, -1.0f, 1.0f);
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+    const GemmShape s = kDroNetStages[state.range(0)];
+    std::vector<float> a(static_cast<std::size_t>(s.m) * s.k);
+    std::vector<float> b(static_cast<std::size_t>(s.k) * s.n);
+    std::vector<float> c(static_cast<std::size_t>(s.m) * s.n);
+    fill_random(a, 1);
+    fill_random(b, 2);
+    for (auto _ : state) {
+        gemm_naive({false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(), s.n,
+                    0.0f, c.data(), s.n});
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        static_cast<double>(gemm_flops(s.m, s.n, s.k)) * state.iterations() * 1e-9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNaive)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_GemmBlocked(benchmark::State& state) {
+    const GemmShape s = kDroNetStages[state.range(0)];
+    std::vector<float> a(static_cast<std::size_t>(s.m) * s.k);
+    std::vector<float> b(static_cast<std::size_t>(s.k) * s.n);
+    std::vector<float> c(static_cast<std::size_t>(s.m) * s.n);
+    fill_random(a, 1);
+    fill_random(b, 2);
+    for (auto _ : state) {
+        gemm_blocked({false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(), s.n,
+                      0.0f, c.data(), s.n});
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        static_cast<double>(gemm_flops(s.m, s.n, s.k)) * state.iterations() * 1e-9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBlocked)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_GemmThreaded(benchmark::State& state) {
+    const GemmShape s = kDroNetStages[3];
+    const int threads = static_cast<int>(state.range(0));
+    std::vector<float> a(static_cast<std::size_t>(s.m) * s.k);
+    std::vector<float> b(static_cast<std::size_t>(s.k) * s.n);
+    std::vector<float> c(static_cast<std::size_t>(s.m) * s.n);
+    fill_random(a, 1);
+    fill_random(b, 2);
+    for (auto _ : state) {
+        gemm_threaded({false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(), s.n,
+                       0.0f, c.data(), s.n},
+                      threads);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_GemmThreaded)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// im2col+GEMM (production path) vs direct convolution (reference path) on a
+// real DroNet stage-3 layer.
+Network conv_stage_net(bool fold) {
+    NetConfig nc;
+    nc.channels = 32;
+    nc.height = 52;
+    nc.width = 52;
+    Network net(nc);
+    net.add_conv({.filters = 64, .ksize = 3, .stride = 1, .pad = 1,
+                  .batch_normalize = true, .activation = Activation::kLeaky});
+    if (fold) net.fold_batchnorm();
+    return net;
+}
+
+void BM_ConvIm2colGemm(benchmark::State& state) {
+    Network net = conv_stage_net(false);
+    Tensor in(net.input_shape());
+    Rng rng(7);
+    rng.fill_uniform(in.span(), -1.0f, 1.0f);
+    for (auto _ : state) {
+        net.forward(in);
+        benchmark::DoNotOptimize(net.layer(0).output().data());
+    }
+}
+BENCHMARK(BM_ConvIm2colGemm)->Unit(benchmark::kMillisecond);
+
+void BM_ConvDirect(benchmark::State& state) {
+    Network net = conv_stage_net(true);  // folding required by forward_direct
+    auto& conv = dynamic_cast<ConvolutionalLayer&>(net.layer(0));
+    Tensor in(net.input_shape());
+    Rng rng(7);
+    rng.fill_uniform(in.span(), -1.0f, 1.0f);
+    Tensor out;
+    for (auto _ : state) {
+        conv.forward_direct(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_ConvDirect)->Unit(benchmark::kMillisecond);
+
+// Full-network forward at paper input sizes (the quantity behind every FPS
+// number in the reproduction).
+void BM_DroNetForward(benchmark::State& state) {
+    Network net = build_model(ModelId::kDroNet,
+                              {.input_size = static_cast<int>(state.range(0))});
+    Tensor in(net.input_shape());
+    for (auto _ : state) {
+        net.forward(in);
+        benchmark::DoNotOptimize(net.region());
+    }
+}
+BENCHMARK(BM_DroNetForward)->Arg(352)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

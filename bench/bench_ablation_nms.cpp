@@ -1,0 +1,98 @@
+// Post-processing ablation (DESIGN.md §5, knob 4): decode + NMS cost at the
+// detector's real candidate counts, NMS threshold sensitivity, and the
+// altitude-filter overhead (§III.D extension).
+#include <benchmark/benchmark.h>
+
+#include "detect/altitude_filter.hpp"
+#include "detect/nms.hpp"
+#include "models/model_zoo.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace dronet;
+
+Detections random_detections(int count, std::uint64_t seed) {
+    Rng rng(seed);
+    Detections dets;
+    dets.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        Detection d;
+        d.box = {rng.uniform(0.1f, 0.9f), rng.uniform(0.1f, 0.9f),
+                 rng.uniform(0.03f, 0.2f), rng.uniform(0.03f, 0.2f)};
+        d.objectness = rng.uniform(0.0f, 1.0f);
+        d.class_prob = 1.0f;
+        dets.push_back(d);
+    }
+    return dets;
+}
+
+// Candidate counts: DroNet grids at the paper's input sizes produce
+// 5 * (size/16)^2 raw candidates; after score filtering far fewer survive.
+void BM_Nms(benchmark::State& state) {
+    const Detections dets = random_detections(static_cast<int>(state.range(0)), 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(nms(dets, 0.45f));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Nms)->Arg(32)->Arg(128)->Arg(512)->Arg(2420)  // 2420 = DroNet-352 raw
+    ->Unit(benchmark::kMicrosecond)->Complexity();
+
+void BM_ScoreFilter(benchmark::State& state) {
+    const Detections dets = random_detections(5120, 9);  // DroNet-512 raw grid
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(filter_by_score(dets, 0.3f));
+    }
+}
+BENCHMARK(BM_ScoreFilter)->Unit(benchmark::kMicrosecond);
+
+void BM_FullPostprocess(benchmark::State& state) {
+    const Detections dets = random_detections(5120, 11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(postprocess(dets, 0.3f, 0.45f));
+    }
+}
+BENCHMARK(BM_FullPostprocess)->Unit(benchmark::kMicrosecond);
+
+// NMS threshold sweep: how many boxes survive (selectivity), reported as a
+// counter so the threshold/recall trade-off is visible in the output.
+void BM_NmsThreshold(benchmark::State& state) {
+    const float thresh = static_cast<float>(state.range(0)) / 100.0f;
+    const Detections dets = random_detections(512, 13);
+    std::size_t survivors = 0;
+    for (auto _ : state) {
+        const Detections out = nms(dets, thresh);
+        survivors = out.size();
+        benchmark::DoNotOptimize(out);
+    }
+    state.counters["survivors"] = static_cast<double>(survivors);
+}
+BENCHMARK(BM_NmsThreshold)->Arg(10)->Arg(30)->Arg(45)->Arg(70)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RegionDecode(benchmark::State& state) {
+    Network net = build_model(ModelId::kDroNet,
+                              {.input_size = static_cast<int>(state.range(0))});
+    Tensor in(net.input_shape());
+    Rng rng(15);
+    rng.fill_uniform(in.span(), 0.0f, 1.0f);
+    net.forward(in);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.region()->decode(0));
+    }
+}
+BENCHMARK(BM_RegionDecode)->Arg(352)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_AltitudeFilter(benchmark::State& state) {
+    const AltitudeFilter filter(CameraModel{}, VehicleSizePrior{});
+    const Detections dets = random_detections(512, 17);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(filter.apply(dets, 50.0f));
+    }
+}
+BENCHMARK(BM_AltitudeFilter)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

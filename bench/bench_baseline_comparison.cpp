@@ -1,0 +1,89 @@
+// CNN vs classical baseline — the comparison implied by the paper's related
+// work (§II.A): "traditional techniques utilize background subtraction [2]
+// ... the latest state-of-the-art techniques rely on deep CNNs".
+//
+// Both detectors process the same synthetic UAV video. Scenario A (all
+// vehicles moving) is the classical method's best case; scenario B (half the
+// vehicles parked) exposes its structural blind spot, which the CNN does not
+// share.
+#include <cstdio>
+
+#include "baseline/bg_subtraction.hpp"
+#include "bench_util.hpp"
+#include "video/frame_source.hpp"
+#include "video/pipeline.hpp"
+
+namespace {
+
+using namespace dronet;
+
+struct Outcome {
+    DetectionMetrics metrics;
+    double fps = 0;
+};
+
+}  // namespace
+
+int main() {
+    using namespace dronet::bench;
+    const DetectionDataset train_set = benchmark_train_set();
+    Network net = load_or_train(ModelId::kDroNet, train_set);
+    net.set_batch(1);
+    net.resize_input(224, 224);
+
+    constexpr int kFrames = 30;
+    for (const bool with_parked : {false, true}) {
+        VideoConfig vc;
+        vc.scene = benchmark_scene_config(192);
+        vc.scene.noise_stddev = 0;
+        vc.num_vehicles = 4;
+        vc.seed = 31;
+        std::printf("\n== Scenario %s ==\n",
+                    with_parked ? "B: 4 moving + 3 parked vehicles"
+                                : "A: 4 moving vehicles");
+
+        // Parked vehicles are re-painted at fixed poses every frame, so the
+        // background-subtraction model absorbs them while the moving ones
+        // keep triggering it.
+        UavFrameSource source(vc);
+        AerialSceneGenerator parked_gen(vc.scene, 77);
+        std::vector<VehiclePose> parked_poses;
+        if (with_parked) {
+            for (int i = 0; i < 3; ++i) parked_poses.push_back(parked_gen.random_pose());
+        }
+
+        DetectionPipeline cnn(net, {});
+        BackgroundSubtractionDetector classical;
+        DetectionMetrics cnn_m, classical_m;
+        FpsMeter classical_meter;
+        for (int f = 0; f < kFrames; ++f) {
+            SceneSample frame = source.next_frame();
+            for (std::size_t i = 0; i < parked_poses.size(); ++i) {
+                draw_vehicle(frame.image, parked_poses[i]);
+                frame.truths.push_back(vehicle_ground_truth(
+                    parked_poses[i], frame.image.width(), frame.image.height()));
+            }
+            const FrameResult r = cnn.process(frame.image);
+            cnn_m += match_detections(r.detections, frame.truths, 0.4f);
+
+            classical_meter.frame_start();
+            const Detections blobs = classical.process(frame.image);
+            classical_meter.frame_end();
+            if (f >= 8) {  // give the background model time to settle
+                classical_m += match_detections(blobs, frame.truths, 0.3f);
+            }
+        }
+        std::printf("%-22s %12s %12s %10s\n", "detector", "sensitivity", "precision",
+                    "host FPS");
+        std::printf("%-22s %11.1f%% %11.1f%% %10.1f\n", "DroNet (CNN)",
+                    100.0f * cnn_m.sensitivity(), 100.0f * cnn_m.precision(),
+                    cnn.meter().fps());
+        std::printf("%-22s %11.1f%% %11.1f%% %10.1f\n", "background subtraction",
+                    100.0f * classical_m.sensitivity(),
+                    100.0f * classical_m.precision(), classical_meter.fps());
+    }
+    std::printf("\nExpected shape: comparable-or-better CNN accuracy on moving "
+                "traffic; the classical method collapses on parked vehicles "
+                "(scenario B) while the CNN does not.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 1 + Fig. 2 reproduction: the layer tables of the four baseline
+// network structures, with per-layer geometry and per-model totals
+// (parameters, FLOPs, weight memory) plus the paper's §III.C structural
+// constraints checked inline.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "platform/platform_model.hpp"
+
+int main() {
+    using namespace dronet;
+    std::printf("== Fig. 1: Baseline network structures (input 416x416x3) ==\n");
+    for (ModelId id : all_models()) {
+        Network net = build_model(id, {.input_size = 416});
+        std::printf("\n--- %s ---\n", to_string(id).c_str());
+        std::printf("%s", net.describe().c_str());
+        int convs = 0, pools = 0;
+        for (std::size_t i = 0; i < net.num_layers(); ++i) {
+            convs += net.layer(static_cast<int>(i)).kind() == LayerKind::kConvolutional;
+            pools += net.layer(static_cast<int>(i)).kind() == LayerKind::kMaxPool;
+        }
+        std::printf("conv layers: %d (paper: 9), maxpool layers: %d (paper: 4-6)\n",
+                    convs, pools);
+        std::printf("params: %.3f M, flops/image: %.3f G, weight memory: %.2f MB, "
+                    "grid stride: %d\n",
+                    net.total_params() / 1e6, net.total_flops() / 1e9,
+                    net.total_params() * 4.0 / 1e6, model_stride(id));
+    }
+
+    std::printf("\n== Fig. 2: DroNet architecture detail (3x3 + 1x1 convolutions, "
+                "2x max-pool reductions) ==\n");
+    Network dronet_512 = build_model(ModelId::kDroNet, {.input_size = 512});
+    std::printf("%s", dronet_512.describe().c_str());
+
+    std::printf("\n== Model comparison summary (416x416) ==\n");
+    std::printf("%-12s %10s %10s %12s %14s\n", "model", "params(M)", "flops(G)",
+                "weights(MB)", "flops vs DroNet");
+    const double dronet_flops =
+        static_cast<double>(build_model(ModelId::kDroNet, {.input_size = 416}).total_flops());
+    for (ModelId id : all_models()) {
+        Network net = build_model(id, {.input_size = 416});
+        std::printf("%-12s %10.3f %10.3f %12.2f %13.1fx\n", to_string(id).c_str(),
+                    net.total_params() / 1e6, net.total_flops() / 1e9,
+                    net.total_params() * 4.0 / 1e6, net.total_flops() / dronet_flops);
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 4 reproduction: the weighted composite Score (eq. 3, w = 0.4 FPS /
+// 0.2 IoU / 0.2 Sensitivity / 0.2 Precision) for every model x input size,
+// and the winning configuration. The paper selects DroNet at 512x512.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "eval/score.hpp"
+#include "platform/platform_model.hpp"
+
+int main() {
+    using namespace dronet;
+    using namespace dronet::bench;
+    const DetectionDataset train_set = benchmark_train_set();
+    const DetectionDataset test_set = benchmark_test_set(eval_count());
+    const PlatformSpec i5 = intel_i5_2520m();
+
+    struct Entry {
+        ModelId model;
+        int paper_size;
+        ScoreInputs inputs;
+    };
+    std::vector<Entry> entries;
+    for (ModelId id : all_models()) {
+        Network net = load_or_train(id, train_set);
+        for (std::size_t s = 0; s < kProxySizes.size(); ++s) {
+            const DetectionMetrics m = eval_at(net, test_set, kProxySizes[s]);
+            Network paper_net = build_model(id, {.input_size = kPaperSizes[s]});
+            entries.push_back(
+                Entry{id, kPaperSizes[s],
+                      ScoreInputs{static_cast<float>(estimate_fps(paper_net, i5)),
+                                  m.avg_iou(), m.sensitivity(), m.precision()}});
+        }
+    }
+
+    std::vector<ScoreInputs> rows;
+    rows.reserve(entries.size());
+    for (const Entry& e : entries) rows.push_back(e.inputs);
+    const ScoreWeights weights;  // the paper's 0.4/0.2/0.2/0.2
+    const std::vector<float> scores = score_table(rows, weights);
+
+    std::printf("== Fig. 4: weighted Score(w), w = {FPS:%.1f IoU:%.1f Sens:%.1f "
+                "Prec:%.1f} ==\n",
+                weights.fps, weights.iou, weights.sensitivity, weights.precision);
+    std::printf("%-12s %6s %8s   (raw: %6s %6s %6s %6s)\n", "model", "size", "Score",
+                "FPS", "IoU", "Sens", "Prec");
+    print_rule();
+    std::size_t best = 0;
+    // Best score per model for the Fig. 4 bar chart.
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (scores[i] > scores[best]) best = i;
+        std::printf("%-12s %6d %8.3f   (%8.2f %6.3f %6.3f %6.3f)\n",
+                    to_string(entries[i].model).c_str(), entries[i].paper_size,
+                    scores[i], entries[i].inputs.fps, entries[i].inputs.iou,
+                    entries[i].inputs.sensitivity, entries[i].inputs.precision);
+    }
+    print_rule();
+    std::printf("\nBest per model:\n");
+    for (ModelId id : all_models()) {
+        std::size_t arg = entries.size();
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].model == id && (arg == entries.size() || scores[i] > scores[arg])) {
+                arg = i;
+            }
+        }
+        std::printf("  %-12s best at %d with Score %.3f\n", to_string(id).c_str(),
+                    entries[arg].paper_size, scores[arg]);
+    }
+    std::printf("\nOverall winner: %s at %d (Score %.3f) — paper selects DroNet@512\n",
+                to_string(entries[best].model).c_str(), entries[best].paper_size,
+                scores[best]);
+    return 0;
+}

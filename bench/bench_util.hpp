@@ -1,0 +1,75 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "eval/evaluator.hpp"
+#include "models/model_zoo.hpp"
+#include "models/pretrained.hpp"
+#include "train/trainer.hpp"
+
+namespace dronet::bench {
+
+/// Proxy input-size ladder used for accuracy evaluation. The paper sweeps
+/// 352..608 at full scale; the CPU-budget checkpoints are trained
+/// multi-scale on this ladder (~0.42x), which preserves the trends
+/// (EXPERIMENTS.md documents the mapping).
+inline const std::vector<int> kProxySizes = {128, 160, 192, 224, 256};
+inline const std::vector<int> kPaperSizes = {352, 416, 480, 544, 608};
+
+/// Loads the pretrained checkpoint for `id`, or — when none is shipped —
+/// trains a quick fallback so the bench still produces a table (with a
+/// warning; accuracy columns will be weaker).
+inline Network load_or_train(ModelId id, const DetectionDataset& train_set) {
+    if (auto net = load_pretrained(id)) {
+        std::printf("# %s: loaded pretrained checkpoint\n", to_string(id).c_str());
+        return std::move(*net);
+    }
+    std::printf("# %s: no checkpoint found (run tools/train_models); "
+                "quick-training a fallback, accuracy will be reduced\n",
+                to_string(id).c_str());
+    ModelOptions mo;
+    mo.input_size = 160;
+    mo.batch = 4;
+    mo.filter_scale = 0.35f;
+    mo.learning_rate = 2e-3f;
+    mo.burn_in = 30;
+    Network net = build_model(id, mo);
+    net.region()->set_seen(0);
+    TrainConfig tc;
+    tc.iterations = 400;
+    tc.multiscale_sizes = kProxySizes;
+    Trainer trainer(net, train_set, tc);
+    trainer.run();
+    return net;
+}
+
+/// Number of evaluation images; override with DRONET_BENCH_EVAL_COUNT.
+inline int eval_count() {
+    if (const char* env = std::getenv("DRONET_BENCH_EVAL_COUNT")) {
+        return std::max(4, std::atoi(env));
+    }
+    return 32;
+}
+
+/// Accuracy of `net` on the canonical test set at a given proxy size.
+inline DetectionMetrics eval_at(Network& net, const DetectionDataset& test_set,
+                                int size) {
+    net.set_batch(1);
+    net.resize_input(size, size);
+    EvalConfig ec;
+    ec.score_threshold = 0.30f;
+    return evaluate_detector(net, test_set, ec);
+}
+
+inline void print_rule() {
+    std::printf("-------------------------------------------------------------"
+                "-----------------\n");
+}
+
+}  // namespace dronet::bench

@@ -1,0 +1,119 @@
+// Emergency response (the paper's ER use case, §I): sweep a large disaster
+// area for vehicles. A high-resolution aerial mosaic is scanned in
+// overlapping tiles, per-tile detections are merged with global NMS, and the
+// altitude-based plausibility filter (§III.D) suppresses building-sized
+// false alarms before the rescue team is notified.
+//
+//   $ ./build/examples/emergency_response
+#include <cstdio>
+
+#include "core/visualize.hpp"
+#include "data/dataset.hpp"
+#include "detect/altitude_filter.hpp"
+#include "detect/nms.hpp"
+#include "eval/evaluator.hpp"
+#include "image/ppm.hpp"
+#include "models/pretrained.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace dronet;
+
+Network response_net() {
+    if (auto net = load_pretrained(ModelId::kDroNet)) {
+        std::printf("Using pretrained DroNet checkpoint.\n");
+        return std::move(*net);
+    }
+    std::printf("Quick-training a detector (~30 s)...\n");
+    ModelOptions mo;
+    mo.input_size = 160;
+    mo.batch = 4;
+    mo.filter_scale = 0.5f;
+    mo.learning_rate = 2e-3f;
+    mo.burn_in = 30;
+    Network net = build_model(ModelId::kDroNet, mo);
+    const DetectionDataset train_set = benchmark_train_set(60, 192);
+    TrainConfig tc;
+    tc.iterations = 500;
+    Trainer(net, train_set, tc).run();
+    return net;
+}
+
+// Cuts `mosaic` into `tiles x tiles` overlapping patches, detects per patch
+// and remaps the boxes into mosaic coordinates.
+Detections sweep_area(Network& net, const Image& mosaic, int tiles,
+                      const EvalConfig& post) {
+    Detections merged;
+    const int tile_w = mosaic.width() / tiles;
+    const int tile_h = mosaic.height() / tiles;
+    const int overlap = tile_w / 8;
+    for (int ty = 0; ty < tiles; ++ty) {
+        for (int tx = 0; tx < tiles; ++tx) {
+            const int x0 = std::max(0, tx * tile_w - overlap);
+            const int y0 = std::max(0, ty * tile_h - overlap);
+            const int x1 = std::min(mosaic.width(), (tx + 1) * tile_w + overlap);
+            const int y1 = std::min(mosaic.height(), (ty + 1) * tile_h + overlap);
+            Image tile(x1 - x0, y1 - y0, mosaic.channels());
+            for (int y = y0; y < y1; ++y) {
+                for (int x = x0; x < x1; ++x) {
+                    for (int c = 0; c < mosaic.channels(); ++c) {
+                        tile.px(x - x0, y - y0, c) = mosaic.px(x, y, c);
+                    }
+                }
+            }
+            for (Detection d : detect_image(net, tile, post)) {
+                // Tile-normalized -> mosaic-normalized coordinates.
+                d.box.x = (d.box.x * tile.width() + static_cast<float>(x0)) / mosaic.width();
+                d.box.y = (d.box.y * tile.height() + static_cast<float>(y0)) / mosaic.height();
+                d.box.w = d.box.w * tile.width() / mosaic.width();
+                d.box.h = d.box.h * tile.height() / mosaic.height();
+                merged.push_back(d);
+            }
+        }
+    }
+    // Cross-tile duplicates (overlap region) collapse under global NMS.
+    return nms(merged, 0.45f);
+}
+
+}  // namespace
+
+int main() {
+    Network net = response_net();
+    net.set_batch(1);
+    net.resize_input(224, 224);
+
+    // A 2x2-km disaster area as a 512x512 mosaic with scattered vehicles.
+    SceneConfig area = benchmark_scene_config(512);
+    area.min_vehicles = 6;
+    area.max_vehicles = 10;
+    area.min_vehicle_size = 0.05f;  // vehicles are small at mosaic scale
+    area.max_vehicle_size = 0.11f;
+    AerialSceneGenerator gen(area, 911);
+    const SceneSample scene = gen.generate();
+    std::printf("Search area holds %zu stranded vehicles (ground truth).\n",
+                scene.truths.size());
+
+    EvalConfig post;
+    post.score_threshold = 0.3f;
+    Detections found = sweep_area(net, scene.image, /*tiles=*/2, post);
+    std::printf("Tile sweep reported %zu candidate vehicles.\n", found.size());
+
+    // Altitude plausibility filter: the UAV logs 60 m AGL.
+    const AltitudeFilter filter(CameraModel{700.0f, 512, 512}, VehicleSizePrior{});
+    const Detections plausible = filter.apply(found, 60.0f);
+    std::printf("After the 60 m-altitude size filter: %zu plausible vehicles.\n",
+                plausible.size());
+
+    const DetectionMetrics m = match_detections(plausible, scene.truths, 0.4f);
+    std::printf("Rescue summary: %d located, %d missed, %d false alarms "
+                "(sensitivity %.1f%%).\n",
+                m.true_positives, m.false_negatives, m.false_positives,
+                100.0f * m.sensitivity());
+
+    Image vis = draw_ground_truth(scene.image, scene.truths);
+    vis = draw_detections(vis, plausible);
+    write_ppm(vis, "emergency_response_map.ppm");
+    std::printf("Wrote emergency_response_map.ppm\n");
+    return 0;
+}

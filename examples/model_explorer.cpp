@@ -1,0 +1,36 @@
+// Model explorer: prints every zoo architecture as a darknet cfg, its layer
+// table, and predicted FPS on the paper's three UAV platforms — the design-
+// space exploration view of §III.C / §IV.A.
+//
+//   $ ./build/examples/model_explorer [ModelName]
+#include <cstdio>
+
+#include "models/model_zoo.hpp"
+#include "platform/platform_model.hpp"
+
+int main(int argc, char** argv) {
+    using namespace dronet;
+    std::vector<ModelId> models = all_models();
+    if (argc > 1) {
+        models = {model_from_string(argv[1])};
+    }
+    for (ModelId id : models) {
+        std::printf("==================== %s ====================\n",
+                    to_string(id).c_str());
+        Network net = build_model(id, {.input_size = 416});
+        std::printf("%s\n", net.describe().c_str());
+        std::printf("Predicted FPS (input 416 / 512):\n");
+        for (const PlatformSpec& p : paper_platforms()) {
+            Network at512 = build_model(id, {.input_size = 512});
+            std::printf("  %-16s %7.2f / %7.2f\n", p.name.c_str(),
+                        estimate_fps(net, p), estimate_fps(at512, p));
+        }
+        std::printf("\nLayer cost breakdown on the Odroid-XU4 (ms/frame):\n");
+        for (const LayerCost& c : cost_breakdown(net, odroid_xu4())) {
+            std::printf("  %-48s %8.2f compute + %6.2f memory\n",
+                        c.description.c_str(), c.compute_ms, c.memory_ms);
+        }
+        std::printf("\ndarknet cfg:\n%s\n", model_cfg(id, {.input_size = 416}).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Road-traffic monitoring (the paper's RTM use case, §I): a UAV hovers over
+// a road and streams frames; the pipeline detects vehicles per frame and
+// reports traffic density and throughput statistics in real time.
+//
+//   $ ./build/examples/traffic_monitoring [frames]
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/dataset.hpp"
+#include "eval/metrics.hpp"
+#include "models/pretrained.hpp"
+#include "train/trainer.hpp"
+#include "video/frame_source.hpp"
+#include "video/pipeline.hpp"
+#include "video/tracker.hpp"
+
+namespace {
+
+dronet::Network monitoring_net() {
+    using namespace dronet;
+    if (auto net = load_pretrained(ModelId::kDroNet)) {
+        std::printf("Using pretrained DroNet checkpoint.\n");
+        return std::move(*net);
+    }
+    std::printf("Quick-training a monitoring model (~30 s)...\n");
+    ModelOptions mo;
+    mo.input_size = 160;
+    mo.batch = 4;
+    mo.filter_scale = 0.5f;
+    mo.learning_rate = 2e-3f;
+    mo.burn_in = 30;
+    Network net = build_model(ModelId::kDroNet, mo);
+    const DetectionDataset train_set = benchmark_train_set(60, 192);
+    TrainConfig tc;
+    tc.iterations = 500;
+    Trainer(net, train_set, tc).run();
+    return net;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace dronet;
+    const int frames = argc > 1 ? std::atoi(argv[1]) : 40;
+
+    Network net = monitoring_net();
+    net.set_batch(1);
+    net.resize_input(224, 224);
+
+    VideoConfig vc;
+    vc.scene = benchmark_scene_config(256);
+    vc.scene.noise_stddev = 0;
+    vc.num_vehicles = 5;
+    vc.seed = 7;
+    UavFrameSource camera(vc);
+
+    PipelineConfig pc;
+    pc.eval.score_threshold = 0.3f;
+    DetectionPipeline pipeline(net, pc);
+    IouTracker tracker;  // per-vehicle identity for the traffic count
+
+    std::printf("Monitoring %d frames over a %dx%d aerial view with %zu vehicles...\n",
+                frames, camera.width(), camera.height(), camera.vehicle_count());
+    DetectionMetrics metrics;
+    for (int f = 0; f < frames; ++f) {
+        const SceneSample frame = camera.next_frame();
+        const FrameResult r = pipeline.process(frame.image);
+        tracker.update(r.detections);
+        metrics += match_detections(r.detections, frame.truths, 0.5f);
+        if (f % 10 == 0) {
+            std::printf("  frame %3d: %zu vehicles detected, %zu live tracks, "
+                        "%.1f ms latency\n",
+                        r.frame_index, r.detections.size(),
+                        tracker.confirmed_tracks().size(), r.latency_ms);
+        }
+    }
+
+    std::printf("\n=== Traffic report ===\n");
+    std::printf("frames processed : %d\n", pipeline.frames_processed());
+    std::printf("throughput       : %.2f FPS (mean latency %.1f ms, worst %.1f ms)\n",
+                pipeline.meter().fps(), pipeline.meter().mean_latency_ms(),
+                pipeline.meter().max_latency_ms());
+    std::printf("traffic density  : %.2f vehicles/frame\n",
+                pipeline.mean_vehicles_per_frame());
+    std::printf("distinct vehicles: %d tracked over the session\n",
+                tracker.total_confirmed());
+    std::printf("detection quality: sensitivity %.1f%%, precision %.1f%%\n",
+                100.0f * metrics.sensitivity(), 100.0f * metrics.precision());
+    return 0;
+}

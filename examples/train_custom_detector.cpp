@@ -1,0 +1,70 @@
+// Training walkthrough: the paper's §III pipeline end to end — collect an
+// annotated dataset, train a single-shot detector with the YOLO region loss,
+// checkpoint it, and evaluate IoU / Sensitivity / Precision on held-out data.
+//
+//   $ ./build/examples/train_custom_detector [iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/annotations.hpp"
+#include "data/dataset.hpp"
+#include "eval/evaluator.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/weights_io.hpp"
+#include "train/trainer.hpp"
+
+int main(int argc, char** argv) {
+    using namespace dronet;
+    const int iterations = argc > 1 ? std::atoi(argv[1]) : 400;
+
+    // §III.A data collection: synthetic stand-in for the paper's 350 aerial
+    // images (~5000 vehicles), with illumination/viewpoint/occlusion/colour
+    // variation baked into the generator.
+    const DetectionDataset all = benchmark_train_set(80, 192);
+    const auto [train_set, test_set] = all.split(0.2f);
+    std::printf("Dataset: %zu train / %zu test images, %zu vehicles total.\n",
+                train_set.size(), test_set.size(), all.total_objects());
+    save_dataset(test_set, "custom_detector_testset");  // darknet-format export
+    std::printf("Exported the test split to custom_detector_testset/ "
+                "(PPM + darknet labels).\n");
+
+    // §III.B training: YOLO region loss, SGD + momentum, burn-in, multi-scale.
+    ModelOptions mo;
+    mo.input_size = 160;
+    mo.batch = 4;
+    mo.filter_scale = 0.5f;
+    mo.learning_rate = 2e-3f;
+    mo.burn_in = 30;
+    Network net = build_model(ModelId::kDroNet, mo);
+    std::printf("Training DroNet (%lld params) for %d iterations...\n",
+                static_cast<long long>(net.total_params()), iterations);
+    TrainConfig tc;
+    tc.iterations = iterations;
+    tc.multiscale_sizes = {128, 160, 192};
+    tc.on_batch = [](const TrainLogEntry& e) {
+        if (e.iteration % 100 == 0) {
+            std::printf("  iter %4d: loss %7.3f (avg %7.3f), batch IoU %.3f, "
+                        "recall %.2f, lr %.5f\n",
+                        e.iteration, e.loss, e.avg_loss, e.avg_iou, e.recall50,
+                        e.learning_rate);
+        }
+    };
+    Trainer trainer(net, train_set, tc);
+    trainer.run();
+
+    // Checkpoint (darknet-format binary weights).
+    net.set_batch(1);
+    save_weights(net, "custom_detector.weights");
+    std::printf("Saved custom_detector.weights\n");
+
+    // §IV evaluation: the paper's metrics on held-out scenes.
+    net.resize_input(192, 192);
+    EvalConfig ec;
+    ec.score_threshold = 0.3f;
+    const DetectionMetrics m = evaluate_detector(net, test_set, ec);
+    std::printf("\nHeld-out results @192: IoU %.3f, sensitivity %.1f%%, "
+                "precision %.1f%% (tp=%d fp=%d fn=%d)\n",
+                m.avg_iou(), 100.0f * m.sensitivity(), 100.0f * m.precision(),
+                m.true_positives, m.false_positives, m.false_negatives);
+    return 0;
+}

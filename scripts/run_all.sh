@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full reproduction sweep: build, test, retrain checkpoints (optional),
+# regenerate every figure/table. From the repository root:
+#   scripts/run_all.sh [--retrain]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+if [[ "${1:-}" == "--retrain" ]]; then
+  ./build/tools/train_models --out weights
+fi
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  echo "===== $b ====="
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,98 @@
+#include "baseline/bg_subtraction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dronet {
+
+void BackgroundSubtractionDetector::reset() {
+    background_ = Image();
+    mask_ = Image();
+    frames_ = 0;
+}
+
+Detections BackgroundSubtractionDetector::process(const Image& frame) {
+    if (frame.empty()) throw std::invalid_argument("BackgroundSubtraction: empty frame");
+    if (background_.empty()) {
+        background_ = frame;
+        mask_ = Image(frame.width(), frame.height(), 1);
+        ++frames_;
+        return {};
+    }
+    if (background_.width() != frame.width() || background_.height() != frame.height()) {
+        throw std::invalid_argument("BackgroundSubtraction: frame size changed");
+    }
+    // Foreground mask: mean absolute channel difference above threshold.
+    const int w = frame.width();
+    const int h = frame.height();
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            float diff = 0;
+            for (int c = 0; c < frame.channels(); ++c) {
+                diff += std::fabs(frame.px(x, y, c) - background_.px(x, y, c));
+            }
+            diff /= static_cast<float>(frame.channels());
+            mask_.px(x, y, 0) = diff > config_.threshold ? 1.0f : 0.0f;
+        }
+    }
+    // Morphological closing (dilate then erode) to fuse a vehicle's body,
+    // windshield and shadow into one blob.
+    if (config_.dilate_radius > 0) {
+        const int r = config_.dilate_radius;
+        Image dilated(w, h, 1);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                float v = 0;
+                for (int dy = -r; dy <= r && v < 0.5f; ++dy) {
+                    for (int dx = -r; dx <= r; ++dx) {
+                        if (mask_.px_clamped(x + dx, y + dy, 0) > 0.5f) {
+                            v = 1.0f;
+                            break;
+                        }
+                    }
+                }
+                dilated.px(x, y, 0) = v;
+            }
+        }
+        Image eroded(w, h, 1);
+        for (int y = 0; y < h; ++y) {
+            for (int x = 0; x < w; ++x) {
+                float v = 1.0f;
+                for (int dy = -r; dy <= r && v > 0.5f; ++dy) {
+                    for (int dx = -r; dx <= r; ++dx) {
+                        if (dilated.px_clamped(x + dx, y + dy, 0) <= 0.5f) {
+                            v = 0.0f;
+                            break;
+                        }
+                    }
+                }
+                eroded.px(x, y, 0) = v;
+            }
+        }
+        mask_ = std::move(eroded);
+    }
+    // Update the running-average background with the new frame.
+    const float a = config_.learning_rate;
+    for (std::size_t i = 0; i < background_.size(); ++i) {
+        background_.data()[i] = (1 - a) * background_.data()[i] + a * frame.data()[i];
+    }
+    ++frames_;
+    if (frames_ <= config_.warmup_frames) return {};
+
+    Detections out;
+    for (const Blob& blob : connected_components(mask_, config_.min_blob_area)) {
+        Detection d;
+        d.box = blob.box(w, h);
+        d.class_id = 0;
+        d.objectness = 1.0f;
+        // Confidence: how solidly the blob fills its bounding box.
+        const float box_px = static_cast<float>((blob.max_x - blob.min_x + 1) *
+                                                (blob.max_y - blob.min_y + 1));
+        d.class_prob = std::clamp(static_cast<float>(blob.area) / box_px, 0.0f, 1.0f);
+        out.push_back(d);
+    }
+    return out;
+}
+
+}  // namespace dronet

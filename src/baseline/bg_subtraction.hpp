@@ -1,0 +1,53 @@
+// Background-subtraction vehicle detector — the classical baseline.
+//
+// The paper's related work (§II.A, ref [2]) notes that "traditional
+// techniques utilize background subtraction to perform traffic estimation
+// from static UAVs". This module implements that baseline so the CNN
+// detector can be compared against it on the video pipeline: a running-
+// average background model, per-pixel foreground thresholding, morphological
+// cleanup and connected-component bounding boxes.
+//
+// Its structural weaknesses vs DroNet are intentional and real: it only sees
+// *moving* vehicles (static/parked ones fade into the background), needs a
+// hovering (static) camera, and reports class-agnostic blobs.
+#pragma once
+
+#include "baseline/connected_components.hpp"
+#include "detect/box.hpp"
+#include "image/image.hpp"
+
+namespace dronet {
+
+struct BgSubtractionConfig {
+    float learning_rate = 0.05f;   ///< background running-average update
+    float threshold = 0.12f;       ///< per-pixel |frame - background| trigger
+    int min_blob_area = 12;        ///< pixels; rejects noise specks
+    int dilate_radius = 1;         ///< morphological closing radius
+    int warmup_frames = 3;         ///< frames before detections are emitted
+};
+
+class BackgroundSubtractionDetector {
+  public:
+    explicit BackgroundSubtractionDetector(BgSubtractionConfig config = {})
+        : config_(config) {}
+
+    /// Processes one frame; returns blob detections (class 0, objectness 1,
+    /// confidence proportional to blob fill). Empty during warm-up.
+    [[nodiscard]] Detections process(const Image& frame);
+
+    /// The current background estimate (for inspection/visualization).
+    [[nodiscard]] const Image& background() const noexcept { return background_; }
+    /// The last foreground mask.
+    [[nodiscard]] const Image& foreground_mask() const noexcept { return mask_; }
+    [[nodiscard]] int frames_seen() const noexcept { return frames_; }
+
+    void reset();
+
+  private:
+    BgSubtractionConfig config_;
+    Image background_;
+    Image mask_;
+    int frames_ = 0;
+};
+
+}  // namespace dronet

@@ -1,0 +1,56 @@
+#include "baseline/connected_components.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dronet {
+
+Box Blob::box(int mask_w, int mask_h) const noexcept {
+    return Box::from_corners(static_cast<float>(min_x) / static_cast<float>(mask_w),
+                             static_cast<float>(min_y) / static_cast<float>(mask_h),
+                             static_cast<float>(max_x + 1) / static_cast<float>(mask_w),
+                             static_cast<float>(max_y + 1) / static_cast<float>(mask_h));
+}
+
+std::vector<Blob> connected_components(const Image& mask, int min_area) {
+    const int w = mask.width();
+    const int h = mask.height();
+    std::vector<bool> visited(static_cast<std::size_t>(w) * h, false);
+    std::vector<Blob> blobs;
+    std::vector<int> stack;
+    for (int start = 0; start < w * h; ++start) {
+        if (visited[static_cast<std::size_t>(start)]) continue;
+        if (mask.data()[start] <= 0.5f) continue;
+        // Flood fill (iterative DFS, 4-connectivity).
+        Blob blob;
+        blob.min_x = blob.max_x = start % w;
+        blob.min_y = blob.max_y = start / w;
+        stack.assign(1, start);
+        visited[static_cast<std::size_t>(start)] = true;
+        while (!stack.empty()) {
+            const int p = stack.back();
+            stack.pop_back();
+            const int x = p % w;
+            const int y = p / w;
+            ++blob.area;
+            blob.min_x = std::min(blob.min_x, x);
+            blob.max_x = std::max(blob.max_x, x);
+            blob.min_y = std::min(blob.min_y, y);
+            blob.max_y = std::max(blob.max_y, y);
+            const int neighbors[4] = {p - 1, p + 1, p - w, p + w};
+            const bool valid[4] = {x > 0, x < w - 1, y > 0, y < h - 1};
+            for (int n = 0; n < 4; ++n) {
+                if (!valid[n]) continue;
+                const int q = neighbors[n];
+                if (!visited[static_cast<std::size_t>(q)] && mask.data()[q] > 0.5f) {
+                    visited[static_cast<std::size_t>(q)] = true;
+                    stack.push_back(q);
+                }
+            }
+        }
+        if (blob.area >= min_area) blobs.push_back(blob);
+    }
+    return blobs;
+}
+
+}  // namespace dronet

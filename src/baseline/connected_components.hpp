@@ -1,0 +1,27 @@
+// Connected-component labelling on binary masks.
+//
+// Support routine for the background-subtraction baseline: groups foreground
+// pixels into blobs and reports their bounding boxes.
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+#include "image/image.hpp"
+
+namespace dronet {
+
+struct Blob {
+    int min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+    int area = 0;  ///< foreground pixels in the component
+
+    /// Normalized bounding box relative to the mask dimensions.
+    [[nodiscard]] Box box(int mask_w, int mask_h) const noexcept;
+};
+
+/// 4-connected component extraction over `mask` (any pixel > 0.5 in channel
+/// 0 is foreground). Components smaller than `min_area` pixels are dropped.
+[[nodiscard]] std::vector<Blob> connected_components(const Image& mask,
+                                                     int min_area = 1);
+
+}  // namespace dronet

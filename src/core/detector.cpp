@@ -1,0 +1,53 @@
+#include "core/detector.hpp"
+
+#include <stdexcept>
+
+#include "nn/cfg.hpp"
+#include "nn/weights_io.hpp"
+
+namespace dronet {
+
+Detector::Detector(Network net, EvalConfig post)
+    : net_(std::move(net)), post_(post) {
+    if (net_.region() == nullptr) {
+        throw std::invalid_argument("Detector: network has no region layer");
+    }
+    if (net_.config().batch != 1) net_.set_batch(1);
+}
+
+Detector::Detector(const Options& options)
+    : Detector(build_model(options.model,
+                           ModelOptions{.input_size = options.input_size,
+                                        .classes = options.classes,
+                                        .batch = 1,
+                                        .seed = options.seed,
+                                        .filter_scale = options.filter_scale}),
+               options.post) {}
+
+Detector Detector::from_files(const std::filesystem::path& cfg_path,
+                              const std::filesystem::path& weights_path,
+                              const EvalConfig& post) {
+    Detector d(load_cfg_file(cfg_path), post);
+    if (!weights_path.empty()) d.load_weights(weights_path);
+    return d;
+}
+
+Detections Detector::detect(const Image& image) {
+    return detect_image(net_, image, post_);
+}
+
+void Detector::load_weights(const std::filesystem::path& path) {
+    dronet::load_weights(net_, path);
+}
+
+void Detector::save_weights(const std::filesystem::path& path) const {
+    dronet::save_weights(net_, path);
+}
+
+void Detector::set_input_size(int size) {
+    net_.resize_input(size, size);
+}
+
+std::string Detector::summary() const { return net_.describe(); }
+
+}  // namespace dronet

@@ -1,0 +1,67 @@
+// dronet::Detector — the library's primary public API.
+//
+// Wraps model construction (zoo or cfg file), weight persistence, input-size
+// selection (the paper's 352-608 sweep) and post-processing behind a single
+// object:
+//
+//   dronet::Detector detector({.model = dronet::ModelId::kDroNet,
+//                              .input_size = 512});
+//   detector.load_weights("dronet.weights");
+//   dronet::Detections cars = detector.detect(frame);
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "detect/box.hpp"
+#include "eval/evaluator.hpp"
+#include "image/image.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/network.hpp"
+
+namespace dronet {
+
+class Detector {
+  public:
+    struct Options {
+        ModelId model = ModelId::kDroNet;
+        int input_size = 512;   ///< the paper's selected DroNet resolution
+        int classes = 1;
+        float filter_scale = 1.0f;
+        std::uint64_t seed = 0x5eed;
+        EvalConfig post;        ///< score/NMS thresholds
+    };
+
+    /// Builds a zoo model with randomly initialized weights.
+    explicit Detector(const Options& options);
+
+    /// Builds from a darknet cfg file; loads weights if a path is given.
+    static Detector from_files(const std::filesystem::path& cfg_path,
+                               const std::filesystem::path& weights_path = {},
+                               const EvalConfig& post = {});
+
+    /// Runs detection on an arbitrary-size image (resampled internally).
+    [[nodiscard]] Detections detect(const Image& image);
+
+    void load_weights(const std::filesystem::path& path);
+    void save_weights(const std::filesystem::path& path) const;
+
+    /// Changes the network input resolution (weights preserved).
+    void set_input_size(int size);
+    [[nodiscard]] int input_size() const noexcept { return net_.config().width; }
+
+    /// Structure/parameter/FLOPs summary (Fig. 1-style table).
+    [[nodiscard]] std::string summary() const;
+
+    [[nodiscard]] Network& network() noexcept { return net_; }
+    [[nodiscard]] const Network& network() const noexcept { return net_; }
+    [[nodiscard]] EvalConfig& post() noexcept { return post_; }
+
+  private:
+    Detector(Network net, EvalConfig post);
+
+    Network net_;
+    EvalConfig post_;
+};
+
+}  // namespace dronet

@@ -1,0 +1,41 @@
+#include "core/visualize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dronet {
+namespace {
+
+void box_to_pixels(const Box& b, int w, int h, int& x0, int& y0, int& x1, int& y1) {
+    x0 = static_cast<int>(std::lround(b.left() * static_cast<float>(w)));
+    y0 = static_cast<int>(std::lround(b.top() * static_cast<float>(h)));
+    x1 = static_cast<int>(std::lround(b.right() * static_cast<float>(w)));
+    y1 = static_cast<int>(std::lround(b.bottom() * static_cast<float>(h)));
+}
+
+}  // namespace
+
+Image draw_detections(const Image& image, const Detections& dets, int thickness) {
+    Image out = image;
+    for (const Detection& d : dets) {
+        int x0, y0, x1, y1;
+        box_to_pixels(d.box, out.width(), out.height(), x0, y0, x1, y1);
+        // Confidence-coded colour: yellow (0.0) -> green (1.0).
+        const float conf = std::clamp(d.score(), 0.0f, 1.0f);
+        draw_rect(out, x0, y0, x1, y1, Rgb{1.0f - conf, 1.0f, 0.1f}, thickness);
+    }
+    return out;
+}
+
+Image draw_ground_truth(const Image& image, const std::vector<GroundTruth>& truths,
+                        int thickness) {
+    Image out = image;
+    for (const GroundTruth& gt : truths) {
+        int x0, y0, x1, y1;
+        box_to_pixels(gt.box, out.width(), out.height(), x0, y0, x1, y1);
+        draw_rect(out, x0, y0, x1, y1, Rgb{1.0f, 1.0f, 1.0f}, thickness);
+    }
+    return out;
+}
+
+}  // namespace dronet

@@ -1,0 +1,20 @@
+// Detection visualization (paper Fig. 5a-style overlays).
+#pragma once
+
+#include "detect/box.hpp"
+#include "image/draw.hpp"
+#include "image/image.hpp"
+
+namespace dronet {
+
+/// Returns a copy of `image` with detection boxes drawn on it. Box colour
+/// encodes confidence (low = yellow, high = green) unless `color` is set.
+[[nodiscard]] Image draw_detections(const Image& image, const Detections& dets,
+                                    int thickness = 2);
+
+/// Draws ground-truth boxes (white) — handy next to draw_detections output.
+[[nodiscard]] Image draw_ground_truth(const Image& image,
+                                      const std::vector<GroundTruth>& truths,
+                                      int thickness = 1);
+
+}  // namespace dronet

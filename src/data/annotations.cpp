@@ -1,0 +1,71 @@
+#include "data/annotations.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "image/ppm.hpp"
+
+namespace dronet {
+
+std::string truths_to_text(const std::vector<GroundTruth>& truths) {
+    std::ostringstream os;
+    os << std::setprecision(8);
+    for (const GroundTruth& gt : truths) {
+        os << gt.class_id << " " << gt.box.x << " " << gt.box.y << " " << gt.box.w << " "
+           << gt.box.h << "\n";
+    }
+    return os.str();
+}
+
+std::vector<GroundTruth> truths_from_text(const std::string& text) {
+    std::vector<GroundTruth> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        std::istringstream ls(line);
+        GroundTruth gt;
+        if (!(ls >> gt.class_id >> gt.box.x >> gt.box.y >> gt.box.w >> gt.box.h)) {
+            throw std::runtime_error("truths_from_text: malformed line '" + line + "'");
+        }
+        out.push_back(gt);
+    }
+    return out;
+}
+
+void save_dataset(const DetectionDataset& ds, const std::filesystem::path& dir) {
+    std::filesystem::create_directories(dir);
+    std::ofstream index(dir / "index.txt");
+    if (!index) throw std::runtime_error("save_dataset: cannot write index in " + dir.string());
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        std::ostringstream stem;
+        stem << std::setw(4) << std::setfill('0') << i;
+        write_ppm(ds.image(i), dir / (stem.str() + ".ppm"));
+        std::ofstream label(dir / (stem.str() + ".txt"));
+        label << truths_to_text(ds.truths(i));
+        index << stem.str() << ".ppm\n";
+    }
+}
+
+DetectionDataset load_dataset(const std::filesystem::path& dir) {
+    std::ifstream index(dir / "index.txt");
+    if (!index) throw std::runtime_error("load_dataset: cannot open index in " + dir.string());
+    DetectionDataset ds;
+    std::string name;
+    while (std::getline(index, name)) {
+        if (name.empty()) continue;
+        Image im = read_ppm(dir / name);
+        const std::filesystem::path label_path =
+            dir / (std::filesystem::path(name).stem().string() + ".txt");
+        std::ifstream label(label_path);
+        if (!label) throw std::runtime_error("load_dataset: missing " + label_path.string());
+        std::ostringstream buf;
+        buf << label.rdbuf();
+        ds.add(std::move(im), truths_from_text(buf.str()));
+    }
+    return ds;
+}
+
+}  // namespace dronet

@@ -1,0 +1,27 @@
+// Darknet-format annotation persistence.
+//
+// Labels use darknet's one-line-per-object text format
+// ("class cx cy w h", all normalized), images are stored as PPM; a dataset
+// directory holds NNNN.ppm / NNNN.txt pairs plus an index file, so datasets
+// generated here are interchangeable with darknet tooling.
+#pragma once
+
+#include <filesystem>
+
+#include "data/dataset.hpp"
+
+namespace dronet {
+
+/// Serializes one image's annotations to darknet label text.
+[[nodiscard]] std::string truths_to_text(const std::vector<GroundTruth>& truths);
+
+/// Parses darknet label text. Throws std::runtime_error on malformed lines.
+[[nodiscard]] std::vector<GroundTruth> truths_from_text(const std::string& text);
+
+/// Writes the dataset as dir/NNNN.ppm + dir/NNNN.txt + dir/index.txt.
+void save_dataset(const DetectionDataset& ds, const std::filesystem::path& dir);
+
+/// Loads a dataset previously written by save_dataset.
+[[nodiscard]] DetectionDataset load_dataset(const std::filesystem::path& dir);
+
+}  // namespace dronet

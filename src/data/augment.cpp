@@ -1,0 +1,73 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/resize.hpp"
+
+namespace dronet {
+namespace {
+
+// Crops [cx0,cx1) x [cy0,cy1) (normalized) and rescales to the original
+// size; remaps boxes and drops those with too little area surviving.
+SceneSample crop_sample(const SceneSample& in, float cx0, float cy0, float cx1,
+                        float cy1, float min_visibility) {
+    const int w = in.image.width();
+    const int h = in.image.height();
+    const int px0 = std::clamp(static_cast<int>(cx0 * static_cast<float>(w)), 0, w - 2);
+    const int py0 = std::clamp(static_cast<int>(cy0 * static_cast<float>(h)), 0, h - 2);
+    const int px1 = std::clamp(static_cast<int>(cx1 * static_cast<float>(w)), px0 + 1, w);
+    const int py1 = std::clamp(static_cast<int>(cy1 * static_cast<float>(h)), py0 + 1, h);
+    Image cropped(px1 - px0, py1 - py0, in.image.channels());
+    for (int y = 0; y < cropped.height(); ++y) {
+        for (int x = 0; x < cropped.width(); ++x) {
+            for (int c = 0; c < cropped.channels(); ++c) {
+                cropped.px(x, y, c) = in.image.px(x + px0, y + py0, c);
+            }
+        }
+    }
+    SceneSample out;
+    out.image = resize_bilinear(cropped, w, h);
+    const float fx0 = static_cast<float>(px0) / static_cast<float>(w);
+    const float fy0 = static_cast<float>(py0) / static_cast<float>(h);
+    const float fw = static_cast<float>(px1 - px0) / static_cast<float>(w);
+    const float fh = static_cast<float>(py1 - py0) / static_cast<float>(h);
+    for (const GroundTruth& gt : in.truths) {
+        // Intersect the box with the crop window, then renormalize.
+        const float left = std::max(gt.box.left(), fx0);
+        const float right = std::min(gt.box.right(), fx0 + fw);
+        const float top = std::max(gt.box.top(), fy0);
+        const float bottom = std::min(gt.box.bottom(), fy0 + fh);
+        if (right <= left || bottom <= top) continue;
+        const float visible = (right - left) * (bottom - top);
+        if (visible < min_visibility * gt.box.area()) continue;
+        GroundTruth mapped = gt;
+        mapped.box = Box::from_corners((left - fx0) / fw, (top - fy0) / fh,
+                                       (right - fx0) / fw, (bottom - fy0) / fh);
+        out.truths.push_back(mapped);
+    }
+    return out;
+}
+
+}  // namespace
+
+SceneSample augment(const SceneSample& sample, const AugmentConfig& config, Rng& rng) {
+    // Crop jitter.
+    const float jx0 = rng.uniform(0.0f, config.jitter);
+    const float jy0 = rng.uniform(0.0f, config.jitter);
+    const float jx1 = 1.0f - rng.uniform(0.0f, config.jitter);
+    const float jy1 = 1.0f - rng.uniform(0.0f, config.jitter);
+    SceneSample out = crop_sample(sample, jx0, jy0, jx1, jy1, config.min_visibility);
+    // Horizontal flip.
+    if (rng.chance(config.flip_prob)) {
+        flip_horizontal(out.image);
+        for (GroundTruth& gt : out.truths) gt.box.x = 1.0f - gt.box.x;
+    }
+    // Photometric distortion.
+    if (out.image.channels() == 3) {
+        distort_hsv(out.image, rng, config.hue, config.saturation, config.exposure);
+    }
+    return out;
+}
+
+}  // namespace dronet

@@ -1,0 +1,27 @@
+// Training-time data augmentation.
+//
+// Reproduces darknet's detection augmentations: horizontal flip (with box
+// mirroring), random crop-and-rescale jitter (boxes remapped, heavily
+// truncated boxes dropped — the paper annotates vehicles with >= 50% of the
+// body visible) and HSV photometric distortion.
+#pragma once
+
+#include "data/scene.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+
+struct AugmentConfig {
+    float flip_prob = 0.5f;
+    float jitter = 0.2f;        ///< max crop, fraction of each side
+    float hue = 0.05f;          ///< hue shift amplitude
+    float saturation = 1.3f;    ///< max saturation scale
+    float exposure = 1.3f;      ///< max exposure scale
+    float min_visibility = 0.5f;///< drop boxes with less area remaining
+};
+
+/// Returns an augmented copy of `sample`.
+[[nodiscard]] SceneSample augment(const SceneSample& sample, const AugmentConfig& config,
+                                  Rng& rng);
+
+}  // namespace dronet

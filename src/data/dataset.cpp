@@ -1,0 +1,87 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+#include "image/resize.hpp"
+
+namespace dronet {
+
+void DetectionDataset::add(Image image, std::vector<GroundTruth> truths) {
+    if (image.empty()) throw std::invalid_argument("DetectionDataset::add: empty image");
+    images_.push_back(std::move(image));
+    labels_.push_back(std::move(truths));
+}
+
+std::size_t DetectionDataset::total_objects() const {
+    std::size_t total = 0;
+    for (const auto& l : labels_) total += l.size();
+    return total;
+}
+
+std::pair<DetectionDataset, DetectionDataset> DetectionDataset::split(
+    float test_fraction) const {
+    if (test_fraction <= 0 || test_fraction >= 1) {
+        throw std::invalid_argument("DetectionDataset::split: fraction must be in (0,1)");
+    }
+    const auto stride = static_cast<std::size_t>(1.0f / test_fraction);
+    DetectionDataset train, test;
+    for (std::size_t i = 0; i < images_.size(); ++i) {
+        if (stride > 0 && i % stride == stride - 1) {
+            test.add(images_[i], labels_[i]);
+        } else {
+            train.add(images_[i], labels_[i]);
+        }
+    }
+    return {std::move(train), std::move(test)};
+}
+
+std::vector<std::vector<GroundTruth>> DetectionDataset::fill_batch(
+    Tensor& batch, std::size_t first) const {
+    if (empty()) throw std::logic_error("DetectionDataset::fill_batch: empty dataset");
+    const Shape& s = batch.shape();
+    std::vector<std::vector<GroundTruth>> truths;
+    truths.reserve(static_cast<std::size_t>(s.n));
+    for (int b = 0; b < s.n; ++b) {
+        const std::size_t idx = (first + static_cast<std::size_t>(b)) % size();
+        const Image& im = images_[idx];
+        if (im.width() == s.w && im.height() == s.h && im.channels() == s.c) {
+            im.copy_to_batch(batch, b);
+        } else {
+            resize_bilinear(im, s.w, s.h).copy_to_batch(batch, b);
+        }
+        truths.push_back(labels_[idx]);  // normalized boxes survive resizing
+    }
+    return truths;
+}
+
+DetectionDataset generate_dataset(const SceneConfig& config, int count,
+                                  std::uint64_t seed) {
+    AerialSceneGenerator gen(config, seed);
+    DetectionDataset ds;
+    for (int i = 0; i < count; ++i) {
+        SceneSample sample = gen.generate();
+        ds.add(std::move(sample.image), std::move(sample.truths));
+    }
+    return ds;
+}
+
+SceneConfig benchmark_scene_config(int size) {
+    SceneConfig config;
+    config.width = size;
+    config.height = size;
+    config.min_vehicles = 2;
+    config.max_vehicles = 5;
+    config.min_vehicle_size = 0.10f;
+    config.max_vehicle_size = 0.22f;
+    return config;
+}
+
+DetectionDataset benchmark_train_set(int count, int size) {
+    return generate_dataset(benchmark_scene_config(size), count, /*seed=*/2018);
+}
+
+DetectionDataset benchmark_test_set(int count, int size) {
+    return generate_dataset(benchmark_scene_config(size), count, /*seed=*/2019);
+}
+
+}  // namespace dronet

@@ -1,0 +1,64 @@
+// In-memory detection dataset.
+//
+// Plays the role of the paper's 350-image vehicle database: a set of images
+// with normalized box annotations, split into train/test, convertible to
+// network input batches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/scene.hpp"
+#include "detect/box.hpp"
+#include "image/image.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dronet {
+
+class DetectionDataset {
+  public:
+    DetectionDataset() = default;
+
+    void add(Image image, std::vector<GroundTruth> truths);
+
+    [[nodiscard]] std::size_t size() const noexcept { return images_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return images_.empty(); }
+    [[nodiscard]] const Image& image(std::size_t i) const { return images_.at(i); }
+    [[nodiscard]] const std::vector<GroundTruth>& truths(std::size_t i) const {
+        return labels_.at(i);
+    }
+
+    /// Total annotated objects across the dataset.
+    [[nodiscard]] std::size_t total_objects() const;
+
+    /// Deterministic split: every `k`-th sample (k = 1/test_fraction) goes to
+    /// test. Returns {train, test}.
+    [[nodiscard]] std::pair<DetectionDataset, DetectionDataset> split(
+        float test_fraction) const;
+
+    /// Fills a pre-allocated NCHW batch tensor with samples
+    /// [first, first+batch) (wrapping around), resampling each image to the
+    /// tensor's spatial size. Returns the per-item ground truth.
+    std::vector<std::vector<GroundTruth>> fill_batch(Tensor& batch,
+                                                     std::size_t first) const;
+
+  private:
+    std::vector<Image> images_;
+    std::vector<std::vector<GroundTruth>> labels_;
+};
+
+/// Generates `count` synthetic aerial scenes with the given config/seed.
+[[nodiscard]] DetectionDataset generate_dataset(const SceneConfig& config, int count,
+                                                std::uint64_t seed);
+
+/// Canonical benchmark scene configuration shared by the training tool, the
+/// figure benches and the integration tests — the stand-in for the paper's
+/// 350-image vehicle database. Deterministic for a given `size`.
+[[nodiscard]] SceneConfig benchmark_scene_config(int size = 256);
+
+/// The canonical train/test sets (seeds fixed so every binary sees the same
+/// data). ~120 train / 40 test images by default.
+[[nodiscard]] DetectionDataset benchmark_train_set(int count = 120, int size = 256);
+[[nodiscard]] DetectionDataset benchmark_test_set(int count = 40, int size = 256);
+
+}  // namespace dronet

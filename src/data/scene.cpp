@@ -1,0 +1,232 @@
+#include "data/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "image/draw.hpp"
+
+namespace dronet {
+namespace {
+
+// Muted ground palette: grass, dirt, concrete.
+constexpr Rgb kGroundTones[] = {
+    {0.32f, 0.40f, 0.27f}, {0.45f, 0.40f, 0.32f}, {0.52f, 0.52f, 0.50f}};
+constexpr Rgb kAsphalt{0.33f, 0.33f, 0.35f};
+constexpr Rgb kLaneMark{0.85f, 0.85f, 0.80f};
+
+// Saturated body colours; distinct from every ground tone so the detector
+// has a learnable signal, as real cars are against asphalt.
+constexpr Rgb kBodyColors[] = {
+    {0.85f, 0.10f, 0.10f}, {0.10f, 0.15f, 0.80f}, {0.90f, 0.90f, 0.92f},
+    {0.08f, 0.08f, 0.08f}, {0.80f, 0.75f, 0.12f}, {0.55f, 0.58f, 0.60f},
+    {0.70f, 0.30f, 0.08f}, {0.12f, 0.55f, 0.20f}};
+
+float clamp01(float v) { return std::clamp(v, 0.0f, 1.0f); }
+
+Rgb scale_color(Rgb c, float k) {
+    return {clamp01(c.r * k), clamp01(c.g * k), clamp01(c.b * k)};
+}
+
+}  // namespace
+
+void draw_vehicle(Image& im, const VehiclePose& pose) {
+    const float hl = pose.length / 2;
+    const float hw = pose.width / 2;
+    // Soft shadow offset toward +x/+y (fixed sun azimuth).
+    draw_rotated_rect(im, pose.cx + hw * 0.35f, pose.cy + hw * 0.35f, hl, hw,
+                      pose.angle, scale_color(pose.body, 0.0f));
+    // Body.
+    draw_rotated_rect(im, pose.cx, pose.cy, hl, hw, pose.angle, pose.body);
+    // Cabin/windshield: a darker bluish rect forward of centre.
+    const float c = std::cos(pose.angle);
+    const float s = std::sin(pose.angle);
+    const float cab_cx = pose.cx + c * hl * 0.25f;
+    const float cab_cy = pose.cy + s * hl * 0.25f;
+    draw_rotated_rect(im, cab_cx, cab_cy, hl * 0.35f, hw * 0.75f, pose.angle,
+                      Rgb{0.10f, 0.12f, 0.18f});
+    // Hood highlight behind the cabin.
+    const float hood_cx = pose.cx - c * hl * 0.55f;
+    const float hood_cy = pose.cy - s * hl * 0.55f;
+    draw_rotated_rect(im, hood_cx, hood_cy, hl * 0.25f, hw * 0.65f, pose.angle,
+                      scale_color(pose.body, 1.25f));
+}
+
+GroundTruth vehicle_ground_truth(const VehiclePose& pose, int img_w, int img_h,
+                                 int class_id) {
+    const float c = std::fabs(std::cos(pose.angle));
+    const float s = std::fabs(std::sin(pose.angle));
+    const float ext_x = (pose.length * c + pose.width * s) / 2;
+    const float ext_y = (pose.length * s + pose.width * c) / 2;
+    const float left = std::max(0.0f, pose.cx - ext_x);
+    const float right = std::min(static_cast<float>(img_w), pose.cx + ext_x);
+    const float top = std::max(0.0f, pose.cy - ext_y);
+    const float bottom = std::min(static_cast<float>(img_h), pose.cy + ext_y);
+    GroundTruth gt;
+    gt.class_id = class_id;
+    gt.box = Box::from_corners(left / static_cast<float>(img_w), top / static_cast<float>(img_h),
+                               right / static_cast<float>(img_w),
+                               bottom / static_cast<float>(img_h));
+    return gt;
+}
+
+GroundTruth draw_pedestrian(Image& im, float cx, float cy, float radius, Rng& rng) {
+    // Top-view pedestrian: shadow, torso disc in a clothing colour, head dot.
+    draw_disc(im, cx + radius * 0.4f, cy + radius * 0.4f, radius, Rgb{0.05f, 0.05f, 0.05f});
+    const Rgb clothing{rng.uniform(0.3f, 0.95f), rng.uniform(0.1f, 0.6f),
+                       rng.uniform(0.1f, 0.6f)};
+    draw_disc(im, cx, cy, radius, clothing);
+    draw_disc(im, cx, cy, radius * 0.45f, Rgb{0.75f, 0.6f, 0.5f});
+    GroundTruth gt;
+    gt.class_id = kPedestrianClass;
+    const float ext = radius * 1.4f;  // shadow widens the visible footprint
+    gt.box = Box::from_corners(
+        std::max(0.0f, cx - ext) / static_cast<float>(im.width()),
+        std::max(0.0f, cy - ext) / static_cast<float>(im.height()),
+        std::min(static_cast<float>(im.width()), cx + ext) / static_cast<float>(im.width()),
+        std::min(static_cast<float>(im.height()), cy + ext) / static_cast<float>(im.height()));
+    return gt;
+}
+
+AerialSceneGenerator::AerialSceneGenerator(SceneConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+Image AerialSceneGenerator::background() {
+    Image im(config_.width, config_.height, 3);
+    const Rgb base = kGroundTones[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(std::size(kGroundTones)) - 1))];
+    for (int y = 0; y < im.height(); ++y) {
+        for (int x = 0; x < im.width(); ++x) {
+            im.px(x, y, 0) = base.r;
+            im.px(x, y, 1) = base.g;
+            im.px(x, y, 2) = base.b;
+        }
+    }
+    // Low-frequency mottling: blended random patches.
+    const int patches = config_.num_distractors * 4;
+    for (int i = 0; i < patches; ++i) {
+        const int px = rng_.uniform_int(0, im.width() - 1);
+        const int py = rng_.uniform_int(0, im.height() - 1);
+        const int pw = rng_.uniform_int(im.width() / 16, im.width() / 4);
+        const int ph = rng_.uniform_int(im.height() / 16, im.height() / 4);
+        const float gain = rng_.uniform(0.85f, 1.15f);
+        blend_rect(im, px, py, px + pw, py + ph, scale_color(base, gain), 0.35f);
+    }
+    if (config_.draw_roads) {
+        const int roads = rng_.uniform_int(1, 2);
+        for (int r = 0; r < roads; ++r) {
+            const bool horizontal = rng_.chance(0.5f);
+            const int extent = horizontal ? im.height() : im.width();
+            const int road_w = rng_.uniform_int(extent / 7, extent / 4);
+            const int pos = rng_.uniform_int(0, extent - road_w);
+            if (horizontal) {
+                draw_filled_rect(im, 0, pos, im.width() - 1, pos + road_w, kAsphalt);
+            } else {
+                draw_filled_rect(im, pos, 0, pos + road_w, im.height() - 1, kAsphalt);
+            }
+            // Dashed centre line.
+            const int mid = pos + road_w / 2;
+            const int dash = std::max(4, extent / 26);
+            for (int d = 0; d + dash / 2 < (horizontal ? im.width() : im.height());
+                 d += dash) {
+                if (horizontal) {
+                    draw_filled_rect(im, d, mid, d + dash / 2, mid + 1, kLaneMark);
+                } else {
+                    draw_filled_rect(im, mid, d, mid + 1, d + dash / 2, kLaneMark);
+                }
+            }
+        }
+    }
+    // Distractors: buildings (muted rectangles) and trees (green discs).
+    for (int i = 0; i < config_.num_distractors; ++i) {
+        const int cx = rng_.uniform_int(0, im.width() - 1);
+        const int cy = rng_.uniform_int(0, im.height() - 1);
+        if (rng_.chance(0.5f)) {
+            const int bw = rng_.uniform_int(im.width() / 14, im.width() / 6);
+            const int bh = rng_.uniform_int(im.height() / 14, im.height() / 6);
+            const float tone = rng_.uniform(0.40f, 0.65f);
+            draw_filled_rect(im, cx, cy, cx + bw, cy + bh,
+                             Rgb{tone, tone * 0.95f, tone * 0.9f});
+        } else {
+            const float radius =
+                rng_.uniform(static_cast<float>(im.width()) / 40.0f,
+                             static_cast<float>(im.width()) / 16.0f);
+            draw_disc(im, static_cast<float>(cx), static_cast<float>(cy), radius,
+                      Rgb{0.10f, rng_.uniform(0.30f, 0.45f), 0.12f});
+        }
+    }
+    return im;
+}
+
+VehiclePose AerialSceneGenerator::random_pose() {
+    const float short_dim = static_cast<float>(std::min(config_.width, config_.height));
+    VehiclePose pose;
+    pose.length = short_dim * rng_.uniform(config_.min_vehicle_size, config_.max_vehicle_size);
+    pose.width = pose.length * rng_.uniform(0.42f, 0.55f);
+    pose.cx = rng_.uniform(0.08f, 0.92f) * static_cast<float>(config_.width);
+    pose.cy = rng_.uniform(0.08f, 0.92f) * static_cast<float>(config_.height);
+    pose.angle = rng_.uniform(0.0f, 2.0f * std::numbers::pi_v<float>);
+    pose.body = kBodyColors[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<int>(std::size(kBodyColors)) - 1))];
+    return pose;
+}
+
+SceneSample AerialSceneGenerator::generate() {
+    SceneSample sample;
+    sample.image = background();
+    const int count = rng_.uniform_int(config_.min_vehicles, config_.max_vehicles);
+    std::vector<VehiclePose> poses;
+    for (int v = 0; v < count; ++v) {
+        // Rejection-sample poses so vehicles do not pile on each other.
+        VehiclePose pose = random_pose();
+        bool ok = false;
+        for (int attempt = 0; attempt < 12 && !ok; ++attempt) {
+            ok = true;
+            const GroundTruth cand =
+                vehicle_ground_truth(pose, config_.width, config_.height);
+            for (const VehiclePose& other : poses) {
+                const GroundTruth gt =
+                    vehicle_ground_truth(other, config_.width, config_.height);
+                if (iou(cand.box, gt.box) > 0.05f) {
+                    ok = false;
+                    pose = random_pose();
+                    break;
+                }
+            }
+        }
+        if (!ok) continue;
+        poses.push_back(pose);
+        draw_vehicle(sample.image, pose);
+        sample.truths.push_back(vehicle_ground_truth(pose, config_.width, config_.height));
+        // Partial occlusion by a tree canopy (paper: occlusion variation).
+        if (rng_.chance(config_.occlusion_prob)) {
+            const float r = pose.width * rng_.uniform(0.5f, 0.9f);
+            const float ox = pose.cx + rng_.uniform(-pose.length / 2, pose.length / 2);
+            const float oy = pose.cy + rng_.uniform(-pose.width, pose.width);
+            draw_disc(sample.image, ox, oy, r, Rgb{0.10f, rng_.uniform(0.28f, 0.42f), 0.12f});
+        }
+    }
+    // Pedestrians (class 1) when enabled.
+    if (config_.max_pedestrians > 0) {
+        const int peds = rng_.uniform_int(1, config_.max_pedestrians);
+        const float short_dim =
+            static_cast<float>(std::min(config_.width, config_.height));
+        for (int p = 0; p < peds; ++p) {
+            const float radius = short_dim * rng_.uniform(0.012f, 0.022f);
+            const float cx = rng_.uniform(0.05f, 0.95f) * static_cast<float>(config_.width);
+            const float cy = rng_.uniform(0.05f, 0.95f) * static_cast<float>(config_.height);
+            sample.truths.push_back(draw_pedestrian(sample.image, cx, cy, radius, rng_));
+        }
+    }
+    // Global illumination gain + sensor noise.
+    const float gain = rng_.uniform(config_.illumination_min, config_.illumination_max);
+    for (std::size_t i = 0; i < sample.image.size(); ++i) {
+        sample.image.data()[i] = clamp01(sample.image.data()[i] * gain);
+    }
+    if (config_.noise_stddev > 0) {
+        add_gaussian_noise(sample.image, rng_, config_.noise_stddev);
+    }
+    return sample;
+}
+
+}  // namespace dronet

@@ -1,0 +1,94 @@
+// Synthetic aerial-scene generator.
+//
+// The paper's dataset (350 aerial images, ~5000 annotated top-view vehicles,
+// §III.A) is not publicly available; this generator is the documented
+// substitution (DESIGN.md §2). It synthesizes nadir views with the same
+// variation axes the authors collected for: illumination (global gain),
+// viewpoint (vehicle orientation + position), occlusion (tree canopies),
+// colour (body hue) and type (size/aspect), over textured ground with roads
+// and building/vegetation distractors. Ground-truth boxes are exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/box.hpp"
+#include "image/color.hpp"
+#include "image/image.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+
+/// Pose and appearance of one rendered vehicle.
+struct VehiclePose {
+    float cx = 0;        ///< centre x in pixels
+    float cy = 0;        ///< centre y in pixels
+    float length = 24;   ///< long side in pixels
+    float width = 12;    ///< short side in pixels
+    float angle = 0;     ///< radians, 0 = facing +x
+    Rgb body{0.8f, 0.1f, 0.1f};
+};
+
+/// Object classes emitted by the generator.
+inline constexpr int kVehicleClass = 0;
+inline constexpr int kPedestrianClass = 1;
+
+struct SceneConfig {
+    int width = 416;
+    int height = 416;
+    int min_vehicles = 1;
+    int max_vehicles = 6;
+    /// Class-1 pedestrians per scene (paper §V future work: "additional
+    /// object classes (e.g., pedestrians)"). 0 keeps the paper's
+    /// vehicles-only setting.
+    int max_pedestrians = 0;
+    /// Vehicle long side as a fraction of the image's shorter dimension.
+    float min_vehicle_size = 0.08f;
+    float max_vehicle_size = 0.20f;
+    float occlusion_prob = 0.10f;   ///< chance a vehicle is partially occluded
+    float noise_stddev = 0.01f;     ///< sensor-noise sigma
+    int num_distractors = 14;       ///< buildings/trees/markings per scene
+    bool draw_roads = true;
+    float illumination_min = 0.75f; ///< global gain range (paper: varied illumination)
+    float illumination_max = 1.15f;
+};
+
+struct SceneSample {
+    Image image;
+    std::vector<GroundTruth> truths;
+};
+
+/// Renders one vehicle (shadow, body, cabin) into the image.
+void draw_vehicle(Image& im, const VehiclePose& pose);
+
+/// Renders a pedestrian (body disc + head dot) centred at (cx, cy) with the
+/// given body radius in pixels; returns its ground-truth box.
+GroundTruth draw_pedestrian(Image& im, float cx, float cy, float radius, Rng& rng);
+
+/// Axis-aligned normalized ground-truth box of a vehicle pose.
+[[nodiscard]] GroundTruth vehicle_ground_truth(const VehiclePose& pose, int img_w,
+                                               int img_h, int class_id = 0);
+
+class AerialSceneGenerator {
+  public:
+    AerialSceneGenerator(SceneConfig config, std::uint64_t seed);
+
+    /// Generates the next scene (deterministic given construction seed).
+    [[nodiscard]] SceneSample generate();
+
+    /// Ground plane + roads + distractors, no vehicles. Exposed for the
+    /// video pipeline, which animates vehicles over a fixed background.
+    [[nodiscard]] Image background();
+
+    /// Draws a random plausible vehicle pose (without rendering it).
+    [[nodiscard]] VehiclePose random_pose();
+
+    [[nodiscard]] const SceneConfig& config() const noexcept { return config_; }
+    [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  private:
+    SceneConfig config_;
+    Rng rng_;
+};
+
+}  // namespace dronet

@@ -1,0 +1,33 @@
+#include "detect/altitude_filter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dronet {
+
+AltitudeFilter::SizeRange AltitudeFilter::plausible_size(float altitude_m) const {
+    if (altitude_m <= 0.0f) {
+        throw std::invalid_argument("AltitudeFilter: altitude must be positive");
+    }
+    const float px_per_m = camera_.focal_px / altitude_m;
+    const float inv_w = 1.0f / static_cast<float>(camera_.frame_width);
+    SizeRange range;
+    range.min_norm = prior_.min_width_m * px_per_m * inv_w / prior_.tolerance;
+    range.max_norm = prior_.max_length_m * px_per_m * inv_w * prior_.tolerance;
+    range.min_norm = std::clamp(range.min_norm, 0.0f, 1.0f);
+    range.max_norm = std::clamp(range.max_norm, 0.0f, 1.0f);
+    return range;
+}
+
+Detections AltitudeFilter::apply(const Detections& dets, float altitude_m) const {
+    const SizeRange range = plausible_size(altitude_m);
+    Detections out;
+    out.reserve(dets.size());
+    for (const Detection& d : dets) {
+        const float longer = std::max(d.box.w, d.box.h);
+        if (longer >= range.min_norm && longer <= range.max_norm) out.push_back(d);
+    }
+    return out;
+}
+
+}  // namespace dronet

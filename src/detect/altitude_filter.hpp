@@ -1,0 +1,57 @@
+// Altitude-based plausibility filter (paper §III.D).
+//
+// The paper proposes — as a complementary application-level optimization —
+// using the UAV's altitude to bound the apparent size of a vehicle and
+// discard detections outside that range. The paper leaves it as future work;
+// we implement it as the library's extension feature and evaluate it in the
+// ablation bench.
+//
+// Model: a pinhole camera looking straight down. An object of physical size
+// S metres observed from altitude A with focal length f (pixels) spans
+// S * f / A pixels; normalized by the frame width W that is S * f / (A * W).
+#pragma once
+
+#include "detect/box.hpp"
+
+namespace dronet {
+
+struct CameraModel {
+    float focal_px = 1000.0f;   ///< focal length in pixels at native resolution
+    int frame_width = 1280;     ///< native frame width in pixels
+    int frame_height = 720;     ///< native frame height in pixels
+};
+
+struct VehicleSizePrior {
+    // Typical passenger-car footprint (top view), metres.
+    float min_length_m = 3.0f;
+    float max_length_m = 6.5f;
+    float min_width_m = 1.4f;
+    float max_width_m = 2.6f;
+    /// Slack multiplier applied to both ends of the range to absorb
+    /// bounding-box regression error.
+    float tolerance = 1.5f;
+};
+
+class AltitudeFilter {
+  public:
+    AltitudeFilter(CameraModel camera, VehicleSizePrior prior)
+        : camera_(camera), prior_(prior) {}
+
+    /// Expected normalized size range [min,max] of a vehicle's longer side
+    /// at the given altitude (metres). Throws std::invalid_argument for
+    /// non-positive altitude.
+    struct SizeRange {
+        float min_norm = 0;
+        float max_norm = 1;
+    };
+    [[nodiscard]] SizeRange plausible_size(float altitude_m) const;
+
+    /// Drops detections whose box size is implausible at `altitude_m`.
+    [[nodiscard]] Detections apply(const Detections& dets, float altitude_m) const;
+
+  private:
+    CameraModel camera_;
+    VehicleSizePrior prior_;
+};
+
+}  // namespace dronet

@@ -1,0 +1,42 @@
+#include "detect/box.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dronet {
+
+Box Box::from_corners(float left, float top, float right, float bottom) noexcept {
+    Box b;
+    b.x = (left + right) / 2;
+    b.y = (top + bottom) / 2;
+    b.w = right - left;
+    b.h = bottom - top;
+    return b;
+}
+
+float box_intersection(const Box& a, const Box& b) noexcept {
+    const float w = std::min(a.right(), b.right()) - std::max(a.left(), b.left());
+    const float h = std::min(a.bottom(), b.bottom()) - std::max(a.top(), b.top());
+    if (w <= 0 || h <= 0) return 0;
+    return w * h;
+}
+
+float box_union(const Box& a, const Box& b) noexcept {
+    return a.area() + b.area() - box_intersection(a, b);
+}
+
+float iou(const Box& a, const Box& b) noexcept {
+    const float u = box_union(a, b);
+    if (u <= 0) return 0;
+    return box_intersection(a, b) / u;
+}
+
+float box_rmse(const Box& a, const Box& b) noexcept {
+    const float dx = a.x - b.x;
+    const float dy = a.y - b.y;
+    const float dw = a.w - b.w;
+    const float dh = a.h - b.h;
+    return std::sqrt((dx * dx + dy * dy + dw * dw + dh * dh) / 4.0f);
+}
+
+}  // namespace dronet

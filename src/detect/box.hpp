@@ -1,0 +1,61 @@
+// Bounding boxes and detections.
+//
+// Boxes use darknet's centre-normalized convention: (x, y) is the box centre
+// and (w, h) its extent, all relative to the image size so the same box is
+// valid at any network input resolution (the paper sweeps 352-608).
+#pragma once
+
+#include <vector>
+
+namespace dronet {
+
+struct Box {
+    float x = 0;  ///< centre x, normalized to [0,1]
+    float y = 0;  ///< centre y, normalized to [0,1]
+    float w = 0;  ///< width, normalized
+    float h = 0;  ///< height, normalized
+
+    [[nodiscard]] float left() const noexcept { return x - w / 2; }
+    [[nodiscard]] float right() const noexcept { return x + w / 2; }
+    [[nodiscard]] float top() const noexcept { return y - h / 2; }
+    [[nodiscard]] float bottom() const noexcept { return y + h / 2; }
+    [[nodiscard]] float area() const noexcept { return w * h; }
+
+    /// Builds a box from corner coordinates.
+    [[nodiscard]] static Box from_corners(float left, float top, float right,
+                                          float bottom) noexcept;
+};
+
+/// Intersection area of two boxes (0 when disjoint).
+[[nodiscard]] float box_intersection(const Box& a, const Box& b) noexcept;
+
+/// Union area of two boxes.
+[[nodiscard]] float box_union(const Box& a, const Box& b) noexcept;
+
+/// Intersection-over-Union, the paper's first accuracy metric (§IV, metric 1).
+/// Returns 0 for degenerate (zero-area) unions.
+[[nodiscard]] float iou(const Box& a, const Box& b) noexcept;
+
+/// Root-mean-square distance between box parameter vectors; used by the
+/// region-loss anchor matching diagnostics.
+[[nodiscard]] float box_rmse(const Box& a, const Box& b) noexcept;
+
+/// One decoded network prediction.
+struct Detection {
+    Box box;
+    float objectness = 0;            ///< P(object) after logistic
+    int class_id = 0;                ///< argmax class
+    float class_prob = 0;            ///< P(class | object)
+    /// Final score used for thresholding/NMS: objectness * class_prob.
+    [[nodiscard]] float score() const noexcept { return objectness * class_prob; }
+};
+
+/// Ground-truth annotation: normalized box plus class label.
+struct GroundTruth {
+    Box box;
+    int class_id = 0;
+};
+
+using Detections = std::vector<Detection>;
+
+}  // namespace dronet

@@ -1,0 +1,42 @@
+#include "detect/nms.hpp"
+
+#include <algorithm>
+
+namespace dronet {
+
+Detections filter_by_score(const Detections& dets, float threshold) {
+    Detections out;
+    out.reserve(dets.size());
+    for (const Detection& d : dets) {
+        if (d.score() >= threshold) out.push_back(d);
+    }
+    return out;
+}
+
+Detections nms(const Detections& dets, float iou_threshold) {
+    Detections sorted = dets;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Detection& a, const Detection& b) {
+                         return a.score() > b.score();
+                     });
+    Detections kept;
+    kept.reserve(sorted.size());
+    for (const Detection& cand : sorted) {
+        bool suppressed = false;
+        for (const Detection& k : kept) {
+            if (k.class_id == cand.class_id && iou(k.box, cand.box) > iou_threshold) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed) kept.push_back(cand);
+    }
+    return kept;
+}
+
+Detections postprocess(const Detections& dets, float score_threshold,
+                       float iou_threshold) {
+    return nms(filter_by_score(dets, score_threshold), iou_threshold);
+}
+
+}  // namespace dronet

@@ -1,0 +1,22 @@
+// Non-maximum suppression and score filtering.
+//
+// Standard greedy NMS as used by darknet's region-layer post-processing:
+// detections are sorted by score and any box overlapping a kept higher-scored
+// box of the same class above `iou_threshold` is suppressed.
+#pragma once
+
+#include "detect/box.hpp"
+
+namespace dronet {
+
+/// Removes detections with score() below `threshold`.
+[[nodiscard]] Detections filter_by_score(const Detections& dets, float threshold);
+
+/// Greedy per-class NMS; returns survivors sorted by descending score.
+[[nodiscard]] Detections nms(const Detections& dets, float iou_threshold);
+
+/// Convenience: score filter followed by NMS.
+[[nodiscard]] Detections postprocess(const Detections& dets, float score_threshold,
+                                     float iou_threshold);
+
+}  // namespace dronet

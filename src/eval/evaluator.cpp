@@ -1,0 +1,63 @@
+#include "eval/evaluator.hpp"
+
+#include <stdexcept>
+
+#include "detect/nms.hpp"
+#include "image/resize.hpp"
+
+namespace dronet {
+
+namespace {
+
+// Maps network-space boxes back through the letterbox transform into
+// source-image normalized coordinates.
+Detections unletterbox(Detections dets, const Letterbox& lb, int net_w, int net_h,
+                       int src_w, int src_h) {
+    for (Detection& d : dets) {
+        const float px = d.box.x * static_cast<float>(net_w) - static_cast<float>(lb.offset_x);
+        const float py = d.box.y * static_cast<float>(net_h) - static_cast<float>(lb.offset_y);
+        d.box.x = px / (lb.scale * static_cast<float>(src_w));
+        d.box.y = py / (lb.scale * static_cast<float>(src_h));
+        d.box.w = d.box.w * static_cast<float>(net_w) / (lb.scale * static_cast<float>(src_w));
+        d.box.h = d.box.h * static_cast<float>(net_h) / (lb.scale * static_cast<float>(src_h));
+    }
+    return dets;
+}
+
+}  // namespace
+
+Detections detect_image(Network& net, const Image& image, const EvalConfig& config) {
+    RegionLayer* head = net.region();
+    if (head == nullptr) throw std::logic_error("detect_image: network has no region layer");
+    if (net.config().batch != 1) net.set_batch(1);
+    const Shape in = net.input_shape();
+    Tensor input(in);
+    if (config.use_letterbox &&
+        (image.width() != in.w || image.height() != in.h)) {
+        const Letterbox lb = letterbox(image, in.w, in.h);
+        lb.image.copy_to_batch(input, 0);
+        net.forward(input, /*train=*/false);
+        Detections dets = unletterbox(head->decode(0), lb, in.w, in.h, image.width(),
+                                      image.height());
+        return postprocess(dets, config.score_threshold, config.nms_threshold);
+    }
+    if (image.width() == in.w && image.height() == in.h && image.channels() == in.c) {
+        image.copy_to_batch(input, 0);
+    } else {
+        resize_bilinear(image, in.w, in.h).copy_to_batch(input, 0);
+    }
+    net.forward(input, /*train=*/false);
+    return postprocess(head->decode(0), config.score_threshold, config.nms_threshold);
+}
+
+DetectionMetrics evaluate_detector(Network& net, const DetectionDataset& ds,
+                                   const EvalConfig& config) {
+    DetectionMetrics total;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        const Detections dets = detect_image(net, ds.image(i), config);
+        total += match_detections(dets, ds.truths(i), config.match_iou);
+    }
+    return total;
+}
+
+}  // namespace dronet

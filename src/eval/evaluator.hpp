@@ -1,0 +1,32 @@
+// End-to-end detector evaluation over a dataset.
+//
+// Runs the network on every test image at its current input resolution,
+// post-processes (score filter + NMS) and accumulates the paper's accuracy
+// metrics.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "eval/metrics.hpp"
+#include "nn/network.hpp"
+
+namespace dronet {
+
+struct EvalConfig {
+    float score_threshold = 0.30f;  ///< objectness*class acceptance threshold
+    float nms_threshold = 0.40f;    ///< NMS IoU threshold
+    float match_iou = 0.50f;        ///< TP matching threshold
+    /// Aspect-preserving letterbox preprocessing (darknet's test-time path)
+    /// instead of plain resampling; boxes are mapped back to source-image
+    /// coordinates. Matters for non-square camera frames.
+    bool use_letterbox = false;
+};
+
+/// Runs `net` (batch 1) on one image and returns post-processed detections.
+[[nodiscard]] Detections detect_image(Network& net, const Image& image,
+                                      const EvalConfig& config = {});
+
+/// Evaluates the detector over every image of `ds`.
+[[nodiscard]] DetectionMetrics evaluate_detector(Network& net, const DetectionDataset& ds,
+                                                 const EvalConfig& config = {});
+
+}  // namespace dronet

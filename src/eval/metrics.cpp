@@ -1,0 +1,70 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+namespace dronet {
+
+float DetectionMetrics::avg_iou() const noexcept {
+    return true_positives > 0 ? static_cast<float>(iou_sum / true_positives) : 0.0f;
+}
+
+float DetectionMetrics::sensitivity() const noexcept {
+    const int denom = true_positives + false_negatives;
+    return denom > 0 ? static_cast<float>(true_positives) / static_cast<float>(denom) : 0.0f;
+}
+
+float DetectionMetrics::precision() const noexcept {
+    const int denom = true_positives + false_positives;
+    return denom > 0 ? static_cast<float>(true_positives) / static_cast<float>(denom) : 0.0f;
+}
+
+float DetectionMetrics::f1() const noexcept {
+    const float s = sensitivity();
+    const float p = precision();
+    return (s + p) > 0 ? 2 * s * p / (s + p) : 0.0f;
+}
+
+DetectionMetrics& DetectionMetrics::operator+=(const DetectionMetrics& other) noexcept {
+    true_positives += other.true_positives;
+    false_positives += other.false_positives;
+    false_negatives += other.false_negatives;
+    iou_sum += other.iou_sum;
+    return *this;
+}
+
+DetectionMetrics match_detections(const Detections& dets,
+                                  const std::vector<GroundTruth>& truths,
+                                  float iou_thresh) {
+    Detections sorted = dets;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Detection& a, const Detection& b) {
+                         return a.score() > b.score();
+                     });
+    std::vector<bool> used(truths.size(), false);
+    DetectionMetrics m;
+    for (const Detection& d : sorted) {
+        int best = -1;
+        float best_iou = iou_thresh;
+        for (std::size_t t = 0; t < truths.size(); ++t) {
+            if (used[t] || truths[t].class_id != d.class_id) continue;
+            const float v = iou(d.box, truths[t].box);
+            if (v >= best_iou) {
+                best_iou = v;
+                best = static_cast<int>(t);
+            }
+        }
+        if (best >= 0) {
+            used[static_cast<std::size_t>(best)] = true;
+            ++m.true_positives;
+            m.iou_sum += best_iou;
+        } else {
+            ++m.false_positives;
+        }
+    }
+    for (bool u : used) {
+        if (!u) ++m.false_negatives;
+    }
+    return m;
+}
+
+}  // namespace dronet

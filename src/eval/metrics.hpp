@@ -1,0 +1,41 @@
+// Detection-accuracy metrics (paper §IV, metrics 1-3).
+//
+// Predictions are greedily matched to ground truth in descending score order
+// at a configurable IoU threshold. From the match counts we derive exactly
+// the paper's metrics: mean IoU of matched pairs, Sensitivity (eq. 1) and
+// Precision (eq. 2).
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace dronet {
+
+struct DetectionMetrics {
+    int true_positives = 0;
+    int false_positives = 0;
+    int false_negatives = 0;
+    double iou_sum = 0;  ///< summed IoU over matched (TP) pairs
+
+    /// Mean IoU over matched detections (0 when nothing matched).
+    [[nodiscard]] float avg_iou() const noexcept;
+    /// Tpos / (Tpos + Fneg), eq. (1).
+    [[nodiscard]] float sensitivity() const noexcept;
+    /// Tpos / (Tpos + Fpos), eq. (2).
+    [[nodiscard]] float precision() const noexcept;
+    /// Harmonic mean of sensitivity and precision (diagnostic, not a paper
+    /// metric).
+    [[nodiscard]] float f1() const noexcept;
+
+    DetectionMetrics& operator+=(const DetectionMetrics& other) noexcept;
+};
+
+/// Matches one image's detections against its ground truth. A detection is a
+/// TP if its best-IoU unmatched truth of the same class reaches `iou_thresh`;
+/// each truth matches at most one detection (greedy, score-descending).
+[[nodiscard]] DetectionMetrics match_detections(const Detections& dets,
+                                                const std::vector<GroundTruth>& truths,
+                                                float iou_thresh = 0.5f);
+
+}  // namespace dronet

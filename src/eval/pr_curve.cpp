@@ -1,0 +1,104 @@
+#include "eval/pr_curve.hpp"
+
+#include <algorithm>
+
+namespace dronet {
+namespace {
+
+struct ScoredHit {
+    float score = 0;
+    bool is_tp = false;
+};
+
+// Per-image greedy matching (score-descending) recording each detection's
+// TP/FP status, pooled across images.
+std::pair<std::vector<ScoredHit>, int> pool_hits(
+    const std::vector<ImageResult>& results, float iou_thresh) {
+    std::vector<ScoredHit> hits;
+    int total_truths = 0;
+    for (const ImageResult& r : results) {
+        total_truths += static_cast<int>(r.truths.size());
+        Detections sorted = r.detections;
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [](const Detection& a, const Detection& b) {
+                             return a.score() > b.score();
+                         });
+        std::vector<bool> used(r.truths.size(), false);
+        for (const Detection& d : sorted) {
+            int best = -1;
+            float best_iou = iou_thresh;
+            for (std::size_t t = 0; t < r.truths.size(); ++t) {
+                if (used[t] || r.truths[t].class_id != d.class_id) continue;
+                const float v = iou(d.box, r.truths[t].box);
+                if (v >= best_iou) {
+                    best_iou = v;
+                    best = static_cast<int>(t);
+                }
+            }
+            if (best >= 0) used[static_cast<std::size_t>(best)] = true;
+            hits.push_back(ScoredHit{d.score(), best >= 0});
+        }
+    }
+    return {std::move(hits), total_truths};
+}
+
+}  // namespace
+
+std::vector<PrPoint> precision_recall_curve(const std::vector<ImageResult>& results,
+                                            float iou_thresh) {
+    auto [hits, total_truths] = pool_hits(results, iou_thresh);
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const ScoredHit& a, const ScoredHit& b) { return a.score > b.score; });
+    std::vector<PrPoint> curve;
+    curve.reserve(hits.size());
+    int tp = 0;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        if (hits[i].is_tp) ++tp;
+        PrPoint p;
+        p.threshold = hits[i].score;
+        p.precision = static_cast<float>(tp) / static_cast<float>(i + 1);
+        p.recall = total_truths > 0
+                       ? static_cast<float>(tp) / static_cast<float>(total_truths)
+                       : 0.0f;
+        curve.push_back(p);
+    }
+    return curve;
+}
+
+float average_precision(const std::vector<PrPoint>& curve) {
+    if (curve.empty()) return 0.0f;
+    // Precision envelope: at each point, the max precision at >= this recall.
+    std::vector<float> envelope(curve.size());
+    float running = 0;
+    for (std::size_t i = curve.size(); i-- > 0;) {
+        running = std::max(running, curve[i].precision);
+        envelope[i] = running;
+    }
+    float ap = 0;
+    float prev_recall = 0;
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        ap += (curve[i].recall - prev_recall) * envelope[i];
+        prev_recall = curve[i].recall;
+    }
+    return ap;
+}
+
+float average_precision(const std::vector<ImageResult>& results, float iou_thresh) {
+    return average_precision(precision_recall_curve(results, iou_thresh));
+}
+
+float best_f1_threshold(const std::vector<PrPoint>& curve) {
+    float best_f1 = -1;
+    float best_threshold = 0;
+    for (const PrPoint& p : curve) {
+        const float denom = p.precision + p.recall;
+        const float f1 = denom > 0 ? 2 * p.precision * p.recall / denom : 0.0f;
+        if (f1 > best_f1) {
+            best_f1 = f1;
+            best_threshold = p.threshold;
+        }
+    }
+    return best_threshold;
+}
+
+}  // namespace dronet

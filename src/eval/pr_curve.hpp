@@ -1,0 +1,45 @@
+// Precision-recall analysis and average precision.
+//
+// The paper reports point metrics (Sensitivity/Precision at one threshold);
+// the detection community's standard summary is the PR curve and its
+// integral (AP). This module sweeps the score threshold over pooled
+// detections and computes both, used by the threshold-selection ablation.
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+#include "eval/metrics.hpp"
+
+namespace dronet {
+
+/// One image's detections with its ground truth, pooled for curve building.
+struct ImageResult {
+    Detections detections;
+    std::vector<GroundTruth> truths;
+};
+
+struct PrPoint {
+    float threshold = 0;
+    float precision = 0;
+    float recall = 0;
+};
+
+/// Builds the PR curve by sweeping the score threshold over all pooled
+/// detections (greedy IoU matching per image at `iou_thresh`). Points are
+/// ordered by descending threshold (increasing recall).
+[[nodiscard]] std::vector<PrPoint> precision_recall_curve(
+    const std::vector<ImageResult>& results, float iou_thresh = 0.5f);
+
+/// Average precision: area under the precision envelope of the PR curve
+/// (the "all-points" interpolation used by modern detection benchmarks).
+[[nodiscard]] float average_precision(const std::vector<PrPoint>& curve);
+
+/// Convenience: AP directly from pooled results.
+[[nodiscard]] float average_precision(const std::vector<ImageResult>& results,
+                                      float iou_thresh = 0.5f);
+
+/// The threshold whose operating point maximizes F1 on the curve.
+[[nodiscard]] float best_f1_threshold(const std::vector<PrPoint>& curve);
+
+}  // namespace dronet

@@ -1,0 +1,61 @@
+#include "eval/score.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dronet {
+
+void ScoreWeights::validate() const {
+    const float values[] = {fps, iou, sensitivity, precision};
+    float total = 0;
+    for (float v : values) {
+        if (v < 0.0f || v > 1.0f) {
+            throw std::invalid_argument("ScoreWeights: weight outside [0,1]");
+        }
+        total += v;
+    }
+    if (std::fabs(total - 1.0f) > 1e-4f) {
+        throw std::invalid_argument("ScoreWeights: weights must sum to 1");
+    }
+}
+
+float composite_score(const ScoreInputs& normalized, const ScoreWeights& weights) {
+    weights.validate();
+    return weights.fps * normalized.fps + weights.iou * normalized.iou +
+           weights.sensitivity * normalized.sensitivity +
+           weights.precision * normalized.precision;
+}
+
+std::vector<float> normalize_by_max(std::span<const float> values) {
+    std::vector<float> out(values.begin(), values.end());
+    const float m = values.empty() ? 0.0f : *std::max_element(values.begin(), values.end());
+    if (m > 0.0f) {
+        for (float& v : out) v /= m;
+    }
+    return out;
+}
+
+std::vector<float> score_table(std::span<const ScoreInputs> rows,
+                               const ScoreWeights& weights) {
+    weights.validate();
+    std::vector<float> fps, iou, sens, prec;
+    for (const ScoreInputs& r : rows) {
+        fps.push_back(r.fps);
+        iou.push_back(r.iou);
+        sens.push_back(r.sensitivity);
+        prec.push_back(r.precision);
+    }
+    fps = normalize_by_max(fps);
+    iou = normalize_by_max(iou);
+    sens = normalize_by_max(sens);
+    prec = normalize_by_max(prec);
+    std::vector<float> scores;
+    scores.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        scores.push_back(composite_score(
+            ScoreInputs{fps[i], iou[i], sens[i], prec[i]}, weights));
+    }
+    return scores;
+}
+
+}  // namespace dronet

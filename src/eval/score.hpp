@@ -1,0 +1,46 @@
+// The paper's composite Score metric (§IV, eq. 3).
+//
+//   Score(w) = w1*FPS + w2*IoU + w3*Sensitivity + w4*Precision,  sum(w)=1
+//
+// applied to metrics normalized to [0,1] across the compared configurations
+// (the paper normalizes each metric by its maximum across all CNNs, §IV.A).
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dronet {
+
+struct ScoreWeights {
+    float fps = 0.4f;          ///< the paper prioritizes FPS for real-time use
+    float iou = 0.2f;
+    float sensitivity = 0.2f;
+    float precision = 0.2f;
+
+    /// Throws std::invalid_argument unless weights are in [0,1] and sum to 1.
+    void validate() const;
+};
+
+/// One evaluated configuration's raw metrics.
+struct ScoreInputs {
+    float fps = 0;
+    float iou = 0;
+    float sensitivity = 0;
+    float precision = 0;
+};
+
+/// Score of already-normalized inputs.
+[[nodiscard]] float composite_score(const ScoreInputs& normalized,
+                                    const ScoreWeights& weights = {});
+
+/// Normalizes each metric by its maximum across `rows` (the paper's Fig. 3
+/// normalization), then scores every row. Rows with an all-zero metric keep
+/// zeros for that metric.
+[[nodiscard]] std::vector<float> score_table(std::span<const ScoreInputs> rows,
+                                             const ScoreWeights& weights = {});
+
+/// Divides every element by the maximum of `values` (no-op on all-zero input).
+[[nodiscard]] std::vector<float> normalize_by_max(std::span<const float> values);
+
+}  // namespace dronet

@@ -1,0 +1,86 @@
+#include "image/color.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dronet {
+
+Hsv rgb_to_hsv(Rgb rgb) noexcept {
+    const float mx = std::max({rgb.r, rgb.g, rgb.b});
+    const float mn = std::min({rgb.r, rgb.g, rgb.b});
+    const float delta = mx - mn;
+    Hsv out;
+    out.v = mx;
+    out.s = mx > 0.0f ? delta / mx : 0.0f;
+    if (delta <= 0.0f) {
+        out.h = 0.0f;
+    } else if (mx == rgb.r) {
+        out.h = std::fmod((rgb.g - rgb.b) / delta, 6.0f) / 6.0f;
+    } else if (mx == rgb.g) {
+        out.h = ((rgb.b - rgb.r) / delta + 2.0f) / 6.0f;
+    } else {
+        out.h = ((rgb.r - rgb.g) / delta + 4.0f) / 6.0f;
+    }
+    if (out.h < 0.0f) out.h += 1.0f;
+    return out;
+}
+
+Rgb hsv_to_rgb(Hsv hsv) noexcept {
+    const float h6 = hsv.h * 6.0f;
+    const int sector = static_cast<int>(h6) % 6;
+    const float f = h6 - std::floor(h6);
+    const float p = hsv.v * (1.0f - hsv.s);
+    const float q = hsv.v * (1.0f - hsv.s * f);
+    const float t = hsv.v * (1.0f - hsv.s * (1.0f - f));
+    switch (sector) {
+        case 0: return {hsv.v, t, p};
+        case 1: return {q, hsv.v, p};
+        case 2: return {p, hsv.v, t};
+        case 3: return {p, q, hsv.v};
+        case 4: return {t, p, hsv.v};
+        default: return {hsv.v, p, q};
+    }
+}
+
+void distort_hsv(Image& im, Rng& rng, float hue, float saturation, float exposure) {
+    if (im.channels() != 3) throw std::invalid_argument("distort_hsv: needs 3 channels");
+    const float dh = rng.uniform(-hue, hue);
+    auto scale_draw = [&rng](float s) {
+        const float v = rng.uniform(1.0f, s);
+        return rng.chance(0.5f) ? v : 1.0f / v;
+    };
+    const float ds = scale_draw(saturation);
+    const float dv = scale_draw(exposure);
+    for (int y = 0; y < im.height(); ++y) {
+        for (int x = 0; x < im.width(); ++x) {
+            Hsv hsv = rgb_to_hsv({im.px(x, y, 0), im.px(x, y, 1), im.px(x, y, 2)});
+            hsv.h = std::fmod(hsv.h + dh + 1.0f, 1.0f);
+            hsv.s = std::clamp(hsv.s * ds, 0.0f, 1.0f);
+            hsv.v = std::clamp(hsv.v * dv, 0.0f, 1.0f);
+            const Rgb rgb = hsv_to_rgb(hsv);
+            im.px(x, y, 0) = rgb.r;
+            im.px(x, y, 1) = rgb.g;
+            im.px(x, y, 2) = rgb.b;
+        }
+    }
+}
+
+void flip_horizontal(Image& im) {
+    for (int c = 0; c < im.channels(); ++c) {
+        for (int y = 0; y < im.height(); ++y) {
+            for (int x = 0; x < im.width() / 2; ++x) {
+                std::swap(im.px(x, y, c), im.px(im.width() - 1 - x, y, c));
+            }
+        }
+    }
+}
+
+void add_gaussian_noise(Image& im, Rng& rng, float stddev) {
+    for (std::size_t i = 0; i < im.size(); ++i) {
+        im.data()[i] += rng.normal(stddev);
+    }
+    im.clamp01();
+}
+
+}  // namespace dronet

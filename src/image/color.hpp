@@ -1,0 +1,33 @@
+// Colour-space utilities and photometric augmentation.
+//
+// The paper's dataset deliberately varies illumination and vehicle colour
+// (§III.A); the HSV jitter here applies the matching augmentations during
+// training, following darknet's hue/saturation/exposure distortion.
+#pragma once
+
+#include "image/draw.hpp"
+#include "image/image.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+
+struct Hsv {
+    float h = 0;  ///< hue in [0,1)
+    float s = 0;  ///< saturation in [0,1]
+    float v = 0;  ///< value in [0,1]
+};
+
+[[nodiscard]] Hsv rgb_to_hsv(Rgb rgb) noexcept;
+[[nodiscard]] Rgb hsv_to_rgb(Hsv hsv) noexcept;
+
+/// In-place photometric distortion of a 3-channel image: hue shifted by
+/// +/-`hue`, saturation and exposure scaled in [1/s, s].
+void distort_hsv(Image& im, Rng& rng, float hue, float saturation, float exposure);
+
+/// Horizontally mirrors the image in place.
+void flip_horizontal(Image& im);
+
+/// Adds zero-mean Gaussian pixel noise (sensor-noise model).
+void add_gaussian_noise(Image& im, Rng& rng, float stddev);
+
+}  // namespace dronet

@@ -1,0 +1,115 @@
+#include "image/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dronet {
+namespace {
+
+void set_px(Image& im, int x, int y, Rgb color) {
+    if (x < 0 || x >= im.width() || y < 0 || y >= im.height()) return;
+    im.px(x, y, 0) = color.r;
+    if (im.channels() > 1) im.px(x, y, 1) = color.g;
+    if (im.channels() > 2) im.px(x, y, 2) = color.b;
+}
+
+}  // namespace
+
+void draw_filled_rect(Image& im, int x0, int y0, int x1, int y1, Rgb color) {
+    x0 = std::max(0, x0);
+    y0 = std::max(0, y0);
+    x1 = std::min(im.width() - 1, x1);
+    y1 = std::min(im.height() - 1, y1);
+    for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) set_px(im, x, y, color);
+    }
+}
+
+void draw_rect(Image& im, int x0, int y0, int x1, int y1, Rgb color, int thickness) {
+    for (int t = 0; t < thickness; ++t) {
+        for (int x = x0 + t; x <= x1 - t; ++x) {
+            set_px(im, x, y0 + t, color);
+            set_px(im, x, y1 - t, color);
+        }
+        for (int y = y0 + t; y <= y1 - t; ++y) {
+            set_px(im, x0 + t, y, color);
+            set_px(im, x1 - t, y, color);
+        }
+    }
+}
+
+void draw_rotated_rect(Image& im, float cx, float cy, float hw, float hh,
+                       float angle, Rgb color) {
+    const float c = std::cos(angle);
+    const float s = std::sin(angle);
+    // Bounding box of the rotated rect in image space.
+    const float ext_x = std::fabs(hw * c) + std::fabs(hh * s);
+    const float ext_y = std::fabs(hw * s) + std::fabs(hh * c);
+    const int x0 = std::max(0, static_cast<int>(std::floor(cx - ext_x)));
+    const int x1 = std::min(im.width() - 1, static_cast<int>(std::ceil(cx + ext_x)));
+    const int y0 = std::max(0, static_cast<int>(std::floor(cy - ext_y)));
+    const int y1 = std::min(im.height() - 1, static_cast<int>(std::ceil(cy + ext_y)));
+    for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+            // Transform the pixel centre into the rect's local frame.
+            const float dx = (static_cast<float>(x) + 0.5f) - cx;
+            const float dy = (static_cast<float>(y) + 0.5f) - cy;
+            const float lx = dx * c + dy * s;
+            const float ly = -dx * s + dy * c;
+            if (std::fabs(lx) <= hw && std::fabs(ly) <= hh) set_px(im, x, y, color);
+        }
+    }
+}
+
+void draw_disc(Image& im, float cx, float cy, float radius, Rgb color) {
+    const int x0 = std::max(0, static_cast<int>(std::floor(cx - radius)));
+    const int x1 = std::min(im.width() - 1, static_cast<int>(std::ceil(cx + radius)));
+    const int y0 = std::max(0, static_cast<int>(std::floor(cy - radius)));
+    const int y1 = std::min(im.height() - 1, static_cast<int>(std::ceil(cy + radius)));
+    const float r2 = radius * radius;
+    for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+            const float dx = (static_cast<float>(x) + 0.5f) - cx;
+            const float dy = (static_cast<float>(y) + 0.5f) - cy;
+            if (dx * dx + dy * dy <= r2) set_px(im, x, y, color);
+        }
+    }
+}
+
+void draw_line(Image& im, int x0, int y0, int x1, int y1, Rgb color) {
+    const int dx = std::abs(x1 - x0);
+    const int dy = -std::abs(y1 - y0);
+    const int sx = x0 < x1 ? 1 : -1;
+    const int sy = y0 < y1 ? 1 : -1;
+    int err = dx + dy;
+    while (true) {
+        set_px(im, x0, y0, color);
+        if (x0 == x1 && y0 == y1) break;
+        const int e2 = 2 * err;
+        if (e2 >= dy) {
+            err += dy;
+            x0 += sx;
+        }
+        if (e2 <= dx) {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+void blend_rect(Image& im, int x0, int y0, int x1, int y1, Rgb color, float alpha) {
+    x0 = std::max(0, x0);
+    y0 = std::max(0, y0);
+    x1 = std::min(im.width() - 1, x1);
+    y1 = std::min(im.height() - 1, y1);
+    const float inv = 1.0f - alpha;
+    for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+            im.px(x, y, 0) = im.px(x, y, 0) * inv + color.r * alpha;
+            if (im.channels() > 1) im.px(x, y, 1) = im.px(x, y, 1) * inv + color.g * alpha;
+            if (im.channels() > 2) im.px(x, y, 2) = im.px(x, y, 2) * inv + color.b * alpha;
+        }
+    }
+}
+
+}  // namespace dronet

@@ -1,0 +1,36 @@
+// 2-D rasterization primitives.
+//
+// Two consumers: the synthetic aerial-scene generator (drawing roads,
+// vehicles, shadows) and the detection visualizer (overlaying predicted
+// boxes, as in the paper's Fig. 5a).
+#pragma once
+
+#include "image/image.hpp"
+
+namespace dronet {
+
+struct Rgb {
+    float r = 0, g = 0, b = 0;
+};
+
+/// Axis-aligned filled rectangle; coordinates are clipped to the image.
+void draw_filled_rect(Image& im, int x0, int y0, int x1, int y1, Rgb color);
+
+/// Rectangle outline with the given border thickness.
+void draw_rect(Image& im, int x0, int y0, int x1, int y1, Rgb color, int thickness = 1);
+
+/// Filled rotated rectangle centred at (cx,cy) with half-extents (hw,hh) and
+/// rotation `angle` radians. Used for oriented top-view vehicles.
+void draw_rotated_rect(Image& im, float cx, float cy, float hw, float hh,
+                       float angle, Rgb color);
+
+/// Filled disc.
+void draw_disc(Image& im, float cx, float cy, float radius, Rgb color);
+
+/// 1-px Bresenham line.
+void draw_line(Image& im, int x0, int y0, int x1, int y1, Rgb color);
+
+/// Alpha-blends `color` over the rectangle (used for soft shadows).
+void blend_rect(Image& im, int x0, int y0, int x1, int y1, Rgb color, float alpha);
+
+}  // namespace dronet

@@ -1,0 +1,63 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dronet {
+
+namespace {
+
+// Validates before the data vector is sized, so a negative dimension throws
+// invalid_argument instead of wrapping into a huge allocation.
+std::size_t checked_pixel_count(int width, int height, int channels) {
+    if (width <= 0 || height <= 0 || channels <= 0) {
+        throw std::invalid_argument("Image: non-positive dimensions");
+    }
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
+           static_cast<std::size_t>(channels);
+}
+
+}  // namespace
+
+Image::Image(int width, int height, int channels)
+    : width_(width), height_(height), channels_(channels),
+      data_(checked_pixel_count(width, height, channels), 0.0f) {}
+
+float Image::px_clamped(int x, int y, int c) const noexcept {
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    c = std::clamp(c, 0, channels_ - 1);
+    return px(x, y, c);
+}
+
+void Image::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+void Image::clamp01() noexcept {
+    for (float& v : data_) v = std::clamp(v, 0.0f, 1.0f);
+}
+
+Tensor Image::to_tensor() const {
+    Tensor t(1, channels_, height_, width_);
+    copy_to_batch(t, 0);
+    return t;
+}
+
+void Image::copy_to_batch(Tensor& t, int n) const {
+    const Shape& s = t.shape();
+    if (s.c != channels_ || s.h != height_ || s.w != width_ || n < 0 || n >= s.n) {
+        throw std::invalid_argument("Image::copy_to_batch: shape mismatch");
+    }
+    std::copy(data_.begin(), data_.end(),
+              t.data() + static_cast<std::int64_t>(n) * s.chw());
+}
+
+Image Image::from_tensor(const Tensor& t, int n) {
+    const Shape& s = t.shape();
+    if (n < 0 || n >= s.n) throw std::invalid_argument("Image::from_tensor: bad batch index");
+    Image im(s.w, s.h, s.c);
+    const float* src = t.data() + static_cast<std::int64_t>(n) * s.chw();
+    std::copy(src, src + s.chw(), im.data());
+    return im;
+}
+
+}  // namespace dronet

@@ -1,0 +1,62 @@
+// Planar float image (CHW, values nominally in [0,1]).
+//
+// Matches darknet's image representation so frames can be fed straight into
+// the network input tensor without conversion. Channel 0/1/2 = R/G/B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dronet {
+
+class Image {
+  public:
+    Image() = default;
+    Image(int width, int height, int channels);
+
+    [[nodiscard]] int width() const noexcept { return width_; }
+    [[nodiscard]] int height() const noexcept { return height_; }
+    [[nodiscard]] int channels() const noexcept { return channels_; }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    [[nodiscard]] float* data() noexcept { return data_.data(); }
+    [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+    /// Unchecked pixel access.
+    [[nodiscard]] float& px(int x, int y, int c) noexcept {
+        return data_[(static_cast<std::size_t>(c) * height_ + y) * width_ + x];
+    }
+    [[nodiscard]] float px(int x, int y, int c) const noexcept {
+        return data_[(static_cast<std::size_t>(c) * height_ + y) * width_ + x];
+    }
+
+    /// Checked pixel access; clamps coordinates to the image border
+    /// (replicate padding), convenient for filters and samplers.
+    [[nodiscard]] float px_clamped(int x, int y, int c) const noexcept;
+
+    void fill(float v) noexcept;
+
+    /// Clamps every value into [0,1].
+    void clamp01() noexcept;
+
+    /// Copies pixel data into a 1xCxHxW tensor (allocates).
+    [[nodiscard]] Tensor to_tensor() const;
+
+    /// Copies pixel data into batch slot `n` of an existing NCHW tensor whose
+    /// c/h/w match this image. Throws std::invalid_argument on mismatch.
+    void copy_to_batch(Tensor& t, int n) const;
+
+    /// Builds an image from batch slot `n` of an NCHW tensor.
+    [[nodiscard]] static Image from_tensor(const Tensor& t, int n = 0);
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    int channels_ = 0;
+    std::vector<float> data_;
+};
+
+}  // namespace dronet

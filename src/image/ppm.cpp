@@ -1,0 +1,90 @@
+#include "image/ppm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dronet {
+namespace {
+
+// Reads the next whitespace/comment-delimited token of a PNM header.
+std::string next_token(std::istream& in) {
+    std::string tok;
+    int ch = 0;
+    while ((ch = in.get()) != EOF) {
+        if (ch == '#') {  // comment to end of line
+            while ((ch = in.get()) != EOF && ch != '\n') {}
+            continue;
+        }
+        if (!std::isspace(ch)) {
+            tok.push_back(static_cast<char>(ch));
+            break;
+        }
+    }
+    while ((ch = in.get()) != EOF && !std::isspace(ch)) tok.push_back(static_cast<char>(ch));
+    if (tok.empty()) throw std::runtime_error("ppm: truncated header");
+    return tok;
+}
+
+}  // namespace
+
+void write_ppm(const Image& im, const std::filesystem::path& path) {
+    if (im.channels() != 3 && im.channels() != 1) {
+        throw std::runtime_error("write_ppm: only 1- or 3-channel images supported");
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("write_ppm: cannot open " + path.string());
+    out << (im.channels() == 3 ? "P6" : "P5") << "\n"
+        << im.width() << " " << im.height() << "\n255\n";
+    std::vector<unsigned char> row(static_cast<std::size_t>(im.width()) * im.channels());
+    for (int y = 0; y < im.height(); ++y) {
+        for (int x = 0; x < im.width(); ++x) {
+            for (int c = 0; c < im.channels(); ++c) {
+                const float v = std::clamp(im.px(x, y, c), 0.0f, 1.0f);
+                row[static_cast<std::size_t>(x) * im.channels() + c] =
+                    static_cast<unsigned char>(v * 255.0f + 0.5f);
+            }
+        }
+        out.write(reinterpret_cast<const char*>(row.data()),
+                  static_cast<std::streamsize>(row.size()));
+    }
+    if (!out) throw std::runtime_error("write_ppm: write failed for " + path.string());
+}
+
+Image read_ppm(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("read_ppm: cannot open " + path.string());
+    const std::string magic = next_token(in);
+    int channels = 0;
+    if (magic == "P6") {
+        channels = 3;
+    } else if (magic == "P5") {
+        channels = 1;
+    } else {
+        throw std::runtime_error("read_ppm: unsupported magic " + magic);
+    }
+    const int w = std::stoi(next_token(in));
+    const int h = std::stoi(next_token(in));
+    const int maxval = std::stoi(next_token(in));
+    if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 255) {
+        throw std::runtime_error("read_ppm: bad header in " + path.string());
+    }
+    Image im(w, h, channels);
+    std::vector<unsigned char> row(static_cast<std::size_t>(w) * channels);
+    const float inv = 1.0f / static_cast<float>(maxval);
+    for (int y = 0; y < h; ++y) {
+        in.read(reinterpret_cast<char*>(row.data()), static_cast<std::streamsize>(row.size()));
+        if (!in) throw std::runtime_error("read_ppm: truncated pixel data");
+        for (int x = 0; x < w; ++x) {
+            for (int c = 0; c < channels; ++c) {
+                im.px(x, y, c) = static_cast<float>(row[static_cast<std::size_t>(x) * channels + c]) * inv;
+            }
+        }
+    }
+    return im;
+}
+
+}  // namespace dronet

@@ -1,0 +1,23 @@
+// Minimal binary PPM (P6) / PGM (P5) reader & writer.
+//
+// Used to persist synthetic dataset frames and detection visualizations; the
+// formats are header-only and dependency-free, which keeps the embedded
+// deployment story (no image libraries on the UAV companion computer) honest.
+#pragma once
+
+#include <filesystem>
+
+#include "image/image.hpp"
+
+namespace dronet {
+
+/// Writes a 3-channel image as binary PPM (P6) or a 1-channel image as PGM
+/// (P5). Values are clamped to [0,1] and quantized to 8 bits.
+/// Throws std::runtime_error on I/O failure or unsupported channel count.
+void write_ppm(const Image& im, const std::filesystem::path& path);
+
+/// Reads a binary PPM/PGM into a float image in [0,1].
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Image read_ppm(const std::filesystem::path& path);
+
+}  // namespace dronet

@@ -1,0 +1,71 @@
+#include "image/resize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dronet {
+
+Image resize_bilinear(const Image& src, int new_w, int new_h) {
+    if (src.empty()) throw std::invalid_argument("resize_bilinear: empty source");
+    Image dst(new_w, new_h, src.channels());
+    const float sx = new_w > 1 ? static_cast<float>(src.width() - 1) / (new_w - 1) : 0.0f;
+    const float sy = new_h > 1 ? static_cast<float>(src.height() - 1) / (new_h - 1) : 0.0f;
+    for (int y = 0; y < new_h; ++y) {
+        const float fy = y * sy;
+        const int y0 = static_cast<int>(fy);
+        const int y1 = std::min(y0 + 1, src.height() - 1);
+        const float wy = fy - static_cast<float>(y0);
+        for (int x = 0; x < new_w; ++x) {
+            const float fx = x * sx;
+            const int x0 = static_cast<int>(fx);
+            const int x1 = std::min(x0 + 1, src.width() - 1);
+            const float wx = fx - static_cast<float>(x0);
+            for (int c = 0; c < src.channels(); ++c) {
+                const float top = src.px(x0, y0, c) * (1 - wx) + src.px(x1, y0, c) * wx;
+                const float bot = src.px(x0, y1, c) * (1 - wx) + src.px(x1, y1, c) * wx;
+                dst.px(x, y, c) = top * (1 - wy) + bot * wy;
+            }
+        }
+    }
+    return dst;
+}
+
+Image resize_nearest(const Image& src, int new_w, int new_h) {
+    if (src.empty()) throw std::invalid_argument("resize_nearest: empty source");
+    Image dst(new_w, new_h, src.channels());
+    for (int y = 0; y < new_h; ++y) {
+        const int sy = std::min(src.height() - 1,
+                                static_cast<int>((y + 0.5f) * src.height() / new_h));
+        for (int x = 0; x < new_w; ++x) {
+            const int sx = std::min(src.width() - 1,
+                                    static_cast<int>((x + 0.5f) * src.width() / new_w));
+            for (int c = 0; c < src.channels(); ++c) dst.px(x, y, c) = src.px(sx, sy, c);
+        }
+    }
+    return dst;
+}
+
+Letterbox letterbox(const Image& src, int new_w, int new_h) {
+    if (src.empty()) throw std::invalid_argument("letterbox: empty source");
+    Letterbox out;
+    out.scale = std::min(static_cast<float>(new_w) / src.width(),
+                         static_cast<float>(new_h) / src.height());
+    const int emb_w = std::max(1, static_cast<int>(std::lround(src.width() * out.scale)));
+    const int emb_h = std::max(1, static_cast<int>(std::lround(src.height() * out.scale)));
+    out.offset_x = (new_w - emb_w) / 2;
+    out.offset_y = (new_h - emb_h) / 2;
+    Image embedded = resize_bilinear(src, emb_w, emb_h);
+    out.image = Image(new_w, new_h, src.channels());
+    out.image.fill(0.5f);
+    for (int y = 0; y < emb_h; ++y) {
+        for (int x = 0; x < emb_w; ++x) {
+            for (int c = 0; c < src.channels(); ++c) {
+                out.image.px(x + out.offset_x, y + out.offset_y, c) = embedded.px(x, y, c);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace dronet

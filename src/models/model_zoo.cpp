@@ -1,0 +1,160 @@
+#include "models/model_zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/cfg.hpp"
+
+namespace dronet {
+namespace {
+
+constexpr int kNumAnchors = 5;
+
+// Anchor shapes as fractions of the image: top-view vehicles appear in a
+// narrow size band (paper §III.D); two elongated anchors cover the two
+// dominant orientations.
+constexpr float kAnchorNorm[kNumAnchors][2] = {
+    {0.05f, 0.05f}, {0.08f, 0.08f}, {0.12f, 0.12f}, {0.17f, 0.11f}, {0.11f, 0.17f},
+};
+
+int scaled(int filters, float scale) {
+    return std::max(4, static_cast<int>(std::lround(static_cast<float>(filters) * scale)));
+}
+
+void emit_net_section(std::ostringstream& os, const ModelOptions& o) {
+    os << "[net]\n"
+       << "batch=" << o.batch << "\n"
+       << "width=" << o.input_size << "\n"
+       << "height=" << o.input_size << "\n"
+       << "channels=3\n"
+       << "learning_rate=" << o.learning_rate << "\n"
+       << "momentum=" << o.momentum << "\n"
+       << "decay=" << o.decay << "\n"
+       << "burn_in=" << o.burn_in << "\n"
+       << "seed=" << o.seed << "\n";
+}
+
+void emit_conv(std::ostringstream& os, int filters, int size, bool bn,
+               const char* activation) {
+    os << "\n[convolutional]\n";
+    if (bn) os << "batch_normalize=1\n";
+    os << "filters=" << filters << "\n"
+       << "size=" << size << "\n"
+       << "stride=1\n"
+       << "pad=1\n"
+       << "activation=" << activation << "\n";
+}
+
+void emit_maxpool(std::ostringstream& os, int size, int stride) {
+    os << "\n[maxpool]\nsize=" << size << "\nstride=" << stride << "\n";
+}
+
+void emit_region(std::ostringstream& os, const ModelOptions& o, int stride) {
+    const int grid = std::max(1, o.input_size / stride);
+    os << "\n[region]\nanchors=";
+    for (int a = 0; a < kNumAnchors; ++a) {
+        os << (a ? "," : "") << kAnchorNorm[a][0] * static_cast<float>(grid) << ","
+           << kAnchorNorm[a][1] * static_cast<float>(grid);
+    }
+    os << "\nclasses=" << o.classes << "\ncoords=4\nnum=" << kNumAnchors
+       << "\nobject_scale=5\nnoobject_scale=1\nclass_scale=1\ncoord_scale=1\n"
+          "thresh=0.6\nrescore=1\n";
+}
+
+int head_filters(const ModelOptions& o) { return kNumAnchors * (5 + o.classes); }
+
+// The Tiny-YOLO topology shared by TinyYoloVoc / TinyYoloNet / SmallYoloV3:
+// six conv+maxpool stages (the last pool has stride 1) followed by two 3x3
+// convolutions and the 1x1 detection head. `f` holds the 8 hidden filter
+// counts.
+std::string tiny_family_cfg(const ModelOptions& o, const int (&f)[8]) {
+    std::ostringstream os;
+    emit_net_section(os, o);
+    for (int stage = 0; stage < 6; ++stage) {
+        emit_conv(os, scaled(f[stage], o.filter_scale), 3, true, "leaky");
+        emit_maxpool(os, 2, stage < 5 ? 2 : 1);
+    }
+    emit_conv(os, scaled(f[6], o.filter_scale), 3, true, "leaky");
+    emit_conv(os, scaled(f[7], o.filter_scale), 3, true, "leaky");
+    emit_conv(os, head_filters(o), 1, false, "linear");
+    emit_region(os, o, 32);
+    return os.str();
+}
+
+// DroNet (Fig. 2): alternating 3x3 (spatial feature extraction) and 1x1
+// (channel mixing) convolutions with four 2x max-pool reductions.
+std::string dronet_cfg(const ModelOptions& o) {
+    constexpr int f[4] = {8, 16, 32, 64};
+    std::ostringstream os;
+    emit_net_section(os, o);
+    for (int stage = 0; stage < 4; ++stage) {
+        emit_conv(os, scaled(f[stage], o.filter_scale), 3, true, "leaky");
+        emit_maxpool(os, 2, 2);
+        emit_conv(os, scaled(f[stage], o.filter_scale), 1, true, "leaky");
+    }
+    emit_conv(os, head_filters(o), 1, false, "linear");
+    emit_region(os, o, 16);
+    return os.str();
+}
+
+}  // namespace
+
+std::vector<ModelId> all_models() {
+    return {ModelId::kTinyYoloVoc, ModelId::kTinyYoloNet, ModelId::kSmallYoloV3,
+            ModelId::kDroNet};
+}
+
+std::string to_string(ModelId id) {
+    switch (id) {
+        case ModelId::kTinyYoloVoc: return "TinyYoloVoc";
+        case ModelId::kTinyYoloNet: return "TinyYoloNet";
+        case ModelId::kSmallYoloV3: return "SmallYoloV3";
+        case ModelId::kDroNet: return "DroNet";
+    }
+    return "?";
+}
+
+ModelId model_from_string(const std::string& name) {
+    for (ModelId id : all_models()) {
+        if (to_string(id) == name) return id;
+    }
+    throw std::invalid_argument("unknown model: " + name);
+}
+
+int model_stride(ModelId id) {
+    return id == ModelId::kDroNet ? 16 : 32;
+}
+
+std::string model_cfg(ModelId id, const ModelOptions& options) {
+    if (options.input_size % model_stride(id) != 0) {
+        throw std::invalid_argument("model_cfg: input size " +
+                                    std::to_string(options.input_size) +
+                                    " not divisible by stride " +
+                                    std::to_string(model_stride(id)));
+    }
+    switch (id) {
+        case ModelId::kTinyYoloVoc: {
+            constexpr int f[8] = {16, 32, 64, 128, 256, 512, 1024, 1024};
+            return tiny_family_cfg(options, f);
+        }
+        case ModelId::kTinyYoloNet: {
+            constexpr int f[8] = {8, 16, 32, 64, 128, 256, 256, 256};
+            return tiny_family_cfg(options, f);
+        }
+        case ModelId::kSmallYoloV3: {
+            constexpr int f[8] = {4, 8, 16, 32, 64, 64, 64, 64};
+            return tiny_family_cfg(options, f);
+        }
+        case ModelId::kDroNet:
+            return dronet_cfg(options);
+    }
+    throw std::invalid_argument("model_cfg: bad id");
+}
+
+Network build_model(ModelId id, const ModelOptions& options) {
+    return parse_cfg(model_cfg(id, options));
+}
+
+}  // namespace dronet

@@ -1,0 +1,70 @@
+// The four CNN architectures evaluated in the paper (Fig. 1 / Fig. 2).
+//
+// All are single-shot YOLO-style detectors with 9 convolutional layers and
+// 4-6 max-pooling layers (§III.C). Exact per-layer filter counts follow the
+// paper's design rules:
+//
+//  * TinyYoloVoc  - the unmodified Tiny-YOLO reference adapted to 1 class;
+//                   the accuracy anchor and the slowest model.
+//  * TinyYoloNet  - Tiny-YOLO with the filter pyramid thinned (paper: ~10x
+//                   faster than TinyYoloVoc at 386 with modest accuracy loss).
+//  * SmallYoloV3  - the aggressively narrowed variant; highest frame-rate of
+//                   all models, but with a substantial sensitivity drop.
+//  * DroNet       - the paper's proposed model (Fig. 2): alternating 3x3 and
+//                   1x1 convolutions with 4 max-pool stages (stride 16),
+//                   ~17x fewer FLOPs and ~500x fewer parameters than
+//                   TinyYoloVoc.
+//
+// Models are emitted as darknet cfg text and built through the cfg parser,
+// so the zoo also exercises the config pipeline end to end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace dronet {
+
+enum class ModelId {
+    kTinyYoloVoc,
+    kTinyYoloNet,
+    kSmallYoloV3,
+    kDroNet,
+};
+
+[[nodiscard]] std::vector<ModelId> all_models();
+[[nodiscard]] std::string to_string(ModelId id);
+/// Parses a model name ("DroNet", "TinyYoloVoc", ...); case-sensitive.
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] ModelId model_from_string(const std::string& name);
+
+/// Downsampling factor input->detection grid (32 for the Tiny-YOLO family,
+/// 16 for DroNet).
+[[nodiscard]] int model_stride(ModelId id);
+
+struct ModelOptions {
+    int input_size = 416;      ///< square network input (paper sweeps 352-608)
+    int classes = 1;           ///< top-view vehicles only in the paper
+    int batch = 1;
+    std::uint64_t seed = 0x5eed;
+    /// Multiplier on every hidden filter count (min 4 filters). 1.0 builds
+    /// the paper architecture; smaller values build reduced-capacity models
+    /// used for CPU-budget training runs. Relative capacity ordering across
+    /// the four models is preserved at any fixed scale.
+    float filter_scale = 1.0f;
+    /// Training hyper-parameters copied into [net].
+    float learning_rate = 1e-3f;
+    float momentum = 0.9f;
+    float decay = 5e-4f;
+    int burn_in = 0;
+};
+
+/// Emits the darknet cfg text of the model.
+[[nodiscard]] std::string model_cfg(ModelId id, const ModelOptions& options = {});
+
+/// Builds a ready-to-run network (weights He-initialized from options.seed).
+[[nodiscard]] Network build_model(ModelId id, const ModelOptions& options = {});
+
+}  // namespace dronet

@@ -1,0 +1,59 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dronet {
+
+Activation activation_from_string(const std::string& name) {
+    if (name == "linear") return Activation::kLinear;
+    if (name == "leaky") return Activation::kLeaky;
+    if (name == "relu") return Activation::kRelu;
+    if (name == "logistic") return Activation::kLogistic;
+    throw std::invalid_argument("unknown activation: " + name);
+}
+
+std::string to_string(Activation a) {
+    switch (a) {
+        case Activation::kLinear: return "linear";
+        case Activation::kLeaky: return "leaky";
+        case Activation::kRelu: return "relu";
+        case Activation::kLogistic: return "logistic";
+    }
+    return "linear";
+}
+
+float activate(Activation a, float x) noexcept {
+    switch (a) {
+        case Activation::kLinear: return x;
+        case Activation::kLeaky: return x > 0 ? x : 0.1f * x;
+        case Activation::kRelu: return x > 0 ? x : 0;
+        case Activation::kLogistic: return 1.0f / (1.0f + std::exp(-x));
+    }
+    return x;
+}
+
+float activation_gradient(Activation a, float y) noexcept {
+    switch (a) {
+        case Activation::kLinear: return 1.0f;
+        case Activation::kLeaky: return y > 0 ? 1.0f : 0.1f;
+        case Activation::kRelu: return y > 0 ? 1.0f : 0.0f;
+        case Activation::kLogistic: return y * (1.0f - y);
+    }
+    return 1.0f;
+}
+
+void apply_activation(Activation a, std::span<float> x) noexcept {
+    if (a == Activation::kLinear) return;
+    for (float& v : x) v = activate(a, v);
+}
+
+void apply_activation_gradient(Activation a, std::span<const float> y,
+                               std::span<float> delta) noexcept {
+    if (a == Activation::kLinear) return;
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+        delta[i] *= activation_gradient(a, y[i]);
+    }
+}
+
+}  // namespace dronet

@@ -1,0 +1,36 @@
+// Layer activation functions.
+//
+// The DroNet family uses leaky ReLU (slope 0.1) in every hidden convolution
+// and linear activation on the detection head, matching the darknet configs.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace dronet {
+
+enum class Activation {
+    kLinear,
+    kLeaky,
+    kRelu,
+    kLogistic,
+};
+
+/// Parses a darknet cfg activation name ("leaky", "linear", "relu",
+/// "logistic"). Throws std::invalid_argument on unknown names.
+[[nodiscard]] Activation activation_from_string(const std::string& name);
+[[nodiscard]] std::string to_string(Activation a);
+
+/// y = f(x) applied elementwise in place.
+void apply_activation(Activation a, std::span<float> x) noexcept;
+
+/// delta *= f'(x) where `y` holds the *activated* outputs. All supported
+/// activations have derivatives expressible in terms of their outputs.
+void apply_activation_gradient(Activation a, std::span<const float> y,
+                               std::span<float> delta) noexcept;
+
+/// Scalar versions (used by the region layer on individual entries).
+[[nodiscard]] float activate(Activation a, float x) noexcept;
+[[nodiscard]] float activation_gradient(Activation a, float y) noexcept;
+
+}  // namespace dronet

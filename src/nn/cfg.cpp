@@ -1,0 +1,305 @@
+#include "nn/cfg.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dronet {
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) return {};
+    const auto end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(s);
+    while (std::getline(in, item, sep)) out.push_back(trim(item));
+    return out;
+}
+
+}  // namespace
+
+bool CfgSection::has(const std::string& key) const { return options.count(key) > 0; }
+
+int CfgSection::get_int(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    try {
+        return std::stoi(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("cfg [" + name + "] " + key + ": bad int '" +
+                                    it->second + "'");
+    }
+}
+
+float CfgSection::get_float(const std::string& key, float fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    try {
+        return std::stof(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("cfg [" + name + "] " + key + ": bad float '" +
+                                    it->second + "'");
+    }
+}
+
+std::string CfgSection::get_string(const std::string& key,
+                                   const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+}
+
+std::vector<float> CfgSection::get_float_list(const std::string& key) const {
+    std::vector<float> out;
+    const auto it = options.find(key);
+    if (it == options.end()) return out;
+    for (const std::string& tok : split(it->second, ',')) {
+        if (tok.empty()) continue;
+        try {
+            out.push_back(std::stof(tok));
+        } catch (const std::exception&) {
+            throw std::invalid_argument("cfg [" + name + "] " + key + ": bad float '" +
+                                        tok + "'");
+        }
+    }
+    return out;
+}
+
+std::vector<int> CfgSection::get_int_list(const std::string& key) const {
+    std::vector<int> out;
+    const auto it = options.find(key);
+    if (it == options.end()) return out;
+    for (const std::string& tok : split(it->second, ',')) {
+        if (tok.empty()) continue;
+        try {
+            out.push_back(std::stoi(tok));
+        } catch (const std::exception&) {
+            throw std::invalid_argument("cfg [" + name + "] " + key + ": bad int '" +
+                                        tok + "'");
+        }
+    }
+    return out;
+}
+
+std::vector<CfgSection> parse_cfg_sections(const std::string& text) {
+    std::vector<CfgSection> sections;
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = raw;
+        const auto comment = line.find_first_of("#;");
+        if (comment != std::string::npos) line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty()) continue;
+        if (line.front() == '[') {
+            if (line.back() != ']') {
+                throw std::invalid_argument("cfg line " + std::to_string(line_no) +
+                                            ": unterminated section header");
+            }
+            sections.push_back(CfgSection{trim(line.substr(1, line.size() - 2)), {}});
+            continue;
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument("cfg line " + std::to_string(line_no) +
+                                        ": expected key=value, got '" + line + "'");
+        }
+        if (sections.empty()) {
+            throw std::invalid_argument("cfg line " + std::to_string(line_no) +
+                                        ": option before any [section]");
+        }
+        sections.back().options[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+    }
+    return sections;
+}
+
+Network parse_cfg(const std::string& text) {
+    const std::vector<CfgSection> sections = parse_cfg_sections(text);
+    if (sections.empty() || (sections[0].name != "net" && sections[0].name != "network")) {
+        throw std::invalid_argument("cfg: first section must be [net]");
+    }
+    const CfgSection& net_sec = sections[0];
+    NetConfig nc;
+    nc.width = net_sec.get_int("width", nc.width);
+    nc.height = net_sec.get_int("height", nc.height);
+    nc.channels = net_sec.get_int("channels", nc.channels);
+    nc.batch = net_sec.get_int("batch", nc.batch);
+    nc.learning_rate = net_sec.get_float("learning_rate", nc.learning_rate);
+    nc.momentum = net_sec.get_float("momentum", nc.momentum);
+    nc.decay = net_sec.get_float("decay", nc.decay);
+    nc.burn_in = net_sec.get_int("burn_in", nc.burn_in);
+    nc.max_batches = net_sec.get_int("max_batches", 0);
+    nc.seed = static_cast<std::uint64_t>(net_sec.get_int("seed", 0x5eed));
+    const std::vector<int> steps = net_sec.get_int_list("steps");
+    const std::vector<float> scales = net_sec.get_float_list("scales");
+    if (steps.size() != scales.size()) {
+        throw std::invalid_argument("cfg [net]: steps/scales length mismatch");
+    }
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        nc.lr_steps.push_back({steps[i], scales[i]});
+    }
+
+    Network net(nc);
+    for (std::size_t i = 1; i < sections.size(); ++i) {
+        const CfgSection& s = sections[i];
+        if (s.name == "convolutional" || s.name == "conv") {
+            ConvConfig cc;
+            cc.filters = s.get_int("filters", 1);
+            cc.ksize = s.get_int("size", 3);
+            cc.stride = s.get_int("stride", 1);
+            // darknet: pad=1 selects "same" padding (size/2); padding=N is explicit.
+            cc.pad = s.has("padding") ? s.get_int("padding", 0)
+                                      : (s.get_int("pad", 0) != 0 ? cc.ksize / 2 : 0);
+            cc.batch_normalize = s.get_int("batch_normalize", 0) != 0;
+            cc.activation = activation_from_string(s.get_string("activation", "logistic"));
+            net.add_conv(cc);
+        } else if (s.name == "maxpool") {
+            MaxPoolConfig mc;
+            mc.size = s.get_int("size", 2);
+            mc.stride = s.get_int("stride", mc.size);
+            mc.padding = s.has("padding") ? s.get_int("padding", -1) : -1;
+            net.add_maxpool(mc);
+        } else if (s.name == "region") {
+            RegionConfig rc;
+            rc.classes = s.get_int("classes", 1);
+            rc.coords = s.get_int("coords", 4);
+            rc.num = s.get_int("num", 5);
+            rc.anchors = s.get_float_list("anchors");
+            if (rc.anchors.empty()) {
+                rc.anchors.assign(static_cast<std::size_t>(2 * rc.num), 1.0f);
+            }
+            rc.object_scale = s.get_float("object_scale", rc.object_scale);
+            rc.noobject_scale = s.get_float("noobject_scale", rc.noobject_scale);
+            rc.class_scale = s.get_float("class_scale", rc.class_scale);
+            rc.coord_scale = s.get_float("coord_scale", rc.coord_scale);
+            rc.thresh = s.get_float("thresh", rc.thresh);
+            rc.rescore = s.get_int("rescore", 1) != 0;
+            rc.bias_match_batches = s.get_int("bias_match_batches", 12800);
+            net.add_region(rc);
+        } else if (s.name == "avgpool") {
+            net.add_avgpool();
+        } else if (s.name == "dropout") {
+            net.add_dropout(s.get_float("probability", 0.5f));
+        } else if (s.name == "upsample") {
+            net.add_upsample(s.get_int("stride", 2));
+        } else if (s.name == "route") {
+            std::vector<int> raw = s.get_int_list("layers");
+            if (raw.empty()) throw std::invalid_argument("cfg [route]: missing layers=");
+            const int self = static_cast<int>(net.num_layers());
+            for (int& idx : raw) {
+                if (idx < 0) idx += self;  // darknet relative indexing
+            }
+            net.add_route(raw);
+        } else {
+            throw std::invalid_argument("cfg: unsupported section [" + s.name + "]");
+        }
+    }
+    return net;
+}
+
+Network load_cfg_file(const std::filesystem::path& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_cfg_file: cannot open " + path.string());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_cfg(buf.str());
+}
+
+std::string network_to_cfg(const Network& net) {
+    std::ostringstream os;
+    const NetConfig& nc = net.config();
+    os << "[net]\n"
+       << "batch=" << nc.batch << "\n"
+       << "width=" << nc.width << "\n"
+       << "height=" << nc.height << "\n"
+       << "channels=" << nc.channels << "\n"
+       << "learning_rate=" << nc.learning_rate << "\n"
+       << "momentum=" << nc.momentum << "\n"
+       << "decay=" << nc.decay << "\n"
+       << "burn_in=" << nc.burn_in << "\n";
+    if (nc.max_batches > 0) os << "max_batches=" << nc.max_batches << "\n";
+    if (!nc.lr_steps.empty()) {
+        os << "policy=steps\nsteps=";
+        for (std::size_t i = 0; i < nc.lr_steps.size(); ++i) {
+            os << (i ? "," : "") << nc.lr_steps[i].at_batch;
+        }
+        os << "\nscales=";
+        for (std::size_t i = 0; i < nc.lr_steps.size(); ++i) {
+            os << (i ? "," : "") << nc.lr_steps[i].scale;
+        }
+        os << "\n";
+    }
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+        const Layer& l = net.layer(static_cast<int>(i));
+        os << "\n";
+        switch (l.kind()) {
+            case LayerKind::kConvolutional: {
+                const auto& conv = dynamic_cast<const ConvolutionalLayer&>(l);
+                const ConvConfig& c = conv.config();
+                os << "[convolutional]\n";
+                if (c.batch_normalize) os << "batch_normalize=1\n";
+                os << "filters=" << c.filters << "\n"
+                   << "size=" << c.ksize << "\n"
+                   << "stride=" << c.stride << "\n"
+                   << "padding=" << c.pad << "\n"
+                   << "activation=" << to_string(c.activation) << "\n";
+                break;
+            }
+            case LayerKind::kMaxPool: {
+                const auto& pool = dynamic_cast<const MaxPoolLayer&>(l);
+                os << "[maxpool]\n"
+                   << "size=" << pool.config().size << "\n"
+                   << "stride=" << pool.config().stride << "\n";
+                if (pool.config().padding >= 0) os << "padding=" << pool.config().padding << "\n";
+                break;
+            }
+            case LayerKind::kRegion: {
+                const auto& region = dynamic_cast<const RegionLayer&>(l);
+                const RegionConfig& r = region.config();
+                os << "[region]\nanchors=";
+                for (std::size_t a = 0; a < r.anchors.size(); ++a) {
+                    os << (a ? "," : "") << r.anchors[a];
+                }
+                os << "\nclasses=" << r.classes << "\ncoords=" << r.coords
+                   << "\nnum=" << r.num << "\nobject_scale=" << r.object_scale
+                   << "\nnoobject_scale=" << r.noobject_scale
+                   << "\nclass_scale=" << r.class_scale
+                   << "\ncoord_scale=" << r.coord_scale << "\nthresh=" << r.thresh
+                   << "\nrescore=" << (r.rescore ? 1 : 0)
+                   << "\nbias_match_batches=" << r.bias_match_batches << "\n";
+                break;
+            }
+            case LayerKind::kUpsample: {
+                const auto& up = dynamic_cast<const UpsampleLayer&>(l);
+                os << "[upsample]\nstride=" << up.stride() << "\n";
+                break;
+            }
+            case LayerKind::kRoute: {
+                const auto& route = dynamic_cast<const RouteLayer&>(l);
+                os << "[route]\nlayers=";
+                const auto& srcs = route.sources();
+                for (std::size_t a = 0; a < srcs.size(); ++a) os << (a ? "," : "") << srcs[a];
+                os << "\n";
+                break;
+            }
+            case LayerKind::kAvgPool:
+                os << "[avgpool]\n";
+                break;
+            case LayerKind::kDropout: {
+                const auto& drop = dynamic_cast<const DropoutLayer&>(l);
+                os << "[dropout]\nprobability=" << drop.probability() << "\n";
+                break;
+            }
+        }
+    }
+    return os.str();
+}
+
+}  // namespace dronet

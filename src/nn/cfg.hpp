@@ -1,0 +1,49 @@
+// Darknet .cfg configuration language: parser and emitter.
+//
+// The paper's models are darknet configs; this module reads the same INI-like
+// dialect ([section] headers, key=value options, '#' comments) and builds a
+// Network. The emitter produces canonical cfg text so models can round-trip
+// (used by the model zoo, the persistence layer, and the fixpoint tests).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace dronet {
+
+/// One parsed [section] with its options.
+struct CfgSection {
+    std::string name;                         ///< e.g. "convolutional"
+    std::map<std::string, std::string> options;
+
+    [[nodiscard]] bool has(const std::string& key) const;
+    /// Typed getters with defaults; throw std::invalid_argument on parse
+    /// failure of a present value.
+    [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+    [[nodiscard]] float get_float(const std::string& key, float fallback) const;
+    [[nodiscard]] std::string get_string(const std::string& key,
+                                         const std::string& fallback) const;
+    [[nodiscard]] std::vector<float> get_float_list(const std::string& key) const;
+    [[nodiscard]] std::vector<int> get_int_list(const std::string& key) const;
+};
+
+/// Parses cfg text into raw sections. Throws on syntax errors (option before
+/// any section, malformed key=value).
+[[nodiscard]] std::vector<CfgSection> parse_cfg_sections(const std::string& text);
+
+/// Builds a Network from cfg text. The first section must be [net] (or
+/// [network]). Throws std::invalid_argument on unknown sections/activations
+/// or inconsistent geometry.
+[[nodiscard]] Network parse_cfg(const std::string& text);
+
+/// Reads a cfg file from disk and builds the network.
+[[nodiscard]] Network load_cfg_file(const std::filesystem::path& path);
+
+/// Emits canonical cfg text reproducing `net`'s structure and hyper-params.
+[[nodiscard]] std::string network_to_cfg(const Network& net);
+
+}  // namespace dronet

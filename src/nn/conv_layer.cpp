@@ -1,0 +1,271 @@
+#include "nn/conv_layer.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/network.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace dronet {
+
+ConvolutionalLayer::ConvolutionalLayer(const ConvConfig& config, const Shape& input,
+                                       Rng& rng)
+    : config_(config) {
+    if (config.filters <= 0 || config.ksize <= 0 || config.stride <= 0 || config.pad < 0) {
+        throw std::invalid_argument("ConvolutionalLayer: invalid config");
+    }
+    const int fan_in = input.c * config.ksize * config.ksize;
+    weights_ = Param(static_cast<std::size_t>(config.filters) * fan_in, true, "weights");
+    biases_ = Param(static_cast<std::size_t>(config.filters), false, "biases");
+    rng.fill_he(weights_.v, fan_in);
+    if (config.batch_normalize) {
+        scales_ = Param(static_cast<std::size_t>(config.filters), false, "scales");
+        std::fill(scales_.v.begin(), scales_.v.end(), 1.0f);
+        rolling_mean_.assign(static_cast<std::size_t>(config.filters), 0.0f);
+        rolling_variance_.assign(static_cast<std::size_t>(config.filters), 1.0f);
+        mean_.assign(static_cast<std::size_t>(config.filters), 0.0f);
+        variance_.assign(static_cast<std::size_t>(config.filters), 0.0f);
+    }
+    setup(input);
+}
+
+void ConvolutionalLayer::setup(const Shape& input) {
+    input_shape_ = input;
+    geo_ = ConvGeometry{input.c, input.h, input.w, config_.ksize, config_.stride,
+                        config_.pad};
+    if (geo_.out_h() <= 0 || geo_.out_w() <= 0) {
+        throw std::invalid_argument("ConvolutionalLayer: output collapses to zero for input " +
+                                    input.str());
+    }
+    output_shape_ = Shape{input.n, config_.filters, geo_.out_h(), geo_.out_w()};
+    output_.resize(output_shape_);
+    delta_.resize(output_shape_);
+    if (config_.batch_normalize) x_norm_.resize(output_shape_);
+}
+
+std::string ConvolutionalLayer::describe() const {
+    std::ostringstream os;
+    os << "conv " << config_.filters << " " << config_.ksize << "x" << config_.ksize
+       << "/" << config_.stride << "  " << input_shape_.w << "x" << input_shape_.h
+       << "x" << input_shape_.c << " -> " << output_shape_.w << "x" << output_shape_.h
+       << "x" << output_shape_.c;
+    if (config_.batch_normalize) os << " bn";
+    os << " " << to_string(config_.activation);
+    return os.str();
+}
+
+std::vector<Param*> ConvolutionalLayer::params() {
+    std::vector<Param*> out{&weights_, &biases_};
+    if (config_.batch_normalize) out.push_back(&scales_);
+    return out;
+}
+
+std::vector<std::vector<float>*> ConvolutionalLayer::serialized_stats() {
+    if (!config_.batch_normalize) return {};
+    return {&rolling_mean_, &rolling_variance_};
+}
+
+std::int64_t ConvolutionalLayer::flops() const {
+    // 2 MACs-per-multiply convention; plus per-element bias/BN/activation.
+    const std::int64_t out_hw = output_shape_.hw();
+    const std::int64_t macs = out_hw * config_.filters *
+                              static_cast<std::int64_t>(input_shape_.c) *
+                              config_.ksize * config_.ksize;
+    return 2 * macs + 3 * out_hw * config_.filters;
+}
+
+std::size_t ConvolutionalLayer::workspace_bytes() const {
+    if (config_.ksize == 1 && config_.stride == 1 && config_.pad == 0) return 0;
+    return sizeof(float) * static_cast<std::size_t>(geo_.col_rows()) *
+           static_cast<std::size_t>(geo_.col_cols());
+}
+
+std::int64_t ConvolutionalLayer::memory_bytes() const {
+    return Layer::memory_bytes() +
+           static_cast<std::int64_t>(sizeof(float)) *
+               static_cast<std::int64_t>(weights_.size() + 3 * biases_.size());
+}
+
+void ConvolutionalLayer::batchnorm_forward(bool train) {
+    const int batch = output_shape_.n;
+    const int channels = output_shape_.c;
+    const int spatial = static_cast<int>(output_shape_.hw());
+    auto out = output_.span();
+    if (train) {
+        channel_mean(out, batch, channels, spatial, mean_);
+        channel_variance(out, mean_, batch, channels, spatial, variance_);
+        for (int c = 0; c < channels; ++c) {
+            rolling_mean_[static_cast<std::size_t>(c)] =
+                kBnMomentum * rolling_mean_[static_cast<std::size_t>(c)] +
+                (1 - kBnMomentum) * mean_[static_cast<std::size_t>(c)];
+            rolling_variance_[static_cast<std::size_t>(c)] =
+                kBnMomentum * rolling_variance_[static_cast<std::size_t>(c)] +
+                (1 - kBnMomentum) * variance_[static_cast<std::size_t>(c)];
+        }
+        normalize_channels(out, mean_, variance_, batch, channels, spatial, kBnEps);
+        copy(out, x_norm_.span());
+    } else {
+        normalize_channels(out, rolling_mean_, rolling_variance_, batch, channels,
+                           spatial, kBnEps);
+    }
+    scale_channels(out, scales_.v, batch, channels, spatial);
+}
+
+void ConvolutionalLayer::forward(const Tensor& input, Network& net, bool train) {
+    if (input.shape() != input_shape_) {
+        throw std::invalid_argument("ConvolutionalLayer::forward: shape mismatch");
+    }
+    const int out_hw = static_cast<int>(output_shape_.hw());
+    const int col_rows = geo_.col_rows();
+    const bool is_1x1 = config_.ksize == 1 && config_.stride == 1 && config_.pad == 0;
+    for (int b = 0; b < input.shape().n; ++b) {
+        const float* in_b = input.data() + static_cast<std::int64_t>(b) * input.shape().chw();
+        float* out_b = output_.data() + static_cast<std::int64_t>(b) * output_shape_.chw();
+        const float* col = in_b;
+        if (!is_1x1) {
+            float* ws = net.workspace();
+            im2col(in_b, geo_, ws);
+            col = ws;
+        }
+        gemm(false, false, config_.filters, out_hw, col_rows, 1.0f, weights_.v.data(),
+             col_rows, col, out_hw, 0.0f, out_b, out_hw);
+    }
+    if (config_.batch_normalize) batchnorm_forward(train);
+    add_channel_bias(output_.span(), biases_.v, output_shape_.n, output_shape_.c,
+                     static_cast<int>(output_shape_.hw()));
+    apply_activation(config_.activation, output_.span());
+}
+
+void ConvolutionalLayer::batchnorm_backward() {
+    const int batch = output_shape_.n;
+    const int channels = output_shape_.c;
+    const int spatial = static_cast<int>(output_shape_.hw());
+    const float count = static_cast<float>(batch) * static_cast<float>(spatial);
+    for (int c = 0; c < channels; ++c) {
+        // Accumulate dgamma and the two means needed for dx.
+        double sum_delta = 0.0;
+        double sum_delta_xnorm = 0.0;
+        for (int b = 0; b < batch; ++b) {
+            const std::int64_t base = (static_cast<std::int64_t>(b) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) {
+                sum_delta += delta_[base + i];
+                sum_delta_xnorm +=
+                    static_cast<double>(delta_[base + i]) * x_norm_[base + i];
+            }
+        }
+        scales_.g[static_cast<std::size_t>(c)] += static_cast<float>(sum_delta_xnorm);
+        const float mean_delta = static_cast<float>(sum_delta) / count;
+        const float mean_delta_xnorm = static_cast<float>(sum_delta_xnorm) / count;
+        const float gamma_inv_std =
+            scales_.v[static_cast<std::size_t>(c)] /
+            std::sqrt(variance_[static_cast<std::size_t>(c)] + kBnEps);
+        for (int b = 0; b < batch; ++b) {
+            const std::int64_t base = (static_cast<std::int64_t>(b) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) {
+                delta_[base + i] = gamma_inv_std * (delta_[base + i] - mean_delta -
+                                                    x_norm_[base + i] * mean_delta_xnorm);
+            }
+        }
+    }
+}
+
+void ConvolutionalLayer::backward(const Tensor& input, Tensor* input_delta, Network& net) {
+    apply_activation_gradient(config_.activation, output_.span(), delta_.span());
+    backward_channel_bias(biases_.g, delta_.span(), output_shape_.n, output_shape_.c,
+                          static_cast<int>(output_shape_.hw()));
+    if (config_.batch_normalize) batchnorm_backward();
+
+    const int out_hw = static_cast<int>(output_shape_.hw());
+    const int col_rows = geo_.col_rows();
+    const bool is_1x1 = config_.ksize == 1 && config_.stride == 1 && config_.pad == 0;
+    for (int b = 0; b < input.shape().n; ++b) {
+        const float* in_b = input.data() + static_cast<std::int64_t>(b) * input.shape().chw();
+        const float* delta_b =
+            delta_.data() + static_cast<std::int64_t>(b) * output_shape_.chw();
+        // dW += delta_b * col^T
+        const float* col = in_b;
+        if (!is_1x1) {
+            float* ws = net.workspace();
+            im2col(in_b, geo_, ws);
+            col = ws;
+        }
+        gemm(false, true, config_.filters, col_rows, out_hw, 1.0f, delta_b, out_hw, col,
+             out_hw, 1.0f, weights_.g.data(), col_rows);
+        if (input_delta != nullptr) {
+            float* in_delta_b =
+                input_delta->data() + static_cast<std::int64_t>(b) * input.shape().chw();
+            if (is_1x1) {
+                // dcol aliases the input plane directly: accumulate W^T * delta.
+                gemm(true, false, col_rows, out_hw, config_.filters, 1.0f,
+                     weights_.v.data(), col_rows, delta_b, out_hw, 1.0f, in_delta_b,
+                     out_hw);
+            } else {
+                float* ws = net.workspace();
+                gemm(true, false, col_rows, out_hw, config_.filters, 1.0f,
+                     weights_.v.data(), col_rows, delta_b, out_hw, 0.0f, ws, out_hw);
+                col2im(ws, geo_, in_delta_b);
+            }
+        }
+    }
+}
+
+void ConvolutionalLayer::fold_batchnorm() {
+    if (!config_.batch_normalize) return;
+    const int fan_in = input_shape_.c * config_.ksize * config_.ksize;
+    for (int f = 0; f < config_.filters; ++f) {
+        const float inv_std =
+            1.0f / std::sqrt(rolling_variance_[static_cast<std::size_t>(f)] + kBnEps);
+        const float gamma = scales_.v[static_cast<std::size_t>(f)];
+        const float scale = gamma * inv_std;
+        for (int i = 0; i < fan_in; ++i) {
+            weights_.v[static_cast<std::size_t>(f) * fan_in + i] *= scale;
+        }
+        // beta - gamma * mean / std becomes the plain bias.
+        biases_.v[static_cast<std::size_t>(f)] -=
+            rolling_mean_[static_cast<std::size_t>(f)] * scale;
+    }
+    config_.batch_normalize = false;
+    scales_ = Param();
+    rolling_mean_.clear();
+    rolling_variance_.clear();
+    x_norm_ = Tensor();
+}
+
+void ConvolutionalLayer::forward_direct(const Tensor& input, Tensor& out) const {
+    if (input.shape() != input_shape_) {
+        throw std::invalid_argument("forward_direct: shape mismatch");
+    }
+    if (config_.batch_normalize) {
+        throw std::logic_error("forward_direct: fold batch norm first");
+    }
+    out.resize(output_shape_);
+    const int k = config_.ksize;
+    for (int b = 0; b < input.shape().n; ++b) {
+        for (int f = 0; f < config_.filters; ++f) {
+            const float* w = weights_.v.data() +
+                             static_cast<std::int64_t>(f) * input_shape_.c * k * k;
+            for (int oy = 0; oy < output_shape_.h; ++oy) {
+                for (int ox = 0; ox < output_shape_.w; ++ox) {
+                    float acc = biases_.v[static_cast<std::size_t>(f)];
+                    for (int c = 0; c < input_shape_.c; ++c) {
+                        for (int ky = 0; ky < k; ++ky) {
+                            const int iy = oy * config_.stride + ky - config_.pad;
+                            if (iy < 0 || iy >= input_shape_.h) continue;
+                            for (int kx = 0; kx < k; ++kx) {
+                                const int ix = ox * config_.stride + kx - config_.pad;
+                                if (ix < 0 || ix >= input_shape_.w) continue;
+                                acc += w[(c * k + ky) * k + kx] *
+                                       input[input.index(b, c, iy, ix)];
+                            }
+                        }
+                    }
+                    out[out.index(b, f, oy, ox)] = activate(config_.activation, acc);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace dronet

@@ -1,0 +1,85 @@
+#include "nn/maxpool_layer.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace dronet {
+
+MaxPoolLayer::MaxPoolLayer(const MaxPoolConfig& config, const Shape& input)
+    : config_(config) {
+    if (config.size <= 0 || config.stride <= 0) {
+        throw std::invalid_argument("MaxPoolLayer: invalid config");
+    }
+    pad_ = config.padding >= 0 ? config.padding : config.size - 1;
+    setup(input);
+}
+
+void MaxPoolLayer::setup(const Shape& input) {
+    input_shape_ = input;
+    const int out_h = (input.h + pad_ - config_.size) / config_.stride + 1;
+    const int out_w = (input.w + pad_ - config_.size) / config_.stride + 1;
+    if (out_h <= 0 || out_w <= 0) {
+        throw std::invalid_argument("MaxPoolLayer: output collapses to zero for input " +
+                                    input.str());
+    }
+    output_shape_ = Shape{input.n, input.c, out_h, out_w};
+    output_.resize(output_shape_);
+    delta_.resize(output_shape_);
+    argmax_.assign(static_cast<std::size_t>(output_shape_.size()), 0);
+}
+
+std::string MaxPoolLayer::describe() const {
+    std::ostringstream os;
+    os << "max " << config_.size << "x" << config_.size << "/" << config_.stride << "  "
+       << input_shape_.w << "x" << input_shape_.h << "x" << input_shape_.c << " -> "
+       << output_shape_.w << "x" << output_shape_.h << "x" << output_shape_.c;
+    return os.str();
+}
+
+std::int64_t MaxPoolLayer::flops() const {
+    return output_shape_.chw() * config_.size * config_.size;
+}
+
+void MaxPoolLayer::forward(const Tensor& input, Network&, bool) {
+    if (input.shape() != input_shape_) {
+        throw std::invalid_argument("MaxPoolLayer::forward: shape mismatch");
+    }
+    const int offset = -pad_ / 2;
+    std::int64_t out_idx = 0;
+    for (int b = 0; b < input_shape_.n; ++b) {
+        for (int c = 0; c < input_shape_.c; ++c) {
+            for (int oy = 0; oy < output_shape_.h; ++oy) {
+                for (int ox = 0; ox < output_shape_.w; ++ox, ++out_idx) {
+                    float best = -std::numeric_limits<float>::max();
+                    std::int64_t best_idx = -1;
+                    for (int ky = 0; ky < config_.size; ++ky) {
+                        const int iy = offset + oy * config_.stride + ky;
+                        if (iy < 0 || iy >= input_shape_.h) continue;
+                        for (int kx = 0; kx < config_.size; ++kx) {
+                            const int ix = offset + ox * config_.stride + kx;
+                            if (ix < 0 || ix >= input_shape_.w) continue;
+                            const std::int64_t idx = input.index(b, c, iy, ix);
+                            if (input[idx] > best) {
+                                best = input[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    output_[out_idx] = best;
+                    argmax_[static_cast<std::size_t>(out_idx)] = best_idx;
+                }
+            }
+        }
+    }
+}
+
+void MaxPoolLayer::backward(const Tensor&, Tensor* input_delta, Network&) {
+    if (input_delta == nullptr) return;
+    for (std::int64_t i = 0; i < output_shape_.size(); ++i) {
+        const std::int64_t src = argmax_[static_cast<std::size_t>(i)];
+        if (src >= 0) (*input_delta)[src] += delta_[i];
+    }
+}
+
+}  // namespace dronet

@@ -1,0 +1,49 @@
+// Global average pooling and dropout layers.
+//
+// Neither appears in the four paper models, but both belong to darknet's
+// layer set: avgpool terminates classification backbones (useful when
+// pre-training a feature extractor before attaching the detection head) and
+// dropout is the classic regularizer for small datasets like the paper's
+// 350 images.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+
+/// Global average pooling: NxCxHxW -> NxCx1x1.
+class AvgPoolLayer final : public Layer {
+  public:
+    explicit AvgPoolLayer(const Shape& input);
+
+    [[nodiscard]] LayerKind kind() const override;
+    [[nodiscard]] std::string describe() const override;
+    void setup(const Shape& input) override;
+    void forward(const Tensor& input, Network& net, bool train) override;
+    void backward(const Tensor& input, Tensor* input_delta, Network& net) override;
+    [[nodiscard]] std::int64_t flops() const override { return input_shape_.chw(); }
+};
+
+/// Inverted dropout: keeps each activation with probability 1-p and scales
+/// survivors by 1/(1-p) during training; identity at inference.
+class DropoutLayer final : public Layer {
+  public:
+    DropoutLayer(float probability, const Shape& input, std::uint64_t seed);
+
+    [[nodiscard]] LayerKind kind() const override;
+    [[nodiscard]] std::string describe() const override;
+    void setup(const Shape& input) override;
+    void forward(const Tensor& input, Network& net, bool train) override;
+    void backward(const Tensor& input, Tensor* input_delta, Network& net) override;
+    [[nodiscard]] std::int64_t flops() const override { return input_shape_.chw(); }
+
+    [[nodiscard]] float probability() const noexcept { return probability_; }
+
+  private:
+    float probability_;
+    Rng rng_;
+    std::vector<float> mask_;  ///< per-element keep scale of the last train pass
+};
+
+}  // namespace dronet

@@ -1,0 +1,196 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace dronet {
+
+Network::Network(NetConfig config)
+    : config_(config),
+      schedule_(config.learning_rate, config.burn_in, config.lr_steps),
+      rng_(config.seed) {
+    if (config_.width <= 0 || config_.height <= 0 || config_.channels <= 0 ||
+        config_.batch <= 0) {
+        throw std::invalid_argument("Network: invalid [net] dimensions");
+    }
+}
+
+Shape Network::next_input_shape() const {
+    if (layers_.empty()) return input_shape();
+    return layers_.back()->output_shape();
+}
+
+void Network::refresh_workspace() {
+    std::size_t bytes = 0;
+    for (const auto& l : layers_) bytes = std::max(bytes, l->workspace_bytes());
+    workspace_.assign((bytes + sizeof(float) - 1) / sizeof(float), 0.0f);
+}
+
+template <typename L, typename... Args>
+L& Network::emplace_layer(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    refresh_workspace();
+    return ref;
+}
+
+ConvolutionalLayer& Network::add_conv(const ConvConfig& config) {
+    return emplace_layer<ConvolutionalLayer>(config, next_input_shape(), rng_);
+}
+
+MaxPoolLayer& Network::add_maxpool(const MaxPoolConfig& config) {
+    return emplace_layer<MaxPoolLayer>(config, next_input_shape());
+}
+
+RegionLayer& Network::add_region(const RegionConfig& config) {
+    return emplace_layer<RegionLayer>(config, next_input_shape());
+}
+
+UpsampleLayer& Network::add_upsample(int stride) {
+    return emplace_layer<UpsampleLayer>(stride, next_input_shape());
+}
+
+RouteLayer& Network::add_route(std::vector<int> sources) {
+    auto layer = std::make_unique<RouteLayer>(std::move(sources));
+    RouteLayer& ref = *layer;
+    layers_.push_back(std::move(layer));
+    ref.setup_with_network(*this, static_cast<int>(layers_.size()) - 1);
+    refresh_workspace();
+    return ref;
+}
+
+AvgPoolLayer& Network::add_avgpool() {
+    return emplace_layer<AvgPoolLayer>(next_input_shape());
+}
+
+DropoutLayer& Network::add_dropout(float probability) {
+    return emplace_layer<DropoutLayer>(probability, next_input_shape(),
+                                       rng_.engine()());
+}
+
+const Tensor& Network::forward(const Tensor& input, bool train) {
+    if (layers_.empty()) throw std::logic_error("Network::forward: no layers");
+    if (input.shape() != input_shape()) {
+        throw std::invalid_argument("Network::forward: input shape " +
+                                    input.shape().str() + " != expected " +
+                                    input_shape().str());
+    }
+    input_copy_ = input;
+    const Tensor* x = &input_copy_;
+    for (auto& l : layers_) {
+        l->forward(*x, *this, train);
+        x = &l->output();
+    }
+    return *x;
+}
+
+void Network::backward() {
+    if (layers_.empty()) return;
+    // Clear deltas of all but the last layer (whose delta holds dL/dOut, set
+    // by the region layer's loss).
+    for (std::size_t i = 0; i + 1 < layers_.size(); ++i) layers_[i]->delta().zero();
+    for (int i = static_cast<int>(layers_.size()) - 1; i >= 0; --i) {
+        const Tensor& in = (i == 0) ? input_copy_ : layers_[static_cast<std::size_t>(i - 1)]->output();
+        Tensor* in_delta = (i == 0) ? nullptr : &layers_[static_cast<std::size_t>(i - 1)]->delta();
+        layers_[static_cast<std::size_t>(i)]->backward(in, in_delta, *this);
+    }
+}
+
+void Network::update() {
+    SgdConfig sgd;
+    sgd.learning_rate = schedule_.at(batch_num_);
+    sgd.momentum = config_.momentum;
+    sgd.decay = config_.decay;
+    sgd.batch = config_.batch;
+    for (auto& l : layers_) {
+        for (Param* p : l->params()) sgd_step(*p, sgd);
+    }
+    ++batch_num_;
+}
+
+float Network::train_step(const Tensor& input,
+                          std::vector<std::vector<GroundTruth>> truths) {
+    RegionLayer* head = region();
+    if (head == nullptr) throw std::logic_error("Network::train_step: no region layer");
+    head->set_ground_truth(std::move(truths));
+    forward(input, /*train=*/true);
+    backward();
+    update();
+    return head->stats().loss;
+}
+
+void Network::resize_input(int width, int height) {
+    if (width <= 0 || height <= 0) {
+        throw std::invalid_argument("Network::resize_input: bad dimensions");
+    }
+    config_.width = width;
+    config_.height = height;
+    Shape in = input_shape();
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        if (auto* route = dynamic_cast<RouteLayer*>(layers_[i].get())) {
+            route->setup_with_network(*this, static_cast<int>(i));
+        } else {
+            layers_[i]->setup(in);
+        }
+        in = layers_[i]->output_shape();
+    }
+    refresh_workspace();
+}
+
+void Network::set_batch(int batch) {
+    if (batch <= 0) throw std::invalid_argument("Network::set_batch: bad batch");
+    config_.batch = batch;
+    resize_input(config_.width, config_.height);
+}
+
+RegionLayer* Network::region() noexcept {
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+        if (auto* r = dynamic_cast<RegionLayer*>(it->get())) return r;
+    }
+    return nullptr;
+}
+
+const RegionLayer* Network::region() const noexcept {
+    return const_cast<Network*>(this)->region();
+}
+
+std::int64_t Network::total_flops() const {
+    std::int64_t total = 0;
+    for (const auto& l : layers_) total += l->flops();
+    return total;
+}
+
+std::int64_t Network::total_params() const {
+    std::int64_t total = 0;
+    for (const auto& l : layers_) total += l->param_count();
+    return total;
+}
+
+std::int64_t Network::total_memory_bytes() const {
+    std::int64_t total = 0;
+    for (const auto& l : layers_) total += l->memory_bytes();
+    return total;
+}
+
+std::string Network::describe() const {
+    std::ostringstream os;
+    os << "input " << config_.width << "x" << config_.height << "x" << config_.channels
+       << "\n";
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        os << i << ": " << layers_[i]->describe() << "\n";
+    }
+    os << "total params " << total_params() << ", flops/image " << total_flops() << "\n";
+    return os.str();
+}
+
+void Network::fold_batchnorm() {
+    for (auto& l : layers_) {
+        if (auto* conv = dynamic_cast<ConvolutionalLayer*>(l.get())) {
+            conv->fold_batchnorm();
+        }
+    }
+}
+
+}  // namespace dronet

@@ -1,0 +1,33 @@
+#include "nn/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/layer.hpp"
+
+namespace dronet {
+
+void sgd_step(Param& param, const SgdConfig& config) {
+    const float inv_batch = 1.0f / static_cast<float>(std::max(1, config.batch));
+    const float decay = param.decay ? config.decay : 0.0f;
+    for (std::size_t i = 0; i < param.size(); ++i) {
+        const float grad = param.g[i] * inv_batch + decay * param.v[i];
+        param.m[i] = config.momentum * param.m[i] - config.learning_rate * grad;
+        param.v[i] += param.m[i];
+        param.g[i] = 0.0f;
+    }
+}
+
+float LrSchedule::at(std::int64_t batch_num) const {
+    float lr = base_lr_;
+    if (burn_in_ > 0 && batch_num < burn_in_) {
+        const float frac = static_cast<float>(batch_num + 1) / static_cast<float>(burn_in_);
+        return lr * std::pow(frac, 4.0f);
+    }
+    for (const Step& s : steps_) {
+        if (batch_num >= s.at_batch) lr *= s.scale;
+    }
+    return lr;
+}
+
+}  // namespace dronet

@@ -1,0 +1,55 @@
+// SGD optimizer and learning-rate policy.
+//
+// The paper trains its models with darknet's stock optimizer: SGD with
+// momentum, L2 weight decay, polynomial burn-in and step decay. This module
+// reproduces that schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dronet {
+
+struct Param;
+
+/// Hyper-parameters of one SGD step.
+struct SgdConfig {
+    float learning_rate = 1e-3f;
+    float momentum = 0.9f;
+    float decay = 5e-4f;  ///< L2 weight-decay coefficient
+    int batch = 1;        ///< images contributing to the accumulated gradient
+};
+
+/// Applies one SGD-with-momentum step to `param` and clears its gradient:
+///   m <- momentum * m - lr * (g / batch + decay * v)
+///   v <- v + m
+/// Weight decay is skipped when param.decay is false.
+void sgd_step(Param& param, const SgdConfig& config);
+
+/// Learning-rate schedule: constant, or darknet "steps" policy with burn-in.
+class LrSchedule {
+  public:
+    struct Step {
+        std::int64_t at_batch = 0;
+        float scale = 1.0f;
+    };
+
+    LrSchedule(float base_lr, int burn_in, std::vector<Step> steps)
+        : base_lr_(base_lr), burn_in_(burn_in), steps_(std::move(steps)) {}
+
+    explicit LrSchedule(float base_lr) : LrSchedule(base_lr, 0, {}) {}
+
+    /// Learning rate at training batch index `batch_num` (0-based).
+    [[nodiscard]] float at(std::int64_t batch_num) const;
+
+    [[nodiscard]] float base_lr() const noexcept { return base_lr_; }
+    [[nodiscard]] int burn_in() const noexcept { return burn_in_; }
+    [[nodiscard]] const std::vector<Step>& steps() const noexcept { return steps_; }
+
+  private:
+    float base_lr_;
+    int burn_in_;
+    std::vector<Step> steps_;  ///< sorted by at_batch; scales are cumulative
+};
+
+}  // namespace dronet

@@ -1,0 +1,136 @@
+#include "nn/quantize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/gemm_i8.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+
+namespace dronet {
+
+float QuantizedConv::mean_weight_error(ConvolutionalLayer& source) const {
+    const int fan_in = geo.col_rows();
+    double err = 0;
+    for (int f = 0; f < config.filters; ++f) {
+        for (int i = 0; i < fan_in; ++i) {
+            const std::size_t idx = static_cast<std::size_t>(f) * fan_in + i;
+            const float deq = static_cast<float>(weights[idx]) * scales[static_cast<std::size_t>(f)];
+            err += std::fabs(deq - source.weights().v[idx]);
+        }
+    }
+    return static_cast<float>(err / (static_cast<double>(config.filters) * fan_in));
+}
+
+QuantizedNetwork::QuantizedNetwork(Network& net) : net_(net) {
+    if (net_.config().batch != 1) {
+        throw std::invalid_argument("QuantizedNetwork: batch size must be 1");
+    }
+    net_.fold_batchnorm();
+    std::size_t max_col = 0;
+    for (std::size_t i = 0; i < net_.num_layers(); ++i) {
+        auto* conv = dynamic_cast<ConvolutionalLayer*>(&net_.layer(static_cast<int>(i)));
+        if (conv == nullptr) continue;
+        QuantizedConv qc;
+        qc.layer_index = static_cast<int>(i);
+        qc.config = conv->config();
+        qc.geo = ConvGeometry{conv->input_shape().c, conv->input_shape().h,
+                              conv->input_shape().w, qc.config.ksize,
+                              qc.config.stride, qc.config.pad};
+        const int fan_in = qc.geo.col_rows();
+        qc.weights.resize(static_cast<std::size_t>(qc.config.filters) * fan_in);
+        qc.scales.resize(static_cast<std::size_t>(qc.config.filters));
+        qc.biases = conv->biases().v;
+        for (int f = 0; f < qc.config.filters; ++f) {
+            const float* row = conv->weights().v.data() + static_cast<std::int64_t>(f) * fan_in;
+            const float scale = quantization_scale(row, fan_in);
+            qc.scales[static_cast<std::size_t>(f)] = scale;
+            quantize_buffer(row, fan_in, scale,
+                            qc.weights.data() + static_cast<std::int64_t>(f) * fan_in);
+        }
+        max_col = std::max(max_col, static_cast<std::size_t>(qc.geo.col_rows()) *
+                                        static_cast<std::size_t>(qc.geo.col_cols()));
+        quantized_.push_back(std::move(qc));
+    }
+    col_i8_.resize(max_col);
+    col_f32_.resize(max_col);
+}
+
+void QuantizedNetwork::forward_quantized_conv(const QuantizedConv& qc,
+                                              const Tensor& input, Tensor& output) {
+    const int out_hw = qc.geo.col_cols();
+    const int col_rows = qc.geo.col_rows();
+    // Lower to the col matrix (float), then dynamically quantize it with one
+    // per-tensor scale.
+    const float* col_f = nullptr;
+    if (qc.config.ksize == 1 && qc.config.stride == 1 && qc.config.pad == 0) {
+        col_f = input.data();
+    } else {
+        im2col(input.data(), qc.geo, col_f32_.data());
+        col_f = col_f32_.data();
+    }
+    const std::int64_t col_size = static_cast<std::int64_t>(col_rows) * out_hw;
+    const float in_scale = quantization_scale(col_f, col_size);
+    quantize_buffer(col_f, col_size, in_scale, col_i8_.data());
+
+    acc_.resize(static_cast<std::size_t>(qc.config.filters) * out_hw);
+    gemm_i8(qc.config.filters, out_hw, col_rows, qc.weights.data(), col_rows,
+            col_i8_.data(), out_hw, acc_.data(), out_hw);
+
+    // Dequantize, add bias, activate.
+    for (int f = 0; f < qc.config.filters; ++f) {
+        const float scale = qc.scales[static_cast<std::size_t>(f)] * in_scale;
+        const float bias = qc.biases[static_cast<std::size_t>(f)];
+        const std::int32_t* arow = acc_.data() + static_cast<std::int64_t>(f) * out_hw;
+        float* orow = output.data() + static_cast<std::int64_t>(f) * out_hw;
+        for (int j = 0; j < out_hw; ++j) {
+            orow[j] = activate(qc.config.activation,
+                               static_cast<float>(arow[j]) * scale + bias);
+        }
+    }
+}
+
+const Tensor& QuantizedNetwork::forward(const Tensor& input) {
+    if (input.shape() != net_.input_shape()) {
+        throw std::invalid_argument("QuantizedNetwork::forward: shape mismatch");
+    }
+    std::size_t next_q = 0;
+    const Tensor* x = &input;
+    for (std::size_t i = 0; i < net_.num_layers(); ++i) {
+        Layer& layer = net_.layer(static_cast<int>(i));
+        if (next_q < quantized_.size() &&
+            quantized_[next_q].layer_index == static_cast<int>(i)) {
+            forward_quantized_conv(quantized_[next_q], *x, layer.output());
+            ++next_q;
+        } else {
+            layer.forward(*x, net_, /*train=*/false);
+        }
+        x = &layer.output();
+    }
+    return *x;
+}
+
+Detections QuantizedNetwork::decode() const {
+    const RegionLayer* head = net_.region();
+    if (head == nullptr) throw std::logic_error("QuantizedNetwork::decode: no region layer");
+    return head->decode(0);
+}
+
+std::size_t QuantizedNetwork::weight_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const QuantizedConv& qc : quantized_) {
+        total += qc.weights.size() * sizeof(std::int8_t) +
+                 qc.scales.size() * sizeof(float) + qc.biases.size() * sizeof(float);
+    }
+    return total;
+}
+
+std::size_t QuantizedNetwork::float_weight_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const QuantizedConv& qc : quantized_) {
+        total += (qc.weights.size() + qc.biases.size()) * sizeof(float);
+    }
+    return total;
+}
+
+}  // namespace dronet

@@ -1,0 +1,71 @@
+// Post-training INT8 quantization of the convolution path.
+//
+// Implements the paper's §V future-work item ("reduce bitwidth precisions"):
+// per-output-channel symmetric int8 weight quantization plus dynamic
+// per-tensor activation quantization, with int32 accumulation. Max-pool and
+// region layers (negligible compute) stay in float, as does the detection
+// decode, so accuracy loss is isolated to the conv arithmetic.
+//
+// Usage:
+//   Network net = ...;            // trained
+//   QuantizedNetwork q(net);      // folds batch norm, snapshots int8 weights
+//   const Tensor& out = q.forward(input);
+//   Detections dets = q.decode();
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace dronet {
+
+/// Int8 snapshot of one convolutional layer.
+struct QuantizedConv {
+    int layer_index = 0;              ///< index in the source network
+    std::vector<std::int8_t> weights; ///< [filters x fan_in], row-major
+    std::vector<float> scales;        ///< per-output-channel weight scale
+    std::vector<float> biases;        ///< float biases (post BN folding)
+    ConvConfig config;
+    ConvGeometry geo;
+
+    /// Mean absolute weight quantization error (diagnostics).
+    [[nodiscard]] float mean_weight_error(ConvolutionalLayer& source) const;
+};
+
+class QuantizedNetwork {
+  public:
+    /// Snapshots `net`'s conv layers as int8. Folds batch normalization in
+    /// place (the float network keeps working, with BN folded). The source
+    /// network must outlive this object (non-conv layers execute through
+    /// it). Batch size must be 1.
+    explicit QuantizedNetwork(Network& net);
+
+    /// Runs inference with int8 convolution arithmetic.
+    const Tensor& forward(const Tensor& input);
+
+    /// Decodes the region layer's detections for batch item 0 (after
+    /// forward).
+    [[nodiscard]] Detections decode() const;
+
+    [[nodiscard]] const std::vector<QuantizedConv>& layers() const noexcept {
+        return quantized_;
+    }
+
+    /// Bytes of weight storage: int8 vs the float network.
+    [[nodiscard]] std::size_t weight_bytes() const noexcept;
+    [[nodiscard]] std::size_t float_weight_bytes() const noexcept;
+
+  private:
+    void forward_quantized_conv(const QuantizedConv& qc, const Tensor& input,
+                                Tensor& output);
+
+    Network& net_;
+    std::vector<QuantizedConv> quantized_;  ///< one per conv layer, in order
+    // Scratch buffers reused across layers.
+    std::vector<std::int8_t> col_i8_;
+    std::vector<float> col_f32_;
+    std::vector<std::int32_t> acc_;
+};
+
+}  // namespace dronet

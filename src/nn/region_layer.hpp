@@ -1,0 +1,89 @@
+// YOLOv2-style region layer: detection head + training loss.
+//
+// The paper trains every model "using the loss function defined in [9]"
+// (YOLO) inside darknet; this layer reproduces darknet's region layer:
+//  * anchors in grid-cell units, logistic x/y/objectness, exp w/h decode,
+//  * softmax class probabilities (cross-entropy gradient),
+//  * noobject suppression for predictors whose best IoU with any truth is
+//    below `thresh`,
+//  * early-training anchor-prior matching (seen < bias_match_batches),
+//  * per-truth coordinate/objectness/class deltas with darknet's scales.
+//
+// During training the layer computes dLoss/dInput directly (folding the
+// activation Jacobians), so backward simply adds its delta to the previous
+// layer's delta.
+#pragma once
+
+#include <vector>
+
+#include "detect/box.hpp"
+#include "nn/layer.hpp"
+
+namespace dronet {
+
+struct RegionConfig {
+    int classes = 1;
+    int coords = 4;
+    int num = 5;                      ///< anchors per cell
+    std::vector<float> anchors;       ///< 2*num values, grid-cell units
+    float object_scale = 5.0f;
+    float noobject_scale = 1.0f;
+    float class_scale = 1.0f;
+    float coord_scale = 1.0f;
+    float thresh = 0.6f;              ///< IoU below which a predictor is "no object"
+    bool rescore = true;              ///< objectness target = IoU instead of 1
+    std::int64_t bias_match_batches = 12800;  ///< images of anchor-prior warm-up
+};
+
+/// Diagnostics of one training forward pass.
+struct RegionStats {
+    float loss = 0;        ///< total (coord + obj + class)
+    float coord_loss = 0;
+    float obj_loss = 0;
+    float class_loss = 0;
+    float avg_iou = 0;     ///< mean IoU of matched predictors vs truth
+    float avg_obj = 0;     ///< mean objectness at matched predictors
+    float recall50 = 0;    ///< fraction of truths matched with IoU > 0.5
+    int truth_count = 0;
+};
+
+class RegionLayer final : public Layer {
+  public:
+    RegionLayer(const RegionConfig& config, const Shape& input);
+
+    [[nodiscard]] LayerKind kind() const override { return LayerKind::kRegion; }
+    [[nodiscard]] std::string describe() const override;
+    void setup(const Shape& input) override;
+    void forward(const Tensor& input, Network& net, bool train) override;
+    void backward(const Tensor& input, Tensor* input_delta, Network& net) override;
+    [[nodiscard]] std::int64_t flops() const override;
+
+    /// Ground truth for the next training forward; outer index = batch item.
+    void set_ground_truth(std::vector<std::vector<GroundTruth>> truths);
+
+    /// Decodes all predictor outputs of batch item `b` into detections
+    /// (unfiltered; apply postprocess() from detect/nms.hpp).
+    [[nodiscard]] Detections decode(int b) const;
+
+    [[nodiscard]] const RegionConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const RegionStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] std::int64_t seen() const noexcept { return seen_; }
+    void set_seen(std::int64_t seen) noexcept { seen_ = seen; }
+
+    /// Grid dimensions (equal to the input feature-map dimensions).
+    [[nodiscard]] int grid_w() const noexcept { return input_shape_.w; }
+    [[nodiscard]] int grid_h() const noexcept { return input_shape_.h; }
+
+  private:
+    /// Flat offset of (batch b, anchor n, entry e, location loc).
+    [[nodiscard]] std::int64_t entry_index(int b, int n, int e, int loc) const noexcept;
+    [[nodiscard]] Box decode_box(int b, int n, int col, int row, const Tensor& src) const;
+    void compute_loss(const Tensor& input);
+
+    RegionConfig config_;
+    RegionStats stats_;
+    std::int64_t seen_ = 0;
+    std::vector<std::vector<GroundTruth>> truths_;
+};
+
+}  // namespace dronet

@@ -1,0 +1,38 @@
+// Route (concatenation) layer.
+//
+// Concatenates the channel dimension of one or more earlier layers' outputs,
+// darknet's mechanism for skip connections. Sources are absolute layer
+// indices into the owning network.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dronet {
+
+class RouteLayer final : public Layer {
+  public:
+    /// `sources` are indices of earlier layers in the owning network.
+    /// Shapes are resolved lazily through `net` at setup_with_network().
+    explicit RouteLayer(std::vector<int> sources);
+
+    [[nodiscard]] LayerKind kind() const override { return LayerKind::kRoute; }
+    [[nodiscard]] std::string describe() const override;
+
+    /// Routes resolve their input shape from the network, not the previous
+    /// layer; plain setup() is unsupported.
+    void setup(const Shape& input) override;
+    void setup_with_network(Network& net, int self_index);
+
+    void forward(const Tensor& input, Network& net, bool train) override;
+    void backward(const Tensor& input, Tensor* input_delta, Network& net) override;
+    [[nodiscard]] std::int64_t flops() const override { return output_shape_.chw(); }
+
+    [[nodiscard]] const std::vector<int>& sources() const noexcept { return sources_; }
+
+  private:
+    std::vector<int> sources_;
+};
+
+}  // namespace dronet

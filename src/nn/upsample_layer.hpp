@@ -1,0 +1,29 @@
+// Nearest-neighbour upsampling layer (YOLOv3-style).
+//
+// Not used by the four paper models but part of the engine's layer set so
+// feature-pyramid variants (the paper's future-work direction of multi-class
+// multi-scale detection) can be expressed in the same cfg language.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dronet {
+
+class UpsampleLayer final : public Layer {
+  public:
+    UpsampleLayer(int stride, const Shape& input);
+
+    [[nodiscard]] LayerKind kind() const override { return LayerKind::kUpsample; }
+    [[nodiscard]] std::string describe() const override;
+    void setup(const Shape& input) override;
+    void forward(const Tensor& input, Network& net, bool train) override;
+    void backward(const Tensor& input, Tensor* input_delta, Network& net) override;
+    [[nodiscard]] std::int64_t flops() const override { return output_shape_.chw(); }
+
+    [[nodiscard]] int stride() const noexcept { return stride_; }
+
+  private:
+    int stride_ = 2;
+};
+
+}  // namespace dronet

@@ -1,0 +1,87 @@
+#include "nn/weights_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace dronet {
+namespace {
+
+constexpr std::int32_t kMajor = 0;
+constexpr std::int32_t kMinor = 2;
+constexpr std::int32_t kRevision = 0;
+
+void write_floats(std::ofstream& out, const std::vector<float>& v) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void read_floats(std::ifstream& in, std::vector<float>& v, const char* what) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+    if (!in) throw std::runtime_error(std::string("load_weights: truncated at ") + what);
+}
+
+}  // namespace
+
+void save_weights(const Network& net, const std::filesystem::path& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("save_weights: cannot open " + path.string());
+    out.write(reinterpret_cast<const char*>(&kMajor), sizeof(kMajor));
+    out.write(reinterpret_cast<const char*>(&kMinor), sizeof(kMinor));
+    out.write(reinterpret_cast<const char*>(&kRevision), sizeof(kRevision));
+    const std::uint64_t seen =
+        static_cast<std::uint64_t>(net.batch_num()) * net.config().batch;
+    out.write(reinterpret_cast<const char*>(&seen), sizeof(seen));
+    auto& mutable_net = const_cast<Network&>(net);
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+        Layer& l = mutable_net.layer(static_cast<int>(i));
+        if (l.kind() != LayerKind::kConvolutional) continue;
+        auto& conv = dynamic_cast<ConvolutionalLayer&>(l);
+        write_floats(out, conv.biases().v);
+        if (conv.config().batch_normalize) {
+            write_floats(out, conv.scales().v);
+            write_floats(out, conv.rolling_mean());
+            write_floats(out, conv.rolling_variance());
+        }
+        write_floats(out, conv.weights().v);
+    }
+    if (!out) throw std::runtime_error("save_weights: write failed for " + path.string());
+}
+
+void load_weights(Network& net, const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("load_weights: cannot open " + path.string());
+    std::int32_t major = 0, minor = 0, revision = 0;
+    in.read(reinterpret_cast<char*>(&major), sizeof(major));
+    in.read(reinterpret_cast<char*>(&minor), sizeof(minor));
+    in.read(reinterpret_cast<char*>(&revision), sizeof(revision));
+    std::uint64_t seen = 0;
+    in.read(reinterpret_cast<char*>(&seen), sizeof(seen));
+    if (!in) throw std::runtime_error("load_weights: truncated header in " + path.string());
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+        Layer& l = net.layer(static_cast<int>(i));
+        if (l.kind() != LayerKind::kConvolutional) continue;
+        auto& conv = dynamic_cast<ConvolutionalLayer&>(l);
+        read_floats(in, conv.biases().v, "biases");
+        if (conv.config().batch_normalize) {
+            read_floats(in, conv.scales().v, "scales");
+            read_floats(in, conv.rolling_mean(), "rolling_mean");
+            read_floats(in, conv.rolling_variance(), "rolling_variance");
+        }
+        read_floats(in, conv.weights().v, "weights");
+    }
+    // Trailing bytes indicate a structure/file mismatch.
+    in.peek();
+    if (!in.eof()) {
+        throw std::runtime_error("load_weights: file larger than network: " + path.string());
+    }
+    if (net.config().batch > 0) {
+        net.set_batch_num(static_cast<std::int64_t>(seen) / net.config().batch);
+    }
+    if (RegionLayer* head = net.region()) {
+        head->set_seen(static_cast<std::int64_t>(seen));
+    }
+}
+
+}  // namespace dronet

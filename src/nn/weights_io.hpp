@@ -1,0 +1,25 @@
+// Darknet-format binary weight files.
+//
+// Layout matches darknet's save_weights/load_weights so trained models can be
+// checkpointed and shipped: a 3-int version header, the `seen` image counter,
+// then for every convolutional layer (in network order):
+//   biases, [scales, rolling_mean, rolling_variance,] weights
+// all as little-endian float32.
+#pragma once
+
+#include <filesystem>
+
+#include "nn/network.hpp"
+
+namespace dronet {
+
+/// Writes all layer parameters of `net` to `path`.
+/// Throws std::runtime_error on I/O failure.
+void save_weights(const Network& net, const std::filesystem::path& path);
+
+/// Loads parameters into an already-constructed network (structure must
+/// match the file). Restores the `seen` counter into the region layer and
+/// the network batch counter. Throws std::runtime_error on mismatch.
+void load_weights(Network& net, const std::filesystem::path& path);
+
+}  // namespace dronet

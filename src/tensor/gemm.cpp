@@ -1,0 +1,138 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace dronet {
+namespace {
+
+std::atomic<int> g_gemm_threads{1};
+
+inline float a_elem(const GemmArgs& g, int i, int p) {
+    return g.trans_a ? g.a[static_cast<std::int64_t>(p) * g.lda + i]
+                     : g.a[static_cast<std::int64_t>(i) * g.lda + p];
+}
+
+inline float b_elem(const GemmArgs& g, int p, int j) {
+    return g.trans_b ? g.b[static_cast<std::int64_t>(j) * g.ldb + p]
+                     : g.b[static_cast<std::int64_t>(p) * g.ldb + j];
+}
+
+void validate(const GemmArgs& g) {
+    if (g.m < 0 || g.n < 0 || g.k < 0) {
+        throw std::invalid_argument("gemm: negative dimension");
+    }
+    if ((g.m > 0 && g.k > 0 && g.a == nullptr) ||
+        (g.k > 0 && g.n > 0 && g.b == nullptr) ||
+        (g.m > 0 && g.n > 0 && g.c == nullptr)) {
+        throw std::invalid_argument("gemm: null matrix pointer");
+    }
+}
+
+void scale_c(const GemmArgs& g, int row_begin, int row_end) {
+    if (g.beta == 1.0f) return;
+    for (int i = row_begin; i < row_end; ++i) {
+        float* row = g.c + static_cast<std::int64_t>(i) * g.ldc;
+        if (g.beta == 0.0f) {
+            std::fill(row, row + g.n, 0.0f);
+        } else {
+            for (int j = 0; j < g.n; ++j) row[j] *= g.beta;
+        }
+    }
+}
+
+// Blocked kernel over a row range [row_begin, row_end) of C. The inner ikj
+// order streams B rows and accumulates into C rows, which vectorizes well
+// with -O2 and keeps the working set inside L1/L2 for the layer sizes the
+// DroNet models produce.
+void blocked_rows(const GemmArgs& g, int row_begin, int row_end) {
+    constexpr int kBlockK = 128;
+    constexpr int kBlockJ = 256;
+    scale_c(g, row_begin, row_end);
+    for (int p0 = 0; p0 < g.k; p0 += kBlockK) {
+        const int p1 = std::min(g.k, p0 + kBlockK);
+        for (int j0 = 0; j0 < g.n; j0 += kBlockJ) {
+            const int j1 = std::min(g.n, j0 + kBlockJ);
+            for (int i = row_begin; i < row_end; ++i) {
+                float* crow = g.c + static_cast<std::int64_t>(i) * g.ldc;
+                for (int p = p0; p < p1; ++p) {
+                    const float a_ip = g.alpha * a_elem(g, i, p);
+                    if (a_ip == 0.0f) continue;
+                    if (!g.trans_b) {
+                        const float* brow = g.b + static_cast<std::int64_t>(p) * g.ldb;
+                        for (int j = j0; j < j1; ++j) crow[j] += a_ip * brow[j];
+                    } else {
+                        for (int j = j0; j < j1; ++j) {
+                            crow[j] += a_ip * g.b[static_cast<std::int64_t>(j) * g.ldb + p];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void gemm_naive(const GemmArgs& g) {
+    validate(g);
+    for (int i = 0; i < g.m; ++i) {
+        for (int j = 0; j < g.n; ++j) {
+            float acc = 0.0f;
+            for (int p = 0; p < g.k; ++p) acc += a_elem(g, i, p) * b_elem(g, p, j);
+            float& c = g.c[static_cast<std::int64_t>(i) * g.ldc + j];
+            c = g.alpha * acc + g.beta * c;
+        }
+    }
+}
+
+void gemm_blocked(const GemmArgs& g) {
+    validate(g);
+    blocked_rows(g, 0, g.m);
+}
+
+void gemm_threaded(const GemmArgs& g, int threads) {
+    validate(g);
+    threads = std::min(threads, g.m);
+    if (threads <= 1) {
+        blocked_rows(g, 0, g.m);
+        return;
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    const int rows_per = (g.m + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+        const int lo = t * rows_per;
+        const int hi = std::min(g.m, lo + rows_per);
+        if (lo >= hi) break;
+        workers.emplace_back([&g, lo, hi] { blocked_rows(g, lo, hi); });
+    }
+    for (auto& w : workers) w.join();
+}
+
+void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta, float* c,
+          int ldc) {
+    const GemmArgs g{trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc};
+    const int threads = g_gemm_threads.load(std::memory_order_relaxed);
+    if (threads > 1) {
+        gemm_threaded(g, threads);
+    } else {
+        gemm_blocked(g);
+    }
+}
+
+void set_gemm_threads(int threads) {
+    g_gemm_threads.store(std::max(1, threads), std::memory_order_relaxed);
+}
+
+int gemm_threads() { return g_gemm_threads.load(std::memory_order_relaxed); }
+
+std::int64_t gemm_flops(int m, int n, int k) noexcept {
+    return 2LL * m * n * k;
+}
+
+}  // namespace dronet

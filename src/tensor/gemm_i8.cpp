@@ -1,0 +1,40 @@
+#include "tensor/gemm_i8.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dronet {
+
+void gemm_i8(int m, int n, int k, const std::int8_t* a, int lda,
+             const std::int8_t* b, int ldb, std::int32_t* c, int ldc) {
+    for (int i = 0; i < m; ++i) {
+        std::int32_t* crow = c + static_cast<std::int64_t>(i) * ldc;
+        std::fill(crow, crow + n, 0);
+        const std::int8_t* arow = a + static_cast<std::int64_t>(i) * lda;
+        for (int p = 0; p < k; ++p) {
+            const std::int32_t a_ip = arow[p];
+            if (a_ip == 0) continue;
+            const std::int8_t* brow = b + static_cast<std::int64_t>(p) * ldb;
+            for (int j = 0; j < n; ++j) {
+                crow[j] += a_ip * static_cast<std::int32_t>(brow[j]);
+            }
+        }
+    }
+}
+
+std::int8_t quantize_value(float x, float scale) noexcept {
+    const float q = std::round(x / scale);
+    return static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+}
+
+float quantization_scale(const float* x, std::int64_t n) noexcept {
+    float mx = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) mx = std::max(mx, std::fabs(x[i]));
+    return mx > 0.0f ? mx / 127.0f : 1.0f;
+}
+
+void quantize_buffer(const float* x, std::int64_t n, float scale, std::int8_t* out) noexcept {
+    for (std::int64_t i = 0; i < n; ++i) out[i] = quantize_value(x[i], scale);
+}
+
+}  // namespace dronet

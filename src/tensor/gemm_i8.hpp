@@ -1,0 +1,29 @@
+// Int8 GEMM with int32 accumulation.
+//
+// Backbone of the reduced-bitwidth inference path the paper lists as future
+// work (§V: "performance improvements by applying finer-level optimizations
+// to reduce bitwidth precisions"). Row-major, no transposition (the
+// quantized conv path only needs the plain W x col product).
+#pragma once
+
+#include <cstdint>
+
+namespace dronet {
+
+/// C[m x n] = A[m x k] * B[k x n], int8 inputs, int32 accumulator/output.
+/// ldX are row strides. Overflow-safe for k < 2^16 (worst case |a*b| <= 2^14
+/// per term).
+void gemm_i8(int m, int n, int k, const std::int8_t* a, int lda,
+             const std::int8_t* b, int ldb, std::int32_t* c, int ldc);
+
+/// Symmetric quantization helpers: q = clamp(round(x / scale), -127, 127).
+[[nodiscard]] std::int8_t quantize_value(float x, float scale) noexcept;
+
+/// Largest-magnitude-based scale for a buffer (returns a scale such that
+/// max|x| maps to 127; 1.0 for an all-zero buffer).
+[[nodiscard]] float quantization_scale(const float* x, std::int64_t n) noexcept;
+
+/// Quantizes `n` floats into `out` with the given scale.
+void quantize_buffer(const float* x, std::int64_t n, float scale, std::int8_t* out) noexcept;
+
+}  // namespace dronet

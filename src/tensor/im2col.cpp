@@ -1,0 +1,56 @@
+#include "tensor/im2col.hpp"
+
+#include <cstdint>
+
+namespace dronet {
+
+void im2col(const float* im, const ConvGeometry& geo, float* col) {
+    const int oh = geo.out_h();
+    const int ow = geo.out_w();
+    const int rows = geo.col_rows();
+    for (int r = 0; r < rows; ++r) {
+        const int kw = r % geo.ksize;
+        const int kh = (r / geo.ksize) % geo.ksize;
+        const int ch = r / (geo.ksize * geo.ksize);
+        const float* plane =
+            im + static_cast<std::int64_t>(ch) * geo.height * geo.width;
+        float* out_row = col + static_cast<std::int64_t>(r) * oh * ow;
+        for (int y = 0; y < oh; ++y) {
+            const int iy = y * geo.stride + kh - geo.pad;
+            if (iy < 0 || iy >= geo.height) {
+                for (int x = 0; x < ow; ++x) out_row[y * ow + x] = 0.0f;
+                continue;
+            }
+            const float* in_row = plane + static_cast<std::int64_t>(iy) * geo.width;
+            for (int x = 0; x < ow; ++x) {
+                const int ix = x * geo.stride + kw - geo.pad;
+                out_row[y * ow + x] =
+                    (ix >= 0 && ix < geo.width) ? in_row[ix] : 0.0f;
+            }
+        }
+    }
+}
+
+void col2im(const float* col, const ConvGeometry& geo, float* im) {
+    const int oh = geo.out_h();
+    const int ow = geo.out_w();
+    const int rows = geo.col_rows();
+    for (int r = 0; r < rows; ++r) {
+        const int kw = r % geo.ksize;
+        const int kh = (r / geo.ksize) % geo.ksize;
+        const int ch = r / (geo.ksize * geo.ksize);
+        float* plane = im + static_cast<std::int64_t>(ch) * geo.height * geo.width;
+        const float* in_row = col + static_cast<std::int64_t>(r) * oh * ow;
+        for (int y = 0; y < oh; ++y) {
+            const int iy = y * geo.stride + kh - geo.pad;
+            if (iy < 0 || iy >= geo.height) continue;
+            float* out_row = plane + static_cast<std::int64_t>(iy) * geo.width;
+            for (int x = 0; x < ow; ++x) {
+                const int ix = x * geo.stride + kw - geo.pad;
+                if (ix >= 0 && ix < geo.width) out_row[ix] += in_row[y * ow + x];
+            }
+        }
+    }
+}
+
+}  // namespace dronet

@@ -1,0 +1,38 @@
+// im2col / col2im lowering.
+//
+// Convolution is executed as GEMM over an unrolled patch matrix, the darknet
+// strategy the paper relies on for CPU deployment. col2im is the adjoint
+// operation used by the backward pass during training.
+#pragma once
+
+namespace dronet {
+
+struct ConvGeometry {
+    int channels = 0;   ///< input channels
+    int height = 0;     ///< input height
+    int width = 0;      ///< input width
+    int ksize = 1;      ///< square kernel size
+    int stride = 1;
+    int pad = 0;
+
+    [[nodiscard]] int out_h() const noexcept {
+        return (height + 2 * pad - ksize) / stride + 1;
+    }
+    [[nodiscard]] int out_w() const noexcept {
+        return (width + 2 * pad - ksize) / stride + 1;
+    }
+    /// Rows of the unrolled matrix: channels * ksize * ksize.
+    [[nodiscard]] int col_rows() const noexcept { return channels * ksize * ksize; }
+    /// Columns of the unrolled matrix: out_h * out_w.
+    [[nodiscard]] int col_cols() const noexcept { return out_h() * out_w(); }
+};
+
+/// Unrolls `im` (CHW, geometry `geo`) into `col`, a row-major matrix of
+/// col_rows() x col_cols(). Out-of-image taps read as zero (zero padding).
+void im2col(const float* im, const ConvGeometry& geo, float* col);
+
+/// Adjoint of im2col: accumulates `col` back into `im` (im must be
+/// pre-initialized; contributions are added, matching gradient semantics).
+void col2im(const float* col, const ConvGeometry& geo, float* im);
+
+}  // namespace dronet

@@ -1,0 +1,153 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dronet {
+namespace {
+
+void check_same_size(std::span<const float> x, std::span<const float> y,
+                     const char* what) {
+    if (x.size() != y.size()) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+    check_same_size(x, y, "axpy: size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(float alpha, std::span<float> x) {
+    for (float& v : x) v *= alpha;
+}
+
+void copy(std::span<const float> x, std::span<float> y) {
+    check_same_size(x, y, "copy: size mismatch");
+    std::copy(x.begin(), x.end(), y.begin());
+}
+
+void channel_mean(std::span<const float> x, int batch, int channels, int spatial,
+                  std::span<float> mean) {
+    if (mean.size() != static_cast<std::size_t>(channels)) {
+        throw std::invalid_argument("channel_mean: bad mean size");
+    }
+    const float inv = 1.0f / (static_cast<float>(batch) * static_cast<float>(spatial));
+    for (int c = 0; c < channels; ++c) {
+        double acc = 0.0;
+        for (int b = 0; b < batch; ++b) {
+            const float* p = x.data() + (static_cast<std::int64_t>(b) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) acc += p[i];
+        }
+        mean[static_cast<std::size_t>(c)] = static_cast<float>(acc) * inv;
+    }
+}
+
+void channel_variance(std::span<const float> x, std::span<const float> mean,
+                      int batch, int channels, int spatial, std::span<float> variance) {
+    if (variance.size() != static_cast<std::size_t>(channels)) {
+        throw std::invalid_argument("channel_variance: bad variance size");
+    }
+    const float inv = 1.0f / (static_cast<float>(batch) * static_cast<float>(spatial));
+    for (int c = 0; c < channels; ++c) {
+        const float m = mean[static_cast<std::size_t>(c)];
+        double acc = 0.0;
+        for (int b = 0; b < batch; ++b) {
+            const float* p = x.data() + (static_cast<std::int64_t>(b) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) {
+                const float d = p[i] - m;
+                acc += static_cast<double>(d) * d;
+            }
+        }
+        variance[static_cast<std::size_t>(c)] = static_cast<float>(acc) * inv;
+    }
+}
+
+void normalize_channels(std::span<float> x, std::span<const float> mean,
+                        std::span<const float> variance, int batch, int channels,
+                        int spatial, float eps) {
+    for (int c = 0; c < channels; ++c) {
+        const float m = mean[static_cast<std::size_t>(c)];
+        const float inv_std =
+            1.0f / std::sqrt(variance[static_cast<std::size_t>(c)] + eps);
+        for (int b = 0; b < batch; ++b) {
+            float* p = x.data() + (static_cast<std::int64_t>(b) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) p[i] = (p[i] - m) * inv_std;
+        }
+    }
+}
+
+void add_channel_bias(std::span<float> x, std::span<const float> bias, int batch,
+                      int channels, int spatial) {
+    for (int b = 0; b < batch; ++b) {
+        for (int c = 0; c < channels; ++c) {
+            const float v = bias[static_cast<std::size_t>(c)];
+            float* p = x.data() + (static_cast<std::int64_t>(b) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) p[i] += v;
+        }
+    }
+}
+
+void scale_channels(std::span<float> x, std::span<const float> scale, int batch,
+                    int channels, int spatial) {
+    for (int b = 0; b < batch; ++b) {
+        for (int c = 0; c < channels; ++c) {
+            const float v = scale[static_cast<std::size_t>(c)];
+            float* p = x.data() + (static_cast<std::int64_t>(b) * channels + c) * spatial;
+            for (int i = 0; i < spatial; ++i) p[i] *= v;
+        }
+    }
+}
+
+void backward_channel_bias(std::span<float> bias_grad, std::span<const float> delta,
+                           int batch, int channels, int spatial) {
+    for (int b = 0; b < batch; ++b) {
+        for (int c = 0; c < channels; ++c) {
+            const float* p =
+                delta.data() + (static_cast<std::int64_t>(b) * channels + c) * spatial;
+            double acc = 0.0;
+            for (int i = 0; i < spatial; ++i) acc += p[i];
+            bias_grad[static_cast<std::size_t>(c)] += static_cast<float>(acc);
+        }
+    }
+}
+
+void softmax(std::span<const float> x, std::span<float> out, float temperature) {
+    check_same_size(x, out, "softmax: size mismatch");
+    if (x.empty()) return;
+    const float inv_t = 1.0f / temperature;
+    const float m = *std::max_element(x.begin(), x.end());
+    double total = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const float e = std::exp((x[i] - m) * inv_t);
+        out[i] = e;
+        total += e;
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (float& v : out) v *= inv;
+}
+
+float logistic(float x) noexcept { return 1.0f / (1.0f + std::exp(-x)); }
+
+float logistic_gradient(float y) noexcept { return y * (1.0f - y); }
+
+float sum(std::span<const float> x) noexcept {
+    double acc = 0.0;
+    for (float v : x) acc += v;
+    return static_cast<float>(acc);
+}
+
+float max_abs(std::span<const float> x) noexcept {
+    float m = 0.0f;
+    for (float v : x) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+float l2_norm(std::span<const float> x) noexcept {
+    double acc = 0.0;
+    for (float v : x) acc += static_cast<double>(v) * v;
+    return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace dronet

@@ -1,0 +1,63 @@
+// Elementwise / vector primitives shared across layers and the optimizer.
+//
+// These mirror the small BLAS-1 surface darknet uses: axpy, scal, copy, plus
+// the batch-norm statistics helpers. All operate on raw spans so layers can
+// apply them to sub-ranges of their tensors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dronet {
+
+/// y += alpha * x (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void scal(float alpha, std::span<float> x);
+
+/// y = x (sizes must match).
+void copy(std::span<const float> x, std::span<float> y);
+
+/// Per-channel mean of a NCHW tensor: mean[c] = avg over n,h,w.
+/// `spatial` = h*w, `batch` = n, `channels` = c; x has batch*channels*spatial
+/// elements.
+void channel_mean(std::span<const float> x, int batch, int channels, int spatial,
+                  std::span<float> mean);
+
+/// Per-channel (biased) variance given precomputed means.
+void channel_variance(std::span<const float> x, std::span<const float> mean,
+                      int batch, int channels, int spatial, std::span<float> variance);
+
+/// In-place batch normalization: x = (x - mean[c]) / sqrt(var[c] + eps).
+void normalize_channels(std::span<float> x, std::span<const float> mean,
+                        std::span<const float> variance, int batch, int channels,
+                        int spatial, float eps);
+
+/// x[i] += bias[c] broadcast over the channel's spatial plane.
+void add_channel_bias(std::span<float> x, std::span<const float> bias, int batch,
+                      int channels, int spatial);
+
+/// x[i] *= scale[c] broadcast over the channel's spatial plane.
+void scale_channels(std::span<float> x, std::span<const float> scale, int batch,
+                    int channels, int spatial);
+
+/// bias_grad[c] += sum of delta over the channel's spatial plane.
+void backward_channel_bias(std::span<float> bias_grad, std::span<const float> delta,
+                           int batch, int channels, int spatial);
+
+/// Numerically stable softmax over `x`, written to `out` (may alias x).
+void softmax(std::span<const float> x, std::span<float> out, float temperature = 1.0f);
+
+/// Logistic sigmoid.
+[[nodiscard]] float logistic(float x) noexcept;
+
+/// Derivative of the logistic expressed in terms of its output y: y*(1-y).
+[[nodiscard]] float logistic_gradient(float y) noexcept;
+
+/// Sum, max, L2-norm helpers used by tests and metrics.
+[[nodiscard]] float sum(std::span<const float> x) noexcept;
+[[nodiscard]] float max_abs(std::span<const float> x) noexcept;
+[[nodiscard]] float l2_norm(std::span<const float> x) noexcept;
+
+}  // namespace dronet

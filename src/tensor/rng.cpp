@@ -1,0 +1,37 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+
+namespace dronet {
+
+float Rng::uniform(float lo, float hi) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+float Rng::normal(float stddev) {
+    std::normal_distribution<float> dist(0.0f, stddev);
+    return dist(engine_);
+}
+
+bool Rng::chance(float p) {
+    std::bernoulli_distribution dist(static_cast<double>(p));
+    return dist(engine_);
+}
+
+void Rng::fill_he(std::span<float> out, int fan_in) {
+    // darknet uses scale = sqrt(2 / fan_in) with uniform(-1, 1) samples.
+    const float scale = std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+    for (float& v : out) v = scale * uniform(-1.0f, 1.0f);
+}
+
+void Rng::fill_uniform(std::span<float> out, float lo, float hi) {
+    for (float& v : out) v = uniform(lo, hi);
+}
+
+}  // namespace dronet

@@ -1,0 +1,46 @@
+// Shape of a 4-D activation tensor in NCHW layout.
+//
+// All feature maps flowing through the network use this layout, matching the
+// darknet convention the paper's models were defined in: `n` images per
+// batch, `c` channels, spatial `h x w`.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace dronet {
+
+struct Shape {
+    int n = 1;  ///< batch size
+    int c = 1;  ///< channels
+    int h = 1;  ///< height (rows)
+    int w = 1;  ///< width (columns)
+
+    /// Total number of scalar elements.
+    [[nodiscard]] std::int64_t size() const noexcept {
+        return static_cast<std::int64_t>(n) * c * h * w;
+    }
+
+    /// Elements in one batch item (c*h*w).
+    [[nodiscard]] std::int64_t chw() const noexcept {
+        return static_cast<std::int64_t>(c) * h * w;
+    }
+
+    /// Elements in one channel plane (h*w).
+    [[nodiscard]] std::int64_t hw() const noexcept {
+        return static_cast<std::int64_t>(h) * w;
+    }
+
+    [[nodiscard]] bool valid() const noexcept {
+        return n > 0 && c > 0 && h > 0 && w > 0;
+    }
+
+    friend bool operator==(const Shape&, const Shape&) = default;
+
+    [[nodiscard]] std::string str() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Shape& s);
+
+}  // namespace dronet

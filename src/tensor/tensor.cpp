@@ -1,0 +1,58 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace dronet {
+
+std::string Shape::str() const {
+    std::ostringstream os;
+    os << *this;
+    return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& s) {
+    return os << "[" << s.n << " x " << s.c << " x " << s.h << " x " << s.w << "]";
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.size()), 0.0f) {
+    if (!shape.valid()) {
+        throw std::invalid_argument("Tensor: invalid shape " + shape.str());
+    }
+}
+
+Tensor::Tensor(int n, int c, int h, int w) : Tensor(Shape{n, c, h, w}) {}
+
+float& Tensor::at(int n, int c, int h, int w) {
+    if (n < 0 || n >= shape_.n || c < 0 || c >= shape_.c || h < 0 || h >= shape_.h ||
+        w < 0 || w >= shape_.w) {
+        throw std::out_of_range("Tensor::at out of range");
+    }
+    return data_[static_cast<std::size_t>(index(n, c, h, w))];
+}
+
+float Tensor::at(int n, int c, int h, int w) const {
+    return const_cast<Tensor*>(this)->at(n, c, h, w);
+}
+
+void Tensor::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::reshape(Shape shape) {
+    if (shape.size() != shape_.size()) {
+        throw std::invalid_argument("Tensor::reshape size mismatch: " + shape_.str() +
+                                    " -> " + shape.str());
+    }
+    shape_ = shape;
+}
+
+void Tensor::resize(Shape shape) {
+    if (!shape.valid()) {
+        throw std::invalid_argument("Tensor::resize invalid shape " + shape.str());
+    }
+    shape_ = shape;
+    data_.assign(static_cast<std::size_t>(shape.size()), 0.0f);
+}
+
+}  // namespace dronet

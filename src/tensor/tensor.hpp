@@ -1,0 +1,69 @@
+// Dense float32 tensor in NCHW layout.
+//
+// This is the only numeric container used by the CNN engine. It owns its
+// storage (no views) and is cheap to move. Element access is provided both
+// through flat indexing (hot loops index manually for speed) and a checked
+// 4-D accessor used in tests and non-critical code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace dronet {
+
+class Tensor {
+  public:
+    Tensor() = default;
+
+    /// Allocates a zero-initialized tensor of the given shape.
+    explicit Tensor(Shape shape);
+
+    /// Convenience constructor: Tensor({n,c,h,w}).
+    Tensor(int n, int c, int h, int w);
+
+    [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+    [[nodiscard]] std::int64_t size() const noexcept { return shape_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    [[nodiscard]] float* data() noexcept { return data_.data(); }
+    [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+
+    [[nodiscard]] std::span<float> span() noexcept { return {data_}; }
+    [[nodiscard]] std::span<const float> span() const noexcept { return {data_}; }
+
+    float& operator[](std::int64_t i) noexcept { return data_[static_cast<std::size_t>(i)]; }
+    float operator[](std::int64_t i) const noexcept { return data_[static_cast<std::size_t>(i)]; }
+
+    /// Bounds-checked 4-D access; throws std::out_of_range on violation.
+    [[nodiscard]] float& at(int n, int c, int h, int w);
+    [[nodiscard]] float at(int n, int c, int h, int w) const;
+
+    /// Flat offset of element (n,c,h,w); no bounds check.
+    [[nodiscard]] std::int64_t index(int n, int c, int h, int w) const noexcept {
+        return ((static_cast<std::int64_t>(n) * shape_.c + c) * shape_.h + h) * shape_.w + w;
+    }
+
+    /// Sets every element to `v`.
+    void fill(float v) noexcept;
+
+    /// Sets every element to zero.
+    void zero() noexcept { fill(0.0f); }
+
+    /// Reinterprets the buffer with a new shape of identical element count.
+    /// Throws std::invalid_argument on size mismatch.
+    void reshape(Shape shape);
+
+    /// Discards contents and re-allocates for `shape` (used by layer resize).
+    void resize(Shape shape);
+
+    friend bool operator==(const Tensor&, const Tensor&) = default;
+
+  private:
+    Shape shape_{0, 0, 0, 0};
+    std::vector<float> data_;
+};
+
+}  // namespace dronet

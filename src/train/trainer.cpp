@@ -1,0 +1,76 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "image/resize.hpp"
+
+namespace dronet {
+
+Trainer::Trainer(Network& net, const DetectionDataset& train_set, TrainConfig config)
+    : net_(net), data_(train_set), config_(std::move(config)), rng_(config_.shuffle_seed) {
+    if (net_.region() == nullptr) {
+        throw std::invalid_argument("Trainer: network has no region layer");
+    }
+    if (data_.empty()) throw std::invalid_argument("Trainer: empty dataset");
+    batch_.resize(net_.input_shape());
+    refill_order();
+}
+
+void Trainer::refill_order() {
+    order_.resize(data_.size());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    std::shuffle(order_.begin(), order_.end(), rng_.engine());
+    cursor_ = 0;
+}
+
+TrainLogEntry Trainer::step() {
+    if (!config_.multiscale_sizes.empty() && config_.resize_every > 0 &&
+        iteration_ % config_.resize_every == 0) {
+        const int pick = rng_.uniform_int(
+            0, static_cast<int>(config_.multiscale_sizes.size()) - 1);
+        const int size = config_.multiscale_sizes[static_cast<std::size_t>(pick)];
+        if (size != net_.config().width) net_.resize_input(size, size);
+    }
+    const Shape in = net_.input_shape();
+    if (batch_.shape() != in) batch_.resize(in);
+    std::vector<std::vector<GroundTruth>> truths;
+    truths.reserve(static_cast<std::size_t>(in.n));
+    for (int b = 0; b < in.n; ++b) {
+        if (cursor_ >= order_.size()) refill_order();
+        const std::size_t idx = order_[cursor_++];
+        SceneSample sample;
+        sample.image = data_.image(idx);
+        sample.truths = data_.truths(idx);
+        if (config_.use_augmentation) {
+            sample = augment(sample, config_.augment, rng_);
+        }
+        if (sample.image.width() != in.w || sample.image.height() != in.h) {
+            sample.image = resize_bilinear(sample.image, in.w, in.h);
+        }
+        sample.image.copy_to_batch(batch_, b);
+        truths.push_back(std::move(sample.truths));
+    }
+    const float lr = net_.current_lr();
+    const float loss = net_.train_step(batch_, std::move(truths));
+    avg_loss_ = avg_loss_ < 0 ? loss : 0.9f * avg_loss_ + 0.1f * loss;
+
+    const RegionStats& stats = net_.region()->stats();
+    TrainLogEntry entry;
+    entry.iteration = iteration_++;
+    entry.loss = loss;
+    entry.avg_loss = avg_loss_;
+    entry.avg_iou = stats.avg_iou;
+    entry.recall50 = stats.recall50;
+    entry.learning_rate = lr;
+    history_.push_back(entry);
+    if (config_.on_batch) config_.on_batch(entry);
+    return entry;
+}
+
+void Trainer::run() {
+    for (int i = 0; i < config_.iterations; ++i) step();
+}
+
+}  // namespace dronet

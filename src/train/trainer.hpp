@@ -1,0 +1,74 @@
+// Detection-training driver (paper §III.B).
+//
+// Reproduces the darknet training loop the paper used on its Titan Xp:
+// shuffled mini-batches, detection augmentation, YOLO region loss, SGD with
+// momentum under the configured LR schedule. On this repository's CPU-only
+// substrate the loop is exercised with reduced-capacity models and synthetic
+// data (see EXPERIMENTS.md for the scaling).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/augment.hpp"
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace dronet {
+
+struct TrainLogEntry {
+    int iteration = 0;     ///< 0-based mini-batch index
+    float loss = 0;
+    float avg_loss = 0;    ///< exponentially smoothed (darknet's avg loss)
+    float avg_iou = 0;     ///< matched-predictor IoU this batch
+    float recall50 = 0;
+    float learning_rate = 0;
+};
+
+struct TrainConfig {
+    int iterations = 200;
+    AugmentConfig augment;
+    bool use_augmentation = true;
+    /// Multi-scale training (darknet's random-resize trick): when non-empty,
+    /// the network input is resized to a random element every
+    /// `resize_every` batches, making one set of weights usable across the
+    /// paper's 352-608 input-size sweep.
+    std::vector<int> multiscale_sizes;
+    int resize_every = 10;
+    /// Invoked after every mini-batch when set (progress logging).
+    std::function<void(const TrainLogEntry&)> on_batch;
+    std::uint64_t shuffle_seed = 0xdeadbeef;
+};
+
+class Trainer {
+  public:
+    /// `net` must contain a region layer; its configured batch size is used.
+    /// The dataset reference must outlive the trainer.
+    Trainer(Network& net, const DetectionDataset& train_set, TrainConfig config);
+
+    /// Runs one mini-batch (forward + backward + SGD step).
+    TrainLogEntry step();
+
+    /// Runs config.iterations batches.
+    void run();
+
+    [[nodiscard]] const std::vector<TrainLogEntry>& history() const noexcept {
+        return history_;
+    }
+
+  private:
+    void refill_order();
+
+    Network& net_;
+    const DetectionDataset& data_;
+    TrainConfig config_;
+    Rng rng_;
+    Tensor batch_;
+    std::vector<std::size_t> order_;
+    std::size_t cursor_ = 0;
+    int iteration_ = 0;
+    float avg_loss_ = -1;
+    std::vector<TrainLogEntry> history_;
+};
+
+}  // namespace dronet

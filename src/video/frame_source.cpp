@@ -1,0 +1,41 @@
+#include "video/frame_source.hpp"
+
+#include <cmath>
+
+namespace dronet {
+
+UavFrameSource::UavFrameSource(VideoConfig config)
+    : config_(config), generator_(config.scene, config.seed) {
+    background_ = generator_.background();
+    Rng& rng = generator_.rng();
+    vehicles_.reserve(static_cast<std::size_t>(config_.num_vehicles));
+    for (int i = 0; i < config_.num_vehicles; ++i) {
+        MovingVehicle v;
+        v.pose = generator_.random_pose();
+        v.speed = rng.uniform(config_.speed_min_px, config_.speed_max_px);
+        vehicles_.push_back(v);
+    }
+}
+
+SceneSample UavFrameSource::next_frame() {
+    SceneSample sample;
+    sample.image = background_;
+    const auto w = static_cast<float>(background_.width());
+    const auto h = static_cast<float>(background_.height());
+    for (MovingVehicle& v : vehicles_) {
+        v.pose.cx += v.speed * std::cos(v.pose.angle);
+        v.pose.cy += v.speed * std::sin(v.pose.angle);
+        // Toroidal wrap keeps the vehicle count constant for counting tests.
+        if (v.pose.cx < 0) v.pose.cx += w;
+        if (v.pose.cx >= w) v.pose.cx -= w;
+        if (v.pose.cy < 0) v.pose.cy += h;
+        if (v.pose.cy >= h) v.pose.cy -= h;
+        draw_vehicle(sample.image, v.pose);
+        sample.truths.push_back(vehicle_ground_truth(v.pose, background_.width(),
+                                                     background_.height()));
+    }
+    ++frame_index_;
+    return sample;
+}
+
+}  // namespace dronet

@@ -1,0 +1,35 @@
+#include "video/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace dronet {
+
+DetectionPipeline::DetectionPipeline(Network& net, PipelineConfig config)
+    : net_(net), config_(config),
+      altitude_filter_(config.camera, config.size_prior) {
+    if (net_.region() == nullptr) {
+        throw std::invalid_argument("DetectionPipeline: network has no region layer");
+    }
+}
+
+FrameResult DetectionPipeline::process(const Image& frame) {
+    meter_.frame_start();
+    FrameResult result;
+    result.frame_index = frame_index_++;
+    result.detections = detect_image(net_, frame, config_.eval);
+    if (config_.altitude_filter_enabled) {
+        result.detections = altitude_filter_.apply(result.detections, config_.altitude_m);
+    }
+    meter_.frame_end();
+    result.latency_ms = meter_.mean_latency_ms();
+    total_detections_ += static_cast<long>(result.detections.size());
+    return result;
+}
+
+double DetectionPipeline::mean_vehicles_per_frame() const noexcept {
+    return meter_.frames() > 0
+               ? static_cast<double>(total_detections_) / meter_.frames()
+               : 0.0;
+}
+
+}  // namespace dronet

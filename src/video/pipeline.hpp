@@ -1,0 +1,54 @@
+// Frame-by-frame detection pipeline (paper §IV.B deployment loop).
+//
+// "We use the on board camera to retrieve real time video feed and pass it
+// frame by frame to the processing board where the vehicles are detected."
+// This class is that loop: resize -> network forward -> score filter + NMS ->
+// optional altitude-prior filter (§III.D) -> latency/FPS accounting.
+#pragma once
+
+#include "detect/altitude_filter.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/fps_meter.hpp"
+#include "nn/network.hpp"
+
+namespace dronet {
+
+struct PipelineConfig {
+    EvalConfig eval;
+    bool altitude_filter_enabled = false;
+    float altitude_m = 50.0f;
+    CameraModel camera;
+    VehicleSizePrior size_prior;
+};
+
+struct FrameResult {
+    int frame_index = 0;
+    Detections detections;
+    double latency_ms = 0;
+};
+
+class DetectionPipeline {
+  public:
+    /// `net` must outlive the pipeline and contain a region layer.
+    DetectionPipeline(Network& net, PipelineConfig config);
+
+    /// Processes one camera frame.
+    [[nodiscard]] FrameResult process(const Image& frame);
+
+    [[nodiscard]] const FpsMeter& meter() const noexcept { return meter_; }
+    [[nodiscard]] int frames_processed() const noexcept { return meter_.frames(); }
+    /// Running mean of detections per frame (traffic-density estimate).
+    [[nodiscard]] double mean_vehicles_per_frame() const noexcept;
+
+    void set_altitude(float altitude_m) { config_.altitude_m = altitude_m; }
+
+  private:
+    Network& net_;
+    PipelineConfig config_;
+    AltitudeFilter altitude_filter_;
+    FpsMeter meter_;
+    long total_detections_ = 0;
+    int frame_index_ = 0;
+};
+
+}  // namespace dronet

@@ -1,0 +1,69 @@
+#include "video/tracker.hpp"
+
+#include <algorithm>
+
+namespace dronet {
+
+const std::vector<Track>& IouTracker::update(const Detections& detections) {
+    // Greedy association: repeatedly take the globally best (track, det)
+    // IoU pair above the threshold.
+    std::vector<bool> det_used(detections.size(), false);
+    std::vector<bool> trk_used(tracks_.size(), false);
+    while (true) {
+        float best_iou = config_.match_iou;
+        int best_t = -1, best_d = -1;
+        for (std::size_t t = 0; t < tracks_.size(); ++t) {
+            if (trk_used[t]) continue;
+            for (std::size_t d = 0; d < detections.size(); ++d) {
+                if (det_used[d]) continue;
+                if (tracks_[t].class_id != detections[d].class_id) continue;
+                const float v = iou(tracks_[t].box, detections[d].box);
+                if (v >= best_iou) {
+                    best_iou = v;
+                    best_t = static_cast<int>(t);
+                    best_d = static_cast<int>(d);
+                }
+            }
+        }
+        if (best_t < 0) break;
+        Track& trk = tracks_[static_cast<std::size_t>(best_t)];
+        const Detection& det = detections[static_cast<std::size_t>(best_d)];
+        trk.box = det.box;
+        trk.score = det.score();
+        trk.misses = 0;
+        ++trk.hits;
+        if (trk.hits == config_.min_hits) ++total_confirmed_;
+        trk_used[static_cast<std::size_t>(best_t)] = true;
+        det_used[static_cast<std::size_t>(best_d)] = true;
+    }
+    // Age all tracks; count a miss on the unmatched ones.
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        ++tracks_[t].age;
+        if (!trk_used[t]) ++tracks_[t].misses;
+    }
+    // Open a track per unmatched detection.
+    for (std::size_t d = 0; d < detections.size(); ++d) {
+        if (det_used[d]) continue;
+        Track trk;
+        trk.id = next_id_++;
+        trk.box = detections[d].box;
+        trk.class_id = detections[d].class_id;
+        trk.score = detections[d].score();
+        trk.hits = 1;
+        if (config_.min_hits <= 1) ++total_confirmed_;
+        tracks_.push_back(trk);
+    }
+    // Retire stale tracks.
+    std::erase_if(tracks_, [this](const Track& t) { return t.misses > config_.max_misses; });
+    return tracks_;
+}
+
+std::vector<Track> IouTracker::confirmed_tracks() const {
+    std::vector<Track> out;
+    for (const Track& t : tracks_) {
+        if (t.confirmed(config_.min_hits)) out.push_back(t);
+    }
+    return out;
+}
+
+}  // namespace dronet

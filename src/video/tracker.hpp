@@ -1,0 +1,64 @@
+// Multi-object IoU tracker.
+//
+// The paper's traffic-monitoring motivation (§I) needs per-vehicle identity
+// ("searching, collecting and sending vehicle information in real time"),
+// not just per-frame boxes. This greedy IoU tracker associates detections
+// across frames: each track carries an id, its last box, and hit/miss
+// counters; detections match the track of highest IoU above a threshold,
+// unmatched detections open new tracks, and tracks missing for too many
+// frames are retired.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace dronet {
+
+struct Track {
+    int id = 0;
+    Box box;                 ///< last matched position
+    int class_id = 0;
+    float score = 0;         ///< last matched detection score
+    int hits = 0;            ///< total matched frames
+    int misses = 0;          ///< consecutive unmatched frames
+    int age = 0;             ///< frames since creation
+
+    /// A track is "confirmed" after enough hits; unconfirmed tracks are
+    /// likely spurious single-frame detections.
+    [[nodiscard]] bool confirmed(int min_hits) const noexcept { return hits >= min_hits; }
+};
+
+struct TrackerConfig {
+    float match_iou = 0.3f;  ///< minimum IoU for detection-track association
+    int max_misses = 5;      ///< frames a track survives without detections
+    int min_hits = 3;        ///< frames before a track counts as confirmed
+};
+
+class IouTracker {
+  public:
+    explicit IouTracker(TrackerConfig config = {}) : config_(config) {}
+
+    /// Consumes one frame's detections; returns the live track list (matched
+    /// tracks updated, new tracks opened, stale tracks retired).
+    const std::vector<Track>& update(const Detections& detections);
+
+    [[nodiscard]] const std::vector<Track>& tracks() const noexcept { return tracks_; }
+
+    /// Tracks that have accumulated config.min_hits.
+    [[nodiscard]] std::vector<Track> confirmed_tracks() const;
+
+    /// Total distinct confirmed tracks ever observed (the traffic count).
+    [[nodiscard]] int total_confirmed() const noexcept { return total_confirmed_; }
+
+    [[nodiscard]] const TrackerConfig& config() const noexcept { return config_; }
+
+  private:
+    TrackerConfig config_;
+    std::vector<Track> tracks_;
+    int next_id_ = 1;
+    int total_confirmed_ = 0;
+};
+
+}  // namespace dronet

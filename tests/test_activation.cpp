@@ -1,0 +1,79 @@
+// Activation functions: values, derivatives (vs finite differences), parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/activation.hpp"
+
+namespace dronet {
+namespace {
+
+TEST(Activation, ParseAndPrint) {
+    EXPECT_EQ(activation_from_string("leaky"), Activation::kLeaky);
+    EXPECT_EQ(activation_from_string("linear"), Activation::kLinear);
+    EXPECT_EQ(activation_from_string("relu"), Activation::kRelu);
+    EXPECT_EQ(activation_from_string("logistic"), Activation::kLogistic);
+    EXPECT_THROW(activation_from_string("tanh"), std::invalid_argument);
+    for (Activation a : {Activation::kLinear, Activation::kLeaky, Activation::kRelu,
+                         Activation::kLogistic}) {
+        EXPECT_EQ(activation_from_string(to_string(a)), a);
+    }
+}
+
+TEST(Activation, LeakyValues) {
+    EXPECT_FLOAT_EQ(activate(Activation::kLeaky, 2.0f), 2.0f);
+    EXPECT_FLOAT_EQ(activate(Activation::kLeaky, -2.0f), -0.2f);
+}
+
+TEST(Activation, ReluValues) {
+    EXPECT_FLOAT_EQ(activate(Activation::kRelu, 3.0f), 3.0f);
+    EXPECT_FLOAT_EQ(activate(Activation::kRelu, -3.0f), 0.0f);
+}
+
+TEST(Activation, LogisticValues) {
+    EXPECT_FLOAT_EQ(activate(Activation::kLogistic, 0.0f), 0.5f);
+}
+
+class ActivationGradient : public ::testing::TestWithParam<Activation> {};
+
+// f'(x) expressed via the output y must match finite differences on f.
+TEST_P(ActivationGradient, MatchesFiniteDifference) {
+    const Activation a = GetParam();
+    for (float x : {-2.0f, -0.5f, 0.3f, 1.7f, 4.0f}) {
+        const float eps = 1e-3f;
+        const float numeric =
+            (activate(a, x + eps) - activate(a, x - eps)) / (2.0f * eps);
+        const float analytic = activation_gradient(a, activate(a, x));
+        EXPECT_NEAR(analytic, numeric, 2e-3f) << to_string(a) << " at x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ActivationGradient,
+                         ::testing::Values(Activation::kLinear, Activation::kLeaky,
+                                           Activation::kRelu, Activation::kLogistic));
+
+TEST(Activation, VectorApply) {
+    std::vector<float> x = {-1.0f, 2.0f};
+    apply_activation(Activation::kLeaky, x);
+    EXPECT_FLOAT_EQ(x[0], -0.1f);
+    EXPECT_FLOAT_EQ(x[1], 2.0f);
+}
+
+TEST(Activation, VectorGradientScalesDelta) {
+    const std::vector<float> y = {-0.1f, 2.0f};  // leaky outputs
+    std::vector<float> delta = {1.0f, 1.0f};
+    apply_activation_gradient(Activation::kLeaky, y, delta);
+    EXPECT_FLOAT_EQ(delta[0], 0.1f);
+    EXPECT_FLOAT_EQ(delta[1], 1.0f);
+}
+
+TEST(Activation, LinearGradientIsNoop) {
+    const std::vector<float> y = {5.0f};
+    std::vector<float> delta = {3.0f};
+    apply_activation_gradient(Activation::kLinear, y, delta);
+    EXPECT_FLOAT_EQ(delta[0], 3.0f);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -1,0 +1,195 @@
+// Darknet cfg dialect: section parsing, typed getters, network construction,
+// error reporting, and the emit->parse fixpoint property.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "nn/cfg.hpp"
+
+namespace dronet {
+namespace {
+
+constexpr const char* kTinyCfg = R"(
+[net]
+batch=2
+width=32
+height=32
+channels=3
+learning_rate=0.002
+momentum=0.9
+decay=0.0005
+burn_in=5
+policy=steps
+steps=100,200
+scales=0.5,0.1
+
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+# detection head
+[convolutional]
+filters=12
+size=1
+stride=1
+activation=linear
+
+[region]
+anchors=1.0,1.0,2.5,2.5
+classes=1
+coords=4
+num=2
+object_scale=5
+noobject_scale=1
+thresh=0.6
+rescore=1
+)";
+
+TEST(CfgSections, ParsesSectionsAndOptions) {
+    const auto sections = parse_cfg_sections(kTinyCfg);
+    ASSERT_EQ(sections.size(), 5u);
+    EXPECT_EQ(sections[0].name, "net");
+    EXPECT_EQ(sections[1].name, "convolutional");
+    EXPECT_EQ(sections[1].get_int("filters", 0), 8);
+    EXPECT_TRUE(sections[1].has("batch_normalize"));
+    EXPECT_FALSE(sections[2].has("filters"));
+}
+
+TEST(CfgSections, CommentsAndWhitespaceIgnored) {
+    const auto sections = parse_cfg_sections("[net]\n # comment\n  width = 64 \n;also\n");
+    ASSERT_EQ(sections.size(), 1u);
+    EXPECT_EQ(sections[0].get_int("width", 0), 64);
+}
+
+TEST(CfgSections, RejectsOptionBeforeSection) {
+    EXPECT_THROW(parse_cfg_sections("width=10\n[net]\n"), std::invalid_argument);
+}
+
+TEST(CfgSections, RejectsMalformedLines) {
+    EXPECT_THROW(parse_cfg_sections("[net]\nnonsense\n"), std::invalid_argument);
+    EXPECT_THROW(parse_cfg_sections("[net\nwidth=3\n"), std::invalid_argument);
+}
+
+TEST(CfgSections, TypedGettersValidate) {
+    const auto sections = parse_cfg_sections("[net]\nwidth=abc\nlist=1,2,x\n");
+    EXPECT_THROW(sections[0].get_int("width", 0), std::invalid_argument);
+    EXPECT_THROW(sections[0].get_float_list("list"), std::invalid_argument);
+    EXPECT_EQ(sections[0].get_int("missing", 7), 7);
+    EXPECT_EQ(sections[0].get_string("missing", "x"), "x");
+}
+
+TEST(CfgSections, FloatListParsesWithSpaces) {
+    const auto sections = parse_cfg_sections("[region]\nanchors=1.08,1.19, 3.42,4.41\n");
+    const auto anchors = sections[0].get_float_list("anchors");
+    ASSERT_EQ(anchors.size(), 4u);
+    EXPECT_FLOAT_EQ(anchors[2], 3.42f);
+}
+
+TEST(ParseCfg, BuildsNetwork) {
+    Network net = parse_cfg(kTinyCfg);
+    ASSERT_EQ(net.num_layers(), 4u);
+    EXPECT_EQ(net.config().batch, 2);
+    EXPECT_EQ(net.config().width, 32);
+    EXPECT_FLOAT_EQ(net.config().learning_rate, 0.002f);
+    ASSERT_EQ(net.config().lr_steps.size(), 2u);
+    EXPECT_EQ(net.config().lr_steps[1].at_batch, 200);
+    EXPECT_EQ(net.layer(0).kind(), LayerKind::kConvolutional);
+    EXPECT_EQ(net.layer(1).kind(), LayerKind::kMaxPool);
+    EXPECT_EQ(net.layer(3).kind(), LayerKind::kRegion);
+    const auto& conv = dynamic_cast<const ConvolutionalLayer&>(net.layer(0));
+    EXPECT_TRUE(conv.config().batch_normalize);
+    EXPECT_EQ(conv.config().pad, 1);  // pad=1 means "same"
+    EXPECT_EQ(net.region()->config().num, 2);
+    EXPECT_EQ(net.region()->config().anchors.size(), 4u);
+}
+
+TEST(ParseCfg, PadConventions) {
+    Network net = parse_cfg(
+        "[net]\nwidth=8\nheight=8\nchannels=3\n"
+        "[convolutional]\nfilters=2\nsize=5\nstride=1\npad=1\nactivation=linear\n");
+    const auto& conv = dynamic_cast<const ConvolutionalLayer&>(net.layer(0));
+    EXPECT_EQ(conv.config().pad, 2);  // size/2
+    Network net2 = parse_cfg(
+        "[net]\nwidth=8\nheight=8\nchannels=3\n"
+        "[convolutional]\nfilters=2\nsize=5\nstride=1\npadding=1\nactivation=linear\n");
+    EXPECT_EQ(dynamic_cast<const ConvolutionalLayer&>(net2.layer(0)).config().pad, 1);
+}
+
+TEST(ParseCfg, RouteRelativeIndices) {
+    Network net = parse_cfg(
+        "[net]\nwidth=8\nheight=8\nchannels=3\n"
+        "[convolutional]\nfilters=2\nsize=1\nstride=1\nactivation=linear\n"
+        "[convolutional]\nfilters=3\nsize=1\nstride=1\nactivation=linear\n"
+        "[route]\nlayers=-1,-2\n");
+    const auto& route = dynamic_cast<const RouteLayer&>(net.layer(2));
+    EXPECT_EQ(route.sources(), (std::vector<int>{1, 0}));
+    EXPECT_EQ(route.output_shape().c, 5);
+}
+
+TEST(ParseCfg, UpsampleSection) {
+    Network net = parse_cfg(
+        "[net]\nwidth=8\nheight=8\nchannels=3\n[upsample]\nstride=2\n");
+    EXPECT_EQ(net.layer(0).output_shape(), (Shape{1, 3, 16, 16}));
+}
+
+TEST(ParseCfg, RejectsMissingNetSection) {
+    EXPECT_THROW(parse_cfg("[convolutional]\nfilters=2\n"), std::invalid_argument);
+}
+
+TEST(ParseCfg, RejectsUnknownSection) {
+    EXPECT_THROW(parse_cfg("[net]\nwidth=8\nheight=8\n[lstm]\n"),
+                 std::invalid_argument);
+}
+
+TEST(ParseCfg, RejectsStepsScalesMismatch) {
+    EXPECT_THROW(parse_cfg("[net]\nwidth=8\nheight=8\nsteps=1,2\nscales=0.1\n"),
+                 std::invalid_argument);
+}
+
+TEST(ParseCfg, RejectsUnknownActivation) {
+    EXPECT_THROW(parse_cfg("[net]\nwidth=8\nheight=8\nchannels=3\n"
+                           "[convolutional]\nfilters=2\nsize=1\nactivation=swish\n"),
+                 std::invalid_argument);
+}
+
+TEST(EmitCfg, FixpointUnderReparse) {
+    Network net = parse_cfg(kTinyCfg);
+    const std::string emitted = network_to_cfg(net);
+    Network net2 = parse_cfg(emitted);
+    const std::string emitted2 = network_to_cfg(net2);
+    EXPECT_EQ(emitted, emitted2);
+    // Structure is preserved.
+    ASSERT_EQ(net2.num_layers(), net.num_layers());
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+        EXPECT_EQ(net2.layer(static_cast<int>(i)).kind(), net.layer(static_cast<int>(i)).kind());
+        EXPECT_EQ(net2.layer(static_cast<int>(i)).output_shape(),
+                  net.layer(static_cast<int>(i)).output_shape());
+    }
+}
+
+TEST(LoadCfgFile, MissingFileThrows) {
+    EXPECT_THROW(load_cfg_file("/no/such/file.cfg"), std::runtime_error);
+}
+
+TEST(LoadCfgFile, RoundTripThroughDisk) {
+    const auto path = std::filesystem::temp_directory_path() / "dronet_test.cfg";
+    {
+        std::ofstream out(path);
+        out << kTinyCfg;
+    }
+    Network net = load_cfg_file(path);
+    EXPECT_EQ(net.num_layers(), 4u);
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dronet

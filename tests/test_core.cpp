@@ -1,0 +1,126 @@
+// Detector façade and visualization helpers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/detector.hpp"
+#include "core/visualize.hpp"
+#include "data/scene.hpp"
+#include "eval/evaluator.hpp"
+#include "nn/cfg.hpp"
+
+namespace dronet {
+namespace {
+
+Detector micro_detector() {
+    Detector::Options opts;
+    opts.model = ModelId::kDroNet;
+    opts.input_size = 64;
+    opts.filter_scale = 0.25f;
+    return Detector(opts);
+}
+
+TEST(Detector, ConstructsWithDefaults) {
+    Detector d = micro_detector();
+    EXPECT_EQ(d.input_size(), 64);
+    EXPECT_NE(d.network().region(), nullptr);
+    EXPECT_EQ(d.network().config().batch, 1);
+}
+
+TEST(Detector, DetectAcceptsAnyImageSize) {
+    Detector d = micro_detector();
+    AerialSceneGenerator gen(benchmark_scene_config(200), 3);
+    const SceneSample s = gen.generate();
+    const Detections dets = d.detect(s.image);  // 200x200 resampled to 64
+    for (const Detection& det : dets) {
+        EXPECT_GE(det.score(), d.post().score_threshold);
+    }
+}
+
+TEST(Detector, SetInputSizePreservesWeights) {
+    Detector d = micro_detector();
+    auto& conv = dynamic_cast<ConvolutionalLayer&>(d.network().layer(0));
+    const std::vector<float> w = conv.weights().v;
+    d.set_input_size(96);
+    EXPECT_EQ(d.input_size(), 96);
+    EXPECT_EQ(conv.weights().v, w);
+}
+
+TEST(Detector, SummaryMentionsStructure) {
+    Detector d = micro_detector();
+    const std::string s = d.summary();
+    EXPECT_NE(s.find("conv"), std::string::npos);
+    EXPECT_NE(s.find("region"), std::string::npos);
+}
+
+TEST(Detector, WeightRoundTripKeepsDetections) {
+    const auto path = std::filesystem::temp_directory_path() / "dronet_core_test.weights";
+    Detector a = micro_detector();
+    AerialSceneGenerator gen(benchmark_scene_config(64), 5);
+    const SceneSample s = gen.generate();
+    a.post().score_threshold = 0.0f;
+    const Detections before = a.detect(s.image);
+    a.save_weights(path);
+
+    Detector b = micro_detector();
+    b.post().score_threshold = 0.0f;
+    b.load_weights(path);
+    const Detections after = b.detect(s.image);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        EXPECT_FLOAT_EQ(before[i].objectness, after[i].objectness);
+        EXPECT_FLOAT_EQ(before[i].box.x, after[i].box.x);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(Detector, FromFilesBuildsNetwork) {
+    const auto cfg_path = std::filesystem::temp_directory_path() / "dronet_core_test.cfg";
+    {
+        Detector d = micro_detector();
+        std::ofstream out(cfg_path);
+        out << network_to_cfg(d.network());
+    }
+    Detector d = Detector::from_files(cfg_path);
+    EXPECT_EQ(d.input_size(), 64);
+    EXPECT_THROW(Detector::from_files("/no/such.cfg"), std::runtime_error);
+    std::filesystem::remove(cfg_path);
+}
+
+TEST(Visualize, DrawDetectionsDoesNotTouchUnboxedPixels) {
+    Image im(32, 32, 3);
+    Detections dets;
+    Detection d;
+    d.box = {0.5f, 0.5f, 0.4f, 0.4f};
+    d.objectness = 1.0f;
+    d.class_prob = 1.0f;
+    dets.push_back(d);
+    const Image out = draw_detections(im, dets, 1);
+    EXPECT_GT(out.px(16, 10, 1), 0.5f);  // on the top edge of the box
+    EXPECT_FLOAT_EQ(out.px(0, 0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(out.px(16, 16, 1), 0.0f);  // interior untouched
+}
+
+TEST(Visualize, GroundTruthDrawsWhite) {
+    Image im(32, 32, 3);
+    const std::vector<GroundTruth> truths = {{{0.5f, 0.5f, 0.5f, 0.5f}, 0}};
+    const Image out = draw_ground_truth(im, truths);
+    EXPECT_FLOAT_EQ(out.px(16, 8, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.px(16, 8, 2), 1.0f);
+}
+
+TEST(Visualize, OriginalImageUnmodified) {
+    Image im(16, 16, 3);
+    Detections dets;
+    Detection d;
+    d.box = {0.5f, 0.5f, 0.5f, 0.5f};
+    d.objectness = 1.0f;
+    d.class_prob = 1.0f;
+    dets.push_back(d);
+    (void)draw_detections(im, dets);
+    for (std::size_t i = 0; i < im.size(); ++i) EXPECT_FLOAT_EQ(im.data()[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -1,0 +1,254 @@
+// Synthetic scenes, dataset plumbing, augmentation box math, annotation I/O.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/annotations.hpp"
+#include "data/augment.hpp"
+#include "data/dataset.hpp"
+#include "data/scene.hpp"
+
+namespace dronet {
+namespace {
+
+TEST(Scene, VehicleGroundTruthAxisAligned) {
+    VehiclePose pose;
+    pose.cx = 50;
+    pose.cy = 40;
+    pose.length = 20;
+    pose.width = 10;
+    pose.angle = 0;
+    const GroundTruth gt = vehicle_ground_truth(pose, 100, 100);
+    EXPECT_NEAR(gt.box.x, 0.5f, 1e-5f);
+    EXPECT_NEAR(gt.box.y, 0.4f, 1e-5f);
+    EXPECT_NEAR(gt.box.w, 0.2f, 1e-5f);
+    EXPECT_NEAR(gt.box.h, 0.1f, 1e-5f);
+}
+
+TEST(Scene, RotatedGroundTruthGrows) {
+    VehiclePose pose;
+    pose.cx = pose.cy = 50;
+    pose.length = 20;
+    pose.width = 10;
+    pose.angle = 0.785398f;  // 45 degrees
+    const GroundTruth gt = vehicle_ground_truth(pose, 100, 100);
+    // AABB of a rotated rect is larger than the axis-aligned footprint.
+    EXPECT_GT(gt.box.w, 0.2f);
+    EXPECT_NEAR(gt.box.w, gt.box.h, 1e-5f);
+}
+
+TEST(Scene, GroundTruthClampedAtBorders) {
+    VehiclePose pose;
+    pose.cx = 2;
+    pose.cy = 50;
+    pose.length = 20;
+    pose.width = 10;
+    pose.angle = 0;
+    const GroundTruth gt = vehicle_ground_truth(pose, 100, 100);
+    EXPECT_GE(gt.box.left(), 0.0f);
+    EXPECT_LE(gt.box.right(), 1.0f);
+}
+
+TEST(Scene, DrawVehicleChangesPixels) {
+    Image im(64, 64, 3);
+    VehiclePose pose;
+    pose.cx = pose.cy = 32;
+    pose.length = 20;
+    pose.width = 10;
+    pose.body = {0.9f, 0.1f, 0.1f};
+    draw_vehicle(im, pose);
+    EXPECT_GT(im.px(32, 32, 0), 0.0f);
+}
+
+TEST(Scene, GeneratorDeterministic) {
+    const SceneConfig config = benchmark_scene_config(96);
+    AerialSceneGenerator a(config, 5), b(config, 5);
+    const SceneSample sa = a.generate();
+    const SceneSample sb = b.generate();
+    ASSERT_EQ(sa.truths.size(), sb.truths.size());
+    for (std::size_t i = 0; i < sa.image.size(); ++i) {
+        ASSERT_EQ(sa.image.data()[i], sb.image.data()[i]);
+    }
+}
+
+TEST(Scene, GeneratorRespectsVehicleCountBounds) {
+    SceneConfig config = benchmark_scene_config(96);
+    config.min_vehicles = 2;
+    config.max_vehicles = 4;
+    AerialSceneGenerator gen(config, 11);
+    for (int i = 0; i < 10; ++i) {
+        const SceneSample s = gen.generate();
+        // Rejection sampling may drop a vehicle but never exceeds max.
+        EXPECT_LE(s.truths.size(), 4u);
+        EXPECT_GE(s.truths.size(), 1u);
+    }
+}
+
+TEST(Scene, TruthsWithinUnitSquareAndSizeBand) {
+    SceneConfig config = benchmark_scene_config(128);
+    AerialSceneGenerator gen(config, 13);
+    for (int i = 0; i < 8; ++i) {
+        for (const GroundTruth& gt : gen.generate().truths) {
+            EXPECT_GE(gt.box.left(), -1e-5f);
+            EXPECT_LE(gt.box.right(), 1.0f + 1e-5f);
+            EXPECT_GT(gt.box.w, 0.0f);
+            // AABB of the long side can exceed max_vehicle_size by sqrt(2).
+            EXPECT_LT(std::max(gt.box.w, gt.box.h),
+                      config.max_vehicle_size * 1.5f);
+        }
+    }
+}
+
+TEST(Scene, VehiclesDoNotPileUp) {
+    AerialSceneGenerator gen(benchmark_scene_config(128), 17);
+    for (int i = 0; i < 5; ++i) {
+        const SceneSample s = gen.generate();
+        for (std::size_t a = 0; a < s.truths.size(); ++a) {
+            for (std::size_t b = a + 1; b < s.truths.size(); ++b) {
+                EXPECT_LT(iou(s.truths[a].box, s.truths[b].box), 0.35f);
+            }
+        }
+    }
+}
+
+TEST(Dataset, AddAndAccess) {
+    DetectionDataset ds;
+    Image im(8, 8, 3);
+    ds.add(im, {GroundTruth{{0.5f, 0.5f, 0.2f, 0.2f}, 0}});
+    EXPECT_EQ(ds.size(), 1u);
+    EXPECT_EQ(ds.total_objects(), 1u);
+    EXPECT_THROW(ds.add(Image{}, {}), std::invalid_argument);
+}
+
+TEST(Dataset, SplitIsDisjointAndComplete) {
+    const DetectionDataset ds = generate_dataset(benchmark_scene_config(64), 20, 3);
+    const auto [train, test] = ds.split(0.25f);
+    EXPECT_EQ(train.size() + test.size(), 20u);
+    EXPECT_EQ(test.size(), 5u);
+    EXPECT_THROW(ds.split(0.0f), std::invalid_argument);
+    EXPECT_THROW(ds.split(1.0f), std::invalid_argument);
+}
+
+TEST(Dataset, FillBatchResamplesAndWraps) {
+    const DetectionDataset ds = generate_dataset(benchmark_scene_config(64), 3, 4);
+    Tensor batch(5, 3, 32, 32);
+    const auto truths = ds.fill_batch(batch, 1);
+    ASSERT_EQ(truths.size(), 5u);
+    // Wrapping: slot 2 is dataset item 0 again; truths match.
+    EXPECT_EQ(truths[2].size(), ds.truths(0).size());
+    EXPECT_THROW(DetectionDataset{}.fill_batch(batch, 0), std::logic_error);
+}
+
+TEST(Dataset, BenchmarkSetsAreDeterministicAndDisjoint) {
+    const DetectionDataset a = benchmark_train_set(10, 96);
+    const DetectionDataset b = benchmark_train_set(10, 96);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.image(0).size(); ++i) {
+        ASSERT_EQ(a.image(0).data()[i], b.image(0).data()[i]);
+    }
+    // Different seed streams for train vs test.
+    const DetectionDataset t = benchmark_test_set(10, 96);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.image(0).size() && !differs; ++i) {
+        differs = a.image(0).data()[i] != t.image(0).data()[i];
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Augment, NoopConfigKeepsBoxes) {
+    AerialSceneGenerator gen(benchmark_scene_config(64), 21);
+    const SceneSample s = gen.generate();
+    AugmentConfig cfg;
+    cfg.flip_prob = 0;
+    cfg.jitter = 0;
+    cfg.hue = 0;
+    cfg.saturation = 1;
+    cfg.exposure = 1;
+    Rng rng(1);
+    const SceneSample out = augment(s, cfg, rng);
+    ASSERT_EQ(out.truths.size(), s.truths.size());
+    for (std::size_t i = 0; i < s.truths.size(); ++i) {
+        EXPECT_NEAR(out.truths[i].box.x, s.truths[i].box.x, 0.02f);
+        EXPECT_NEAR(out.truths[i].box.w, s.truths[i].box.w, 0.02f);
+    }
+}
+
+TEST(Augment, FlipMirrorsBoxes) {
+    SceneSample s;
+    s.image = Image(64, 64, 3);
+    s.truths = {GroundTruth{{0.2f, 0.5f, 0.1f, 0.1f}, 0}};
+    AugmentConfig cfg;
+    cfg.flip_prob = 1.0f;
+    cfg.jitter = 0;
+    cfg.hue = 0;
+    cfg.saturation = 1;
+    cfg.exposure = 1;
+    Rng rng(2);
+    const SceneSample out = augment(s, cfg, rng);
+    ASSERT_EQ(out.truths.size(), 1u);
+    EXPECT_NEAR(out.truths[0].box.x, 0.8f, 1e-5f);
+    EXPECT_NEAR(out.truths[0].box.y, 0.5f, 1e-5f);
+}
+
+TEST(Augment, CropDropsMostlyHiddenBoxes) {
+    SceneSample s;
+    s.image = Image(100, 100, 3);
+    // Box hugging the left edge; a right-side crop of 30% must remove it.
+    s.truths = {GroundTruth{{0.05f, 0.5f, 0.1f, 0.1f}, 0},
+                GroundTruth{{0.7f, 0.5f, 0.1f, 0.1f}, 0}};
+    AugmentConfig cfg;
+    cfg.flip_prob = 0;
+    cfg.jitter = 0;
+    cfg.min_visibility = 0.5f;
+    Rng rng(3);
+    // Simulate the crop through the public API by jittering deterministically:
+    // with jitter=0 nothing is cropped, so instead exercise visibility via a
+    // manual crop-heavy config (jitter close to the box).
+    cfg.jitter = 0.3f;
+    bool dropped_any = false;
+    for (int trial = 0; trial < 20; ++trial) {
+        const SceneSample out = augment(s, cfg, rng);
+        EXPECT_LE(out.truths.size(), 2u);
+        if (out.truths.size() < 2) dropped_any = true;
+        for (const GroundTruth& gt : out.truths) {
+            EXPECT_GE(gt.box.left(), -1e-4f);
+            EXPECT_LE(gt.box.right(), 1.0f + 1e-4f);
+        }
+    }
+    EXPECT_TRUE(dropped_any);
+}
+
+TEST(Annotations, TextRoundTrip) {
+    const std::vector<GroundTruth> truths = {
+        {{0.5f, 0.25f, 0.125f, 0.0625f}, 0}, {{0.1f, 0.9f, 0.05f, 0.07f}, 2}};
+    const std::vector<GroundTruth> back = truths_from_text(truths_to_text(truths));
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[1].class_id, 2);
+    EXPECT_NEAR(back[0].box.w, 0.125f, 1e-6f);
+}
+
+TEST(Annotations, RejectsMalformedText) {
+    EXPECT_THROW(truths_from_text("0 0.5 0.5 nope 0.1\n"), std::runtime_error);
+}
+
+TEST(Annotations, DatasetDiskRoundTrip) {
+    const auto dir = std::filesystem::temp_directory_path() / "dronet_test_ds";
+    const DetectionDataset ds = generate_dataset(benchmark_scene_config(48), 4, 6);
+    save_dataset(ds, dir);
+    const DetectionDataset back = load_dataset(dir);
+    ASSERT_EQ(back.size(), ds.size());
+    EXPECT_EQ(back.total_objects(), ds.total_objects());
+    for (std::size_t i = 0; i < ds.truths(2).size(); ++i) {
+        EXPECT_NEAR(back.truths(2)[i].box.x, ds.truths(2)[i].box.x, 1e-6f);
+    }
+    // Pixels survive 8-bit quantization.
+    EXPECT_NEAR(back.image(1).px(10, 10, 1), ds.image(1).px(10, 10, 1), 1.0f / 255.0f);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Annotations, LoadMissingDirectoryThrows) {
+    EXPECT_THROW(load_dataset("/no/such/dataset_dir"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dronet

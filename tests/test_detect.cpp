@@ -1,0 +1,183 @@
+// Boxes, IoU properties, NMS invariants and the altitude filter (§III.D).
+#include <gtest/gtest.h>
+
+#include "detect/altitude_filter.hpp"
+#include "detect/box.hpp"
+#include "detect/nms.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+namespace {
+
+Box make_box(float x, float y, float w, float h) { return Box{x, y, w, h}; }
+
+Detection make_det(Box b, float obj, int cls = 0, float cls_prob = 1.0f) {
+    Detection d;
+    d.box = b;
+    d.objectness = obj;
+    d.class_id = cls;
+    d.class_prob = cls_prob;
+    return d;
+}
+
+TEST(Box, CornerConversions) {
+    const Box b = make_box(0.5f, 0.5f, 0.2f, 0.4f);
+    EXPECT_FLOAT_EQ(b.left(), 0.4f);
+    EXPECT_FLOAT_EQ(b.right(), 0.6f);
+    EXPECT_FLOAT_EQ(b.top(), 0.3f);
+    EXPECT_FLOAT_EQ(b.bottom(), 0.7f);
+    const Box back = Box::from_corners(b.left(), b.top(), b.right(), b.bottom());
+    EXPECT_NEAR(back.x, b.x, 1e-6f);
+    EXPECT_NEAR(back.w, b.w, 1e-6f);
+}
+
+TEST(Iou, IdenticalBoxesIsOne) {
+    const Box b = make_box(0.3f, 0.3f, 0.2f, 0.2f);
+    EXPECT_NEAR(iou(b, b), 1.0f, 1e-5f);
+}
+
+TEST(Iou, DisjointIsZero) {
+    EXPECT_FLOAT_EQ(iou(make_box(0.2f, 0.2f, 0.1f, 0.1f),
+                        make_box(0.8f, 0.8f, 0.1f, 0.1f)),
+                    0.0f);
+}
+
+TEST(Iou, KnownOverlap) {
+    // Two unit squares offset by half: intersection 0.5, union 1.5.
+    const Box a = make_box(0.5f, 0.5f, 1.0f, 1.0f);
+    const Box b = make_box(1.0f, 0.5f, 1.0f, 1.0f);
+    EXPECT_NEAR(iou(a, b), 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(Iou, ZeroAreaBoxes) {
+    const Box degenerate = make_box(0.5f, 0.5f, 0.0f, 0.0f);
+    EXPECT_FLOAT_EQ(iou(degenerate, degenerate), 0.0f);
+}
+
+// Property sweep: symmetry, range, containment ordering.
+class IouProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(IouProperties, SymmetricAndBounded) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 50; ++i) {
+        const Box a = make_box(rng.uniform(), rng.uniform(), rng.uniform(0.01f, 0.5f),
+                               rng.uniform(0.01f, 0.5f));
+        const Box b = make_box(rng.uniform(), rng.uniform(), rng.uniform(0.01f, 0.5f),
+                               rng.uniform(0.01f, 0.5f));
+        const float ab = iou(a, b);
+        EXPECT_FLOAT_EQ(ab, iou(b, a));
+        EXPECT_GE(ab, 0.0f);
+        EXPECT_LE(ab, 1.0f);
+        EXPECT_LE(box_intersection(a, b), std::min(a.area(), b.area()) + 1e-6f);
+        EXPECT_GE(box_union(a, b), std::max(a.area(), b.area()) - 1e-6f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IouProperties, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BoxRmse, ZeroForIdentical) {
+    const Box b = make_box(0.1f, 0.2f, 0.3f, 0.4f);
+    EXPECT_FLOAT_EQ(box_rmse(b, b), 0.0f);
+    EXPECT_GT(box_rmse(b, make_box(0.5f, 0.2f, 0.3f, 0.4f)), 0.0f);
+}
+
+TEST(Detection, ScoreIsProduct) {
+    const Detection d = make_det(make_box(0, 0, 1, 1), 0.5f, 0, 0.8f);
+    EXPECT_FLOAT_EQ(d.score(), 0.4f);
+}
+
+TEST(FilterByScore, Thresholds) {
+    Detections dets = {make_det(make_box(0.5f, 0.5f, 0.1f, 0.1f), 0.9f),
+                       make_det(make_box(0.5f, 0.5f, 0.1f, 0.1f), 0.1f)};
+    const Detections out = filter_by_score(dets, 0.5f);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FLOAT_EQ(out[0].objectness, 0.9f);
+}
+
+TEST(Nms, SuppressesOverlapsKeepsBest) {
+    Detections dets = {make_det(make_box(0.5f, 0.5f, 0.2f, 0.2f), 0.9f),
+                       make_det(make_box(0.51f, 0.5f, 0.2f, 0.2f), 0.8f),
+                       make_det(make_box(0.9f, 0.9f, 0.1f, 0.1f), 0.7f)};
+    const Detections out = nms(dets, 0.45f);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_FLOAT_EQ(out[0].objectness, 0.9f);
+    EXPECT_FLOAT_EQ(out[1].objectness, 0.7f);
+}
+
+TEST(Nms, DifferentClassesNotSuppressed) {
+    Detections dets = {make_det(make_box(0.5f, 0.5f, 0.2f, 0.2f), 0.9f, 0),
+                       make_det(make_box(0.5f, 0.5f, 0.2f, 0.2f), 0.8f, 1)};
+    EXPECT_EQ(nms(dets, 0.45f).size(), 2u);
+}
+
+TEST(Nms, EmptyInput) {
+    EXPECT_TRUE(nms({}, 0.45f).empty());
+}
+
+// NMS invariants over random inputs: output subset of input, sorted by
+// score, no same-class surviving pair above the threshold.
+class NmsProperties : public ::testing::TestWithParam<float> {};
+
+TEST_P(NmsProperties, Invariants) {
+    const float thresh = GetParam();
+    Rng rng(99);
+    Detections dets;
+    for (int i = 0; i < 60; ++i) {
+        dets.push_back(make_det(make_box(rng.uniform(0.2f, 0.8f), rng.uniform(0.2f, 0.8f),
+                                         rng.uniform(0.05f, 0.3f), rng.uniform(0.05f, 0.3f)),
+                                rng.uniform(0.01f, 1.0f), rng.uniform_int(0, 1)));
+    }
+    const Detections out = nms(dets, thresh);
+    EXPECT_LE(out.size(), dets.size());
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+        EXPECT_GE(out[i].score(), out[i + 1].score());
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        for (std::size_t j = i + 1; j < out.size(); ++j) {
+            if (out[i].class_id == out[j].class_id) {
+                EXPECT_LE(iou(out[i].box, out[j].box), thresh + 1e-6f);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, NmsProperties,
+                         ::testing::Values(0.1f, 0.3f, 0.45f, 0.7f));
+
+TEST(Postprocess, CombinesFilterAndNms) {
+    Detections dets = {make_det(make_box(0.5f, 0.5f, 0.2f, 0.2f), 0.9f),
+                       make_det(make_box(0.5f, 0.5f, 0.2f, 0.2f), 0.85f),
+                       make_det(make_box(0.2f, 0.2f, 0.1f, 0.1f), 0.05f)};
+    const Detections out = postprocess(dets, 0.3f, 0.45f);
+    ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(AltitudeFilter, SizeRangeShrinksWithAltitude) {
+    const AltitudeFilter f(CameraModel{}, VehicleSizePrior{});
+    const auto low = f.plausible_size(20.0f);
+    const auto high = f.plausible_size(100.0f);
+    EXPECT_GT(low.max_norm, high.max_norm);
+    EXPECT_GT(low.min_norm, high.min_norm);
+    EXPECT_LT(low.min_norm, low.max_norm);
+}
+
+TEST(AltitudeFilter, RejectsNonPositiveAltitude) {
+    const AltitudeFilter f(CameraModel{}, VehicleSizePrior{});
+    EXPECT_THROW(f.plausible_size(0.0f), std::invalid_argument);
+    EXPECT_THROW(f.apply({}, -3.0f), std::invalid_argument);
+}
+
+TEST(AltitudeFilter, DropsImplausibleDetections) {
+    // focal 1000 px, frame 1280 px wide, altitude 50 m: a 4.5 m car spans
+    // 90 px = 0.07 normalized. A 0.5-normalized "vehicle" is a building.
+    const AltitudeFilter f(CameraModel{1000.0f, 1280, 720}, VehicleSizePrior{});
+    Detections dets = {make_det(make_box(0.5f, 0.5f, 0.07f, 0.04f), 0.9f),
+                       make_det(make_box(0.5f, 0.5f, 0.5f, 0.5f), 0.9f),
+                       make_det(make_box(0.5f, 0.5f, 0.001f, 0.001f), 0.9f)};
+    const Detections out = f.apply(dets, 50.0f);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0].box.w, 0.07f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -1,0 +1,184 @@
+// Metrics (paper eq. 1-2), greedy matcher, Score metric (eq. 3),
+// normalization and the FPS meter.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "eval/fps_meter.hpp"
+#include "eval/metrics.hpp"
+#include "eval/score.hpp"
+
+namespace dronet {
+namespace {
+
+Detection det(float x, float y, float w, float h, float score, int cls = 0) {
+    Detection d;
+    d.box = {x, y, w, h};
+    d.objectness = score;
+    d.class_prob = 1.0f;
+    d.class_id = cls;
+    return d;
+}
+
+GroundTruth gt(float x, float y, float w, float h, int cls = 0) {
+    return GroundTruth{{x, y, w, h}, cls};
+}
+
+TEST(Metrics, PerfectDetection) {
+    const DetectionMetrics m = match_detections({det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f)},
+                                                {gt(0.5f, 0.5f, 0.2f, 0.2f)});
+    EXPECT_EQ(m.true_positives, 1);
+    EXPECT_EQ(m.false_positives, 0);
+    EXPECT_EQ(m.false_negatives, 0);
+    EXPECT_FLOAT_EQ(m.sensitivity(), 1.0f);
+    EXPECT_FLOAT_EQ(m.precision(), 1.0f);
+    EXPECT_FLOAT_EQ(m.avg_iou(), 1.0f);
+    EXPECT_FLOAT_EQ(m.f1(), 1.0f);
+}
+
+TEST(Metrics, MissAndFalseAlarm) {
+    const DetectionMetrics m = match_detections({det(0.9f, 0.9f, 0.05f, 0.05f, 0.8f)},
+                                                {gt(0.2f, 0.2f, 0.2f, 0.2f)});
+    EXPECT_EQ(m.true_positives, 0);
+    EXPECT_EQ(m.false_positives, 1);
+    EXPECT_EQ(m.false_negatives, 1);
+    EXPECT_FLOAT_EQ(m.sensitivity(), 0.0f);
+    EXPECT_FLOAT_EQ(m.precision(), 0.0f);
+}
+
+TEST(Metrics, EachTruthMatchedOnce) {
+    // Two detections over the same truth: one TP, one FP.
+    const DetectionMetrics m = match_detections(
+        {det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f), det(0.51f, 0.5f, 0.2f, 0.2f, 0.8f)},
+        {gt(0.5f, 0.5f, 0.2f, 0.2f)});
+    EXPECT_EQ(m.true_positives, 1);
+    EXPECT_EQ(m.false_positives, 1);
+}
+
+TEST(Metrics, HigherScoreMatchesFirst) {
+    // The higher-scored detection gets the truth even if listed second.
+    const DetectionMetrics m = match_detections(
+        {det(0.52f, 0.5f, 0.2f, 0.2f, 0.5f), det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f)},
+        {gt(0.5f, 0.5f, 0.2f, 0.2f)});
+    EXPECT_EQ(m.true_positives, 1);
+    EXPECT_FLOAT_EQ(m.avg_iou(), 1.0f);  // the exact-overlap one won
+}
+
+TEST(Metrics, ClassMismatchIsFalsePositive) {
+    const DetectionMetrics m = match_detections({det(0.5f, 0.5f, 0.2f, 0.2f, 0.9f, 1)},
+                                                {gt(0.5f, 0.5f, 0.2f, 0.2f, 0)});
+    EXPECT_EQ(m.true_positives, 0);
+    EXPECT_EQ(m.false_positives, 1);
+    EXPECT_EQ(m.false_negatives, 1);
+}
+
+TEST(Metrics, IouThresholdGates) {
+    const Detections d = {det(0.55f, 0.5f, 0.2f, 0.2f, 0.9f)};
+    const std::vector<GroundTruth> t = {gt(0.5f, 0.5f, 0.2f, 0.2f)};
+    EXPECT_EQ(match_detections(d, t, 0.3f).true_positives, 1);
+    EXPECT_EQ(match_detections(d, t, 0.9f).true_positives, 0);
+}
+
+TEST(Metrics, AccumulationOperator) {
+    DetectionMetrics a;
+    a.true_positives = 3;
+    a.false_negatives = 1;
+    a.iou_sum = 2.4;
+    DetectionMetrics b;
+    b.true_positives = 1;
+    b.false_positives = 2;
+    b.iou_sum = 0.9;
+    a += b;
+    EXPECT_EQ(a.true_positives, 4);
+    EXPECT_EQ(a.false_positives, 2);
+    EXPECT_EQ(a.false_negatives, 1);
+    EXPECT_FLOAT_EQ(a.sensitivity(), 0.8f);
+    EXPECT_NEAR(a.avg_iou(), 3.3 / 4.0, 1e-6);
+}
+
+TEST(Metrics, EmptyEverything) {
+    const DetectionMetrics m = match_detections({}, {});
+    EXPECT_FLOAT_EQ(m.sensitivity(), 0.0f);
+    EXPECT_FLOAT_EQ(m.precision(), 0.0f);
+    EXPECT_FLOAT_EQ(m.f1(), 0.0f);
+    EXPECT_FLOAT_EQ(m.avg_iou(), 0.0f);
+}
+
+TEST(ScoreWeights, PaperDefaultsValid) {
+    // Paper: FPS weighted 0.4, accuracy metrics 0.2 each, sum = 1.
+    const ScoreWeights w;
+    EXPECT_NO_THROW(w.validate());
+    EXPECT_FLOAT_EQ(w.fps, 0.4f);
+    EXPECT_FLOAT_EQ(w.iou + w.sensitivity + w.precision, 0.6f);
+}
+
+TEST(ScoreWeights, RejectsBadWeights) {
+    ScoreWeights w;
+    w.fps = 0.9f;
+    EXPECT_THROW(w.validate(), std::invalid_argument);
+    w = ScoreWeights{};
+    w.iou = -0.2f;
+    w.fps = 0.8f;
+    EXPECT_THROW(w.validate(), std::invalid_argument);
+}
+
+TEST(Score, CompositeLinearCombination) {
+    const float s = composite_score({1.0f, 0.5f, 0.5f, 0.5f});
+    EXPECT_NEAR(s, 0.4f + 0.2f * 1.5f, 1e-6f);
+}
+
+TEST(Score, NormalizeByMax) {
+    const std::vector<float> v = {2.0f, 4.0f, 1.0f};
+    const auto out = normalize_by_max(v);
+    EXPECT_FLOAT_EQ(out[0], 0.5f);
+    EXPECT_FLOAT_EQ(out[1], 1.0f);
+    EXPECT_FLOAT_EQ(out[2], 0.25f);
+    // All-zero input unchanged.
+    const auto zeros = normalize_by_max(std::vector<float>{0.0f, 0.0f});
+    EXPECT_FLOAT_EQ(zeros[0], 0.0f);
+}
+
+TEST(Score, TableNormalizesPerMetric) {
+    // Fast-but-inaccurate vs slow-but-accurate: with the paper's FPS-heavy
+    // weights the fast model must win when accuracy is close.
+    const std::vector<ScoreInputs> rows = {
+        {30.0f, 0.6f, 0.90f, 0.90f},   // fast
+        {1.0f, 0.7f, 0.95f, 0.95f}};   // slow, slightly more accurate
+    const auto scores = score_table(rows);
+    ASSERT_EQ(scores.size(), 2u);
+    EXPECT_GT(scores[0], scores[1]);
+    // And the winner's score is bounded by 1.
+    EXPECT_LE(scores[0], 1.0f + 1e-6f);
+}
+
+TEST(Score, EqualRowsScoreEqually) {
+    const std::vector<ScoreInputs> rows = {{10, 0.5f, 0.8f, 0.9f}, {10, 0.5f, 0.8f, 0.9f}};
+    const auto scores = score_table(rows);
+    EXPECT_FLOAT_EQ(scores[0], scores[1]);
+    EXPECT_NEAR(scores[0], 1.0f, 1e-6f);  // every metric normalizes to 1
+}
+
+TEST(FpsMeter, MeasureFpsPositive) {
+    const double fps = measure_fps([] { std::this_thread::sleep_for(std::chrono::milliseconds(1)); },
+                                   0, 3);
+    EXPECT_GT(fps, 1.0);
+    EXPECT_LT(fps, 1000.0);
+    EXPECT_THROW(measure_fps([] {}, 0, 0), std::invalid_argument);
+}
+
+TEST(FpsMeter, StreamingAccounting) {
+    FpsMeter meter;
+    for (int i = 0; i < 3; ++i) {
+        meter.frame_start();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        meter.frame_end();
+    }
+    EXPECT_EQ(meter.frames(), 3);
+    EXPECT_GT(meter.mean_latency_ms(), 1.0);
+    EXPECT_GE(meter.max_latency_ms(), meter.mean_latency_ms());
+    EXPECT_GT(meter.fps(), 0.0);
+    EXPECT_THROW(meter.frame_end(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -1,0 +1,113 @@
+// Evaluator: detect_image / evaluate_detector plumbing and threshold
+// interactions on a controlled, hand-weighted detector.
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "eval/evaluator.hpp"
+#include "models/model_zoo.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+namespace {
+
+Network micro_net() {
+    return build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f});
+}
+
+TEST(DetectImage, RequiresRegionLayer) {
+    NetConfig nc;
+    nc.width = nc.height = 32;
+    nc.channels = 3;
+    Network headless(nc);
+    headless.add_conv({.filters = 2, .ksize = 3, .stride = 1, .pad = 1});
+    Image im(32, 32, 3);
+    EXPECT_THROW(detect_image(headless, im, {}), std::logic_error);
+}
+
+TEST(DetectImage, ForcesBatchOne) {
+    Network net = build_model(ModelId::kDroNet,
+                              {.input_size = 64, .batch = 3, .filter_scale = 0.25f});
+    Image im(64, 64, 3);
+    (void)detect_image(net, im, {});
+    EXPECT_EQ(net.config().batch, 1);
+}
+
+TEST(DetectImage, ResamplesArbitrarySizes) {
+    Network net = micro_net();
+    for (int size : {32, 64, 200}) {
+        Image im(size, size / 2 + 10, 3);
+        EXPECT_NO_THROW(detect_image(net, im, {}));
+    }
+}
+
+TEST(DetectImage, ThresholdZeroReturnsNmsSurvivorsOnly) {
+    Network net = micro_net();
+    Image im(64, 64, 3);
+    Rng rng(4);
+    for (std::size_t i = 0; i < im.size(); ++i) im.data()[i] = rng.uniform();
+    EvalConfig loose;
+    loose.score_threshold = 0.0f;
+    loose.nms_threshold = 0.45f;
+    const Detections all = detect_image(net, im, loose);
+    // 5 anchors x 4x4 grid raw candidates; NMS must have removed overlaps.
+    EXPECT_LE(all.size(), 80u);
+    EXPECT_FALSE(all.empty());
+    // Higher score threshold is a subset.
+    EvalConfig strict = loose;
+    strict.score_threshold = 0.5f;
+    const Detections few = detect_image(net, im, strict);
+    EXPECT_LE(few.size(), all.size());
+    for (const Detection& d : few) EXPECT_GE(d.score(), 0.5f);
+}
+
+TEST(DetectImage, TighterNmsThresholdKeepsMore) {
+    // Larger IoU threshold suppresses less.
+    Network net = micro_net();
+    Image im(64, 64, 3);
+    Rng rng(5);
+    for (std::size_t i = 0; i < im.size(); ++i) im.data()[i] = rng.uniform();
+    EvalConfig a, b;
+    a.score_threshold = b.score_threshold = 0.0f;
+    a.nms_threshold = 0.1f;
+    b.nms_threshold = 0.9f;
+    EXPECT_LE(detect_image(net, im, a).size(), detect_image(net, im, b).size());
+}
+
+TEST(EvaluateDetector, CountsAllGroundTruthAsFnForBlindDetector) {
+    // An untrained detector with an impossible threshold finds nothing; every
+    // ground-truth object becomes a false negative.
+    Network net = micro_net();
+    const DetectionDataset ds = generate_dataset(benchmark_scene_config(64), 5, 8);
+    EvalConfig ec;
+    ec.score_threshold = 1.1f;  // nothing can pass
+    const DetectionMetrics m = evaluate_detector(net, ds, ec);
+    EXPECT_EQ(m.true_positives, 0);
+    EXPECT_EQ(m.false_positives, 0);
+    EXPECT_EQ(m.false_negatives, static_cast<int>(ds.total_objects()));
+    EXPECT_FLOAT_EQ(m.sensitivity(), 0.0f);
+}
+
+TEST(EvaluateDetector, AggregatesOverImages) {
+    Network net = micro_net();
+    const DetectionDataset ds = generate_dataset(benchmark_scene_config(64), 4, 9);
+    EvalConfig ec;
+    ec.score_threshold = 0.0f;
+    const DetectionMetrics whole = evaluate_detector(net, ds, ec);
+    DetectionMetrics sum;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        sum += match_detections(detect_image(net, ds.image(i), ec), ds.truths(i),
+                                ec.match_iou);
+    }
+    EXPECT_EQ(whole.true_positives, sum.true_positives);
+    EXPECT_EQ(whole.false_positives, sum.false_positives);
+    EXPECT_EQ(whole.false_negatives, sum.false_negatives);
+}
+
+TEST(EvaluateDetector, EmptyDatasetYieldsZeroMetrics) {
+    Network net = micro_net();
+    const DetectionMetrics m = evaluate_detector(net, DetectionDataset{}, {});
+    EXPECT_EQ(m.true_positives + m.false_positives + m.false_negatives, 0);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -1,0 +1,119 @@
+// im2col/col2im: geometry, padding behaviour, and the adjoint property
+// <im2col(x), y> == <x, col2im(y)> that the conv backward pass relies on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "tensor/im2col.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+namespace {
+
+TEST(ConvGeometry, OutputSizes) {
+    const ConvGeometry g{3, 416, 416, 3, 1, 1};
+    EXPECT_EQ(g.out_h(), 416);
+    EXPECT_EQ(g.out_w(), 416);
+    EXPECT_EQ(g.col_rows(), 27);
+    EXPECT_EQ(g.col_cols(), 416 * 416);
+}
+
+TEST(ConvGeometry, StrideTwo) {
+    const ConvGeometry g{1, 8, 8, 3, 2, 1};
+    EXPECT_EQ(g.out_h(), 4);
+    EXPECT_EQ(g.out_w(), 4);
+}
+
+TEST(ConvGeometry, NoPadShrinks) {
+    const ConvGeometry g{1, 5, 5, 3, 1, 0};
+    EXPECT_EQ(g.out_h(), 3);
+}
+
+TEST(Im2Col, Identity1x1) {
+    // 1x1/1 im2col is the identity on a single channel.
+    const ConvGeometry g{2, 3, 3, 1, 1, 0};
+    std::vector<float> im(18);
+    std::iota(im.begin(), im.end(), 0.0f);
+    std::vector<float> col(static_cast<std::size_t>(g.col_rows()) * g.col_cols());
+    im2col(im.data(), g, col.data());
+    for (std::size_t i = 0; i < im.size(); ++i) EXPECT_EQ(col[i], im[i]);
+}
+
+TEST(Im2Col, PaddingReadsZero) {
+    const ConvGeometry g{1, 2, 2, 3, 1, 1};
+    const std::vector<float> im = {1, 2, 3, 4};
+    std::vector<float> col(static_cast<std::size_t>(g.col_rows()) * g.col_cols());
+    im2col(im.data(), g, col.data());
+    // Top-left output position, top-left kernel tap (kh=0,kw=0) reads (-1,-1).
+    EXPECT_EQ(col[0], 0.0f);
+    // Centre tap (kh=1,kw=1) at output (0,0) reads im(0,0)=1.
+    const int centre_row = 1 * 3 + 1;
+    EXPECT_EQ(col[static_cast<std::size_t>(centre_row) * g.col_cols()], 1.0f);
+}
+
+TEST(Im2Col, KnownPatch) {
+    // 3x3 image, 2x2 kernel, stride 1, no pad -> 2x2 output.
+    const ConvGeometry g{1, 3, 3, 2, 1, 0};
+    const std::vector<float> im = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<float> col(static_cast<std::size_t>(g.col_rows()) * g.col_cols());
+    im2col(im.data(), g, col.data());
+    // Row 0 = kernel tap (0,0) over outputs: im[0],im[1],im[3],im[4].
+    EXPECT_EQ(col[0], 1.0f);
+    EXPECT_EQ(col[1], 2.0f);
+    EXPECT_EQ(col[2], 4.0f);
+    EXPECT_EQ(col[3], 5.0f);
+    // Row 3 = tap (1,1): im[4],im[5],im[7],im[8].
+    EXPECT_EQ(col[12], 5.0f);
+    EXPECT_EQ(col[15], 9.0f);
+}
+
+struct GeoCase {
+    int c, h, w, k, stride, pad;
+};
+
+class Im2ColAdjoint : public ::testing::TestWithParam<GeoCase> {};
+
+// col2im is the transpose of im2col: <im2col(x), y> == <x, col2im(y)>.
+TEST_P(Im2ColAdjoint, DotProductIdentity) {
+    const GeoCase p = GetParam();
+    const ConvGeometry g{p.c, p.h, p.w, p.k, p.stride, p.pad};
+    ASSERT_GT(g.out_h(), 0);
+    ASSERT_GT(g.out_w(), 0);
+    Rng rng(5);
+    std::vector<float> x(static_cast<std::size_t>(p.c) * p.h * p.w);
+    std::vector<float> y(static_cast<std::size_t>(g.col_rows()) * g.col_cols());
+    rng.fill_uniform(x, -1.0f, 1.0f);
+    rng.fill_uniform(y, -1.0f, 1.0f);
+
+    std::vector<float> col(y.size());
+    im2col(x.data(), g, col.data());
+    std::vector<float> back(x.size(), 0.0f);
+    col2im(y.data(), g, back.data());
+
+    double lhs = 0, rhs = 0;
+    for (std::size_t i = 0; i < col.size(); ++i) lhs += static_cast<double>(col[i]) * y[i];
+    for (std::size_t i = 0; i < x.size(); ++i) rhs += static_cast<double>(x[i]) * back[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColAdjoint,
+    ::testing::Values(GeoCase{1, 4, 4, 3, 1, 1}, GeoCase{3, 8, 8, 3, 1, 1},
+                      GeoCase{2, 7, 5, 3, 2, 1}, GeoCase{4, 6, 6, 1, 1, 0},
+                      GeoCase{2, 9, 9, 5, 2, 2}, GeoCase{1, 3, 3, 3, 1, 0},
+                      GeoCase{5, 10, 4, 3, 3, 1}));
+
+TEST(Col2Im, AccumulatesOverlaps) {
+    // All-ones col with a 3x3 kernel, stride 1, pad 1: the centre pixel of a
+    // 3x3 image is touched by all 9 kernel taps.
+    const ConvGeometry g{1, 3, 3, 3, 1, 1};
+    std::vector<float> col(static_cast<std::size_t>(g.col_rows()) * g.col_cols(), 1.0f);
+    std::vector<float> im(9, 0.0f);
+    col2im(col.data(), g, im.data());
+    EXPECT_FLOAT_EQ(im[4], 9.0f);  // centre
+    EXPECT_FLOAT_EQ(im[0], 4.0f);  // corner touched by 4 taps
+}
+
+}  // namespace
+}  // namespace dronet

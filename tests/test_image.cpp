@@ -1,0 +1,239 @@
+// Image container, PPM round-trip, resampling, drawing and colour ops.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "image/color.hpp"
+#include "image/draw.hpp"
+#include "image/image.hpp"
+#include "image/ppm.hpp"
+#include "image/resize.hpp"
+
+namespace dronet {
+namespace {
+
+std::filesystem::path temp_file(const char* name) {
+    return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(Image, ConstructAndAccess) {
+    Image im(4, 3, 3);
+    EXPECT_EQ(im.width(), 4);
+    EXPECT_EQ(im.height(), 3);
+    EXPECT_EQ(im.channels(), 3);
+    im.px(2, 1, 0) = 0.5f;
+    EXPECT_FLOAT_EQ(im.px(2, 1, 0), 0.5f);
+}
+
+TEST(Image, RejectsBadDimensions) {
+    EXPECT_THROW(Image(0, 1, 1), std::invalid_argument);
+    EXPECT_THROW(Image(1, -2, 3), std::invalid_argument);
+}
+
+TEST(Image, ClampedAccessReplicatesBorder) {
+    Image im(2, 2, 1);
+    im.px(0, 0, 0) = 1.0f;
+    EXPECT_FLOAT_EQ(im.px_clamped(-5, -5, 0), 1.0f);
+}
+
+TEST(Image, Clamp01) {
+    Image im(1, 1, 1);
+    im.px(0, 0, 0) = 2.0f;
+    im.clamp01();
+    EXPECT_FLOAT_EQ(im.px(0, 0, 0), 1.0f);
+}
+
+TEST(Image, TensorRoundTrip) {
+    Image im(3, 2, 3);
+    for (std::size_t i = 0; i < im.size(); ++i) im.data()[i] = static_cast<float>(i);
+    const Tensor t = im.to_tensor();
+    EXPECT_EQ(t.shape(), (Shape{1, 3, 2, 3}));
+    const Image back = Image::from_tensor(t);
+    for (std::size_t i = 0; i < im.size(); ++i) EXPECT_EQ(back.data()[i], im.data()[i]);
+}
+
+TEST(Image, CopyToBatchValidatesShape) {
+    Image im(3, 2, 3);
+    Tensor t(2, 3, 2, 3);
+    im.copy_to_batch(t, 1);  // OK
+    Tensor wrong(1, 3, 4, 4);
+    EXPECT_THROW(im.copy_to_batch(wrong, 0), std::invalid_argument);
+    EXPECT_THROW(im.copy_to_batch(t, 2), std::invalid_argument);
+}
+
+TEST(Ppm, RoundTripRgb) {
+    Image im(5, 4, 3);
+    for (std::size_t i = 0; i < im.size(); ++i) {
+        im.data()[i] = static_cast<float>(i % 256) / 255.0f;
+    }
+    const auto path = temp_file("dronet_test_rt.ppm");
+    write_ppm(im, path);
+    const Image back = read_ppm(path);
+    ASSERT_EQ(back.width(), 5);
+    ASSERT_EQ(back.height(), 4);
+    ASSERT_EQ(back.channels(), 3);
+    for (std::size_t i = 0; i < im.size(); ++i) {
+        EXPECT_NEAR(back.data()[i], im.data()[i], 1.0f / 255.0f);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(Ppm, RoundTripGray) {
+    Image im(3, 3, 1);
+    im.px(1, 1, 0) = 0.5f;
+    const auto path = temp_file("dronet_test_gray.pgm");
+    write_ppm(im, path);
+    const Image back = read_ppm(path);
+    EXPECT_EQ(back.channels(), 1);
+    EXPECT_NEAR(back.px(1, 1, 0), 0.5f, 1.0f / 255.0f);
+    std::filesystem::remove(path);
+}
+
+TEST(Ppm, RejectsMissingFile) {
+    EXPECT_THROW(read_ppm("/nonexistent/definitely_missing.ppm"), std::runtime_error);
+}
+
+TEST(Ppm, RejectsBadChannelCount) {
+    Image im(2, 2, 4);
+    EXPECT_THROW(write_ppm(im, temp_file("bad.ppm")), std::runtime_error);
+}
+
+TEST(Resize, BilinearPreservesConstant) {
+    Image im(8, 8, 3);
+    im.fill(0.25f);
+    const Image out = resize_bilinear(im, 17, 5);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_FLOAT_EQ(out.data()[i], 0.25f);
+}
+
+TEST(Resize, BilinearIdentityAtSameSize) {
+    Image im(4, 4, 1);
+    for (std::size_t i = 0; i < im.size(); ++i) im.data()[i] = static_cast<float>(i);
+    const Image out = resize_bilinear(im, 4, 4);
+    for (std::size_t i = 0; i < im.size(); ++i) EXPECT_NEAR(out.data()[i], im.data()[i], 1e-5f);
+}
+
+TEST(Resize, InterpolatesBetweenPixels) {
+    Image im(2, 1, 1);
+    im.px(0, 0, 0) = 0.0f;
+    im.px(1, 0, 0) = 1.0f;
+    const Image out = resize_bilinear(im, 3, 1);
+    EXPECT_NEAR(out.px(1, 0, 0), 0.5f, 1e-5f);
+}
+
+TEST(Resize, NearestKeepsValues) {
+    Image im(2, 2, 1);
+    im.px(0, 0, 0) = 1.0f;
+    const Image out = resize_nearest(im, 4, 4);
+    EXPECT_FLOAT_EQ(out.px(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.px(1, 1, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.px(3, 3, 0), im.px(1, 1, 0));
+}
+
+TEST(Letterbox, PreservesAspectAndPads) {
+    Image im(100, 50, 3);
+    im.fill(1.0f);
+    const Letterbox lb = letterbox(im, 64, 64);
+    EXPECT_EQ(lb.image.width(), 64);
+    EXPECT_EQ(lb.image.height(), 64);
+    EXPECT_FLOAT_EQ(lb.scale, 0.64f);
+    EXPECT_EQ(lb.offset_x, 0);
+    EXPECT_EQ(lb.offset_y, 16);
+    EXPECT_FLOAT_EQ(lb.image.px(0, 0, 0), 0.5f);   // padding
+    EXPECT_FLOAT_EQ(lb.image.px(0, 32, 0), 1.0f);  // content
+}
+
+TEST(Draw, FilledRectClips) {
+    Image im(4, 4, 3);
+    draw_filled_rect(im, -5, -5, 1, 1, Rgb{1, 0, 0});
+    EXPECT_FLOAT_EQ(im.px(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(im.px(2, 2, 0), 0.0f);
+}
+
+TEST(Draw, RectOutlineLeavesInterior) {
+    Image im(6, 6, 3);
+    draw_rect(im, 0, 0, 5, 5, Rgb{0, 1, 0}, 1);
+    EXPECT_FLOAT_EQ(im.px(0, 0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(im.px(3, 3, 1), 0.0f);
+}
+
+TEST(Draw, RotatedRectCoversCenter) {
+    Image im(20, 20, 3);
+    draw_rotated_rect(im, 10, 10, 6, 3, 0.7f, Rgb{0, 0, 1});
+    EXPECT_FLOAT_EQ(im.px(10, 10, 2), 1.0f);
+    EXPECT_FLOAT_EQ(im.px(0, 0, 2), 0.0f);
+}
+
+TEST(Draw, DiscRadius) {
+    Image im(11, 11, 1);
+    draw_disc(im, 5.5f, 5.5f, 3.0f, Rgb{1, 1, 1});
+    EXPECT_FLOAT_EQ(im.px(5, 5, 0), 1.0f);
+    EXPECT_FLOAT_EQ(im.px(0, 0, 0), 0.0f);
+}
+
+TEST(Draw, LineEndpoints) {
+    Image im(10, 10, 1);
+    draw_line(im, 1, 1, 8, 6, Rgb{1, 1, 1});
+    EXPECT_FLOAT_EQ(im.px(1, 1, 0), 1.0f);
+    EXPECT_FLOAT_EQ(im.px(8, 6, 0), 1.0f);
+}
+
+TEST(Draw, BlendRectMixes) {
+    Image im(2, 2, 3);
+    im.fill(0.0f);
+    blend_rect(im, 0, 0, 1, 1, Rgb{1, 1, 1}, 0.25f);
+    EXPECT_NEAR(im.px(0, 0, 0), 0.25f, 1e-5f);
+}
+
+TEST(Color, HsvRoundTrip) {
+    const Rgb inputs[] = {{0.8f, 0.2f, 0.1f}, {0.1f, 0.9f, 0.3f}, {0.5f, 0.5f, 0.5f},
+                          {0.0f, 0.0f, 0.0f}, {1.0f, 1.0f, 1.0f}, {0.2f, 0.3f, 0.9f}};
+    for (const Rgb& in : inputs) {
+        const Rgb out = hsv_to_rgb(rgb_to_hsv(in));
+        EXPECT_NEAR(out.r, in.r, 1e-4f);
+        EXPECT_NEAR(out.g, in.g, 1e-4f);
+        EXPECT_NEAR(out.b, in.b, 1e-4f);
+    }
+}
+
+TEST(Color, DistortKeepsRange) {
+    Image im(8, 8, 3);
+    Rng rng(4);
+    for (std::size_t i = 0; i < im.size(); ++i) im.data()[i] = rng.uniform();
+    distort_hsv(im, rng, 0.1f, 1.5f, 1.5f);
+    for (std::size_t i = 0; i < im.size(); ++i) {
+        EXPECT_GE(im.data()[i], 0.0f);
+        EXPECT_LE(im.data()[i], 1.0f);
+    }
+}
+
+TEST(Color, DistortRequiresRgb) {
+    Image im(2, 2, 1);
+    Rng rng(4);
+    EXPECT_THROW(distort_hsv(im, rng, 0.1f, 1.1f, 1.1f), std::invalid_argument);
+}
+
+TEST(Color, FlipHorizontalMirrors) {
+    Image im(3, 1, 1);
+    im.px(0, 0, 0) = 1.0f;
+    im.px(2, 0, 0) = 3.0f;
+    flip_horizontal(im);
+    EXPECT_FLOAT_EQ(im.px(0, 0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(im.px(2, 0, 0), 1.0f);
+}
+
+TEST(Color, GaussianNoiseStaysInRange) {
+    Image im(16, 16, 3);
+    im.fill(0.5f);
+    Rng rng(8);
+    add_gaussian_noise(im, rng, 0.1f);
+    bool changed = false;
+    for (std::size_t i = 0; i < im.size(); ++i) {
+        EXPECT_GE(im.data()[i], 0.0f);
+        EXPECT_LE(im.data()[i], 1.0f);
+        changed |= im.data()[i] != 0.5f;
+    }
+    EXPECT_TRUE(changed);
+}
+
+}  // namespace
+}  // namespace dronet

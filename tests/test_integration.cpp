@@ -1,0 +1,168 @@
+// End-to-end integration: synthetic data -> YOLO training -> detection ->
+// evaluation, exercising every subsystem together the way the benches do.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/detector.hpp"
+#include "data/dataset.hpp"
+#include "detect/nms.hpp"
+#include "eval/evaluator.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/weights_io.hpp"
+#include "train/trainer.hpp"
+#include "video/frame_source.hpp"
+#include "video/pipeline.hpp"
+
+namespace dronet {
+namespace {
+
+// A deliberately easy micro problem: one large vehicle per 64x64 scene.
+DetectionDataset easy_dataset(int count, std::uint64_t seed) {
+    SceneConfig sc;
+    sc.width = sc.height = 64;
+    sc.min_vehicles = 1;
+    sc.max_vehicles = 1;
+    sc.min_vehicle_size = 0.28f;
+    sc.max_vehicle_size = 0.38f;
+    sc.occlusion_prob = 0;
+    sc.noise_stddev = 0.005f;
+    sc.num_distractors = 6;
+    return generate_dataset(sc, count, seed);
+}
+
+Network trained_micro_dronet(const DetectionDataset& train_set) {
+    ModelOptions mo;
+    mo.input_size = 64;
+    mo.batch = 4;
+    mo.filter_scale = 0.5f;
+    mo.learning_rate = 2e-3f;
+    mo.burn_in = 10;
+    Network net = build_model(ModelId::kDroNet, mo);
+    net.region()->set_seen(0);
+    TrainConfig tc;
+    tc.iterations = 150;
+    tc.use_augmentation = false;
+    Trainer trainer(net, train_set, tc);
+    trainer.run();
+    return net;
+}
+
+TEST(Integration, TrainDetectEvaluate) {
+    const DetectionDataset train_set = easy_dataset(24, 100);
+    const DetectionDataset test_set = easy_dataset(8, 200);
+    Network net = trained_micro_dronet(train_set);
+
+    // Training must have reduced the loss substantially.
+    net.set_batch(1);
+    EvalConfig ec;
+    ec.score_threshold = 0.2f;
+    const DetectionMetrics m = evaluate_detector(net, test_set, ec);
+    // The micro problem is easy: the detector must find most vehicles.
+    EXPECT_GE(m.sensitivity(), 0.5f) << "tp=" << m.true_positives
+                                     << " fn=" << m.false_negatives;
+    EXPECT_GE(m.avg_iou(), 0.5f);
+}
+
+TEST(Integration, TrainedBeatsUntrained) {
+    const DetectionDataset train_set = easy_dataset(24, 100);
+    const DetectionDataset test_set = easy_dataset(8, 200);
+    Network trained = trained_micro_dronet(train_set);
+    trained.set_batch(1);
+    Network fresh = build_model(ModelId::kDroNet,
+                                {.input_size = 64, .filter_scale = 0.5f});
+    EvalConfig ec;
+    ec.score_threshold = 0.2f;
+    const DetectionMetrics mt = evaluate_detector(trained, test_set, ec);
+    const DetectionMetrics mf = evaluate_detector(fresh, test_set, ec);
+    EXPECT_GT(mt.f1(), mf.f1());
+}
+
+TEST(Integration, CheckpointRestartContinuesTraining) {
+    const DetectionDataset train_set = easy_dataset(12, 300);
+    ModelOptions mo;
+    mo.input_size = 64;
+    mo.batch = 2;
+    mo.filter_scale = 0.25f;
+    Network net = build_model(ModelId::kDroNet, mo);
+    TrainConfig tc;
+    tc.iterations = 10;
+    tc.use_augmentation = false;
+    Trainer t1(net, train_set, tc);
+    t1.run();
+    const auto path = std::filesystem::temp_directory_path() / "dronet_int_ckpt.weights";
+    save_weights(net, path);
+
+    Network resumed = build_model(ModelId::kDroNet, mo);
+    load_weights(resumed, path);
+    EXPECT_EQ(resumed.batch_num(), net.batch_num());
+    Trainer t2(resumed, train_set, tc);
+    t2.step();  // must not throw; LR schedule resumes from the restored batch_num
+    EXPECT_EQ(resumed.batch_num(), net.batch_num() + 1);
+    std::filesystem::remove(path);
+}
+
+TEST(Integration, VideoPipelineDetectsMovingVehicles) {
+    const DetectionDataset train_set = easy_dataset(24, 100);
+    Network net = trained_micro_dronet(train_set);
+    net.set_batch(1);
+
+    VideoConfig vc;
+    vc.scene = benchmark_scene_config(64);
+    vc.scene.min_vehicle_size = 0.28f;
+    vc.scene.max_vehicle_size = 0.38f;
+    vc.scene.noise_stddev = 0;
+    vc.num_vehicles = 1;
+    vc.seed = 77;
+    UavFrameSource source(vc);
+    PipelineConfig pc;
+    pc.eval.score_threshold = 0.2f;
+    DetectionPipeline pipeline(net, pc);
+    DetectionMetrics m;
+    for (int i = 0; i < 6; ++i) {
+        const SceneSample frame = source.next_frame();
+        const FrameResult r = pipeline.process(frame.image);
+        m += match_detections(r.detections, frame.truths, 0.4f);
+    }
+    EXPECT_GT(m.true_positives, 0);
+    EXPECT_EQ(pipeline.frames_processed(), 6);
+}
+
+TEST(Integration, MultiScaleEvalRunsOnOneCheckpoint) {
+    const DetectionDataset train_set = easy_dataset(16, 100);
+    Network net = trained_micro_dronet(train_set);
+    net.set_batch(1);
+    const DetectionDataset test_set = easy_dataset(4, 400);
+    for (int size : {48, 64, 96}) {
+        net.resize_input(size, size);
+        const DetectionMetrics m = evaluate_detector(net, test_set, {});
+        EXPECT_GE(m.sensitivity(), 0.0f);  // runs without structural errors
+        EXPECT_EQ(net.region()->grid_w(), size / 16);
+    }
+}
+
+TEST(Integration, DetectorFacadeOverTrainedWeights) {
+    const DetectionDataset train_set = easy_dataset(24, 100);
+    Network net = trained_micro_dronet(train_set);
+    const auto path = std::filesystem::temp_directory_path() / "dronet_int_det.weights";
+    net.set_batch(1);
+    save_weights(net, path);
+
+    Detector::Options opts;
+    opts.model = ModelId::kDroNet;
+    opts.input_size = 64;
+    opts.filter_scale = 0.5f;
+    opts.post.score_threshold = 0.2f;
+    Detector detector(opts);
+    detector.load_weights(path);
+    const DetectionDataset test_set = easy_dataset(4, 500);
+    int found = 0;
+    for (std::size_t i = 0; i < test_set.size(); ++i) {
+        found += static_cast<int>(detector.detect(test_set.image(i)).size());
+    }
+    EXPECT_GT(found, 0);
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -1,0 +1,130 @@
+// BLAS-1 / batch-norm statistic primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace dronet {
+namespace {
+
+TEST(Axpy, Accumulates) {
+    const std::vector<float> x = {1, 2, 3};
+    std::vector<float> y = {10, 20, 30};
+    axpy(2.0f, x, y);
+    EXPECT_FLOAT_EQ(y[0], 12);
+    EXPECT_FLOAT_EQ(y[1], 24);
+    EXPECT_FLOAT_EQ(y[2], 36);
+}
+
+TEST(Axpy, RejectsSizeMismatch) {
+    const std::vector<float> x = {1};
+    std::vector<float> y = {1, 2};
+    EXPECT_THROW(axpy(1.0f, x, y), std::invalid_argument);
+}
+
+TEST(Scal, Scales) {
+    std::vector<float> x = {2, -4};
+    scal(0.5f, x);
+    EXPECT_FLOAT_EQ(x[0], 1);
+    EXPECT_FLOAT_EQ(x[1], -2);
+}
+
+TEST(Copy, Copies) {
+    const std::vector<float> x = {5, 6};
+    std::vector<float> y = {0, 0};
+    copy(x, y);
+    EXPECT_EQ(y[0], 5);
+    EXPECT_EQ(y[1], 6);
+}
+
+TEST(ChannelStats, MeanAndVariance) {
+    // batch=2, channels=2, spatial=2. Channel 0 values: {1,3, 5,7}.
+    const std::vector<float> x = {1, 3, 0, 0, 5, 7, 10, 10};
+    std::vector<float> mean(2), var(2);
+    channel_mean(x, 2, 2, 2, mean);
+    EXPECT_FLOAT_EQ(mean[0], 4.0f);
+    EXPECT_FLOAT_EQ(mean[1], 5.0f);
+    channel_variance(x, mean, 2, 2, 2, var);
+    EXPECT_FLOAT_EQ(var[0], 5.0f);   // var of {1,3,5,7}
+    EXPECT_FLOAT_EQ(var[1], 25.0f);  // var of {0,0,10,10}
+}
+
+TEST(ChannelStats, NormalizeProducesZeroMeanUnitVar) {
+    std::vector<float> x = {1, 3, 5, 7};
+    std::vector<float> mean(1), var(1);
+    channel_mean(x, 1, 1, 4, mean);
+    channel_variance(x, mean, 1, 1, 4, var);
+    normalize_channels(x, mean, var, 1, 1, 4, 1e-9f);
+    float m = 0;
+    for (float v : x) m += v;
+    EXPECT_NEAR(m, 0.0f, 1e-5f);
+    float s2 = 0;
+    for (float v : x) s2 += v * v;
+    EXPECT_NEAR(s2 / 4.0f, 1.0f, 1e-4f);
+}
+
+TEST(ChannelBias, AddAndBackward) {
+    std::vector<float> x = {0, 0, 0, 0};  // batch=1, c=2, spatial=2
+    const std::vector<float> bias = {1, -2};
+    add_channel_bias(x, bias, 1, 2, 2);
+    EXPECT_FLOAT_EQ(x[0], 1);
+    EXPECT_FLOAT_EQ(x[1], 1);
+    EXPECT_FLOAT_EQ(x[2], -2);
+    EXPECT_FLOAT_EQ(x[3], -2);
+
+    std::vector<float> grad = {0, 0};
+    backward_channel_bias(grad, x, 1, 2, 2);
+    EXPECT_FLOAT_EQ(grad[0], 2);
+    EXPECT_FLOAT_EQ(grad[1], -4);
+}
+
+TEST(ScaleChannels, Broadcasts) {
+    std::vector<float> x = {1, 1, 1, 1};
+    const std::vector<float> scale = {2, 3};
+    scale_channels(x, scale, 1, 2, 2);
+    EXPECT_FLOAT_EQ(x[0], 2);
+    EXPECT_FLOAT_EQ(x[3], 3);
+}
+
+TEST(Softmax, SumsToOneAndOrders) {
+    const std::vector<float> x = {1, 2, 3};
+    std::vector<float> out(3);
+    softmax(x, out);
+    EXPECT_NEAR(out[0] + out[1] + out[2], 1.0f, 1e-6f);
+    EXPECT_LT(out[0], out[1]);
+    EXPECT_LT(out[1], out[2]);
+}
+
+TEST(Softmax, StableForLargeInputs) {
+    const std::vector<float> x = {1000, 1001};
+    std::vector<float> out(2);
+    softmax(x, out);
+    EXPECT_FALSE(std::isnan(out[0]));
+    EXPECT_NEAR(out[0] + out[1], 1.0f, 1e-6f);
+}
+
+TEST(Softmax, SingleElementIsOne) {
+    const std::vector<float> x = {-7.5f};
+    std::vector<float> out(1);
+    softmax(x, out);
+    EXPECT_FLOAT_EQ(out[0], 1.0f);
+}
+
+TEST(Logistic, KnownValues) {
+    EXPECT_FLOAT_EQ(logistic(0.0f), 0.5f);
+    EXPECT_GT(logistic(10.0f), 0.999f);
+    EXPECT_LT(logistic(-10.0f), 0.001f);
+    EXPECT_FLOAT_EQ(logistic_gradient(0.5f), 0.25f);
+}
+
+TEST(Reductions, SumMaxNorm) {
+    const std::vector<float> x = {3, -4};
+    EXPECT_FLOAT_EQ(sum(x), -1.0f);
+    EXPECT_FLOAT_EQ(max_abs(x), 4.0f);
+    EXPECT_FLOAT_EQ(l2_norm(x), 5.0f);
+}
+
+}  // namespace
+}  // namespace dronet

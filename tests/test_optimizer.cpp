@@ -1,0 +1,87 @@
+// SGD step semantics and the darknet learning-rate schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layer.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dronet {
+namespace {
+
+TEST(SgdStep, PlainGradientDescent) {
+    Param p(1, /*apply_decay=*/false);
+    p.v[0] = 1.0f;
+    p.g[0] = 2.0f;
+    SgdConfig cfg;
+    cfg.learning_rate = 0.1f;
+    cfg.momentum = 0.0f;
+    cfg.decay = 0.0f;
+    cfg.batch = 1;
+    sgd_step(p, cfg);
+    EXPECT_FLOAT_EQ(p.v[0], 0.8f);
+    EXPECT_FLOAT_EQ(p.g[0], 0.0f);  // gradient cleared
+}
+
+TEST(SgdStep, GradientDividedByBatch) {
+    Param p(1, false);
+    p.g[0] = 8.0f;
+    SgdConfig cfg{0.1f, 0.0f, 0.0f, 4};
+    sgd_step(p, cfg);
+    EXPECT_FLOAT_EQ(p.v[0], -0.2f);
+}
+
+TEST(SgdStep, MomentumAccumulates) {
+    Param p(1, false);
+    SgdConfig cfg{0.1f, 0.5f, 0.0f, 1};
+    p.g[0] = 1.0f;
+    sgd_step(p, cfg);  // m = -0.1, v = -0.1
+    p.g[0] = 0.0f;
+    sgd_step(p, cfg);  // m = -0.05, v = -0.15
+    EXPECT_NEAR(p.v[0], -0.15f, 1e-6f);
+}
+
+TEST(SgdStep, WeightDecayOnlyWhenEnabled) {
+    Param decayed(1, true), plain(1, false);
+    decayed.v[0] = plain.v[0] = 1.0f;
+    SgdConfig cfg{0.1f, 0.0f, 0.5f, 1};
+    sgd_step(decayed, cfg);
+    sgd_step(plain, cfg);
+    EXPECT_FLOAT_EQ(plain.v[0], 1.0f);          // no gradient, no decay
+    EXPECT_FLOAT_EQ(decayed.v[0], 1.0f - 0.05f);  // lr * decay * v
+}
+
+TEST(LrSchedule, ConstantWithoutSteps) {
+    const LrSchedule s(0.01f);
+    EXPECT_FLOAT_EQ(s.at(0), 0.01f);
+    EXPECT_FLOAT_EQ(s.at(100000), 0.01f);
+}
+
+TEST(LrSchedule, BurnInRampsQuartically) {
+    const LrSchedule s(1.0f, 100, {});
+    EXPECT_NEAR(s.at(0), std::pow(0.01f, 4.0f), 1e-9f);
+    EXPECT_NEAR(s.at(49), std::pow(0.5f, 4.0f), 1e-5f);
+    EXPECT_FLOAT_EQ(s.at(100), 1.0f);
+    // Monotone nondecreasing through burn-in.
+    float prev = 0;
+    for (int b = 0; b < 100; ++b) {
+        EXPECT_GE(s.at(b), prev);
+        prev = s.at(b);
+    }
+}
+
+TEST(LrSchedule, StepsAreCumulative) {
+    const LrSchedule s(1.0f, 0, {{10, 0.1f}, {20, 0.5f}});
+    EXPECT_FLOAT_EQ(s.at(5), 1.0f);
+    EXPECT_FLOAT_EQ(s.at(10), 0.1f);
+    EXPECT_FLOAT_EQ(s.at(25), 0.05f);
+}
+
+TEST(LrSchedule, BurnInTakesPrecedenceOverSteps) {
+    const LrSchedule s(1.0f, 50, {{10, 0.1f}});
+    EXPECT_LT(s.at(20), 0.04f);  // still ramping, not stepped
+    EXPECT_FLOAT_EQ(s.at(60), 0.1f);
+}
+
+}  // namespace
+}  // namespace dronet

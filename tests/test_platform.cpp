@@ -1,0 +1,153 @@
+// Platform roofline model: paper-anchored FPS reproduction (§IV.B) —
+// these are the quantitative claims the reproduction must preserve.
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+#include "platform/platform_model.hpp"
+
+namespace dronet {
+namespace {
+
+double model_fps(ModelId id, int size, const PlatformSpec& platform) {
+    Network net = build_model(id, {.input_size = size});
+    return estimate_fps(net, platform);
+}
+
+TEST(PlatformSpecs, ThreePaperPlatforms) {
+    const auto specs = paper_platforms();
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0].name, "Intel i5-2520M");
+    EXPECT_EQ(specs[1].name, "Odroid-XU4");
+    EXPECT_EQ(specs[2].name, "Raspberry Pi 3");
+}
+
+TEST(CacheScale, NoPenaltyInsideCache) {
+    const PlatformSpec p = intel_i5_2520m();
+    EXPECT_DOUBLE_EQ(cache_scale(p, p.cache_bytes / 2), 1.0);
+    EXPECT_DOUBLE_EQ(cache_scale(p, p.cache_bytes), 1.0);
+}
+
+TEST(CacheScale, ProportionalWithFloor) {
+    const PlatformSpec p = odroid_xu4();
+    EXPECT_NEAR(cache_scale(p, p.cache_bytes * 2), 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(cache_scale(p, p.cache_bytes * 1000), p.min_cache_scale);
+}
+
+TEST(LayerCost, PositiveAndAdditive) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 416});
+    const PlatformSpec p = intel_i5_2520m();
+    const auto breakdown = cost_breakdown(net, p);
+    ASSERT_EQ(breakdown.size(), net.num_layers());
+    double total = p.framework_overhead_ms;
+    for (const LayerCost& c : breakdown) {
+        EXPECT_GE(c.compute_ms, 0.0);
+        EXPECT_GE(c.memory_ms, 0.0);
+        total += c.total_ms();
+    }
+    EXPECT_NEAR(total, estimate_latency_ms(net, p), 1e-9);
+}
+
+// ---- Paper anchor points (§IV.B and §IV.A text) -----------------------------
+
+TEST(PaperAnchors, DroNet512OnOdroidIn8To10FpsBand) {
+    // "Odroid performance was around 8-10 FPS"
+    const double fps = model_fps(ModelId::kDroNet, 512, odroid_xu4());
+    EXPECT_GE(fps, 7.0);
+    EXPECT_LE(fps, 11.0);
+}
+
+TEST(PaperAnchors, DroNet512OnRaspberryPiIn5To6FpsBand) {
+    // "the performance was only 5-6 FPS"
+    const double fps = model_fps(ModelId::kDroNet, 512, raspberry_pi3());
+    EXPECT_GE(fps, 4.0);
+    EXPECT_LE(fps, 7.0);
+}
+
+TEST(PaperAnchors, TinyYoloVocCollapsesOnOdroid) {
+    // "TinyYoloVoc ... achieved only 0.1 FPS on Odroid"
+    const double fps = model_fps(ModelId::kTinyYoloVoc, 416, odroid_xu4());
+    EXPECT_LE(fps, 0.2);
+    EXPECT_GE(fps, 0.05);
+}
+
+TEST(PaperAnchors, DroNetVsTinyYoloVocSpeedupOnCpu) {
+    // §IV.A: "the performance of DroNet is 30x faster compared to
+    // TinyYoloVoc" at equal input size on the CPU platform.
+    const PlatformSpec i5 = intel_i5_2520m();
+    const double ratio = model_fps(ModelId::kDroNet, 416, i5) /
+                         model_fps(ModelId::kTinyYoloVoc, 416, i5);
+    EXPECT_GE(ratio, 15.0);
+    EXPECT_LE(ratio, 60.0);
+}
+
+TEST(PaperAnchors, TinyYoloNetRoughly10xTinyYoloVoc) {
+    // §IV.A: "TinyYoloNet achieved 10x higher performance than TinyYoloVoc".
+    const PlatformSpec i5 = intel_i5_2520m();
+    const double ratio = model_fps(ModelId::kTinyYoloNet, 416, i5) /
+                         model_fps(ModelId::kTinyYoloVoc, 416, i5);
+    EXPECT_GE(ratio, 5.0);
+    EXPECT_LE(ratio, 20.0);
+}
+
+TEST(PaperAnchors, SmallYoloV3HasHighestFrameRate) {
+    // §IV.A: "SmallYoloV3 ... achieved the highest frame-rate among all
+    // network designs with 23 FPS" (at 384/386 on the i5).
+    const PlatformSpec i5 = intel_i5_2520m();
+    const double small = model_fps(ModelId::kSmallYoloV3, 384, i5);
+    for (ModelId other : {ModelId::kDroNet, ModelId::kTinyYoloNet, ModelId::kTinyYoloVoc}) {
+        EXPECT_GT(small, model_fps(other, 384, i5)) << to_string(other);
+    }
+    EXPECT_GE(small, 18.0);
+    EXPECT_LE(small, 45.0);
+}
+
+TEST(PaperAnchors, DroNetSpans5To18FpsAcrossPlatforms) {
+    // Abstract: "can operate between 5-18 frames-per-second for a variety of
+    // platforms". Check min over platforms at 512 and max at 352.
+    double min_fps = 1e9, max_fps = 0;
+    for (const PlatformSpec& p : paper_platforms()) {
+        min_fps = std::min(min_fps, model_fps(ModelId::kDroNet, 512, p));
+        max_fps = std::max(max_fps, model_fps(ModelId::kDroNet, 352, p));
+    }
+    EXPECT_GE(min_fps, 4.0);
+    EXPECT_GE(max_fps, 14.0);
+    EXPECT_LE(max_fps, 25.0);
+}
+
+TEST(PaperAnchors, LargerInputsAreSlowerEverywhere) {
+    // §IV.A.2: larger input deteriorates FPS across all models/platforms.
+    for (const PlatformSpec& p : paper_platforms()) {
+        for (ModelId id : all_models()) {
+            double prev = 1e18;
+            for (int size : {352, 416, 480, 544, 608}) {
+                const double fps = model_fps(id, size, p);
+                EXPECT_LT(fps, prev) << to_string(id) << " @" << size << " on " << p.name;
+                prev = fps;
+            }
+        }
+    }
+}
+
+TEST(PaperAnchors, PlatformOrderingForBigModels) {
+    // For the cache-busting TinyYoloVoc the laptop CPU must beat both boards.
+    const double i5 = model_fps(ModelId::kTinyYoloVoc, 416, intel_i5_2520m());
+    EXPECT_GT(i5, model_fps(ModelId::kTinyYoloVoc, 416, odroid_xu4()));
+    EXPECT_GT(i5, model_fps(ModelId::kTinyYoloVoc, 416, raspberry_pi3()));
+    // And the Pi is the slowest platform for every model.
+    for (ModelId id : all_models()) {
+        EXPECT_LT(model_fps(id, 416, raspberry_pi3()),
+                  model_fps(id, 416, odroid_xu4()) + 1e-9)
+            << to_string(id);
+    }
+}
+
+TEST(HostCalibration, ProducesUsableSpec) {
+    const PlatformSpec host = calibrate_host_platform();
+    EXPECT_GT(host.effective_gflops, 0.1);
+    EXPECT_LT(host.effective_gflops, 500.0);
+    Network net = build_model(ModelId::kDroNet, {.input_size = 416});
+    EXPECT_GT(estimate_fps(net, host), 0.0);
+}
+
+}  // namespace
+}  // namespace dronet

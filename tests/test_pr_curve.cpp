@@ -1,0 +1,103 @@
+// PR curve / average precision analysis.
+#include <gtest/gtest.h>
+
+#include "eval/pr_curve.hpp"
+
+namespace dronet {
+namespace {
+
+Detection det(float x, float y, float score) {
+    Detection d;
+    d.box = {x, y, 0.1f, 0.1f};
+    d.objectness = score;
+    d.class_prob = 1.0f;
+    return d;
+}
+
+GroundTruth gt(float x, float y) { return GroundTruth{{x, y, 0.1f, 0.1f}, 0}; }
+
+TEST(PrCurve, EmptyResults) {
+    EXPECT_TRUE(precision_recall_curve({}).empty());
+    EXPECT_FLOAT_EQ(average_precision(std::vector<ImageResult>{}), 0.0f);
+}
+
+TEST(PrCurve, PerfectDetectorHasApOne) {
+    std::vector<ImageResult> results(2);
+    results[0].detections = {det(0.3f, 0.3f, 0.9f)};
+    results[0].truths = {gt(0.3f, 0.3f)};
+    results[1].detections = {det(0.7f, 0.7f, 0.8f)};
+    results[1].truths = {gt(0.7f, 0.7f)};
+    EXPECT_FLOAT_EQ(average_precision(results), 1.0f);
+}
+
+TEST(PrCurve, AllFalsePositivesHasApZero) {
+    std::vector<ImageResult> results(1);
+    results[0].detections = {det(0.9f, 0.9f, 0.9f)};
+    results[0].truths = {gt(0.1f, 0.1f)};
+    EXPECT_FLOAT_EQ(average_precision(results), 0.0f);
+}
+
+TEST(PrCurve, CurveOrderedByDescendingThreshold) {
+    std::vector<ImageResult> results(1);
+    results[0].detections = {det(0.3f, 0.3f, 0.9f), det(0.9f, 0.9f, 0.5f),
+                             det(0.7f, 0.7f, 0.7f)};
+    results[0].truths = {gt(0.3f, 0.3f), gt(0.7f, 0.7f)};
+    const auto curve = precision_recall_curve(results);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_GE(curve[0].threshold, curve[1].threshold);
+    EXPECT_GE(curve[1].threshold, curve[2].threshold);
+    // Recall is nondecreasing along the curve.
+    EXPECT_LE(curve[0].recall, curve[1].recall);
+    EXPECT_LE(curve[1].recall, curve[2].recall);
+}
+
+TEST(PrCurve, KnownMixedCase) {
+    // Detections (desc score): TP, FP, TP over 2 truths + 1 extra truth.
+    std::vector<ImageResult> results(1);
+    results[0].detections = {det(0.3f, 0.3f, 0.9f), det(0.9f, 0.1f, 0.8f),
+                             det(0.7f, 0.7f, 0.7f)};
+    results[0].truths = {gt(0.3f, 0.3f), gt(0.7f, 0.7f), gt(0.1f, 0.9f)};
+    const auto curve = precision_recall_curve(results);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_FLOAT_EQ(curve[0].precision, 1.0f);
+    EXPECT_NEAR(curve[0].recall, 1.0f / 3.0f, 1e-6f);
+    EXPECT_FLOAT_EQ(curve[1].precision, 0.5f);
+    EXPECT_NEAR(curve[2].precision, 2.0f / 3.0f, 1e-6f);
+    EXPECT_NEAR(curve[2].recall, 2.0f / 3.0f, 1e-6f);
+    // AP: envelope precision at recall steps 1/3 and 2/3 is 1.0 then 2/3.
+    const float ap = average_precision(curve);
+    EXPECT_NEAR(ap, (1.0f / 3.0f) * 1.0f + (1.0f / 3.0f) * (2.0f / 3.0f), 1e-5f);
+}
+
+TEST(PrCurve, DuplicateDetectionsCountOnceAsTp) {
+    std::vector<ImageResult> results(1);
+    results[0].detections = {det(0.5f, 0.5f, 0.9f), det(0.5f, 0.5f, 0.8f)};
+    results[0].truths = {gt(0.5f, 0.5f)};
+    const auto curve = precision_recall_curve(results);
+    ASSERT_EQ(curve.size(), 2u);
+    EXPECT_FLOAT_EQ(curve.back().recall, 1.0f);
+    EXPECT_FLOAT_EQ(curve.back().precision, 0.5f);  // the duplicate is an FP
+}
+
+TEST(PrCurve, BestF1ThresholdPicksBalancedPoint) {
+    std::vector<ImageResult> results(1);
+    // High-scored TP, then a run of FPs: best F1 is at the first point.
+    results[0].detections = {det(0.3f, 0.3f, 0.95f), det(0.9f, 0.1f, 0.5f),
+                             det(0.9f, 0.5f, 0.4f), det(0.1f, 0.5f, 0.3f)};
+    results[0].truths = {gt(0.3f, 0.3f)};
+    const auto curve = precision_recall_curve(results);
+    EXPECT_FLOAT_EQ(best_f1_threshold(curve), 0.95f);
+}
+
+TEST(PrCurve, ApMonotoneInDetectorQuality) {
+    // A detector whose FP outranks its TP has lower AP than one where the TP
+    // ranks first.
+    std::vector<ImageResult> good(1), bad(1);
+    good[0].truths = bad[0].truths = {gt(0.3f, 0.3f)};
+    good[0].detections = {det(0.3f, 0.3f, 0.9f), det(0.8f, 0.8f, 0.5f)};
+    bad[0].detections = {det(0.3f, 0.3f, 0.5f), det(0.8f, 0.8f, 0.9f)};
+    EXPECT_GT(average_precision(good), average_precision(bad));
+}
+
+}  // namespace
+}  // namespace dronet

@@ -1,0 +1,138 @@
+// INT8 quantization path (§V future-work extension): int8 GEMM correctness,
+// quantization helpers, and agreement of the quantized network with the
+// float network on real models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/model_zoo.hpp"
+#include "nn/quantize.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/gemm_i8.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+namespace {
+
+TEST(GemmI8, MatchesIntegerReference) {
+    Rng rng(3);
+    const int m = 5, n = 7, k = 9;
+    std::vector<std::int8_t> a(static_cast<std::size_t>(m) * k);
+    std::vector<std::int8_t> b(static_cast<std::size_t>(k) * n);
+    for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    std::vector<std::int32_t> c(static_cast<std::size_t>(m) * n);
+    gemm_i8(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+            std::int32_t acc = 0;
+            for (int p = 0; p < k; ++p) {
+                acc += static_cast<std::int32_t>(a[static_cast<std::size_t>(i) * k + p]) *
+                       static_cast<std::int32_t>(b[static_cast<std::size_t>(p) * n + j]);
+            }
+            EXPECT_EQ(c[static_cast<std::size_t>(i) * n + j], acc);
+        }
+    }
+}
+
+TEST(GemmI8, OverwritesOutput) {
+    std::vector<std::int8_t> a = {1};
+    std::vector<std::int8_t> b = {2};
+    std::vector<std::int32_t> c = {999};
+    gemm_i8(1, 1, 1, a.data(), 1, b.data(), 1, c.data(), 1);
+    EXPECT_EQ(c[0], 2);
+}
+
+TEST(Quantization, ScaleAndRoundTrip) {
+    const std::vector<float> x = {-2.0f, 0.5f, 1.0f, 2.0f};
+    const float scale = quantization_scale(x.data(), static_cast<std::int64_t>(x.size()));
+    EXPECT_FLOAT_EQ(scale, 2.0f / 127.0f);
+    std::vector<std::int8_t> q(x.size());
+    quantize_buffer(x.data(), static_cast<std::int64_t>(x.size()), scale, q.data());
+    EXPECT_EQ(q[0], -127);
+    EXPECT_EQ(q[3], 127);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(static_cast<float>(q[i]) * scale, x[i], scale);
+    }
+}
+
+TEST(Quantization, ZeroBufferScaleIsOne) {
+    const std::vector<float> x(4, 0.0f);
+    EXPECT_FLOAT_EQ(quantization_scale(x.data(), 4), 1.0f);
+}
+
+TEST(Quantization, ValueClamps) {
+    EXPECT_EQ(quantize_value(1e9f, 1.0f), 127);
+    EXPECT_EQ(quantize_value(-1e9f, 1.0f), -127);
+    EXPECT_EQ(quantize_value(0.0f, 1.0f), 0);
+}
+
+TEST(QuantizedNetwork, RequiresBatchOne) {
+    Network net = build_model(ModelId::kDroNet,
+                              {.input_size = 64, .batch = 2, .filter_scale = 0.25f});
+    EXPECT_THROW(QuantizedNetwork{net}, std::invalid_argument);
+}
+
+TEST(QuantizedNetwork, SnapshotsEveryConvLayer) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f});
+    QuantizedNetwork q(net);
+    EXPECT_EQ(q.layers().size(), 9u);  // DroNet's 9 convolutions
+    EXPECT_LT(q.weight_bytes(), q.float_weight_bytes() / 2);
+}
+
+TEST(QuantizedNetwork, SmallWeightQuantizationError) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f});
+    QuantizedNetwork q(net);
+    for (const QuantizedConv& qc : q.layers()) {
+        auto& conv = dynamic_cast<ConvolutionalLayer&>(net.layer(qc.layer_index));
+        const float err = qc.mean_weight_error(conv);
+        // Mean |error| bounded by half an LSB of the per-channel scale range.
+        float max_scale = 0;
+        for (float s : qc.scales) max_scale = std::max(max_scale, s);
+        EXPECT_LE(err, max_scale);
+    }
+}
+
+class QuantizedAgreement : public ::testing::TestWithParam<ModelId> {};
+
+TEST_P(QuantizedAgreement, CloseToFloatNetwork) {
+    Network net = build_model(GetParam(), {.input_size = 64, .filter_scale = 0.25f});
+    Tensor in(net.input_shape());
+    Rng rng(9);
+    rng.fill_uniform(in.span(), 0.0f, 1.0f);
+
+    QuantizedNetwork q(net);  // folds BN in the float net too
+    const Tensor& qout = q.forward(in);
+    Tensor q_copy = qout;
+    net.forward(in, /*train=*/false);
+    const Tensor& fout = net.region()->output();
+
+    ASSERT_EQ(q_copy.shape(), fout.shape());
+    // Relative agreement: int8 inference stays close to float.
+    double err = 0, norm = 0;
+    for (std::int64_t i = 0; i < fout.size(); ++i) {
+        err += std::fabs(q_copy[i] - fout[i]);
+        norm += std::fabs(fout[i]);
+    }
+    EXPECT_LT(err / std::max(norm, 1.0), 0.08) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, QuantizedAgreement,
+                         ::testing::Values(ModelId::kDroNet, ModelId::kSmallYoloV3),
+                         [](const ::testing::TestParamInfo<ModelId>& info) {
+                             return to_string(info.param);
+                         });
+
+TEST(QuantizedNetwork, DecodeProducesSameGridOfDetections) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f});
+    Tensor in(net.input_shape());
+    Rng rng(11);
+    rng.fill_uniform(in.span(), 0.0f, 1.0f);
+    QuantizedNetwork q(net);
+    q.forward(in);
+    const Detections dets = q.decode();
+    EXPECT_EQ(dets.size(), 5u * 4 * 4);  // 5 anchors on the 4x4 grid
+}
+
+}  // namespace
+}  // namespace dronet

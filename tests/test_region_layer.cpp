@@ -1,0 +1,229 @@
+// Region layer: activation layout, box decode, loss behaviour and a full
+// numerical gradient check of the YOLO region loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/network.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+namespace {
+
+RegionConfig small_region(int classes = 2, int num = 2) {
+    RegionConfig rc;
+    rc.classes = classes;
+    rc.num = num;
+    rc.anchors.clear();
+    for (int n = 0; n < num; ++n) {
+        rc.anchors.push_back(1.0f + static_cast<float>(n));
+        rc.anchors.push_back(1.0f + static_cast<float>(n));
+    }
+    return rc;
+}
+
+Network region_net(const RegionConfig& rc, int grid = 4, int batch = 1) {
+    NetConfig nc;
+    nc.channels = rc.num * (rc.coords + 1 + rc.classes);
+    nc.height = grid;
+    nc.width = grid;
+    nc.batch = batch;
+    Network net(nc);
+    net.add_region(rc);
+    return net;
+}
+
+TEST(RegionLayer, RejectsChannelMismatch) {
+    RegionConfig rc = small_region();
+    NetConfig nc;
+    nc.channels = 5;  // needs num*(4+1+classes) = 14
+    nc.height = nc.width = 4;
+    Network net(nc);
+    EXPECT_THROW(net.add_region(rc), std::invalid_argument);
+}
+
+TEST(RegionLayer, RejectsBadAnchors) {
+    RegionConfig rc = small_region();
+    rc.anchors.pop_back();
+    NetConfig nc;
+    nc.channels = rc.num * (rc.coords + 1 + rc.classes);
+    nc.height = nc.width = 4;
+    Network net(nc);
+    EXPECT_THROW(net.add_region(rc), std::invalid_argument);
+}
+
+TEST(RegionLayer, ForwardActivatesXyObjAndSoftmaxesClasses) {
+    const RegionConfig rc = small_region();
+    Network net = region_net(rc);
+    Tensor in(net.input_shape());
+    Rng rng(3);
+    rng.fill_uniform(in.span(), -2.0f, 2.0f);
+    net.forward(in);
+    const Tensor& out = net.region()->output();
+    const int hw = 16;
+    for (int n = 0; n < rc.num; ++n) {
+        const std::int64_t base = static_cast<std::int64_t>(n) * (4 + 1 + rc.classes) * hw;
+        for (int loc = 0; loc < hw; ++loc) {
+            // x, y, obj in (0,1).
+            for (int e : {0, 1, 4}) {
+                const float v = out[base + e * hw + loc];
+                EXPECT_GT(v, 0.0f);
+                EXPECT_LT(v, 1.0f);
+            }
+            // w, h untouched (raw).
+            EXPECT_EQ(out[base + 2 * hw + loc], in[base + 2 * hw + loc]);
+            // classes sum to 1.
+            float total = 0;
+            for (int c = 0; c < rc.classes; ++c) total += out[base + (5 + c) * hw + loc];
+            EXPECT_NEAR(total, 1.0f, 1e-5f);
+        }
+    }
+}
+
+TEST(RegionLayer, DecodeCentersAndAnchors) {
+    const RegionConfig rc = small_region(1, 1);
+    Network net = region_net(rc, 4);
+    Tensor in(net.input_shape());  // all zeros
+    net.forward(in);
+    const Detections dets = net.region()->decode(0);
+    ASSERT_EQ(dets.size(), 16u);
+    // Raw zeros: x=y=sigmoid(0)=0.5 within each cell; w=h=anchor/grid.
+    const Detection& d0 = dets[0];
+    EXPECT_NEAR(d0.box.x, 0.5f / 4.0f, 1e-6f);
+    EXPECT_NEAR(d0.box.y, 0.5f / 4.0f, 1e-6f);
+    EXPECT_NEAR(d0.box.w, 1.0f / 4.0f, 1e-6f);
+    EXPECT_NEAR(d0.box.h, 1.0f / 4.0f, 1e-6f);
+    EXPECT_NEAR(d0.objectness, 0.5f, 1e-6f);
+    EXPECT_EQ(d0.class_id, 0);
+    EXPECT_NEAR(d0.class_prob, 1.0f, 1e-6f);  // single-class softmax
+    // Cell (row 2, col 3) centre.
+    const Detection& d11 = dets[2 * 4 + 3];
+    EXPECT_NEAR(d11.box.x, 3.5f / 4.0f, 1e-6f);
+    EXPECT_NEAR(d11.box.y, 2.5f / 4.0f, 1e-6f);
+}
+
+TEST(RegionLayer, DecodeRejectsBadBatch) {
+    Network net = region_net(small_region());
+    Tensor in(net.input_shape());
+    net.forward(in);
+    EXPECT_THROW(net.region()->decode(1), std::out_of_range);
+}
+
+TEST(RegionLayer, TrainingTracksSeen) {
+    Network net = region_net(small_region(), 4, 2);
+    Tensor in(net.input_shape());
+    net.region()->set_ground_truth({{}, {}});
+    net.forward(in, /*train=*/true);
+    EXPECT_EQ(net.region()->seen(), 2);
+}
+
+TEST(RegionLayer, EmptySceneLossPushesObjectnessDown) {
+    RegionConfig rc = small_region();
+    rc.bias_match_batches = 0;  // isolate the noobject term
+    Network net = region_net(rc);
+    Tensor in(net.input_shape());
+    net.region()->set_ground_truth({{}});
+    net.forward(in, /*train=*/true);
+    const RegionStats& stats = net.region()->stats();
+    EXPECT_GT(stats.obj_loss, 0.0f);
+    EXPECT_EQ(stats.truth_count, 0);
+    EXPECT_FLOAT_EQ(stats.coord_loss, 0.0f);
+    // All objectness deltas positive (pushing sigmoid(0)=0.5 toward 0).
+    float max_delta = 0;
+    for (std::int64_t i = 0; i < net.region()->delta().size(); ++i) {
+        max_delta = std::max(max_delta, net.region()->delta()[i]);
+    }
+    EXPECT_GT(max_delta, 0.0f);
+}
+
+TEST(RegionLayer, MatchedTruthProducesCoordAndClassLoss) {
+    RegionConfig rc = small_region();
+    rc.bias_match_batches = 0;
+    Network net = region_net(rc);
+    Tensor in(net.input_shape());
+    GroundTruth gt;
+    gt.box = {0.4f, 0.6f, 0.25f, 0.25f};
+    gt.class_id = 1;
+    net.region()->set_ground_truth({{gt}});
+    net.forward(in, /*train=*/true);
+    const RegionStats& stats = net.region()->stats();
+    EXPECT_EQ(stats.truth_count, 1);
+    EXPECT_GT(stats.coord_loss, 0.0f);
+    EXPECT_GT(stats.class_loss, 0.0f);
+    EXPECT_GT(stats.avg_iou, 0.0f);
+}
+
+TEST(RegionLayer, LossDecreasesUnderItsOwnGradient) {
+    // One gradient-descent step on the raw inputs must reduce the loss.
+    RegionConfig rc = small_region();
+    rc.bias_match_batches = 0;
+    rc.rescore = false;
+    Network net = region_net(rc);
+    Tensor in(net.input_shape());
+    Rng rng(17);
+    rng.fill_uniform(in.span(), -0.5f, 0.5f);
+    GroundTruth gt;
+    gt.box = {0.55f, 0.35f, 0.3f, 0.2f};
+    gt.class_id = 0;
+    net.region()->set_ground_truth({{gt}});
+    net.forward(in, /*train=*/true);
+    const float loss0 = net.region()->stats().loss;
+    const Tensor& delta = net.region()->delta();
+    for (std::int64_t i = 0; i < in.size(); ++i) in[i] -= 0.05f * delta[i];
+    net.region()->set_ground_truth({{gt}});
+    net.forward(in, /*train=*/true);
+    EXPECT_LT(net.region()->stats().loss, loss0);
+}
+
+TEST(RegionLayer, GradientMatchesFiniteDifferences) {
+    RegionConfig rc = small_region(2, 2);
+    rc.bias_match_batches = 0;  // prior term is not part of the reported loss
+    rc.rescore = false;         // keep the objectness target constant
+    Network net = region_net(rc, 3);
+    Tensor in(net.input_shape());
+    Rng rng(23);
+    rng.fill_uniform(in.span(), -0.8f, 0.8f);
+    GroundTruth gt1{{0.3f, 0.3f, 0.3f, 0.25f}, 0};
+    GroundTruth gt2{{0.8f, 0.7f, 0.2f, 0.3f}, 1};
+    const std::vector<std::vector<GroundTruth>> truths = {{gt1, gt2}};
+
+    net.region()->set_ground_truth(truths);
+    net.forward(in, /*train=*/true);
+    Tensor analytic = net.region()->delta();
+
+    auto loss_at = [&]() {
+        net.region()->set_ground_truth(truths);
+        net.region()->set_seen(0);
+        net.forward(in, /*train=*/true);
+        return static_cast<double>(net.region()->stats().loss);
+    };
+    const float eps = 1e-3f;
+    int checked = 0;
+    for (std::int64_t i = 0; i < in.size(); i += 3) {
+        const float saved = in[i];
+        in[i] = saved + eps;
+        const double up = loss_at();
+        in[i] = saved - eps;
+        const double down = loss_at();
+        in[i] = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(analytic[i], numeric, 2e-2 * std::max(1.0, std::abs(numeric)))
+            << "at raw index " << i;
+        ++checked;
+    }
+    EXPECT_GT(checked, 30);
+}
+
+TEST(RegionLayer, ResizeChangesGrid) {
+    Network net = region_net(small_region(), 4);
+    EXPECT_EQ(net.region()->grid_w(), 4);
+    net.resize_input(8, 8);
+    EXPECT_EQ(net.region()->grid_w(), 8);
+    Tensor in(net.input_shape());
+    net.forward(in);
+    EXPECT_EQ(net.region()->decode(0).size(), 2u * 8 * 8);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -1,0 +1,151 @@
+// Unit tests for the Tensor/Shape containers and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dronet {
+namespace {
+
+TEST(Shape, SizeAndHelpers) {
+    const Shape s{2, 3, 4, 5};
+    EXPECT_EQ(s.size(), 120);
+    EXPECT_EQ(s.chw(), 60);
+    EXPECT_EQ(s.hw(), 20);
+    EXPECT_TRUE(s.valid());
+}
+
+TEST(Shape, InvalidDetection) {
+    EXPECT_FALSE((Shape{0, 1, 1, 1}).valid());
+    EXPECT_FALSE((Shape{1, -1, 1, 1}).valid());
+}
+
+TEST(Shape, Equality) {
+    EXPECT_EQ((Shape{1, 2, 3, 4}), (Shape{1, 2, 3, 4}));
+    EXPECT_NE((Shape{1, 2, 3, 4}), (Shape{1, 2, 4, 3}));
+}
+
+TEST(Shape, Printing) {
+    EXPECT_EQ((Shape{1, 3, 416, 416}).str(), "[1 x 3 x 416 x 416]");
+}
+
+TEST(Tensor, ConstructsZeroInitialized) {
+    Tensor t(2, 3, 4, 5);
+    EXPECT_EQ(t.size(), 120);
+    for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RejectsInvalidShape) {
+    EXPECT_THROW(Tensor(Shape{0, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Tensor, IndexingIsRowMajorNCHW) {
+    Tensor t(2, 3, 4, 5);
+    EXPECT_EQ(t.index(0, 0, 0, 0), 0);
+    EXPECT_EQ(t.index(0, 0, 0, 1), 1);
+    EXPECT_EQ(t.index(0, 0, 1, 0), 5);
+    EXPECT_EQ(t.index(0, 1, 0, 0), 20);
+    EXPECT_EQ(t.index(1, 0, 0, 0), 60);
+}
+
+TEST(Tensor, AtChecksBounds) {
+    Tensor t(1, 2, 3, 4);
+    t.at(0, 1, 2, 3) = 7.0f;
+    EXPECT_EQ(t.at(0, 1, 2, 3), 7.0f);
+    EXPECT_THROW(t.at(1, 0, 0, 0), std::out_of_range);
+    EXPECT_THROW(t.at(0, 2, 0, 0), std::out_of_range);
+    EXPECT_THROW(t.at(0, 0, 3, 0), std::out_of_range);
+    EXPECT_THROW(t.at(0, 0, 0, 4), std::out_of_range);
+    EXPECT_THROW(t.at(0, 0, 0, -1), std::out_of_range);
+}
+
+TEST(Tensor, FillAndZero) {
+    Tensor t(1, 1, 2, 2);
+    t.fill(3.5f);
+    EXPECT_EQ(t[3], 3.5f);
+    t.zero();
+    EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+    Tensor t(1, 2, 3, 4);
+    t[5] = 9.0f;
+    t.reshape(Shape{1, 4, 3, 2});
+    EXPECT_EQ(t[5], 9.0f);
+    EXPECT_EQ(t.shape(), (Shape{1, 4, 3, 2}));
+}
+
+TEST(Tensor, ReshapeRejectsSizeMismatch) {
+    Tensor t(1, 2, 3, 4);
+    EXPECT_THROW(t.reshape(Shape{1, 2, 3, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ResizeReallocatesAndZeroes) {
+    Tensor t(1, 1, 2, 2);
+    t.fill(1.0f);
+    t.resize(Shape{1, 1, 4, 4});
+    EXPECT_EQ(t.size(), 16);
+    EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 32; ++i) {
+        if (a.uniform() == b.uniform()) ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRange) {
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-2.0f, 5.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 5.0f);
+    }
+}
+
+TEST(Rng, UniformIntInclusive) {
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        const int v = rng.uniform_int(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, HeInitScalesWithFanIn) {
+    Rng rng(7);
+    std::vector<float> small(1000), large(1000);
+    rng.fill_he(small, 10);
+    rng.fill_he(large, 1000);
+    float max_small = 0, max_large = 0;
+    for (float v : small) max_small = std::max(max_small, std::fabs(v));
+    for (float v : large) max_large = std::max(max_large, std::fabs(v));
+    EXPECT_GT(max_small, max_large);  // smaller fan-in -> larger init scale
+    EXPECT_LE(max_small, std::sqrt(2.0f / 10.0f) + 1e-6f);
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0f));
+        EXPECT_TRUE(rng.chance(1.0f));
+    }
+}
+
+}  // namespace
+}  // namespace dronet

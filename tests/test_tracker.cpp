@@ -1,0 +1,114 @@
+// IoU tracker: association, identity persistence, confirmation and retirement.
+#include <gtest/gtest.h>
+
+#include "video/tracker.hpp"
+
+namespace dronet {
+namespace {
+
+Detection det(float x, float y, float w = 0.1f, float h = 0.1f, int cls = 0) {
+    Detection d;
+    d.box = {x, y, w, h};
+    d.objectness = 0.9f;
+    d.class_prob = 1.0f;
+    d.class_id = cls;
+    return d;
+}
+
+TEST(Tracker, OpensTrackPerDetection) {
+    IouTracker tracker;
+    const auto& tracks = tracker.update({det(0.2f, 0.2f), det(0.8f, 0.8f)});
+    ASSERT_EQ(tracks.size(), 2u);
+    EXPECT_NE(tracks[0].id, tracks[1].id);
+    EXPECT_EQ(tracks[0].hits, 1);
+}
+
+TEST(Tracker, IdentityPersistsAcrossFrames) {
+    IouTracker tracker;
+    tracker.update({det(0.2f, 0.2f)});
+    const int id = tracker.tracks()[0].id;
+    // Moves slightly each frame; identity must stick.
+    for (float dx : {0.02f, 0.04f, 0.06f}) {
+        const auto& tracks = tracker.update({det(0.2f + dx, 0.2f)});
+        ASSERT_EQ(tracks.size(), 1u);
+        EXPECT_EQ(tracks[0].id, id);
+    }
+    EXPECT_EQ(tracker.tracks()[0].hits, 4);
+}
+
+TEST(Tracker, ConfirmationAfterMinHits) {
+    TrackerConfig cfg;
+    cfg.min_hits = 3;
+    IouTracker tracker(cfg);
+    tracker.update({det(0.5f, 0.5f)});
+    EXPECT_TRUE(tracker.confirmed_tracks().empty());
+    tracker.update({det(0.5f, 0.5f)});
+    EXPECT_TRUE(tracker.confirmed_tracks().empty());
+    tracker.update({det(0.5f, 0.5f)});
+    EXPECT_EQ(tracker.confirmed_tracks().size(), 1u);
+    EXPECT_EQ(tracker.total_confirmed(), 1);
+}
+
+TEST(Tracker, RetiresAfterMaxMisses) {
+    TrackerConfig cfg;
+    cfg.max_misses = 2;
+    IouTracker tracker(cfg);
+    tracker.update({det(0.5f, 0.5f)});
+    tracker.update({});
+    tracker.update({});
+    EXPECT_EQ(tracker.tracks().size(), 1u);  // at the limit, still alive
+    tracker.update({});
+    EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(Tracker, MissCounterResetsOnRematch) {
+    TrackerConfig cfg;
+    cfg.max_misses = 2;
+    IouTracker tracker(cfg);
+    tracker.update({det(0.5f, 0.5f)});
+    tracker.update({});
+    tracker.update({det(0.5f, 0.5f)});  // reappears
+    tracker.update({});
+    tracker.update({});
+    EXPECT_EQ(tracker.tracks().size(), 1u);
+}
+
+TEST(Tracker, ClassesNeverMix) {
+    IouTracker tracker;
+    tracker.update({det(0.5f, 0.5f, 0.1f, 0.1f, 0)});
+    const auto& tracks = tracker.update({det(0.5f, 0.5f, 0.1f, 0.1f, 1)});
+    // Same position, different class: a second track opens.
+    EXPECT_EQ(tracks.size(), 2u);
+}
+
+TEST(Tracker, GreedyPicksBestOverlap) {
+    IouTracker tracker;
+    tracker.update({det(0.3f, 0.3f), det(0.5f, 0.3f)});
+    const int id_a = tracker.tracks()[0].id;
+    const int id_b = tracker.tracks()[1].id;
+    // Both detections shift right; nearest-overlap assignment keeps order.
+    const auto& tracks = tracker.update({det(0.32f, 0.3f), det(0.52f, 0.3f)});
+    ASSERT_EQ(tracks.size(), 2u);
+    for (const Track& t : tracks) {
+        if (t.id == id_a) EXPECT_NEAR(t.box.x, 0.32f, 1e-5f);
+        if (t.id == id_b) EXPECT_NEAR(t.box.x, 0.52f, 1e-5f);
+    }
+}
+
+TEST(Tracker, TotalConfirmedCountsDistinctVehicles) {
+    TrackerConfig cfg;
+    cfg.min_hits = 2;
+    cfg.max_misses = 0;
+    IouTracker tracker(cfg);
+    // Vehicle 1 passes through.
+    tracker.update({det(0.2f, 0.5f)});
+    tracker.update({det(0.25f, 0.5f)});
+    // It leaves; vehicle 2 enters elsewhere.
+    tracker.update({});
+    tracker.update({det(0.8f, 0.1f)});
+    tracker.update({det(0.82f, 0.1f)});
+    EXPECT_EQ(tracker.total_confirmed(), 2);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -1,0 +1,142 @@
+// Trainer: epoch shuffling, loss descent, multi-scale resizing, logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataset.hpp"
+#include "models/model_zoo.hpp"
+#include "train/trainer.hpp"
+
+namespace dronet {
+namespace {
+
+DetectionDataset micro_dataset(int count = 8) {
+    SceneConfig sc = benchmark_scene_config(64);
+    sc.min_vehicles = 1;
+    sc.max_vehicles = 2;
+    sc.min_vehicle_size = 0.2f;
+    sc.max_vehicle_size = 0.35f;
+    return generate_dataset(sc, count, 33);
+}
+
+Network micro_net(int batch = 2) {
+    ModelOptions mo;
+    mo.input_size = 64;
+    mo.batch = batch;
+    mo.filter_scale = 0.25f;
+    mo.learning_rate = 1e-3f;
+    return build_model(ModelId::kDroNet, mo);
+}
+
+TEST(Trainer, RequiresRegionAndData) {
+    Network net = micro_net();
+    DetectionDataset empty;
+    EXPECT_THROW(Trainer(net, empty, {}), std::invalid_argument);
+
+    NetConfig nc;
+    nc.width = nc.height = 8;
+    nc.channels = 3;
+    Network headless(nc);
+    headless.add_conv({.filters = 2, .ksize = 3, .stride = 1, .pad = 1});
+    const DetectionDataset ds = micro_dataset(2);
+    EXPECT_THROW(Trainer(headless, ds, {}), std::invalid_argument);
+}
+
+TEST(Trainer, StepAdvancesAndLogs) {
+    Network net = micro_net();
+    const DetectionDataset ds = micro_dataset();
+    TrainConfig tc;
+    tc.iterations = 4;
+    tc.use_augmentation = false;
+    int callbacks = 0;
+    tc.on_batch = [&](const TrainLogEntry&) { ++callbacks; };
+    Trainer trainer(net, ds, tc);
+    trainer.run();
+    EXPECT_EQ(callbacks, 4);
+    ASSERT_EQ(trainer.history().size(), 4u);
+    EXPECT_EQ(trainer.history()[2].iteration, 2);
+    EXPECT_GT(trainer.history()[0].loss, 0.0f);
+    EXPECT_EQ(net.batch_num(), 4);
+}
+
+TEST(Trainer, AvgLossIsSmoothed) {
+    Network net = micro_net();
+    const DetectionDataset ds = micro_dataset();
+    TrainConfig tc;
+    tc.iterations = 6;
+    tc.use_augmentation = false;
+    Trainer trainer(net, ds, tc);
+    trainer.run();
+    const auto& h = trainer.history();
+    EXPECT_FLOAT_EQ(h[0].avg_loss, h[0].loss);
+    // Smoothed series varies less than the raw one.
+    float raw_swing = 0, avg_swing = 0;
+    for (std::size_t i = 1; i < h.size(); ++i) {
+        raw_swing += std::fabs(h[i].loss - h[i - 1].loss);
+        avg_swing += std::fabs(h[i].avg_loss - h[i - 1].avg_loss);
+    }
+    EXPECT_LT(avg_swing, raw_swing + 1e-6f);
+}
+
+TEST(Trainer, LossDecreasesOnFixedMicroProblem) {
+    Network net = micro_net(2);
+    net.region()->set_seen(1 << 20);
+    const DetectionDataset ds = micro_dataset(4);
+    TrainConfig tc;
+    tc.iterations = 40;
+    tc.use_augmentation = false;
+    Trainer trainer(net, ds, tc);
+    trainer.run();
+    const auto& h = trainer.history();
+    EXPECT_LT(h.back().avg_loss, h[2].avg_loss * 0.8f);
+}
+
+TEST(Trainer, MultiscaleResizesNetwork) {
+    Network net = micro_net();
+    const DetectionDataset ds = micro_dataset();
+    TrainConfig tc;
+    tc.iterations = 12;
+    tc.use_augmentation = false;
+    tc.multiscale_sizes = {48, 64, 96};
+    tc.resize_every = 2;
+    Trainer trainer(net, ds, tc);
+    std::set<int> seen_sizes;
+    for (int i = 0; i < tc.iterations; ++i) {
+        trainer.step();
+        seen_sizes.insert(net.config().width);
+    }
+    EXPECT_GE(seen_sizes.size(), 2u);  // at least two ladder rungs visited
+    for (int s : seen_sizes) {
+        EXPECT_TRUE(s == 48 || s == 64 || s == 96);
+    }
+}
+
+TEST(Trainer, AugmentationPathRuns) {
+    Network net = micro_net();
+    const DetectionDataset ds = micro_dataset();
+    TrainConfig tc;
+    tc.iterations = 3;
+    tc.use_augmentation = true;
+    Trainer trainer(net, ds, tc);
+    trainer.run();
+    EXPECT_EQ(trainer.history().size(), 3u);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+    const DetectionDataset ds = micro_dataset();
+    auto run_once = [&]() {
+        Network net = micro_net();
+        TrainConfig tc;
+        tc.iterations = 5;
+        tc.use_augmentation = true;
+        tc.shuffle_seed = 99;
+        Trainer trainer(net, ds, tc);
+        trainer.run();
+        return trainer.history().back().loss;
+    };
+    EXPECT_FLOAT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dronet

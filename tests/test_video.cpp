@@ -1,0 +1,114 @@
+// UAV frame source and the frame-by-frame detection pipeline (§IV.B loop).
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+#include "video/frame_source.hpp"
+#include "video/pipeline.hpp"
+
+namespace dronet {
+namespace {
+
+VideoConfig micro_video() {
+    VideoConfig vc;
+    vc.scene = benchmark_scene_config(96);
+    vc.scene.noise_stddev = 0;  // deterministic background reuse per frame
+    vc.num_vehicles = 3;
+    vc.seed = 44;
+    return vc;
+}
+
+TEST(FrameSource, ProducesFramesWithConstantVehicleCount) {
+    UavFrameSource source(micro_video());
+    EXPECT_EQ(source.vehicle_count(), 3u);
+    for (int i = 0; i < 5; ++i) {
+        const SceneSample frame = source.next_frame();
+        EXPECT_EQ(frame.image.width(), 96);
+        EXPECT_EQ(frame.truths.size(), 3u);
+    }
+    EXPECT_EQ(source.frame_index(), 5);
+}
+
+TEST(FrameSource, VehiclesActuallyMove) {
+    UavFrameSource source(micro_video());
+    const SceneSample f1 = source.next_frame();
+    const SceneSample f2 = source.next_frame();
+    float moved = 0;
+    for (std::size_t i = 0; i < f1.truths.size(); ++i) {
+        moved += std::fabs(f2.truths[i].box.x - f1.truths[i].box.x) +
+                 std::fabs(f2.truths[i].box.y - f1.truths[i].box.y);
+    }
+    EXPECT_GT(moved, 0.0f);
+}
+
+TEST(FrameSource, TruthsStayNormalized) {
+    VideoConfig vc = micro_video();
+    vc.speed_min_px = 4.0f;
+    vc.speed_max_px = 8.0f;
+    UavFrameSource source(vc);
+    for (int i = 0; i < 60; ++i) {  // long enough to wrap the border
+        for (const GroundTruth& gt : source.next_frame().truths) {
+            EXPECT_GE(gt.box.left(), -1e-5f);
+            EXPECT_LE(gt.box.right(), 1.0f + 1e-5f);
+        }
+    }
+}
+
+TEST(Pipeline, RequiresRegionLayer) {
+    NetConfig nc;
+    nc.width = nc.height = 32;
+    nc.channels = 3;
+    Network headless(nc);
+    headless.add_conv({.filters = 2, .ksize = 3, .stride = 1, .pad = 1});
+    EXPECT_THROW(DetectionPipeline(headless, {}), std::invalid_argument);
+}
+
+TEST(Pipeline, ProcessesFramesAndTracksStats) {
+    Network net = build_model(ModelId::kDroNet,
+                              {.input_size = 64, .filter_scale = 0.25f});
+    DetectionPipeline pipeline(net, {});
+    UavFrameSource source(micro_video());
+    for (int i = 0; i < 4; ++i) {
+        const FrameResult r = pipeline.process(source.next_frame().image);
+        EXPECT_EQ(r.frame_index, i);
+    }
+    EXPECT_EQ(pipeline.frames_processed(), 4);
+    EXPECT_GT(pipeline.meter().mean_latency_ms(), 0.0);
+    EXPECT_GE(pipeline.mean_vehicles_per_frame(), 0.0);
+}
+
+TEST(Pipeline, AltitudeFilterRemovesOversizedBoxes) {
+    Network net = build_model(ModelId::kDroNet,
+                              {.input_size = 64, .filter_scale = 0.25f});
+    PipelineConfig pc;
+    pc.eval.score_threshold = 0.0f;  // keep everything the net emits
+    pc.altitude_filter_enabled = true;
+    pc.altitude_m = 400.0f;  // from 400 m every plausible car is tiny
+    DetectionPipeline pipeline(net, pc);
+    UavFrameSource source(micro_video());
+    const FrameResult r = pipeline.process(source.next_frame().image);
+    const AltitudeFilter filter(pc.camera, pc.size_prior);
+    const auto range = filter.plausible_size(pc.altitude_m);
+    for (const Detection& d : r.detections) {
+        EXPECT_LE(std::max(d.box.w, d.box.h), range.max_norm + 1e-6f);
+    }
+}
+
+TEST(Pipeline, SetAltitudeChangesFiltering) {
+    Network net = build_model(ModelId::kDroNet,
+                              {.input_size = 64, .filter_scale = 0.25f});
+    PipelineConfig pc;
+    pc.eval.score_threshold = 0.0f;
+    pc.altitude_filter_enabled = true;
+    pc.altitude_m = 10.0f;
+    DetectionPipeline low(net, pc);
+    UavFrameSource source(micro_video());
+    const Image frame = source.next_frame().image;
+    const std::size_t at_low = low.process(frame).detections.size();
+    low.set_altitude(2000.0f);
+    const std::size_t at_high = low.process(frame).detections.size();
+    // From 2 km almost nothing is a plausible car.
+    EXPECT_LE(at_high, at_low);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -1,0 +1,142 @@
+// Weight-file persistence: byte-exact round trips, seen-counter restore,
+// and structure-mismatch detection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nn/cfg.hpp"
+#include "nn/weights_io.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+namespace {
+
+constexpr const char* kCfg = R"(
+[net]
+batch=2
+width=16
+height=16
+channels=3
+[convolutional]
+batch_normalize=1
+filters=4
+size=3
+stride=1
+pad=1
+activation=leaky
+[maxpool]
+size=2
+stride=2
+[convolutional]
+filters=12
+size=1
+stride=1
+activation=linear
+[region]
+anchors=1,1,2,2
+classes=1
+num=2
+)";
+
+std::filesystem::path temp_weights(const char* name) {
+    return std::filesystem::temp_directory_path() / name;
+}
+
+void randomize_params(Network& net, std::uint64_t seed) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+        for (Param* p : net.layer(static_cast<int>(i)).params()) {
+            rng.fill_uniform(p->v, -1.0f, 1.0f);
+        }
+        if (auto* conv = dynamic_cast<ConvolutionalLayer*>(&net.layer(static_cast<int>(i)))) {
+            if (conv->config().batch_normalize) {
+                rng.fill_uniform(conv->rolling_mean(), -0.5f, 0.5f);
+                rng.fill_uniform(conv->rolling_variance(), 0.5f, 1.5f);
+            }
+        }
+    }
+}
+
+TEST(WeightsIo, RoundTripExact) {
+    Network a = parse_cfg(kCfg);
+    randomize_params(a, 7);
+    a.set_batch_num(50);
+    const auto path = temp_weights("dronet_test_rt.weights");
+    save_weights(a, path);
+
+    Network b = parse_cfg(kCfg);
+    load_weights(b, path);
+    for (std::size_t i = 0; i < a.num_layers(); ++i) {
+        auto pa = a.layer(static_cast<int>(i)).params();
+        auto pb = b.layer(static_cast<int>(i)).params();
+        ASSERT_EQ(pa.size(), pb.size());
+        for (std::size_t j = 0; j < pa.size(); ++j) {
+            EXPECT_EQ(pa[j]->v, pb[j]->v) << "layer " << i << " param " << j;
+        }
+    }
+    EXPECT_EQ(b.batch_num(), 50);
+    EXPECT_EQ(b.region()->seen(), 100);  // batch_num * batch
+    std::filesystem::remove(path);
+}
+
+TEST(WeightsIo, RollingStatsSurvive) {
+    Network a = parse_cfg(kCfg);
+    randomize_params(a, 9);
+    auto& conv_a = dynamic_cast<ConvolutionalLayer&>(a.layer(0));
+    const auto path = temp_weights("dronet_test_bn.weights");
+    save_weights(a, path);
+    Network b = parse_cfg(kCfg);
+    load_weights(b, path);
+    auto& conv_b = dynamic_cast<ConvolutionalLayer&>(b.layer(0));
+    EXPECT_EQ(conv_a.rolling_mean(), conv_b.rolling_mean());
+    EXPECT_EQ(conv_a.rolling_variance(), conv_b.rolling_variance());
+    std::filesystem::remove(path);
+}
+
+TEST(WeightsIo, LoadedNetworkProducesIdenticalOutput) {
+    Network a = parse_cfg(kCfg);
+    randomize_params(a, 11);
+    const auto path = temp_weights("dronet_test_out.weights");
+    save_weights(a, path);
+    Network b = parse_cfg(kCfg);
+    load_weights(b, path);
+    Tensor in(a.input_shape());
+    Rng rng(12);
+    rng.fill_uniform(in.span(), 0.0f, 1.0f);
+    const Tensor& out_a = a.forward(in);
+    const Tensor& out_b = b.forward(in);
+    for (std::int64_t i = 0; i < out_a.size(); ++i) EXPECT_EQ(out_a[i], out_b[i]);
+    std::filesystem::remove(path);
+}
+
+TEST(WeightsIo, TruncatedFileRejected) {
+    Network a = parse_cfg(kCfg);
+    const auto path = temp_weights("dronet_test_trunc.weights");
+    save_weights(a, path);
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+    Network b = parse_cfg(kCfg);
+    EXPECT_THROW(load_weights(b, path), std::runtime_error);
+    std::filesystem::remove(path);
+}
+
+TEST(WeightsIo, OversizedFileRejected) {
+    // Weights for the full net loaded into a smaller structure must fail.
+    Network a = parse_cfg(kCfg);
+    const auto path = temp_weights("dronet_test_big.weights");
+    save_weights(a, path);
+    Network small = parse_cfg(
+        "[net]\nbatch=1\nwidth=16\nheight=16\nchannels=3\n"
+        "[convolutional]\nbatch_normalize=1\nfilters=4\nsize=3\nstride=1\npad=1\n"
+        "activation=leaky\n");
+    EXPECT_THROW(load_weights(small, path), std::runtime_error);
+    std::filesystem::remove(path);
+}
+
+TEST(WeightsIo, MissingFileRejected) {
+    Network a = parse_cfg(kCfg);
+    EXPECT_THROW(load_weights(a, "/no/such/file.weights"), std::runtime_error);
+    EXPECT_THROW(save_weights(a, "/no/such/dir/file.weights"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dronet

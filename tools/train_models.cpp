@@ -1,0 +1,129 @@
+// train_models — trains the four paper architectures on the canonical
+// synthetic benchmark dataset and writes checkpoints usable by the figure
+// benches (see src/models/pretrained.hpp for the file layout).
+//
+// This is the CPU-budget counterpart of the paper's Titan Xp training run
+// (§III.B): reduced filter_scale, reduced input sizes, multi-scale resizing
+// (darknet's trick) so one checkpoint serves the whole input-size sweep.
+//
+// Usage:
+//   train_models [--out DIR] [--iters N] [--filter-scale F] [--train-count N]
+//                [--models DroNet,TinyYoloVoc,...] [--quiet]
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "eval/evaluator.hpp"
+#include "models/model_zoo.hpp"
+#include "models/pretrained.hpp"
+#include "nn/weights_io.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+struct Args {
+    std::filesystem::path out = "weights";
+    int iters = 2400;
+    float filter_scale = 0.35f;
+    int train_count = 120;
+    std::vector<dronet::ModelId> models = dronet::all_models();
+    bool quiet = false;
+};
+
+Args parse_args(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+            return argv[++i];
+        };
+        if (a == "--out") args.out = next();
+        else if (a == "--iters") args.iters = std::stoi(next());
+        else if (a == "--filter-scale") args.filter_scale = std::stof(next());
+        else if (a == "--train-count") args.train_count = std::stoi(next());
+        else if (a == "--quiet") args.quiet = true;
+        else if (a == "--models") {
+            args.models.clear();
+            std::string list = next();
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string name = list.substr(
+                    pos, comma == std::string::npos ? std::string::npos : comma - pos);
+                args.models.push_back(dronet::model_from_string(name));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else {
+            throw std::runtime_error("unknown flag " + a);
+        }
+    }
+    return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace dronet;
+    const Args args = parse_args(argc, argv);
+    std::filesystem::create_directories(args.out);
+
+    // Proxy input-size ladder: maps to the paper's 352..608 sweep at ~0.42x.
+    const std::vector<int> sizes = {128, 160, 192, 224, 256};
+    const int train_size = 192;  // middle of the ladder
+
+    const DetectionDataset train_set = benchmark_train_set(args.train_count);
+    const DetectionDataset test_set = benchmark_test_set();
+    std::printf("dataset: %zu train / %zu test images, %zu train objects\n",
+                train_set.size(), test_set.size(), train_set.total_objects());
+
+    for (ModelId id : args.models) {
+        ModelOptions mo;
+        mo.input_size = train_size;
+        // The widest model trains with a smaller batch to bound CPU time.
+        mo.batch = (id == ModelId::kTinyYoloVoc) ? 2 : 4;
+        mo.filter_scale = args.filter_scale;
+        mo.learning_rate = 2e-3f;
+        mo.burn_in = 50;
+        Network net = build_model(id, mo);
+        net.config().lr_steps = {
+            {static_cast<std::int64_t>(args.iters * 6 / 10), 0.3f},
+            {static_cast<std::int64_t>(args.iters * 85 / 100), 0.3f}};
+        net.region()->set_seen(0);
+        std::printf("=== %s: %lld params, %d iters, batch %d ===\n",
+                    to_string(id).c_str(),
+                    static_cast<long long>(net.total_params()), args.iters, mo.batch);
+
+        TrainConfig tc;
+        tc.iterations = args.iters;
+        tc.multiscale_sizes = sizes;
+        tc.augment.jitter = 0.15f;
+        if (!args.quiet) {
+            tc.on_batch = [](const TrainLogEntry& e) {
+                if (e.iteration % 200 == 0) {
+                    std::printf("  iter %4d loss %8.3f avg %8.3f iou %.3f recall %.2f\n",
+                                e.iteration, e.loss, e.avg_loss, e.avg_iou, e.recall50);
+                    std::fflush(stdout);
+                }
+            };
+        }
+        Trainer trainer(net, train_set, tc);
+        trainer.run();
+
+        net.set_batch(1);
+        net.resize_input(train_size, train_size);
+        const DetectionMetrics m = evaluate_detector(net, test_set, {});
+        std::printf("  test@%d: sens %.3f prec %.3f iou %.3f\n", train_size,
+                    m.sensitivity(), m.precision(), m.avg_iou());
+
+        save_weights(net, args.out / (to_string(id) + ".weights"));
+        write_meta(PretrainedMeta{args.filter_scale, 1, train_size},
+                   args.out / (to_string(id) + ".meta"));
+        std::printf("  saved %s\n", (args.out / (to_string(id) + ".weights")).c_str());
+        std::fflush(stdout);
+    }
+    return 0;
+}
