@@ -1,0 +1,98 @@
+// bench_serve_throughput — scaling curve of the multi-worker detection
+// service: frames/s and tail latency as the worker count sweeps
+// 1..hardware_concurrency at input size 512 (paper-scale input on the
+// full DroNet architecture, random weights — timing only).
+//
+// Output: one JSON line per worker count, same style as the other bench_*
+// harnesses, plus a human-readable summary table on stderr.
+//
+//   DRONET_BENCH_SERVE_FRAMES=N   frames per sweep point (default 48)
+//   DRONET_BENCH_SERVE_SIZE=S     input size (default 512)
+//   DRONET_BENCH_SERVE_MAX_WORKERS=N  sweep ceiling (default
+//                                     hardware_concurrency; raise to probe
+//                                     oversubscription on small hosts)
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/model_zoo.hpp"
+#include "serve/detection_service.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+    if (const char* v = std::getenv(name)) return std::max(1, std::atoi(v));
+    return fallback;
+}
+
+}  // namespace
+
+int main() {
+    using namespace dronet;
+    const int size = env_int("DRONET_BENCH_SERVE_SIZE", 512);
+    const int frames_per_point = env_int("DRONET_BENCH_SERVE_FRAMES", 48);
+    const int max_workers = env_int(
+        "DRONET_BENCH_SERVE_MAX_WORKERS",
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+
+    Network net = build_model(ModelId::kDroNet, {.input_size = size});
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(size), 16, /*seed=*/0xbeef);
+
+    std::printf("# serve throughput sweep: DroNet@%d, %d frames/point, "
+                "1..%d workers\n",
+                size, frames_per_point, max_workers);
+    double fps_at_1 = 0;
+    for (int workers = 1; workers <= max_workers; ++workers) {
+        serve::ServiceConfig sc;
+        sc.workers = workers;
+        sc.queue_capacity = static_cast<std::size_t>(2 * workers);
+        sc.policy = serve::BackpressurePolicy::kBlock;
+        serve::DetectionService service(net, sc);
+
+        // Warm-up: one frame per worker (first-touch allocations, caches).
+        {
+            std::vector<std::future<serve::ServeResult>> warm;
+            for (int i = 0; i < workers; ++i) {
+                warm.push_back(service.submit(frames.image(
+                    static_cast<std::size_t>(i) % frames.size())));
+            }
+            for (auto& f : warm) (void)f.get();
+        }
+        const serve::ServeStatsSnapshot before = service.stats();
+
+        std::vector<std::future<serve::ServeResult>> futures;
+        futures.reserve(static_cast<std::size_t>(frames_per_point));
+        for (int f = 0; f < frames_per_point; ++f) {
+            futures.push_back(
+                service.submit(frames.image(static_cast<std::size_t>(f) % frames.size())));
+        }
+        for (auto& fut : futures) (void)fut.get();
+        service.drain();
+
+        serve::ServeStatsSnapshot snap = service.stats();
+        // Remove the warm-up frames from the throughput view (latency
+        // histograms still include them; tails are conservative).
+        const double measured_wall = snap.wall_seconds - before.wall_seconds;
+        const double measured =
+            measured_wall > 0
+                ? static_cast<double>(snap.completed - before.completed) /
+                      measured_wall
+                : 0.0;
+        if (workers == 1) fps_at_1 = measured;
+        std::printf("{\"bench\":\"serve_throughput\",\"model\":\"DroNet\","
+                    "\"size\":%d,\"workers\":%d,\"frames\":%d,"
+                    "\"frames_per_s\":%.2f,\"speedup_vs_1\":%.2f,"
+                    "\"p50_ms\":%.2f,\"p99_ms\":%.2f,\"forward_p50_ms\":%.2f,"
+                    "\"queue_wait_p50_ms\":%.2f}\n",
+                    size, workers, frames_per_point, measured,
+                    fps_at_1 > 0 ? measured / fps_at_1 : 0.0, snap.total.p50_ms,
+                    snap.total.p99_ms, snap.forward.p50_ms, snap.queue_wait.p50_ms);
+        std::fflush(stdout);
+        service.stop();
+    }
+    return 0;
+}

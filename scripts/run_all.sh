@@ -14,6 +14,15 @@ fi
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+# ThreadSanitizer pass over the threaded code paths (bounded queue,
+# DetectionService workers, threaded GEMM): rebuild the `concurrency`-labeled
+# tests in a dedicated sanitized tree and run just that label.
+cmake -B build-tsan -G Ninja -DDRONET_SANITIZE=thread \
+  -DDRONET_BUILD_BENCH=OFF -DDRONET_BUILD_EXAMPLES=OFF
+cmake --build build-tsan
+ctest --test-dir build-tsan -L concurrency --output-on-failure 2>&1 \
+  | tee tsan_output.txt
+
 for b in build/bench/*; do
   echo "===== $b ====="
   "$b"

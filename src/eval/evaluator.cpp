@@ -1,5 +1,6 @@
 #include "eval/evaluator.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "detect/nms.hpp"
@@ -24,30 +25,54 @@ Detections unletterbox(Detections dets, const Letterbox& lb, int net_w, int net_
     return dets;
 }
 
+// Milliseconds elapsed since `since`, and resets `since` to now. No-op cost
+// when the caller passed no timings sink.
+double lap_ms(std::chrono::steady_clock::time_point& since) {
+    const auto now = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(now - since).count();
+    since = now;
+    return ms;
+}
+
 }  // namespace
 
 Detections detect_image(Network& net, const Image& image, const EvalConfig& config) {
+    return detect_image_timed(net, image, config, nullptr);
+}
+
+Detections detect_image_timed(Network& net, const Image& image,
+                              const EvalConfig& config, DetectStageTimings* timings) {
     RegionLayer* head = net.region();
     if (head == nullptr) throw std::logic_error("detect_image: network has no region layer");
     if (net.config().batch != 1) net.set_batch(1);
     const Shape in = net.input_shape();
     Tensor input(in);
+    auto mark = std::chrono::steady_clock::now();
     if (config.use_letterbox &&
         (image.width() != in.w || image.height() != in.h)) {
         const Letterbox lb = letterbox(image, in.w, in.h);
         lb.image.copy_to_batch(input, 0);
+        if (timings != nullptr) timings->preprocess_ms = lap_ms(mark);
         net.forward(input, /*train=*/false);
+        if (timings != nullptr) timings->forward_ms = lap_ms(mark);
         Detections dets = unletterbox(head->decode(0), lb, in.w, in.h, image.width(),
                                       image.height());
-        return postprocess(dets, config.score_threshold, config.nms_threshold);
+        dets = postprocess(dets, config.score_threshold, config.nms_threshold);
+        if (timings != nullptr) timings->postprocess_ms = lap_ms(mark);
+        return dets;
     }
     if (image.width() == in.w && image.height() == in.h && image.channels() == in.c) {
         image.copy_to_batch(input, 0);
     } else {
         resize_bilinear(image, in.w, in.h).copy_to_batch(input, 0);
     }
+    if (timings != nullptr) timings->preprocess_ms = lap_ms(mark);
     net.forward(input, /*train=*/false);
-    return postprocess(head->decode(0), config.score_threshold, config.nms_threshold);
+    if (timings != nullptr) timings->forward_ms = lap_ms(mark);
+    Detections dets =
+        postprocess(head->decode(0), config.score_threshold, config.nms_threshold);
+    if (timings != nullptr) timings->postprocess_ms = lap_ms(mark);
+    return dets;
 }
 
 DetectionMetrics evaluate_detector(Network& net, const DetectionDataset& ds,

@@ -21,9 +21,23 @@ struct EvalConfig {
     bool use_letterbox = false;
 };
 
+/// Per-stage wall-clock breakdown of one detect_image call, in milliseconds.
+/// Feeds the serving layer's latency histograms (src/serve).
+struct DetectStageTimings {
+    double preprocess_ms = 0;   ///< resize/letterbox + NCHW copy
+    double forward_ms = 0;      ///< network forward pass
+    double postprocess_ms = 0;  ///< decode + score filter + NMS (+ unletterbox)
+};
+
 /// Runs `net` (batch 1) on one image and returns post-processed detections.
 [[nodiscard]] Detections detect_image(Network& net, const Image& image,
                                       const EvalConfig& config = {});
+
+/// Same computation as detect_image (bit-identical results), additionally
+/// filling `timings` when non-null.
+[[nodiscard]] Detections detect_image_timed(Network& net, const Image& image,
+                                            const EvalConfig& config,
+                                            DetectStageTimings* timings);
 
 /// Evaluates the detector over every image of `ds`.
 [[nodiscard]] DetectionMetrics evaluate_detector(Network& net, const DetectionDataset& ds,

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <functional>
+#include <mutex>
 
 namespace dronet {
 
@@ -31,6 +32,32 @@ class FpsMeter {
     double max_ms_ = 0;
     int frames_ = 0;
     bool open_ = false;
+};
+
+/// Thread-safe FPS/latency aggregator for multi-worker serving: frames
+/// overlap in time, so per-frame latency is reported by each worker via
+/// record_latency_ms() and throughput is wall-clock from the first to the
+/// last recorded frame (not the sum of latencies, which double-counts
+/// concurrent work).
+class ConcurrentFpsMeter {
+  public:
+    /// Records one completed frame with its end-to-end latency.
+    void record_latency_ms(double ms);
+
+    [[nodiscard]] int frames() const;
+    [[nodiscard]] double mean_latency_ms() const;
+    [[nodiscard]] double max_latency_ms() const;
+    /// Frames per wall-clock second across all workers.
+    [[nodiscard]] double fps() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    mutable std::mutex mu_;
+    Clock::time_point first_{};
+    Clock::time_point last_{};
+    double total_ms_ = 0;
+    double max_ms_ = 0;
+    int frames_ = 0;
 };
 
 }  // namespace dronet

@@ -1,0 +1,135 @@
+// Bounded multi-producer/multi-consumer queue with pluggable backpressure.
+//
+// The serving layer's robustness story for live video: when frames arrive
+// faster than the workers drain them, the queue either blocks the producer
+// (batch jobs, lossless), rejects the new frame (load shedding at the edge),
+// or evicts the oldest queued frame (live streams, where the newest frame is
+// the most valuable one). All three policies are exercised under TSan by the
+// `concurrency`-labeled tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dronet::serve {
+
+enum class BackpressurePolicy {
+    kBlock,      ///< push() waits for space (lossless; producers throttle)
+    kReject,     ///< push() fails immediately when full
+    kDropOldest, ///< push() evicts the oldest queued item to make room
+};
+
+[[nodiscard]] constexpr const char* to_string(BackpressurePolicy p) noexcept {
+    switch (p) {
+        case BackpressurePolicy::kBlock: return "block";
+        case BackpressurePolicy::kReject: return "reject";
+        case BackpressurePolicy::kDropOldest: return "drop-oldest";
+    }
+    return "?";
+}
+
+enum class PushOutcome {
+    kEnqueued,       ///< item accepted
+    kRejected,       ///< queue full under kReject, item returned to caller
+    kEvictedOldest,  ///< item accepted; the oldest item was evicted
+    kClosed,         ///< queue closed, item returned to caller
+};
+
+template <typename T>
+class BoundedQueue {
+  public:
+    explicit BoundedQueue(std::size_t capacity,
+                          BackpressurePolicy policy = BackpressurePolicy::kBlock)
+        : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Enqueues `item` according to the backpressure policy. On kRejected or
+    /// kClosed the argument is left unconsumed (not moved from). On
+    /// kEvictedOldest the evicted element is moved into `*evicted` when the
+    /// caller provides one (so a serving layer can fail that frame's future).
+    PushOutcome push(T&& item, std::optional<T>* evicted = nullptr) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (policy_ == BackpressurePolicy::kBlock) {
+            not_full_.wait(lock,
+                           [&] { return closed_ || items_.size() < capacity_; });
+        }
+        if (closed_) return PushOutcome::kClosed;
+        PushOutcome outcome = PushOutcome::kEnqueued;
+        if (items_.size() >= capacity_) {
+            if (policy_ == BackpressurePolicy::kReject) return PushOutcome::kRejected;
+            // kDropOldest (kBlock can't get here: the wait above guarantees room).
+            if (evicted != nullptr) *evicted = std::move(items_.front());
+            items_.pop_front();
+            outcome = PushOutcome::kEvictedOldest;
+        }
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return outcome;
+    }
+
+    /// Blocks until an item is available or the queue is closed and drained;
+    /// returns nullopt only in the latter case.
+    std::optional<T> pop() {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return std::nullopt;  // closed and drained
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Non-blocking pop; false when empty (regardless of closed state).
+    bool try_pop(T& out) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (items_.empty()) return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return true;
+    }
+
+    /// Closes the queue: subsequent pushes fail with kClosed, blocked
+    /// producers and consumers wake up. Items already queued remain poppable.
+    void close() {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    const std::size_t capacity_;
+    const BackpressurePolicy policy_;
+    bool closed_ = false;
+};
+
+}  // namespace dronet::serve

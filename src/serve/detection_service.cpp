@@ -1,0 +1,152 @@
+#include "serve/detection_service.hpp"
+
+#include <stdexcept>
+
+#include "eval/evaluator.hpp"
+#include "nn/clone.hpp"
+
+namespace dronet::serve {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t)
+        .count();
+}
+
+}  // namespace
+
+DetectionService::DetectionService(const Network& prototype, ServiceConfig config)
+    : config_(config),
+      altitude_filter_(config.pipeline.camera, config.pipeline.size_prior),
+      queue_(config.queue_capacity, config.policy) {
+    if (config_.workers <= 0) {
+        throw std::invalid_argument("DetectionService: workers must be positive");
+    }
+    if (prototype.region() == nullptr) {
+        throw std::invalid_argument("DetectionService: network has no region layer");
+    }
+    replicas_.reserve(static_cast<std::size_t>(config_.workers));
+    for (int i = 0; i < config_.workers; ++i) {
+        auto replica = std::make_unique<Network>(clone_network(prototype));
+        replica->set_batch(1);
+        replicas_.push_back(std::move(replica));
+    }
+    threads_.reserve(static_cast<std::size_t>(config_.workers));
+    for (int i = 0; i < config_.workers; ++i) {
+        threads_.emplace_back(&DetectionService::worker_loop, this,
+                              static_cast<std::size_t>(i));
+    }
+}
+
+DetectionService::~DetectionService() { stop(); }
+
+std::future<ServeResult> DetectionService::submit(Image frame) {
+    Job job;
+    job.frame = std::move(frame);
+    job.frame_index = next_index_.fetch_add(1, std::memory_order_relaxed);
+    job.submit_time = std::chrono::steady_clock::now();
+    std::future<ServeResult> future = job.promise.get_future();
+    stats_.record_submitted();
+
+    if (stopped_.load(std::memory_order_acquire)) {
+        ServeResult r;
+        r.status = ServeStatus::kRejected;
+        r.frame.frame_index = job.frame_index;
+        stats_.record_rejected();
+        job.promise.set_value(std::move(r));
+        return future;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        ++accepted_;
+    }
+    std::optional<Job> evicted;
+    const PushOutcome outcome = queue_.push(std::move(job), &evicted);
+    switch (outcome) {
+        case PushOutcome::kEnqueued:
+            break;
+        case PushOutcome::kEvictedOldest: {
+            ServeResult r;
+            r.status = ServeStatus::kDropped;
+            r.frame.frame_index = evicted->frame_index;
+            stats_.record_dropped();
+            evicted->promise.set_value(std::move(r));
+            finish_one();  // the evicted frame, not the new one
+            break;
+        }
+        case PushOutcome::kRejected:
+        case PushOutcome::kClosed: {
+            // push() does not consume its argument on these outcomes, so
+            // `job` (and its promise) is still ours to resolve.
+            ServeResult r;
+            r.status = ServeStatus::kRejected;
+            r.frame.frame_index = job.frame_index;
+            stats_.record_rejected();
+            job.promise.set_value(std::move(r));
+            finish_one();  // was counted accepted above; balance the books
+            break;
+        }
+    }
+    return future;
+}
+
+void DetectionService::worker_loop(std::size_t worker_id) {
+    Network& net = *replicas_[worker_id];
+    while (true) {
+        std::optional<Job> job = queue_.pop();
+        if (!job) return;  // queue closed and drained
+        ServeResult r;
+        r.status = ServeStatus::kOk;
+        r.frame.frame_index = job->frame_index;
+        r.timings.queue_wait_ms = ms_since(job->submit_time);
+        DetectStageTimings stages;
+        try {
+            r.frame.detections =
+                detect_image_timed(net, job->frame, config_.pipeline.eval, &stages);
+            if (config_.pipeline.altitude_filter_enabled) {
+                const auto t0 = std::chrono::steady_clock::now();
+                r.frame.detections =
+                    altitude_filter_.apply(r.frame.detections, config_.pipeline.altitude_m);
+                stages.postprocess_ms += ms_since(t0);
+            }
+            r.timings.preprocess_ms = stages.preprocess_ms;
+            r.timings.forward_ms = stages.forward_ms;
+            r.timings.postprocess_ms = stages.postprocess_ms;
+            r.frame.latency_ms = r.timings.total_ms();
+            stats_.record_completed(r.timings);
+            job->promise.set_value(std::move(r));
+        } catch (...) {
+            job->promise.set_exception(std::current_exception());
+        }
+        finish_one();
+    }
+}
+
+void DetectionService::finish_one() {
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        ++resolved_;
+    }
+    inflight_cv_.notify_all();
+}
+
+void DetectionService::drain() {
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait(lock, [&] { return resolved_ >= accepted_; });
+}
+
+void DetectionService::stop() {
+    stopped_.store(true, std::memory_order_release);
+    queue_.close();
+    // Serialize joins so stop() is safe to call from several threads (and
+    // again from the destructor).
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    for (auto& t : threads_) {
+        if (t.joinable()) t.join();
+    }
+}
+
+}  // namespace dronet::serve

@@ -1,0 +1,128 @@
+// Multi-worker detection service: the serving counterpart of the serial
+// DetectionPipeline.
+//
+// The paper's deployment loop feeds one camera into one CPU pipeline; the
+// production target is many streams on a multi-core host. DetectionService
+// owns N worker threads, each with its own Network replica (same weights,
+// cloned via clone_network so per-layer activations and im2col workspaces
+// never race), fed from one bounded MPMC queue. Whole frames are the unit of
+// scheduling, so detections are bit-identical to the serial pipeline — the
+// same detect_image code path runs, just on a replica.
+//
+//   DetectionService service(net, {.workers = 4});
+//   auto f = service.submit(frame);          // non-blocking (policy-dependent)
+//   ServeResult r = f.get();                 // detections + status + timings
+//   service.drain();                         // barrier for batch jobs
+//   std::puts(service.stats().to_json().c_str());
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "serve/bounded_queue.hpp"
+#include "serve/serve_stats.hpp"
+#include "video/pipeline.hpp"
+
+namespace dronet::serve {
+
+enum class ServeStatus {
+    kOk,        ///< frame was processed; detections valid
+    kDropped,   ///< evicted from the queue by kDropOldest backpressure
+    kRejected,  ///< refused at submit (kReject policy full, or service stopped)
+};
+
+[[nodiscard]] constexpr const char* to_string(ServeStatus s) noexcept {
+    switch (s) {
+        case ServeStatus::kOk: return "ok";
+        case ServeStatus::kDropped: return "dropped";
+        case ServeStatus::kRejected: return "rejected";
+    }
+    return "?";
+}
+
+/// Outcome of one submitted frame. `frame.detections` is empty unless
+/// status == kOk.
+struct ServeResult {
+    ServeStatus status = ServeStatus::kOk;
+    FrameResult frame;     ///< index, detections, end-to-end latency
+    FrameTimings timings;  ///< per-stage breakdown (zeros unless kOk)
+};
+
+struct ServiceConfig {
+    int workers = 2;
+    std::size_t queue_capacity = 16;
+    BackpressurePolicy policy = BackpressurePolicy::kBlock;
+    /// Post-processing thresholds and the optional altitude prior, shared
+    /// with the serial DetectionPipeline for identical results.
+    PipelineConfig pipeline;
+};
+
+class DetectionService {
+  public:
+    /// Builds `config.workers` independent replicas of `prototype` (which is
+    /// only read during construction and may be used freely afterwards) and
+    /// starts the worker threads. Throws std::invalid_argument for a
+    /// prototype without a region layer or a non-positive worker count.
+    DetectionService(const Network& prototype, ServiceConfig config);
+
+    /// Stops accepting work, waits for queued frames, joins the workers.
+    ~DetectionService();
+
+    DetectionService(const DetectionService&) = delete;
+    DetectionService& operator=(const DetectionService&) = delete;
+
+    /// Enqueues one frame. Thread-safe (any number of producer streams).
+    /// Frame indices are assigned in submission order. Under kBlock this
+    /// call waits for queue space; under kReject/kDropOldest it returns
+    /// immediately (the returned future resolves with the corresponding
+    /// status for shed frames).
+    [[nodiscard]] std::future<ServeResult> submit(Image frame);
+
+    /// Blocks until every accepted frame has resolved (completed or
+    /// dropped). Producers should be quiescent while draining.
+    void drain();
+
+    /// Closes the queue, drains in-flight work and joins all workers.
+    /// Subsequent submits resolve as kRejected. Idempotent.
+    void stop();
+
+    [[nodiscard]] ServeStatsSnapshot stats() const { return stats_.snapshot(); }
+    [[nodiscard]] int workers() const noexcept { return config_.workers; }
+    [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+  private:
+    struct Job {
+        Image frame;
+        std::promise<ServeResult> promise;
+        int frame_index = 0;
+        std::chrono::steady_clock::time_point submit_time;
+    };
+
+    void worker_loop(std::size_t worker_id);
+    void finish_one();
+
+    ServiceConfig config_;
+    AltitudeFilter altitude_filter_;
+    std::vector<std::unique_ptr<Network>> replicas_;
+    BoundedQueue<Job> queue_;
+    ServeStats stats_;
+    std::vector<std::thread> threads_;
+
+    std::atomic<int> next_index_{0};
+    std::atomic<bool> stopped_{false};
+    std::mutex stop_mu_;  ///< serializes thread joins across stop() callers
+
+    // drain() bookkeeping: frames accepted into the queue vs. resolved.
+    mutable std::mutex inflight_mu_;
+    std::condition_variable inflight_cv_;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t resolved_ = 0;
+};
+
+}  // namespace dronet::serve

@@ -1,0 +1,167 @@
+#include "serve/serve_stats.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+namespace dronet::serve {
+
+namespace {
+
+// Bucket i covers (kMinMs * kGrowth^(i-1), kMinMs * kGrowth^i]; bucket 0
+// additionally absorbs everything below kMinMs.
+constexpr double kMinMs = 1e-3;   // 1 us
+constexpr double kGrowth = 1.33;  // 64 buckets reach ~6.5e4 ms
+
+double now_seconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+StageSummary summarize(const LatencyHistogram& h) {
+    StageSummary s;
+    s.count = h.count();
+    s.mean_ms = h.mean_ms();
+    s.p50_ms = h.percentile(50);
+    s.p95_ms = h.percentile(95);
+    s.p99_ms = h.percentile(99);
+    s.max_ms = h.max_ms();
+    return s;
+}
+
+void json_stage(std::ostringstream& os, const char* name, const StageSummary& s) {
+    os << "\"" << name << "\":{\"mean_ms\":" << s.mean_ms
+       << ",\"p50_ms\":" << s.p50_ms << ",\"p95_ms\":" << s.p95_ms
+       << ",\"p99_ms\":" << s.p99_ms << ",\"max_ms\":" << s.max_ms << "}";
+}
+
+}  // namespace
+
+int LatencyHistogram::bucket_of(double ms) noexcept {
+    if (!(ms > kMinMs)) return 0;  // also catches NaN / negatives
+    const int b = static_cast<int>(std::ceil(std::log(ms / kMinMs) / std::log(kGrowth)));
+    return std::clamp(b, 0, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_upper_ms(int bucket) noexcept {
+    return kMinMs * std::pow(kGrowth, bucket);
+}
+
+void LatencyHistogram::record(double ms) noexcept {
+    if (std::isnan(ms) || ms < 0) ms = 0;
+    ++buckets_[static_cast<std::size_t>(bucket_of(ms))];
+    ++count_;
+    total_ms_ += ms;
+    max_ms_ = std::max(max_ms_, ms);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+    for (int i = 0; i < kBuckets; ++i) {
+        buckets_[static_cast<std::size_t>(i)] +=
+            other.buckets_[static_cast<std::size_t>(i)];
+    }
+    count_ += other.count_;
+    total_ms_ += other.total_ms_;
+    max_ms_ = std::max(max_ms_, other.max_ms_);
+}
+
+double LatencyHistogram::mean_ms() const noexcept {
+    return count_ > 0 ? total_ms_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::percentile(double p) const noexcept {
+    if (count_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(i)];
+        if (in_bucket == 0) continue;
+        if (static_cast<double>(seen + in_bucket) >= rank) {
+            // Linear interpolation inside the bucket keeps small-sample
+            // percentiles from snapping to bucket edges.
+            const double lower = i == 0 ? 0.0 : bucket_upper_ms(i - 1);
+            const double upper = std::min(bucket_upper_ms(i), max_ms_);
+            const double frac =
+                in_bucket > 0
+                    ? (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket)
+                    : 1.0;
+            return lower + std::clamp(frac, 0.0, 1.0) * (std::max(upper, lower) - lower);
+        }
+        seen += in_bucket;
+    }
+    return max_ms_;
+}
+
+void ServeStats::record_submitted() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    if (!clock_started_) {
+        clock_started_ = true;
+        first_submit_s_ = now_seconds();
+    }
+}
+
+void ServeStats::record_rejected() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_;
+}
+
+void ServeStats::record_dropped() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dropped_;
+}
+
+void ServeStats::record_completed(const FrameTimings& t) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+    last_done_s_ = now_seconds();
+    queue_wait_.record(t.queue_wait_ms);
+    preprocess_.record(t.preprocess_ms);
+    forward_.record(t.forward_ms);
+    postprocess_.record(t.postprocess_ms);
+    total_.record(t.total_ms());
+}
+
+ServeStatsSnapshot ServeStats::snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    ServeStatsSnapshot s;
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.dropped = dropped_;
+    s.rejected = rejected_;
+    s.wall_seconds =
+        clock_started_ ? std::max(0.0, last_done_s_ - first_submit_s_) : 0.0;
+    s.throughput_fps = s.wall_seconds > 0
+                           ? static_cast<double>(completed_) / s.wall_seconds
+                           : 0.0;
+    s.queue_wait = summarize(queue_wait_);
+    s.preprocess = summarize(preprocess_);
+    s.forward = summarize(forward_);
+    s.postprocess = summarize(postprocess_);
+    s.total = summarize(total_);
+    return s;
+}
+
+std::string ServeStatsSnapshot::to_json() const {
+    std::ostringstream os;
+    os << "{\"submitted\":" << submitted << ",\"completed\":" << completed
+       << ",\"dropped\":" << dropped << ",\"rejected\":" << rejected
+       << ",\"wall_seconds\":" << wall_seconds
+       << ",\"throughput_fps\":" << throughput_fps << ",";
+    json_stage(os, "queue_wait", queue_wait);
+    os << ",";
+    json_stage(os, "preprocess", preprocess);
+    os << ",";
+    json_stage(os, "forward", forward);
+    os << ",";
+    json_stage(os, "postprocess", postprocess);
+    os << ",";
+    json_stage(os, "total", total);
+    os << "}";
+    return os.str();
+}
+
+}  // namespace dronet::serve

@@ -1,0 +1,108 @@
+// Latency/throughput instrumentation for the detection service.
+//
+// Each completed frame records four stage durations (queue wait, preprocess,
+// network forward, postprocess) plus the end-to-end total into log-spaced
+// histograms, from which p50/p95/p99 are interpolated. The recorder is
+// thread-safe (workers report concurrently); snapshot() returns a plain
+// struct and to_json() a single line for the bench harnesses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace dronet::serve {
+
+/// Log-spaced latency histogram covering 1 us .. ~107 s (64 buckets, x1.33
+/// per step). Records are clamped into the covered range. Not thread-safe on
+/// its own; ServeStats serializes access.
+class LatencyHistogram {
+  public:
+    static constexpr int kBuckets = 64;
+
+    void record(double ms) noexcept;
+    void merge(const LatencyHistogram& other) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] double mean_ms() const noexcept;
+    [[nodiscard]] double max_ms() const noexcept { return max_ms_; }
+    /// Interpolated percentile, p in [0,100]. Returns 0 with no samples.
+    [[nodiscard]] double percentile(double p) const noexcept;
+
+  private:
+    [[nodiscard]] static int bucket_of(double ms) noexcept;
+    [[nodiscard]] static double bucket_upper_ms(int bucket) noexcept;
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double total_ms_ = 0;
+    double max_ms_ = 0;
+};
+
+/// Summary of one pipeline stage, derived from its histogram.
+struct StageSummary {
+    std::uint64_t count = 0;
+    double mean_ms = 0;
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
+    double max_ms = 0;
+};
+
+/// Stage durations of one served frame, in milliseconds.
+struct FrameTimings {
+    double queue_wait_ms = 0;
+    double preprocess_ms = 0;
+    double forward_ms = 0;
+    double postprocess_ms = 0;
+    [[nodiscard]] double total_ms() const noexcept {
+        return queue_wait_ms + preprocess_ms + forward_ms + postprocess_ms;
+    }
+};
+
+/// Consistent point-in-time view of the service counters and latencies.
+struct ServeStatsSnapshot {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;   ///< evicted by kDropOldest
+    std::uint64_t rejected = 0;  ///< refused by kReject (or closed queue)
+    double wall_seconds = 0;     ///< first submit -> last completion
+    double throughput_fps = 0;   ///< completed / wall_seconds
+    StageSummary queue_wait;
+    StageSummary preprocess;
+    StageSummary forward;
+    StageSummary postprocess;
+    StageSummary total;
+
+    /// One-line JSON object (stable key order) for bench harnesses.
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// Thread-safe recorder shared by all service workers.
+class ServeStats {
+  public:
+    void record_submitted() noexcept;
+    void record_rejected() noexcept;
+    void record_dropped() noexcept;
+    void record_completed(const FrameTimings& timings) noexcept;
+
+    [[nodiscard]] ServeStatsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t rejected_ = 0;
+    bool clock_started_ = false;
+    double first_submit_s_ = 0;  ///< steady-clock seconds
+    double last_done_s_ = 0;
+    LatencyHistogram queue_wait_;
+    LatencyHistogram preprocess_;
+    LatencyHistogram forward_;
+    LatencyHistogram postprocess_;
+    LatencyHistogram total_;
+};
+
+}  // namespace dronet::serve

@@ -1,0 +1,365 @@
+// Concurrency tests for the serving subsystem (src/serve): bounded-queue
+// semantics under contention, latency-histogram math, network replication
+// fidelity, and the determinism contract — a multi-worker DetectionService
+// must produce bit-identical detections to the serial DetectionPipeline.
+// These tests carry the `concurrency` ctest label and run under TSan in
+// scripts/run_all.sh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/clone.hpp"
+#include "serve/bounded_queue.hpp"
+#include "serve/detection_service.hpp"
+#include "serve/serve_stats.hpp"
+#include "video/pipeline.hpp"
+
+namespace dronet {
+namespace {
+
+using serve::BackpressurePolicy;
+using serve::BoundedQueue;
+using serve::DetectionService;
+using serve::LatencyHistogram;
+using serve::PushOutcome;
+using serve::ServeResult;
+using serve::ServeStatus;
+
+// ---- BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueue, FifoSingleThread) {
+    BoundedQueue<int> q(4);
+    std::optional<int> evicted;
+    EXPECT_EQ(q.push(1, &evicted), PushOutcome::kEnqueued);
+    EXPECT_EQ(q.push(2, &evicted), PushOutcome::kEnqueued);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    int out = 0;
+    EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(BoundedQueue, MultiProducerMultiConsumerDeliversEachItemOnce) {
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 500;
+    BoundedQueue<int> q(8);
+    std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                int item = p * kPerProducer + i;
+                ASSERT_EQ(q.push(std::move(item)), PushOutcome::kEnqueued);
+            }
+        });
+    }
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            while (auto item = q.pop()) {
+                seen[static_cast<std::size_t>(*item)].fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    q.close();
+    for (auto& t : consumers) t.join();
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i].load(), 1) << "item " << i;
+    }
+}
+
+TEST(BoundedQueue, BlockPolicyBlocksProducerUntilSpace) {
+    BoundedQueue<int> q(1, BackpressurePolicy::kBlock);
+    ASSERT_EQ(q.push(1), PushOutcome::kEnqueued);
+    std::atomic<bool> second_push_done{false};
+    std::thread producer([&] {
+        int item = 2;
+        EXPECT_EQ(q.push(std::move(item)), PushOutcome::kEnqueued);
+        second_push_done.store(true);
+    });
+    // The producer must be parked: the queue is full.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(second_push_done.load());
+    EXPECT_EQ(q.pop(), 1);  // frees a slot
+    producer.join();
+    EXPECT_TRUE(second_push_done.load());
+    EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueue, RejectPolicyFailsFastWhenFull) {
+    BoundedQueue<int> q(2, BackpressurePolicy::kReject);
+    EXPECT_EQ(q.push(1), PushOutcome::kEnqueued);
+    EXPECT_EQ(q.push(2), PushOutcome::kEnqueued);
+    int item = 3;
+    EXPECT_EQ(q.push(std::move(item)), PushOutcome::kRejected);
+    EXPECT_EQ(item, 3);  // not consumed
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop(), 1);  // FIFO intact
+}
+
+TEST(BoundedQueue, DropOldestEvictsHeadAndReportsIt) {
+    BoundedQueue<int> q(2, BackpressurePolicy::kDropOldest);
+    EXPECT_EQ(q.push(1), PushOutcome::kEnqueued);
+    EXPECT_EQ(q.push(2), PushOutcome::kEnqueued);
+    std::optional<int> evicted;
+    EXPECT_EQ(q.push(3, &evicted), PushOutcome::kEvictedOldest);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+    BoundedQueue<int> q(2);
+    std::atomic<bool> got_nullopt{false};
+    std::thread consumer([&] {
+        got_nullopt.store(!q.pop().has_value());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+    consumer.join();
+    EXPECT_TRUE(got_nullopt.load());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+    BoundedQueue<int> q(1, BackpressurePolicy::kBlock);
+    ASSERT_EQ(q.push(1), PushOutcome::kEnqueued);
+    std::atomic<bool> got_closed{false};
+    std::thread producer([&] {
+        int item = 2;
+        got_closed.store(q.push(std::move(item)) == PushOutcome::kClosed);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    q.close();
+    producer.join();
+    EXPECT_TRUE(got_closed.load());
+    // Already-queued items stay poppable after close.
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, PushAfterCloseReturnsClosed) {
+    BoundedQueue<int> q(4);
+    q.close();
+    int item = 1;
+    EXPECT_EQ(q.push(std::move(item)), PushOutcome::kClosed);
+}
+
+// ---- LatencyHistogram -------------------------------------------------------
+
+TEST(LatencyHistogram, CountMeanMax) {
+    LatencyHistogram h;
+    h.record(1.0);
+    h.record(2.0);
+    h.record(3.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_NEAR(h.mean_ms(), 2.0, 1e-9);
+    EXPECT_NEAR(h.max_ms(), 3.0, 1e-9);
+}
+
+TEST(LatencyHistogram, PercentilesBracketTrueValues) {
+    LatencyHistogram h;
+    for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i) * 0.1);  // 0.1..100 ms
+    // Log-bucketed percentiles carry one bucket (x1.33) of resolution error.
+    EXPECT_NEAR(h.percentile(50), 50.0, 50.0 * 0.35);
+    EXPECT_NEAR(h.percentile(99), 99.0, 99.0 * 0.35);
+    EXPECT_GE(h.percentile(99), h.percentile(50));
+    EXPECT_LE(h.percentile(100), h.max_ms() + 1e-9);
+    EXPECT_EQ(LatencyHistogram{}.percentile(50), 0.0);
+}
+
+TEST(LatencyHistogram, MergeAccumulates) {
+    LatencyHistogram a, b;
+    a.record(1.0);
+    b.record(9.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_NEAR(a.mean_ms(), 5.0, 1e-9);
+    EXPECT_NEAR(a.max_ms(), 9.0, 1e-9);
+}
+
+// ---- clone_network ----------------------------------------------------------
+
+TEST(CloneNetwork, ReplicaForwardIsBitIdentical) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.5f});
+    Network replica = clone_network(net);
+    EXPECT_EQ(replica.describe(), net.describe());
+    EXPECT_EQ(replica.total_params(), net.total_params());
+
+    Tensor input(net.input_shape());
+    Rng rng(123);
+    for (std::int64_t i = 0; i < input.size(); ++i) {
+        input.data()[i] = rng.uniform(-1.0f, 1.0f);
+    }
+    const Tensor& out_a = net.forward(input, false);
+    const Tensor& out_b = replica.forward(input, false);
+    ASSERT_EQ(out_a.size(), out_b.size());
+    for (std::int64_t i = 0; i < out_a.size(); ++i) {
+        ASSERT_EQ(out_a.data()[i], out_b.data()[i]) << "element " << i;
+    }
+}
+
+// ---- DetectionService -------------------------------------------------------
+
+PipelineConfig low_threshold_pipeline() {
+    // A near-zero threshold makes random-weight networks emit detections, so
+    // the determinism comparison below is non-vacuous without checkpoints.
+    PipelineConfig pc;
+    pc.eval.score_threshold = 5e-4f;
+    pc.eval.nms_threshold = 0.45f;
+    return pc;
+}
+
+TEST(DetectionService, FourWorkersMatchSerialPipelineBitIdentically) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 128, .filter_scale = 0.5f});
+    const PipelineConfig pc = low_threshold_pipeline();
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(128), 16, /*seed=*/0x5eed);
+
+    // Serial reference.
+    Network serial_net = clone_network(net);
+    DetectionPipeline serial(serial_net, pc);
+    std::vector<Detections> expected;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        expected.push_back(serial.process(frames.image(i)).detections);
+    }
+
+    serve::ServiceConfig sc;
+    sc.workers = 4;
+    sc.queue_capacity = 8;
+    sc.pipeline = pc;
+    DetectionService service(net, sc);
+    std::vector<std::future<ServeResult>> futures;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        futures.push_back(service.submit(frames.image(i)));
+    }
+    std::size_t nonempty = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const ServeResult r = futures[i].get();
+        ASSERT_EQ(r.status, ServeStatus::kOk);
+        EXPECT_EQ(r.frame.frame_index, static_cast<int>(i));
+        const Detections& got = r.frame.detections;
+        const Detections& want = expected[i];
+        ASSERT_EQ(got.size(), want.size()) << "frame " << i;
+        if (!want.empty()) ++nonempty;
+        for (std::size_t d = 0; d < want.size(); ++d) {
+            EXPECT_EQ(got[d].box.x, want[d].box.x);
+            EXPECT_EQ(got[d].box.y, want[d].box.y);
+            EXPECT_EQ(got[d].box.w, want[d].box.w);
+            EXPECT_EQ(got[d].box.h, want[d].box.h);
+            EXPECT_EQ(got[d].objectness, want[d].objectness);
+            EXPECT_EQ(got[d].class_prob, want[d].class_prob);
+            EXPECT_EQ(got[d].class_id, want[d].class_id);
+        }
+    }
+    EXPECT_GT(nonempty, 0u) << "determinism test is vacuous: no detections at all";
+
+    const serve::ServeStatsSnapshot snap = service.stats();
+    EXPECT_EQ(snap.submitted, frames.size());
+    EXPECT_EQ(snap.completed, frames.size());
+    EXPECT_EQ(snap.dropped, 0u);
+    EXPECT_EQ(snap.rejected, 0u);
+    EXPECT_EQ(snap.total.count, frames.size());
+}
+
+TEST(DetectionService, DropOldestShedsFramesUnderOverload) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});
+    serve::ServiceConfig sc;
+    sc.workers = 1;
+    sc.queue_capacity = 1;
+    sc.policy = BackpressurePolicy::kDropOldest;
+    sc.pipeline = low_threshold_pipeline();
+    DetectionService service(net, sc);
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(96), 4, /*seed=*/7);
+
+    constexpr int kSubmitted = 24;
+    std::vector<std::future<ServeResult>> futures;
+    for (int i = 0; i < kSubmitted; ++i) {
+        futures.push_back(
+            service.submit(frames.image(static_cast<std::size_t>(i) % frames.size())));
+    }
+    service.drain();
+    int ok = 0, dropped = 0;
+    for (auto& f : futures) {
+        const ServeResult r = f.get();
+        if (r.status == ServeStatus::kOk) ++ok;
+        if (r.status == ServeStatus::kDropped) {
+            EXPECT_TRUE(r.frame.detections.empty());
+            ++dropped;
+        }
+    }
+    EXPECT_EQ(ok + dropped, kSubmitted);
+    const serve::ServeStatsSnapshot snap = service.stats();
+    EXPECT_EQ(snap.completed, static_cast<std::uint64_t>(ok));
+    EXPECT_EQ(snap.dropped, static_cast<std::uint64_t>(dropped));
+    EXPECT_EQ(snap.submitted, static_cast<std::uint64_t>(kSubmitted));
+}
+
+TEST(DetectionService, RejectPolicyResolvesShedFramesImmediately) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});
+    serve::ServiceConfig sc;
+    sc.workers = 1;
+    sc.queue_capacity = 1;
+    sc.policy = BackpressurePolicy::kReject;
+    sc.pipeline = low_threshold_pipeline();
+    DetectionService service(net, sc);
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(96), 4, /*seed=*/7);
+
+    constexpr int kSubmitted = 24;
+    std::vector<std::future<ServeResult>> futures;
+    for (int i = 0; i < kSubmitted; ++i) {
+        futures.push_back(
+            service.submit(frames.image(static_cast<std::size_t>(i) % frames.size())));
+    }
+    service.drain();
+    int ok = 0, rejected = 0;
+    for (auto& f : futures) {
+        const ServeResult r = f.get();
+        (r.status == ServeStatus::kOk ? ok : rejected)++;
+    }
+    EXPECT_EQ(ok + rejected, kSubmitted);
+    EXPECT_GT(ok, 0);
+    const serve::ServeStatsSnapshot snap = service.stats();
+    EXPECT_EQ(snap.completed + snap.rejected, static_cast<std::uint64_t>(kSubmitted));
+}
+
+TEST(DetectionService, SubmitAfterStopIsRejected) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});
+    serve::ServiceConfig sc;
+    sc.workers = 2;
+    sc.pipeline = low_threshold_pipeline();
+    DetectionService service(net, sc);
+    service.stop();
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(96), 1, /*seed=*/7);
+    ServeResult r = service.submit(frames.image(0)).get();
+    EXPECT_EQ(r.status, ServeStatus::kRejected);
+}
+
+TEST(DetectionService, StatsJsonHasStableSchema) {
+    serve::ServeStats stats;
+    stats.record_submitted();
+    stats.record_completed({.queue_wait_ms = 0.5, .preprocess_ms = 1.0,
+                            .forward_ms = 10.0, .postprocess_ms = 0.5});
+    const std::string json = stats.snapshot().to_json();
+    for (const char* key :
+         {"\"submitted\":", "\"completed\":", "\"dropped\":", "\"rejected\":",
+          "\"throughput_fps\":", "\"queue_wait\":", "\"preprocess\":",
+          "\"forward\":", "\"postprocess\":", "\"total\":", "\"p99_ms\":"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
+    }
+}
+
+}  // namespace
+}  // namespace dronet

@@ -3,7 +3,11 @@
 //
 // Usage:
 //   detect [--model DroNet] [--size 512] [--weights FILE] [--cfg FILE]
-//          [--thresh 0.3] [--nms 0.45] [--letterbox] image.ppm [more.ppm...]
+//          [--thresh 0.3] [--nms 0.45] [--letterbox] [--threads N]
+//          image.ppm [more.ppm...]
+//
+// --threads N enables intra-op GEMM parallelism (tensor/gemm.hpp) for the
+// forward pass; serving-mode (inter-frame) parallelism lives in tools/serve_bench.
 //
 // With --cfg the network is built from a darknet cfg file; otherwise the
 // named zoo model is used and, when no --weights is given, the pretrained
@@ -19,6 +23,7 @@
 #include "models/pretrained.hpp"
 #include "nn/cfg.hpp"
 #include "nn/weights_io.hpp"
+#include "tensor/gemm.hpp"
 
 int main(int argc, char** argv) {
     using namespace dronet;
@@ -40,13 +45,15 @@ int main(int argc, char** argv) {
         else if (a == "--thresh") post.score_threshold = std::stof(next());
         else if (a == "--nms") post.nms_threshold = std::stof(next());
         else if (a == "--letterbox") post.use_letterbox = true;
+        else if (a == "--threads") set_gemm_threads(std::stoi(next()));
         else if (a.rfind("--", 0) == 0) throw std::runtime_error("unknown flag " + a);
         else images.push_back(a);
     }
     if (images.empty()) {
         std::fprintf(stderr,
                      "usage: detect [--model NAME|--cfg FILE] [--weights FILE] "
-                     "[--size N] [--thresh T] [--nms T] [--letterbox] image.ppm...\n");
+                     "[--size N] [--thresh T] [--nms T] [--letterbox] "
+                     "[--threads N] image.ppm...\n");
         return 2;
     }
 

@@ -1,0 +1,136 @@
+// serve_bench — load generator for the multi-worker detection service.
+//
+// Simulates M concurrent video streams replaying frames from the canonical
+// synthetic dataset into one DetectionService, then prints the ServeStats
+// snapshot as one-line JSON. This is the operational counterpart of
+// bench/bench_serve_throughput (which sweeps worker counts).
+//
+// Usage:
+//   serve_bench [--workers N] [--streams M] [--frames-per-stream K]
+//               [--size S] [--capacity Q] [--policy block|reject|drop-oldest]
+//               [--model DroNet] [--gemm-threads N] [--interval-ms T]
+//
+// --interval-ms > 0 paces each stream like a camera (T ms between submits),
+// which exercises the backpressure policies; 0 submits as fast as possible.
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/model_zoo.hpp"
+#include "models/pretrained.hpp"
+#include "serve/detection_service.hpp"
+#include "tensor/gemm.hpp"
+
+namespace {
+
+struct Args {
+    int workers = 4;
+    int streams = 4;
+    int frames_per_stream = 32;
+    int size = 256;
+    std::size_t capacity = 16;
+    dronet::serve::BackpressurePolicy policy =
+        dronet::serve::BackpressurePolicy::kBlock;
+    std::string model = "DroNet";
+    int gemm_threads = 1;
+    double interval_ms = 0;
+};
+
+Args parse_args(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+            return argv[++i];
+        };
+        if (a == "--workers") args.workers = std::stoi(next());
+        else if (a == "--streams") args.streams = std::stoi(next());
+        else if (a == "--frames-per-stream") args.frames_per_stream = std::stoi(next());
+        else if (a == "--size") args.size = std::stoi(next());
+        else if (a == "--capacity") args.capacity = static_cast<std::size_t>(std::stoul(next()));
+        else if (a == "--model") args.model = next();
+        else if (a == "--gemm-threads") args.gemm_threads = std::stoi(next());
+        else if (a == "--interval-ms") args.interval_ms = std::stod(next());
+        else if (a == "--policy") {
+            const std::string p = next();
+            using dronet::serve::BackpressurePolicy;
+            if (p == "block") args.policy = BackpressurePolicy::kBlock;
+            else if (p == "reject") args.policy = BackpressurePolicy::kReject;
+            else if (p == "drop-oldest") args.policy = BackpressurePolicy::kDropOldest;
+            else throw std::runtime_error("unknown policy " + p);
+        } else {
+            throw std::runtime_error("unknown flag " + a);
+        }
+    }
+    return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace dronet;
+    const Args args = parse_args(argc, argv);
+    set_gemm_threads(args.gemm_threads);
+
+    const ModelId id = model_from_string(args.model);
+    Network net = [&] {
+        if (auto pre = load_pretrained(id, args.size)) {
+            std::fprintf(stderr, "# loaded pretrained %s checkpoint\n", args.model.c_str());
+            return std::move(*pre);
+        }
+        std::fprintf(stderr, "# no checkpoint; random weights (timing-only run)\n");
+        return build_model(id, {.input_size = args.size});
+    }();
+    net.set_batch(1);
+    if (net.config().width != args.size) net.resize_input(args.size, args.size);
+
+    // One shared frame pool; each stream replays it from a different offset
+    // so streams are out of phase like real cameras.
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(args.size),
+                         std::max(8, args.frames_per_stream), /*seed=*/0xbeef);
+
+    serve::ServiceConfig sc;
+    sc.workers = args.workers;
+    sc.queue_capacity = args.capacity;
+    sc.policy = args.policy;
+    serve::DetectionService service(net, sc);
+
+    std::vector<std::thread> streams;
+    streams.reserve(static_cast<std::size_t>(args.streams));
+    for (int s = 0; s < args.streams; ++s) {
+        streams.emplace_back([&, s] {
+            std::vector<std::future<serve::ServeResult>> futures;
+            futures.reserve(static_cast<std::size_t>(args.frames_per_stream));
+            for (int f = 0; f < args.frames_per_stream; ++f) {
+                const std::size_t idx =
+                    (static_cast<std::size_t>(s) * 7 + static_cast<std::size_t>(f)) %
+                    frames.size();
+                futures.push_back(service.submit(frames.image(idx)));
+                if (args.interval_ms > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double, std::milli>(args.interval_ms));
+                }
+            }
+            for (auto& fut : futures) (void)fut.get();
+        });
+    }
+    for (auto& t : streams) t.join();
+    service.drain();
+
+    const serve::ServeStatsSnapshot snap = service.stats();
+    std::printf("%s\n", snap.to_json().c_str());
+    std::fprintf(stderr,
+                 "# %d workers, %d streams x %d frames @%d: %.1f frames/s, "
+                 "p99 %.1f ms (dropped %llu, rejected %llu)\n",
+                 args.workers, args.streams, args.frames_per_stream, args.size,
+                 snap.throughput_fps, snap.total.p99_ms,
+                 static_cast<unsigned long long>(snap.dropped),
+                 static_cast<unsigned long long>(snap.rejected));
+    return 0;
+}
