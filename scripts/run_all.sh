@@ -5,7 +5,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+cmake -B build -G Ninja -DDRONET_WERROR=ON
 cmake --build build
 
 if [[ "${1:-}" == "--retrain" ]]; then
@@ -13,6 +13,16 @@ if [[ "${1:-}" == "--retrain" ]]; then
 fi
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+# Static analysis over the library and tools (the curated check set lives in
+# .clang-tidy; compile_commands.json comes from CMAKE_EXPORT_COMPILE_COMMANDS).
+# The tool is optional in minimal containers, so gate on its presence.
+if command -v clang-tidy >/dev/null 2>&1; then
+  git ls-files 'src/*.cpp' 'tools/*.cpp' \
+    | xargs clang-tidy -p build --quiet 2>&1 | tee tidy_output.txt
+else
+  echo "clang-tidy not found; skipping static-analysis pass" | tee tidy_output.txt
+fi
 
 # ThreadSanitizer pass over the threaded code paths (bounded queue,
 # DetectionService workers, threaded GEMM): rebuild the `concurrency`-labeled
@@ -22,6 +32,14 @@ cmake -B build-tsan -G Ninja -DDRONET_SANITIZE=thread \
 cmake --build build-tsan
 ctest --test-dir build-tsan -L concurrency --output-on-failure 2>&1 \
   | tee tsan_output.txt
+
+# AddressSanitizer + UBSan pass over the FULL suite (memory errors and
+# undefined behaviour are not confined to the threaded paths).
+cmake -B build-asan -G Ninja -DDRONET_SANITIZE=address \
+  -DDRONET_BUILD_BENCH=OFF -DDRONET_BUILD_EXAMPLES=OFF
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure 2>&1 \
+  | tee asan_output.txt
 
 for b in build/bench/*; do
   echo "===== $b ====="

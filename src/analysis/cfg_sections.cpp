@@ -1,0 +1,122 @@
+#include "analysis/cfg_sections.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dronet {
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) return {};
+    const auto end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(s);
+    while (std::getline(in, item, sep)) out.push_back(trim(item));
+    return out;
+}
+
+}  // namespace
+
+bool CfgSection::has(const std::string& key) const { return options.count(key) > 0; }
+
+int CfgSection::get_int(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    try {
+        return std::stoi(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("cfg [" + name + "] " + key + ": bad int '" +
+                                    it->second + "'");
+    }
+}
+
+float CfgSection::get_float(const std::string& key, float fallback) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    try {
+        return std::stof(it->second);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("cfg [" + name + "] " + key + ": bad float '" +
+                                    it->second + "'");
+    }
+}
+
+std::string CfgSection::get_string(const std::string& key,
+                                   const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+}
+
+std::vector<float> CfgSection::get_float_list(const std::string& key) const {
+    std::vector<float> out;
+    const auto it = options.find(key);
+    if (it == options.end()) return out;
+    for (const std::string& tok : split(it->second, ',')) {
+        if (tok.empty()) continue;
+        try {
+            out.push_back(std::stof(tok));
+        } catch (const std::exception&) {
+            throw std::invalid_argument("cfg [" + name + "] " + key + ": bad float '" +
+                                        tok + "'");
+        }
+    }
+    return out;
+}
+
+std::vector<int> CfgSection::get_int_list(const std::string& key) const {
+    std::vector<int> out;
+    const auto it = options.find(key);
+    if (it == options.end()) return out;
+    for (const std::string& tok : split(it->second, ',')) {
+        if (tok.empty()) continue;
+        try {
+            out.push_back(std::stoi(tok));
+        } catch (const std::exception&) {
+            throw std::invalid_argument("cfg [" + name + "] " + key + ": bad int '" +
+                                        tok + "'");
+        }
+    }
+    return out;
+}
+
+std::vector<CfgSection> parse_cfg_sections(const std::string& text) {
+    std::vector<CfgSection> sections;
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::string line = raw;
+        const auto comment = line.find_first_of("#;");
+        if (comment != std::string::npos) line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty()) continue;
+        if (line.front() == '[') {
+            if (line.back() != ']') {
+                throw std::invalid_argument("cfg line " + std::to_string(line_no) +
+                                            ": unterminated section header");
+            }
+            sections.push_back(CfgSection{trim(line.substr(1, line.size() - 2)), {}});
+            continue;
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument("cfg line " + std::to_string(line_no) +
+                                        ": expected key=value, got '" + line + "'");
+        }
+        if (sections.empty()) {
+            throw std::invalid_argument("cfg line " + std::to_string(line_no) +
+                                        ": option before any [section]");
+        }
+        sections.back().options[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+    }
+    return sections;
+}
+
+}  // namespace dronet

@@ -1,0 +1,34 @@
+// Raw darknet .cfg sections: the INI-like surface syntax shared by the
+// network builder (nn/cfg) and the static validator (analysis/validate).
+//
+// Lives at the bottom of the dependency stack so the validator can reason
+// about a parsed cfg without pulling in the layer/network machinery.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dronet {
+
+/// One parsed [section] with its options.
+struct CfgSection {
+    std::string name;                         ///< e.g. "convolutional"
+    std::map<std::string, std::string> options;
+
+    [[nodiscard]] bool has(const std::string& key) const;
+    /// Typed getters with defaults; throw std::invalid_argument on parse
+    /// failure of a present value.
+    [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+    [[nodiscard]] float get_float(const std::string& key, float fallback) const;
+    [[nodiscard]] std::string get_string(const std::string& key,
+                                         const std::string& fallback) const;
+    [[nodiscard]] std::vector<float> get_float_list(const std::string& key) const;
+    [[nodiscard]] std::vector<int> get_int_list(const std::string& key) const;
+};
+
+/// Parses cfg text into raw sections. Throws on syntax errors (option before
+/// any section, malformed key=value).
+[[nodiscard]] std::vector<CfgSection> parse_cfg_sections(const std::string& text);
+
+}  // namespace dronet

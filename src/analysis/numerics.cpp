@@ -1,0 +1,62 @@
+#include "analysis/numerics.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace dronet {
+namespace {
+
+// -1 = not yet resolved from the environment, 0 = off, 1 = on.
+std::atomic<int> g_checks_enabled{-1};
+
+bool env_truthy(const char* value) {
+    std::string v(value);
+    for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
+std::string describe(const std::string& where, std::int64_t index, float value) {
+    std::ostringstream os;
+    os << "non-finite value " << value << " at flat index " << index << " in " << where
+       << " (enable a debugger or bisect the batch; this check is "
+          "DRONET_CHECK_NUMERICS)";
+    return os.str();
+}
+
+}  // namespace
+
+NumericsError::NumericsError(const std::string& where, std::int64_t index, float value)
+    : std::runtime_error(describe(where, index, value)), where_(where), index_(index) {}
+
+bool numerics_checks_enabled() noexcept {
+    int state = g_checks_enabled.load(std::memory_order_relaxed);
+    if (state < 0) {
+        const char* env = std::getenv("DRONET_CHECK_NUMERICS");
+        state = (env != nullptr && env_truthy(env)) ? 1 : 0;
+        g_checks_enabled.store(state, std::memory_order_relaxed);
+    }
+    return state == 1;
+}
+
+void set_numerics_checks(bool on) noexcept {
+    g_checks_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::int64_t find_nonfinite(std::span<const float> data) noexcept {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (!std::isfinite(data[i])) return static_cast<std::int64_t>(i);
+    }
+    return -1;
+}
+
+void check_finite(std::span<const float> data, const std::string& where) {
+    const std::int64_t index = find_nonfinite(data);
+    if (index >= 0) {
+        throw NumericsError(where, index, data[static_cast<std::size_t>(index)]);
+    }
+}
+
+}  // namespace dronet

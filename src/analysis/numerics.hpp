@@ -1,0 +1,44 @@
+// Debug numerics guards: NaN/Inf detection in activations and gradients.
+//
+// Silent training divergence usually surfaces dozens of layers and hundreds
+// of batches away from the first non-finite value. With checks enabled the
+// Network scans every layer's output after forward and every delta/gradient
+// after backward, and throws a NumericsError pinpointing the first offending
+// layer and element. Off by default; enable with the DRONET_CHECK_NUMERICS
+// environment variable (1/true/on) or set_numerics_checks(true) at runtime.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace dronet {
+
+/// Thrown when a guarded tensor contains NaN or +/-Inf.
+class NumericsError : public std::runtime_error {
+  public:
+    NumericsError(const std::string& where, std::int64_t index, float value);
+
+    /// Description of the guarded tensor, e.g. "forward layer 3 (conv ...) output".
+    [[nodiscard]] const std::string& where() const noexcept { return where_; }
+    /// Flat index of the first non-finite element.
+    [[nodiscard]] std::int64_t index() const noexcept { return index_; }
+
+  private:
+    std::string where_;
+    std::int64_t index_;
+};
+
+/// Whether numerics guards are active. First call reads DRONET_CHECK_NUMERICS
+/// (1/true/on, case-insensitive); set_numerics_checks() overrides afterwards.
+[[nodiscard]] bool numerics_checks_enabled() noexcept;
+void set_numerics_checks(bool on) noexcept;
+
+/// Index of the first NaN/Inf element, or -1 when all values are finite.
+[[nodiscard]] std::int64_t find_nonfinite(std::span<const float> data) noexcept;
+
+/// Throws NumericsError naming `where` if `data` holds a non-finite value.
+void check_finite(std::span<const float> data, const std::string& where);
+
+}  // namespace dronet

@@ -7,37 +7,18 @@
 #pragma once
 
 #include <filesystem>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/cfg_sections.hpp"
 #include "nn/network.hpp"
 
 namespace dronet {
 
-/// One parsed [section] with its options.
-struct CfgSection {
-    std::string name;                         ///< e.g. "convolutional"
-    std::map<std::string, std::string> options;
-
-    [[nodiscard]] bool has(const std::string& key) const;
-    /// Typed getters with defaults; throw std::invalid_argument on parse
-    /// failure of a present value.
-    [[nodiscard]] int get_int(const std::string& key, int fallback) const;
-    [[nodiscard]] float get_float(const std::string& key, float fallback) const;
-    [[nodiscard]] std::string get_string(const std::string& key,
-                                         const std::string& fallback) const;
-    [[nodiscard]] std::vector<float> get_float_list(const std::string& key) const;
-    [[nodiscard]] std::vector<int> get_int_list(const std::string& key) const;
-};
-
-/// Parses cfg text into raw sections. Throws on syntax errors (option before
-/// any section, malformed key=value).
-[[nodiscard]] std::vector<CfgSection> parse_cfg_sections(const std::string& text);
-
 /// Builds a Network from cfg text. The first section must be [net] (or
-/// [network]). Throws std::invalid_argument on unknown sections/activations
-/// or inconsistent geometry.
+/// [network]). The text is first checked by the static validator
+/// (analysis/validate.hpp): hard errors throw std::invalid_argument carrying
+/// the full diagnostic report, warnings are logged to stderr.
 [[nodiscard]] Network parse_cfg(const std::string& text);
 
 /// Reads a cfg file from disk and builds the network.

@@ -4,7 +4,18 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/numerics.hpp"
+
 namespace dronet {
+namespace {
+
+std::string guard_context(const char* pass, std::size_t index, const Layer& layer,
+                          const char* tensor) {
+    return std::string(pass) + " layer " + std::to_string(index) + " (" +
+           layer.describe() + ") " + tensor;
+}
+
+}  // namespace
 
 Network::Network(NetConfig config)
     : config_(config),
@@ -79,9 +90,13 @@ const Tensor& Network::forward(const Tensor& input, bool train) {
     }
     input_copy_ = input;
     const Tensor* x = &input_copy_;
-    for (auto& l : layers_) {
-        l->forward(*x, *this, train);
-        x = &l->output();
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        Layer& l = *layers_[i];
+        l.forward(*x, *this, train);
+        if (numerics_checks_enabled()) {
+            check_finite(l.output().span(), guard_context("forward", i, l, "output"));
+        }
+        x = &l.output();
     }
     return *x;
 }
@@ -94,7 +109,19 @@ void Network::backward() {
     for (int i = static_cast<int>(layers_.size()) - 1; i >= 0; --i) {
         const Tensor& in = (i == 0) ? input_copy_ : layers_[static_cast<std::size_t>(i - 1)]->output();
         Tensor* in_delta = (i == 0) ? nullptr : &layers_[static_cast<std::size_t>(i - 1)]->delta();
-        layers_[static_cast<std::size_t>(i)]->backward(in, in_delta, *this);
+        Layer& l = *layers_[static_cast<std::size_t>(i)];
+        l.backward(in, in_delta, *this);
+        if (numerics_checks_enabled()) {
+            const auto idx = static_cast<std::size_t>(i);
+            for (Param* p : l.params()) {
+                check_finite(p->g, guard_context("backward", idx, l,
+                                                 ("gradient of " + p->name).c_str()));
+            }
+            if (in_delta != nullptr) {
+                check_finite(in_delta->span(),
+                             guard_context("backward", idx, l, "propagated delta"));
+            }
+        }
     }
 }
 

@@ -49,7 +49,35 @@ void save_weights(const Network& net, const std::filesystem::path& path) {
     if (!out) throw std::runtime_error("save_weights: write failed for " + path.string());
 }
 
+std::int64_t expected_weight_file_bytes(const Network& net) {
+    // 3 version ints + the 8-byte `seen` counter.
+    std::int64_t floats = 0;
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+        const Layer& l = net.layer(static_cast<int>(i));
+        if (l.kind() != LayerKind::kConvolutional) continue;
+        const auto& conv = dynamic_cast<const ConvolutionalLayer&>(l);
+        const ConvConfig& c = conv.config();
+        floats += static_cast<std::int64_t>(c.filters) *
+                  (1 + (c.batch_normalize ? 3 : 0));  // biases [+ scales, mean, var]
+        floats += static_cast<std::int64_t>(c.filters) * conv.input_shape().c *
+                  c.ksize * c.ksize;
+    }
+    return 20 + 4 * floats;
+}
+
 void load_weights(Network& net, const std::filesystem::path& path) {
+    std::error_code ec;
+    const auto actual = std::filesystem::file_size(path, ec);
+    if (!ec) {
+        const std::int64_t expected = expected_weight_file_bytes(net);
+        if (static_cast<std::int64_t>(actual) != expected) {
+            throw std::runtime_error(
+                "load_weights: " + path.string() + " holds " + std::to_string(actual) +
+                " bytes but the network layout needs exactly " +
+                std::to_string(expected) +
+                " (truncated checkpoint or cfg/weights mismatch)");
+        }
+    }
     std::ifstream in(path, std::ios::binary);
     if (!in) throw std::runtime_error("load_weights: cannot open " + path.string());
     std::int32_t major = 0, minor = 0, revision = 0;

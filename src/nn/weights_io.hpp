@@ -17,6 +17,13 @@ namespace dronet {
 /// Throws std::runtime_error on I/O failure.
 void save_weights(const Network& net, const std::filesystem::path& path);
 
+/// Exact size in bytes of a darknet-format weight file matching `net`'s
+/// structure (header + every conv parameter block). load_weights compares
+/// this against the actual file size before reading a single float, so a
+/// truncated or mismatched checkpoint fails fast with a precise message
+/// instead of deep inside the read loop.
+[[nodiscard]] std::int64_t expected_weight_file_bytes(const Network& net);
+
 /// Loads parameters into an already-constructed network (structure must
 /// match the file). Restores the `seen` counter into the region layer and
 /// the network batch counter. Throws std::runtime_error on mismatch.

@@ -14,7 +14,8 @@ TEST(Activation, ParseAndPrint) {
     EXPECT_EQ(activation_from_string("linear"), Activation::kLinear);
     EXPECT_EQ(activation_from_string("relu"), Activation::kRelu);
     EXPECT_EQ(activation_from_string("logistic"), Activation::kLogistic);
-    EXPECT_THROW(activation_from_string("tanh"), std::invalid_argument);
+    EXPECT_THROW(static_cast<void>(activation_from_string("tanh")),
+                 std::invalid_argument);
     for (Activation a : {Activation::kLinear, Activation::kLeaky, Activation::kRelu,
                          Activation::kLogistic}) {
         EXPECT_EQ(activation_from_string(to_string(a)), a);

@@ -1,0 +1,279 @@
+// Static validator (analysis/validate.hpp): rule coverage, symbolic
+// weight-layout computation against real files, parse_cfg integration,
+// clone-report equality, and the DRONET_CHECK_NUMERICS runtime guard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+
+#include "analysis/numerics.hpp"
+#include "analysis/validate.hpp"
+#include "nn/activation.hpp"
+#include "nn/cfg.hpp"
+#include "nn/clone.hpp"
+#include "nn/weights_io.hpp"
+#include "models/model_zoo.hpp"
+#include "tensor/rng.hpp"
+
+namespace dronet {
+namespace {
+
+bool has_rule(const ValidationReport& report, const std::string& rule,
+              Severity severity) {
+    return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                       [&](const Diagnostic& d) {
+                           return d.rule == rule && d.severity == severity;
+                       });
+}
+
+constexpr const char* kGoodCfg = R"(
+[net]
+batch=1
+width=32
+height=32
+channels=3
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=1
+pad=1
+activation=leaky
+[maxpool]
+size=2
+stride=2
+[convolutional]
+filters=12
+size=1
+stride=1
+activation=linear
+[region]
+anchors=1,1,2,2
+classes=1
+num=2
+)";
+
+TEST(Validate, CleanCfgHasNoDiagnostics) {
+    const ValidationReport report = validate_network(std::string(kGoodCfg));
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.warnings(), 0) << report.str();
+}
+
+TEST(Validate, AllZooModelsAreClean) {
+    for (ModelId id : all_models()) {
+        const ValidationReport report = validate_network(model_cfg(id));
+        EXPECT_TRUE(report.ok()) << to_string(id) << ":\n" << report.str();
+        EXPECT_EQ(report.warnings(), 0) << to_string(id) << ":\n" << report.str();
+    }
+}
+
+TEST(Validate, RouteOutOfRangeIsError) {
+    const ValidationReport report = validate_network(
+        "[net]\nwidth=8\nheight=8\nchannels=3\n"
+        "[convolutional]\nfilters=2\nsize=1\nstride=1\nactivation=linear\n"
+        "[route]\nlayers=7\n");
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_rule(report, "route-source-range", Severity::kError));
+}
+
+TEST(Validate, RouteToSelfViaRelativeIndexIsError) {
+    const ValidationReport report = validate_network(
+        "[net]\nwidth=8\nheight=8\nchannels=3\n"
+        "[convolutional]\nfilters=2\nsize=1\nstride=1\nactivation=linear\n"
+        "[route]\nlayers=0,-3\n");
+    EXPECT_TRUE(has_rule(report, "route-source-range", Severity::kError));
+}
+
+TEST(Validate, RouteSpatialMismatchIsError) {
+    const ValidationReport report = validate_network(
+        "[net]\nwidth=16\nheight=16\nchannels=3\n"
+        "[convolutional]\nfilters=2\nsize=1\nstride=1\nactivation=linear\n"
+        "[maxpool]\nsize=2\nstride=2\npadding=0\n"
+        "[route]\nlayers=0,1\n");
+    EXPECT_TRUE(has_rule(report, "route-shape-mismatch", Severity::kError));
+}
+
+TEST(Validate, RegionWrongHeadFiltersIsError) {
+    const ValidationReport report = validate_network(
+        "[net]\nwidth=32\nheight=32\nchannels=3\n"
+        "[convolutional]\nfilters=11\nsize=1\nstride=1\nactivation=linear\n"
+        "[region]\nanchors=1,1,2,2\nclasses=1\nnum=2\n");
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_rule(report, "region-input-channels", Severity::kError));
+}
+
+TEST(Validate, RegionAnchorLengthMismatchIsError) {
+    const ValidationReport report = validate_network(
+        "[net]\nwidth=32\nheight=32\nchannels=3\n"
+        "[convolutional]\nfilters=12\nsize=1\nstride=1\nactivation=linear\n"
+        "[region]\nanchors=1,1,2\nclasses=1\nnum=2\n");
+    EXPECT_TRUE(has_rule(report, "region-anchors-length", Severity::kError));
+}
+
+TEST(Validate, DegenerateConvOutputIsError) {
+    const ValidationReport report = validate_network(
+        "[net]\nwidth=4\nheight=4\nchannels=3\n"
+        "[convolutional]\nfilters=2\nsize=7\nstride=1\nactivation=linear\n");
+    EXPECT_TRUE(has_rule(report, "degenerate-output", Severity::kError));
+}
+
+TEST(Validate, DroppedPixelsIsWarning) {
+    // 33x33 into a 2x2/2 pool with explicit padding 0: the last row/column is
+    // never read by any window.
+    const ValidationReport report = validate_network(
+        "[net]\nwidth=33\nheight=33\nchannels=3\n"
+        "[maxpool]\nsize=2\nstride=2\npadding=0\n");
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(has_rule(report, "drops-pixels", Severity::kWarning));
+}
+
+TEST(Validate, UnknownKeyIsWarning) {
+    const ValidationReport report = validate_network(
+        "[net]\nwidth=8\nheight=8\nchannels=3\n"
+        "[convolutional]\nfliters=32\nsize=1\nstride=1\nactivation=linear\n");
+    EXPECT_TRUE(has_rule(report, "unknown-key", Severity::kWarning));
+}
+
+TEST(Validate, HeadBatchnormAndActivationAreWarnings) {
+    const ValidationReport report = validate_network(
+        "[net]\nwidth=32\nheight=32\nchannels=3\n"
+        "[convolutional]\nbatch_normalize=1\nfilters=12\nsize=1\nstride=1\n"
+        "activation=leaky\n"
+        "[region]\nanchors=1,1,2,2\nclasses=1\nnum=2\n");
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(has_rule(report, "head-batchnorm", Severity::kWarning));
+    EXPECT_TRUE(has_rule(report, "head-activation", Severity::kWarning));
+}
+
+TEST(Validate, SyntaxErrorBecomesDiagnostic) {
+    const ValidationReport report = validate_network(std::string("width=10\n[net]\n"));
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_rule(report, "cfg-syntax", Severity::kError));
+}
+
+TEST(Validate, KnownActivationsMatchEngine) {
+    for (const std::string& name : cfg_known_activations()) {
+        EXPECT_NO_THROW(static_cast<void>(activation_from_string(name))) << name;
+    }
+}
+
+TEST(Validate, ParseCfgThrowsOnValidatorError) {
+    EXPECT_THROW(parse_cfg("[net]\nwidth=8\nheight=8\nchannels=3\n"
+                           "[convolutional]\nfilters=2\nsize=1\nstride=1\n"
+                           "activation=linear\n[route]\nlayers=7\n"),
+                 std::invalid_argument);
+}
+
+TEST(Validate, ExpectedWeightBytesMatchSavedFile) {
+    const std::string cfg = model_cfg(ModelId::kDroNet, {.input_size = 192});
+    Network net = parse_cfg(cfg);
+    const auto path = std::filesystem::temp_directory_path() / "dronet_lint.weights";
+    save_weights(net, path);
+    const ValidationReport report = validate_network(cfg);
+    EXPECT_EQ(report.expected_weight_bytes,
+              static_cast<std::int64_t>(std::filesystem::file_size(path)));
+    EXPECT_EQ(report.expected_weight_bytes, expected_weight_file_bytes(net));
+    EXPECT_EQ(report.param_count, net.total_params());
+    std::filesystem::remove(path);
+}
+
+TEST(Validate, CheckWeightsFileFlagsTruncation) {
+    Network net = parse_cfg(kGoodCfg);
+    const auto path = std::filesystem::temp_directory_path() / "dronet_trunc.weights";
+    save_weights(net, path);
+    ValidationReport ok_report = validate_network(std::string(kGoodCfg));
+    EXPECT_TRUE(check_weights_file(ok_report, path));
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) - 4);
+    ValidationReport bad_report = validate_network(std::string(kGoodCfg));
+    EXPECT_FALSE(check_weights_file(bad_report, path));
+    EXPECT_TRUE(has_rule(bad_report, "weights-size-mismatch", Severity::kError));
+    std::filesystem::remove(path);
+}
+
+TEST(Validate, LoadWeightsRejectsTruncationBeforeReading) {
+    Network net = parse_cfg(kGoodCfg);
+    const auto path = std::filesystem::temp_directory_path() / "dronet_pre.weights";
+    save_weights(net, path);
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) - 4);
+    try {
+        load_weights(net, path);
+        FAIL() << "expected load_weights to throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("needs exactly"), std::string::npos)
+            << e.what();
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(Validate, JsonReportIsWellFormedEnough) {
+    const ValidationReport report = validate_network(
+        "[net]\nwidth=8\nheight=8\nchannels=3\n[route]\nlayers=3\n");
+    const std::string json = report.json();
+    EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"rule\":\"route-source-range\""), std::string::npos) << json;
+}
+
+TEST(CloneValidation, CloneProducesIdenticalReport) {
+    Network src = build_model(ModelId::kDroNet, {.input_size = 192});
+    Rng rng(21);
+    for (std::size_t i = 0; i < src.num_layers(); ++i) {
+        for (Param* p : src.layer(static_cast<int>(i)).params()) {
+            rng.fill_uniform(p->v, -0.5f, 0.5f);
+        }
+    }
+    Network copy = clone_network(src);
+    const ValidationReport src_report = validate_network(network_to_cfg(src));
+    const ValidationReport copy_report = validate_network(network_to_cfg(copy));
+    EXPECT_TRUE(src_report.ok()) << src_report.str();
+    EXPECT_TRUE(copy_report.ok()) << copy_report.str();
+    EXPECT_EQ(src_report.str(), copy_report.str());
+    EXPECT_EQ(src_report.expected_weight_bytes, copy_report.expected_weight_bytes);
+    EXPECT_EQ(src_report.param_count, copy_report.param_count);
+}
+
+class NumericsGuard : public ::testing::Test {
+  protected:
+    void TearDown() override { set_numerics_checks(false); }
+};
+
+TEST_F(NumericsGuard, FindNonfinite) {
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float inf = std::numeric_limits<float>::infinity();
+    const std::vector<float> clean{0.0f, -1.5f, 3.0f};
+    const std::vector<float> dirty{0.0f, inf, nan};
+    EXPECT_EQ(find_nonfinite(clean), -1);
+    EXPECT_EQ(find_nonfinite(dirty), 1);
+}
+
+TEST_F(NumericsGuard, ForwardPinpointsFirstBadLayer) {
+    Network net = parse_cfg(kGoodCfg);
+    auto& conv = dynamic_cast<ConvolutionalLayer&>(net.layer(0));
+    conv.weights().v[0] = std::numeric_limits<float>::quiet_NaN();
+    Tensor in(net.input_shape());
+    in.fill(0.5f);
+    set_numerics_checks(false);
+    EXPECT_NO_THROW(net.forward(in));  // guard off: silent NaN propagation
+    set_numerics_checks(true);
+    try {
+        net.forward(in);
+        FAIL() << "expected NumericsError";
+    } catch (const NumericsError& e) {
+        EXPECT_NE(e.where().find("forward layer 0"), std::string::npos) << e.what();
+    }
+}
+
+TEST_F(NumericsGuard, BackwardCatchesPoisonedDelta) {
+    Network net = parse_cfg(kGoodCfg);
+    Tensor in(net.input_shape());
+    in.fill(0.25f);
+    net.forward(in, /*train=*/true);
+    const int last = static_cast<int>(net.num_layers()) - 1;
+    net.layer(last).delta().fill(std::numeric_limits<float>::infinity());
+    set_numerics_checks(true);
+    EXPECT_THROW(net.backward(), NumericsError);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -69,8 +69,8 @@ TEST(BgSubtraction, DetectsAppearingObject) {
     BackgroundSubtractionDetector detector(cfg);
     Image background(48, 48, 3);
     background.fill(0.3f);
-    detector.process(background);
-    detector.process(background);
+    static_cast<void>(detector.process(background));
+    static_cast<void>(detector.process(background));
     Image with_car = background;
     draw_filled_rect(with_car, 20, 20, 30, 26, Rgb{0.9f, 0.1f, 0.1f});
     const Detections dets = detector.process(with_car);
@@ -88,19 +88,19 @@ TEST(BgSubtraction, StaticObjectFadesIntoBackground) {
     Image frame(48, 48, 3);
     frame.fill(0.3f);
     draw_filled_rect(frame, 10, 10, 20, 16, Rgb{0.9f, 0.1f, 0.1f});
-    for (int i = 0; i < 6; ++i) detector.process(frame);
+    for (int i = 0; i < 6; ++i) static_cast<void>(detector.process(frame));
     EXPECT_TRUE(detector.process(frame).empty());
 }
 
 TEST(BgSubtraction, RejectsFrameSizeChange) {
     BackgroundSubtractionDetector detector;
     Image a(32, 32, 3), b(16, 16, 3);
-    detector.process(a);
-    EXPECT_THROW(detector.process(b), std::invalid_argument);
-    EXPECT_THROW(detector.process(Image{}), std::invalid_argument);
+    static_cast<void>(detector.process(a));
+    EXPECT_THROW(static_cast<void>(detector.process(b)), std::invalid_argument);
+    EXPECT_THROW(static_cast<void>(detector.process(Image{})), std::invalid_argument);
     detector.reset();
     EXPECT_EQ(detector.frames_seen(), 0);
-    detector.process(b);  // fine after reset
+    static_cast<void>(detector.process(b));  // fine after reset
 }
 
 TEST(BgSubtraction, TracksMovingVehiclesOnVideoFeed) {

@@ -81,8 +81,10 @@ TEST(CfgSections, RejectsMalformedLines) {
 
 TEST(CfgSections, TypedGettersValidate) {
     const auto sections = parse_cfg_sections("[net]\nwidth=abc\nlist=1,2,x\n");
-    EXPECT_THROW(sections[0].get_int("width", 0), std::invalid_argument);
-    EXPECT_THROW(sections[0].get_float_list("list"), std::invalid_argument);
+    EXPECT_THROW(static_cast<void>(sections[0].get_int("width", 0)),
+                 std::invalid_argument);
+    EXPECT_THROW(static_cast<void>(sections[0].get_float_list("list")),
+                 std::invalid_argument);
     EXPECT_EQ(sections[0].get_int("missing", 7), 7);
     EXPECT_EQ(sections[0].get_string("missing", "x"), "x");
 }

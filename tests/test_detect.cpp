@@ -163,7 +163,7 @@ TEST(AltitudeFilter, SizeRangeShrinksWithAltitude) {
 
 TEST(AltitudeFilter, RejectsNonPositiveAltitude) {
     const AltitudeFilter f(CameraModel{}, VehicleSizePrior{});
-    EXPECT_THROW(f.plausible_size(0.0f), std::invalid_argument);
+    EXPECT_THROW(static_cast<void>(f.plausible_size(0.0f)), std::invalid_argument);
     EXPECT_THROW(f.apply({}, -3.0f), std::invalid_argument);
 }
 

@@ -163,7 +163,8 @@ TEST(FpsMeter, MeasureFpsPositive) {
                                    0, 3);
     EXPECT_GT(fps, 1.0);
     EXPECT_LT(fps, 1000.0);
-    EXPECT_THROW(measure_fps([] {}, 0, 0), std::invalid_argument);
+    EXPECT_THROW(static_cast<void>(measure_fps([] {}, 0, 0)),
+                 std::invalid_argument);
 }
 
 TEST(FpsMeter, StreamingAccounting) {

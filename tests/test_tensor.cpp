@@ -54,11 +54,11 @@ TEST(Tensor, AtChecksBounds) {
     Tensor t(1, 2, 3, 4);
     t.at(0, 1, 2, 3) = 7.0f;
     EXPECT_EQ(t.at(0, 1, 2, 3), 7.0f);
-    EXPECT_THROW(t.at(1, 0, 0, 0), std::out_of_range);
-    EXPECT_THROW(t.at(0, 2, 0, 0), std::out_of_range);
-    EXPECT_THROW(t.at(0, 0, 3, 0), std::out_of_range);
-    EXPECT_THROW(t.at(0, 0, 0, 4), std::out_of_range);
-    EXPECT_THROW(t.at(0, 0, 0, -1), std::out_of_range);
+    EXPECT_THROW(static_cast<void>(t.at(1, 0, 0, 0)), std::out_of_range);
+    EXPECT_THROW(static_cast<void>(t.at(0, 2, 0, 0)), std::out_of_range);
+    EXPECT_THROW(static_cast<void>(t.at(0, 0, 3, 0)), std::out_of_range);
+    EXPECT_THROW(static_cast<void>(t.at(0, 0, 0, 4)), std::out_of_range);
+    EXPECT_THROW(static_cast<void>(t.at(0, 0, 0, -1)), std::out_of_range);
 }
 
 TEST(Tensor, FillAndZero) {

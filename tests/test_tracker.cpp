@@ -90,8 +90,12 @@ TEST(Tracker, GreedyPicksBestOverlap) {
     const auto& tracks = tracker.update({det(0.32f, 0.3f), det(0.52f, 0.3f)});
     ASSERT_EQ(tracks.size(), 2u);
     for (const Track& t : tracks) {
-        if (t.id == id_a) EXPECT_NEAR(t.box.x, 0.32f, 1e-5f);
-        if (t.id == id_b) EXPECT_NEAR(t.box.x, 0.52f, 1e-5f);
+        if (t.id == id_a) {
+            EXPECT_NEAR(t.box.x, 0.32f, 1e-5f);
+        }
+        if (t.id == id_b) {
+            EXPECT_NEAR(t.box.x, 0.52f, 1e-5f);
+        }
     }
 }
 

@@ -1,0 +1,118 @@
+// cfglint — static linter for cfg/weights pairs.
+//
+// Runs the analysis/validate.hpp rule set over a darknet cfg (or a model-zoo
+// architecture) without building the network, and optionally checks that a
+// .weights file's byte count matches the cfg's computed parameter layout —
+// catching truncated or mismatched checkpoints before anything loads them.
+//
+// Usage:
+//   cfglint [options] model.cfg [model.weights]
+//   cfglint [options] --model NAME [model.weights]
+//
+// Options:
+//   --model NAME        lint a zoo architecture (DroNet, TinyYoloVoc, ...)
+//   --size N            model mode: input resolution (default 416)
+//   --classes N         model mode: class count (default 1)
+//   --filter-scale F    model mode: hidden filter multiplier (default 1.0)
+//   --emit PATH         model mode: also write the cfg text to PATH
+//   --json              machine-readable report on stdout
+//   --quiet             no output, exit status only
+//   --strict            treat warnings as errors
+//
+// Exit status: 0 clean, 1 diagnostics at the failing severity, 2 usage/IO.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/validate.hpp"
+#include "models/model_zoo.hpp"
+
+namespace {
+
+int usage() {
+    std::cerr << "usage: cfglint [--json] [--quiet] [--strict] model.cfg [model.weights]\n"
+                 "       cfglint [--json] [--quiet] [--strict] --model NAME [--size N]\n"
+                 "               [--classes N] [--filter-scale F] [--emit PATH] "
+                 "[model.weights]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace dronet;
+    std::string model_name, emit_path;
+    std::vector<std::string> paths;
+    ModelOptions options;
+    bool json = false, quiet = false, strict = false;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+                return argv[++i];
+            };
+            if (a == "--model") model_name = next();
+            else if (a == "--size") options.input_size = std::stoi(next());
+            else if (a == "--classes") options.classes = std::stoi(next());
+            else if (a == "--filter-scale") options.filter_scale = std::stof(next());
+            else if (a == "--emit") emit_path = next();
+            else if (a == "--json") json = true;
+            else if (a == "--quiet") quiet = true;
+            else if (a == "--strict") strict = true;
+            else if (a.rfind("--", 0) == 0) throw std::runtime_error("unknown flag " + a);
+            else paths.push_back(a);
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "cfglint: " << e.what() << "\n";
+        return usage();
+    }
+
+    std::string cfg_text, cfg_label;
+    std::string weights_path;
+    if (!model_name.empty()) {
+        if (paths.size() > 1) return usage();
+        if (!paths.empty()) weights_path = paths[0];
+        try {
+            cfg_text = model_cfg(model_from_string(model_name), options);
+        } catch (const std::exception& e) {
+            std::cerr << "cfglint: " << e.what() << "\n";
+            return 2;
+        }
+        cfg_label = model_name;
+        if (!emit_path.empty()) {
+            std::ofstream out(emit_path);
+            out << cfg_text;
+            if (!out) {
+                std::cerr << "cfglint: cannot write " << emit_path << "\n";
+                return 2;
+            }
+        }
+    } else {
+        if (paths.empty() || paths.size() > 2 || !emit_path.empty()) return usage();
+        std::ifstream in(paths[0]);
+        if (!in) {
+            std::cerr << "cfglint: cannot open " << paths[0] << "\n";
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        cfg_text = buf.str();
+        cfg_label = paths[0];
+        if (paths.size() == 2) weights_path = paths[1];
+    }
+
+    ValidationReport report = validate_network(cfg_text);
+    if (!weights_path.empty()) check_weights_file(report, weights_path);
+
+    const bool failed = report.errors() > 0 || (strict && report.warnings() > 0);
+    if (json) {
+        std::cout << report.json() << "\n";
+    } else if (!quiet) {
+        if (!report.diagnostics.empty() || !failed) {
+            std::cout << cfg_label << ": " << report.str() << "\n";
+        }
+    }
+    return failed ? 1 : 0;
+}
