@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Documentation link checker. Fails (exit 1) when:
+#   * a relative markdown link in README.md or docs/*.md points at a path
+#     that does not exist (resolved against the linking file's directory), or
+#   * a docs/*.md file is not linked from the docs/README.md index.
+# External links (http/https/mailto) and pure #anchors are not checked.
+# Run from anywhere: scripts/check_docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+check_file() {
+  local file="$1"
+  local dir
+  dir="$(dirname "$file")"
+  # Markdown inline links: capture the (...) target of every [...](...).
+  # Fenced code blocks are skipped — C++ lambdas look like markdown links.
+  local targets
+  targets="$(awk '/^```/ { fence = !fence; next } !fence' "$file" \
+    | grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//')" || true
+  local t
+  while IFS= read -r t; do
+    [[ -z "$t" ]] && continue
+    case "$t" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    local path="${t%%#*}"          # strip any #anchor suffix
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "BROKEN LINK: $file -> $t (resolved $dir/$path)"
+      fail=1
+    fi
+  done <<< "$targets"
+}
+
+for f in README.md docs/*.md; do
+  check_file "$f"
+done
+
+# Every docs/ page must be reachable from the index.
+for f in docs/*.md; do
+  base="$(basename "$f")"
+  [[ "$base" == "README.md" ]] && continue
+  if ! grep -q "($base)" docs/README.md; then
+    echo "UNINDEXED DOC: $f is not linked from docs/README.md"
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: all links resolve, all docs indexed"

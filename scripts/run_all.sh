@@ -14,6 +14,10 @@ fi
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+# Documentation hygiene: every relative link in README.md and docs/ must
+# resolve, and every docs/ page must be indexed in docs/README.md.
+scripts/check_docs.sh
+
 # Static analysis over the library and tools (the curated check set lives in
 # .clang-tidy; compile_commands.json comes from CMAKE_EXPORT_COMPILE_COMMANDS).
 # The tool is optional in minimal containers, so gate on its presence.

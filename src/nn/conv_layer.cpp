@@ -126,7 +126,7 @@ void ConvolutionalLayer::forward(const Tensor& input, Network& net, bool train) 
         const float* col = in_b;
         if (!is_1x1) {
             float* ws = net.workspace();
-            im2col(in_b, geo_, ws);
+            im2col_mt(in_b, geo_, ws, gemm_threads());
             col = ws;
         }
         gemm(false, false, config_.filters, out_hw, col_rows, 1.0f, weights_.v.data(),
@@ -188,7 +188,7 @@ void ConvolutionalLayer::backward(const Tensor& input, Tensor* input_delta, Netw
         const float* col = in_b;
         if (!is_1x1) {
             float* ws = net.workspace();
-            im2col(in_b, geo_, ws);
+            im2col_mt(in_b, geo_, ws, gemm_threads());
             col = ws;
         }
         gemm(false, true, config_.filters, col_rows, out_hw, 1.0f, delta_b, out_hw, col,

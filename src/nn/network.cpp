@@ -88,11 +88,21 @@ const Tensor& Network::forward(const Tensor& input, bool train) {
                                     input.shape().str() + " != expected " +
                                     input_shape().str());
     }
+    profile::ForwardProfiler* prof = nullptr;
+    if (profile::profiling_enabled()) {
+        if (!profiler_) profiler_ = std::make_unique<profile::ForwardProfiler>();
+        prof = profiler_.get();
+    }
+    profile::ScopedForwardTimer forward_timer(prof);
     input_copy_ = input;
     const Tensor* x = &input_copy_;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         Layer& l = *layers_[i];
-        l.forward(*x, *this, train);
+        {
+            profile::ScopedLayerTimer timer(prof, static_cast<int>(i),
+                                            to_string(l.kind()), l.flops());
+            l.forward(*x, *this, train);
+        }
         if (numerics_checks_enabled()) {
             check_finite(l.output().span(), guard_context("forward", i, l, "output"));
         }

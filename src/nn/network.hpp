@@ -20,6 +20,7 @@
 #include "nn/region_layer.hpp"
 #include "nn/route_layer.hpp"
 #include "nn/upsample_layer.hpp"
+#include "profile/profiler.hpp"
 #include "tensor/rng.hpp"
 
 namespace dronet {
@@ -120,6 +121,16 @@ class Network {
     /// Shared im2col scratch; sized for the largest conv layer.
     [[nodiscard]] float* workspace() noexcept { return workspace_.data(); }
 
+    /// Per-layer timing sink, populated by forward() while profiling is
+    /// enabled (profile::profiling_enabled()). Null until the first profiled
+    /// forward. Read only while the network is quiescent.
+    [[nodiscard]] const profile::ForwardProfiler* profiler() const noexcept {
+        return profiler_.get();
+    }
+    [[nodiscard]] profile::ForwardProfiler* profiler() noexcept {
+        return profiler_.get();
+    }
+
   private:
     [[nodiscard]] Shape next_input_shape() const;
     void refresh_workspace();
@@ -133,6 +144,7 @@ class Network {
     std::vector<float> workspace_;
     Tensor input_copy_;  ///< retained for backward()
     std::int64_t batch_num_ = 0;
+    std::unique_ptr<profile::ForwardProfiler> profiler_;
 };
 
 }  // namespace dronet

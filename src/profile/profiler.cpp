@@ -1,0 +1,164 @@
+#include "profile/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+namespace dronet::profile {
+namespace {
+
+std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+bool env_default() noexcept {
+    const char* env = std::getenv("DRONET_PROFILE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+std::atomic<bool>& flag() noexcept {
+    static std::atomic<bool> enabled{env_default()};
+    return enabled;
+}
+
+}  // namespace
+
+bool profiling_enabled() noexcept {
+    return flag().load(std::memory_order_relaxed);
+}
+
+void set_profiling(bool on) noexcept {
+    flag().store(on, std::memory_order_relaxed);
+}
+
+double LayerStat::mean_ms() const noexcept {
+    return calls > 0 ? total_ms / static_cast<double>(calls) : 0.0;
+}
+
+double LayerStat::gflops() const noexcept {
+    if (total_ms <= 0.0) return 0.0;
+    const double total_flops =
+        static_cast<double>(flops) * static_cast<double>(calls);
+    return total_flops / (total_ms * 1e6);
+}
+
+void ForwardProfiler::record_layer(int index, std::string_view name,
+                                   std::int64_t flops, double ms) {
+    if (index < 0) return;
+    if (static_cast<std::size_t>(index) >= layers_.size()) {
+        layers_.resize(static_cast<std::size_t>(index) + 1);
+    }
+    LayerStat& s = layers_[static_cast<std::size_t>(index)];
+    if (s.calls == 0) {
+        s.index = index;
+        s.name.assign(name);
+        s.flops = flops;
+    }
+    ++s.calls;
+    s.total_ms += ms;
+}
+
+void ForwardProfiler::record_forward(double ms) {
+    ++forwards_;
+    total_forward_ms_ += ms;
+}
+
+double ForwardProfiler::layer_sum_ms() const {
+    double sum = 0.0;
+    for (const LayerStat& s : layers_) sum += s.total_ms;
+    return sum;
+}
+
+void ForwardProfiler::reset() {
+    layers_.clear();
+    forwards_ = 0;
+    total_forward_ms_ = 0.0;
+}
+
+std::string ForwardProfiler::report_text() const {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    const double total = total_forward_ms_;
+    os << "layer  kind       calls   mean ms     total ms   share    GFLOP/s\n";
+    for (const LayerStat& s : layers_) {
+        if (s.calls == 0) continue;
+        os.precision(3);
+        os << s.index;
+        for (std::size_t p = std::to_string(s.index).size(); p < 7; ++p) os << ' ';
+        os << s.name;
+        for (std::size_t p = s.name.size(); p < 11; ++p) os << ' ';
+        os.width(5);
+        os << s.calls << "  ";
+        os.width(8);
+        os << s.mean_ms() << "  ";
+        os.width(11);
+        os << s.total_ms << "  ";
+        os.precision(1);
+        os.width(5);
+        os << (total > 0.0 ? 100.0 * s.total_ms / total : 0.0) << "%  ";
+        os.precision(2);
+        os.width(9);
+        os << s.gflops() << "\n";
+    }
+    os.precision(3);
+    os << "forwards " << forwards_ << ", layer sum " << layer_sum_ms()
+       << " ms, end-to-end " << total_forward_ms_ << " ms";
+    if (forwards_ > 0) {
+        os << " (" << total_forward_ms_ / static_cast<double>(forwards_)
+           << " ms/forward)";
+    }
+    os << "\n";
+    return os.str();
+}
+
+std::string ForwardProfiler::report_json() const {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(4);
+    const double sum = layer_sum_ms();
+    os << "{\"forwards\":" << forwards_
+       << ",\"forward_ms_total\":" << total_forward_ms_ << ",\"forward_ms_mean\":"
+       << (forwards_ > 0 ? total_forward_ms_ / static_cast<double>(forwards_) : 0.0)
+       << ",\"layer_sum_ms\":" << sum << ",\"coverage\":"
+       << (total_forward_ms_ > 0.0 ? sum / total_forward_ms_ : 0.0)
+       << ",\"layers\":[";
+    bool first = true;
+    for (const LayerStat& s : layers_) {
+        if (s.calls == 0) continue;
+        if (!first) os << ",";
+        first = false;
+        os << "{\"index\":" << s.index << ",\"kind\":\"" << s.name
+           << "\",\"flops\":" << s.flops << ",\"calls\":" << s.calls
+           << ",\"total_ms\":" << s.total_ms << ",\"mean_ms\":" << s.mean_ms()
+           << ",\"gflops\":" << s.gflops() << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+ScopedLayerTimer::ScopedLayerTimer(ForwardProfiler* sink, int index,
+                                   std::string_view name, std::int64_t flops)
+    : sink_(sink), index_(index), name_(sink != nullptr ? name : std::string_view{}),
+      flops_(flops), start_ns_(sink != nullptr ? now_ns() : 0) {}
+
+ScopedLayerTimer::~ScopedLayerTimer() {
+    if (sink_ == nullptr) return;
+    sink_->record_layer(index_, name_, flops_,
+                        static_cast<double>(now_ns() - start_ns_) * 1e-6);
+}
+
+ScopedForwardTimer::ScopedForwardTimer(ForwardProfiler* sink) noexcept
+    : sink_(sink), start_ns_(sink != nullptr ? now_ns() : 0) {}
+
+ScopedForwardTimer::~ScopedForwardTimer() {
+    if (sink_ == nullptr) return;
+    sink_->record_forward(static_cast<double>(now_ns() - start_ns_) * 1e-6);
+}
+
+}  // namespace dronet::profile

@@ -1,0 +1,120 @@
+// Low-overhead per-layer forward-pass profiler.
+//
+// The paper's contribution is a throughput/accuracy trade-off measured on
+// CPU-bound platforms, so "where does a forward pass spend its time" is the
+// primary optimisation question. This module answers it: Network::forward
+// wraps every layer in a ScopedLayerTimer when profiling is enabled and
+// aggregates wall-time, call counts and achieved GFLOP/s per layer, plus the
+// end-to-end forward time, into text and JSON reports.
+//
+// Profiling is off by default; the per-forward cost when disabled is one
+// relaxed atomic load. Enable with the DRONET_PROFILE environment variable
+// (any value except "0") or programmatically via set_profiling(true).
+// Each Network owns its own ForwardProfiler, so DetectionService replicas
+// profile independently and no locking is needed on the hot path (a single
+// network's forward is always driven by one thread at a time).
+//
+// Consumers: tools/profile (per-layer breakdown CLI), tools/detect
+// --profile, tools/serve_bench --profile, docs/performance.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dronet::profile {
+
+/// True when per-layer timing should be collected. Reads DRONET_PROFILE once
+/// at first call; set_profiling() overrides it either way afterwards.
+[[nodiscard]] bool profiling_enabled() noexcept;
+void set_profiling(bool on) noexcept;
+
+/// Accumulated cost of one layer position in the network.
+struct LayerStat {
+    int index = -1;            ///< layer position in the network
+    std::string name;          ///< layer kind ("conv", "maxpool", ...)
+    std::int64_t flops = 0;    ///< FLOP estimate per single forward
+    std::uint64_t calls = 0;   ///< forwards recorded
+    double total_ms = 0.0;     ///< wall time summed over calls
+
+    /// Mean wall time per call in milliseconds (0 when never called).
+    [[nodiscard]] double mean_ms() const noexcept;
+    /// Achieved throughput in GFLOP/s over the recorded calls.
+    [[nodiscard]] double gflops() const noexcept;
+};
+
+/// Per-network aggregation sink. Not thread-safe by itself: a network's
+/// forward pass is single-threaded, and DetectionService gives each replica
+/// its own profiler. Read reports only while the owning network is quiescent.
+class ForwardProfiler {
+  public:
+    /// Adds `ms` of wall time to layer `index`, creating its slot on first
+    /// sight. `name`/`flops` are sticky from the first record.
+    void record_layer(int index, std::string_view name, std::int64_t flops,
+                      double ms);
+
+    /// Adds one completed end-to-end forward of `ms` wall time.
+    void record_forward(double ms);
+
+    [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+    [[nodiscard]] const std::vector<LayerStat>& layers() const noexcept {
+        return layers_;
+    }
+    [[nodiscard]] std::uint64_t forwards() const noexcept { return forwards_; }
+    /// End-to-end forward wall time summed over all recorded forwards.
+    [[nodiscard]] double total_forward_ms() const noexcept { return total_forward_ms_; }
+    /// Sum of per-layer wall time (<= total_forward_ms; the difference is
+    /// loop overhead: shape checks, the input copy, timer reads).
+    [[nodiscard]] double layer_sum_ms() const;
+
+    void reset();
+
+    /// Human table: one line per layer with share-of-total and GFLOP/s.
+    [[nodiscard]] std::string report_text() const;
+    /// Single JSON object: {"forwards", "forward_ms_total", "forward_ms_mean",
+    /// "layer_sum_ms", "coverage", "layers": [...]} — the tools/profile
+    /// --json payload.
+    [[nodiscard]] std::string report_json() const;
+
+  private:
+    std::vector<LayerStat> layers_;
+    std::uint64_t forwards_ = 0;
+    double total_forward_ms_ = 0.0;
+};
+
+/// RAII wall-clock timer: records into `sink` at destruction. A null sink
+/// makes it a no-op so call sites don't need to branch. The name is copied
+/// (the caller may pass a temporary).
+class ScopedLayerTimer {
+  public:
+    ScopedLayerTimer(ForwardProfiler* sink, int index, std::string_view name,
+                     std::int64_t flops);
+    ~ScopedLayerTimer();
+
+    ScopedLayerTimer(const ScopedLayerTimer&) = delete;
+    ScopedLayerTimer& operator=(const ScopedLayerTimer&) = delete;
+
+  private:
+    ForwardProfiler* sink_;
+    int index_;
+    std::string name_;
+    std::int64_t flops_;
+    std::uint64_t start_ns_;
+};
+
+/// RAII timer for the whole forward pass (record_forward at destruction).
+class ScopedForwardTimer {
+  public:
+    explicit ScopedForwardTimer(ForwardProfiler* sink) noexcept;
+    ~ScopedForwardTimer();
+
+    ScopedForwardTimer(const ScopedForwardTimer&) = delete;
+    ScopedForwardTimer& operator=(const ScopedForwardTimer&) = delete;
+
+  private:
+    ForwardProfiler* sink_;
+    std::uint64_t start_ns_;
+};
+
+}  // namespace dronet::profile

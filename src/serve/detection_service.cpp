@@ -149,4 +149,15 @@ void DetectionService::stop() {
     }
 }
 
+std::vector<std::string> DetectionService::profile_reports() const {
+    std::vector<std::string> reports;
+    for (const auto& replica : replicas_) {
+        const profile::ForwardProfiler* prof = replica->profiler();
+        if (prof != nullptr && prof->forwards() > 0) {
+            reports.push_back(prof->report_json());
+        }
+    }
+    return reports;
+}
+
 }  // namespace dronet::serve

@@ -96,6 +96,13 @@ class DetectionService {
     [[nodiscard]] int workers() const noexcept { return config_.workers; }
     [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
 
+    /// Per-worker profiler JSON (profile/profiler.hpp), one entry per replica
+    /// that recorded at least one forward; empty unless DRONET_PROFILE /
+    /// profile::set_profiling was enabled. Call only while the service is
+    /// quiescent (after drain() or stop()) — worker threads write these
+    /// profilers while frames are in flight.
+    [[nodiscard]] std::vector<std::string> profile_reports() const;
+
   private:
     struct Job {
         Image frame;

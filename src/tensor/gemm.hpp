@@ -1,13 +1,25 @@
 // Single-precision GEMM kernels.
 //
 // The convolution layers lower to matrix multiplication via im2col, exactly
-// as the darknet framework the paper deployed on its CPU targets. Three
-// kernels are provided:
+// as the darknet framework the paper deployed on its CPU targets. Kernels:
 //
-//   * gemm_naive    - reference triple loop, used by tests as ground truth
-//                     and by the ablation bench (DESIGN.md #2).
-//   * gemm_blocked  - cache-blocked ikj loop; the production kernel.
-//   * gemm_threaded - gemm_blocked sharded over rows across worker threads.
+//   * gemm_naive          - reference triple loop, used by tests as ground
+//                           truth and by the ablation bench (DESIGN.md #2).
+//   * gemm_blocked        - packed micro-kernel; the production kernel. Packs
+//                           A panels (and B panels when trans_b) into
+//                           thread-local scratch and runs a 4x16
+//                           register-tiled inner loop. Bit-exact with
+//                           gemm_naive: each C element accumulates over k in
+//                           the same order, so the results are identical
+//                           floats, not merely close.
+//   * gemm_threaded       - gemm_blocked sharded over row ranges on the
+//                           persistent ThreadPool (tensor/thread_pool.hpp).
+//                           No threads are created per call.
+//   * gemm_threaded_spawn - the pre-pool implementation (spawn + join fresh
+//                           std::threads every call, unpacked blocked
+//                           kernel). Kept as the baseline for
+//                           bench_ablation_gemm and regression tests; do not
+//                           use in new code.
 //
 // All kernels compute, for row-major matrices:
 //   C = alpha * op(A) * op(B) + beta * C
@@ -38,20 +50,29 @@ struct GemmArgs {
 /// Reference implementation; O(mnk) with no blocking. Ground truth in tests.
 void gemm_naive(const GemmArgs& args);
 
-/// Cache-blocked kernel (the default used by the conv layers).
+/// Packed micro-kernel (the default used by the conv layers). Bit-exact with
+/// gemm_naive for identical inputs.
 void gemm_blocked(const GemmArgs& args);
 
-/// gemm_blocked parallelized over row blocks of C with `threads` workers.
-/// threads <= 1 falls back to the serial blocked kernel.
+/// gemm_blocked parallelized over row ranges of C with up to `threads` ways
+/// on the shared persistent ThreadPool. threads <= 1 runs the serial packed
+/// kernel. Results are bit-exact with gemm_naive regardless of thread count
+/// (each C row is computed by exactly one thread, in the same order).
 void gemm_threaded(const GemmArgs& args, int threads);
 
+/// Legacy reference: spawns and joins `threads` fresh std::threads per call
+/// over the unpacked blocked kernel. Only for benchmarking the pool against.
+void gemm_threaded_spawn(const GemmArgs& args, int threads);
+
 /// Convenience wrapper matching darknet's historic signature. Dispatches to
-/// the blocked kernel (or the threaded one if set_gemm_threads() > 1).
+/// the packed kernel (pool-threaded when set_gemm_threads() > 1).
 void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
           const float* a, int lda, const float* b, int ldb, float beta, float* c,
           int ldc);
 
-/// Global thread count used by gemm(); defaults to 1.
+/// Global thread count used by gemm(); defaults to 1. Values > 1 shard work
+/// on the persistent pool; see docs/performance.md for how this interacts
+/// with DetectionService workers.
 void set_gemm_threads(int threads);
 int gemm_threads();
 

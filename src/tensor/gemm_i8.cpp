@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
-namespace dronet {
+#include "tensor/gemm.hpp"
+#include "tensor/thread_pool.hpp"
 
-void gemm_i8(int m, int n, int k, const std::int8_t* a, int lda,
-             const std::int8_t* b, int ldb, std::int32_t* c, int ldc) {
-    for (int i = 0; i < m; ++i) {
+namespace dronet {
+namespace {
+
+void gemm_i8_rows(int row_begin, int row_end, int n, int k, const std::int8_t* a,
+                  int lda, const std::int8_t* b, int ldb, std::int32_t* c,
+                  int ldc) {
+    for (int i = row_begin; i < row_end; ++i) {
         std::int32_t* crow = c + static_cast<std::int64_t>(i) * ldc;
         std::fill(crow, crow + n, 0);
         const std::int8_t* arow = a + static_cast<std::int64_t>(i) * lda;
@@ -20,6 +25,22 @@ void gemm_i8(int m, int n, int k, const std::int8_t* a, int lda,
             }
         }
     }
+}
+
+}  // namespace
+
+void gemm_i8(int m, int n, int k, const std::int8_t* a, int lda,
+             const std::int8_t* b, int ldb, std::int32_t* c, int ldc) {
+    const int threads = gemm_threads();
+    const std::int64_t macs = static_cast<std::int64_t>(m) * n * k;
+    if (threads > 1 && macs >= 16 * 1024) {
+        ThreadPool::instance().parallel_for(
+            0, m, threads, 1, [&](int lo, int hi) {
+                gemm_i8_rows(lo, hi, n, k, a, lda, b, ldb, c, ldc);
+            });
+        return;
+    }
+    gemm_i8_rows(0, m, n, k, a, lda, b, ldb, c, ldc);
 }
 
 std::int8_t quantize_value(float x, float scale) noexcept {

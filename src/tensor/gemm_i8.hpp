@@ -12,7 +12,9 @@ namespace dronet {
 
 /// C[m x n] = A[m x k] * B[k x n], int8 inputs, int32 accumulator/output.
 /// ldX are row strides. Overflow-safe for k < 2^16 (worst case |a*b| <= 2^14
-/// per term).
+/// per term). Rows are sharded on the persistent ThreadPool when
+/// set_gemm_threads() > 1; results are identical (integer math, each row
+/// written by exactly one thread).
 void gemm_i8(int m, int n, int k, const std::int8_t* a, int lda,
              const std::int8_t* b, int ldb, std::int32_t* c, int ldc);
 

@@ -2,13 +2,16 @@
 
 #include <cstdint>
 
-namespace dronet {
+#include "tensor/thread_pool.hpp"
 
-void im2col(const float* im, const ConvGeometry& geo, float* col) {
+namespace dronet {
+namespace {
+
+void im2col_rows(const float* im, const ConvGeometry& geo, float* col,
+                 int row_begin, int row_end) {
     const int oh = geo.out_h();
     const int ow = geo.out_w();
-    const int rows = geo.col_rows();
-    for (int r = 0; r < rows; ++r) {
+    for (int r = row_begin; r < row_end; ++r) {
         const int kw = r % geo.ksize;
         const int kh = (r / geo.ksize) % geo.ksize;
         const int ch = r / (geo.ksize * geo.ksize);
@@ -29,6 +32,25 @@ void im2col(const float* im, const ConvGeometry& geo, float* col) {
             }
         }
     }
+}
+
+}  // namespace
+
+void im2col(const float* im, const ConvGeometry& geo, float* col) {
+    im2col_rows(im, geo, col, 0, geo.col_rows());
+}
+
+void im2col_mt(const float* im, const ConvGeometry& geo, float* col, int ways) {
+    const int rows = geo.col_rows();
+    // Below ~16k written floats the unroll is too cheap to shard.
+    const std::int64_t cells = static_cast<std::int64_t>(rows) * geo.col_cols();
+    if (ways <= 1 || cells < 16 * 1024) {
+        im2col_rows(im, geo, col, 0, rows);
+        return;
+    }
+    ThreadPool::instance().parallel_for(0, rows, ways, 1, [&](int lo, int hi) {
+        im2col_rows(im, geo, col, lo, hi);
+    });
 }
 
 void col2im(const float* col, const ConvGeometry& geo, float* im) {

@@ -31,6 +31,13 @@ struct ConvGeometry {
 /// col_rows() x col_cols(). Out-of-image taps read as zero (zero padding).
 void im2col(const float* im, const ConvGeometry& geo, float* col);
 
+/// im2col with its rows sharded across the persistent ThreadPool in up to
+/// `ways` chunks. Output is identical to im2col (each row is written by
+/// exactly one thread); `ways <= 1` or a small unroll runs serially. The conv
+/// layers pass set_gemm_threads() here so one knob controls both lowering
+/// and GEMM parallelism.
+void im2col_mt(const float* im, const ConvGeometry& geo, float* col, int ways);
+
 /// Adjoint of im2col: accumulates `col` back into `im` (im must be
 /// pre-initialized; contributions are added, matching gradient semantics).
 void col2im(const float* col, const ConvGeometry& geo, float* im);

@@ -1,0 +1,166 @@
+#include "tensor/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dronet {
+namespace {
+
+int default_worker_count() {
+    if (const char* env = std::getenv("DRONET_POOL_WORKERS")) {
+        const int n = std::atoi(env);
+        if (n >= 0) return std::min(n, 64);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return static_cast<int>(std::clamp(hc, 1u, 64u));
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+    /// One batch per parallel_for call; lives on the caller's stack for the
+    /// duration of the call. Chunk completions decrement `remaining` with
+    /// release ordering, so the caller's acquire load of 0 sees every write
+    /// the chunks made.
+    struct Batch {
+        std::atomic<int> remaining{0};
+    };
+
+    struct Task {
+        const RangeFn* fn = nullptr;
+        int lo = 0;
+        int hi = 0;
+        Batch* batch = nullptr;
+    };
+
+    mutable std::mutex mu;
+    std::condition_variable work_cv;  ///< wakes parked workers
+    std::condition_variable done_cv;  ///< wakes callers waiting on a batch
+    std::deque<Task> queue;
+    bool shutdown = false;
+    std::vector<std::thread> workers;
+
+    std::atomic<std::uint64_t> threads_created{0};
+    std::atomic<std::uint64_t> parallel_calls{0};
+    std::atomic<std::uint64_t> tasks_executed{0};
+
+    void run_task(const Task& t) {
+        (*t.fn)(t.lo, t.hi);
+        tasks_executed.fetch_add(1, std::memory_order_relaxed);
+        if (t.batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last chunk of the batch: wake its caller. Lock/unlock pairs the
+            // notification with the caller's predicate check.
+            { std::lock_guard<std::mutex> lk(mu); }
+            done_cv.notify_all();
+        }
+    }
+
+    void worker_loop() {
+        for (;;) {
+            Task t;
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                work_cv.wait(lk, [&] { return shutdown || !queue.empty(); });
+                if (queue.empty()) return;  // shutdown with no work left
+                t = queue.front();
+                queue.pop_front();
+            }
+            run_task(t);
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int workers) : impl_(new Impl) {
+    workers = std::max(0, workers);
+    impl_->workers.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+        impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+        impl_->threads_created.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        impl_->shutdown = true;
+    }
+    impl_->work_cv.notify_all();
+    for (auto& w : impl_->workers) w.join();
+    delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+    static ThreadPool pool(default_worker_count());
+    return pool;
+}
+
+void ThreadPool::parallel_for(int begin, int end, int ways, int grain,
+                              const RangeFn& fn) {
+    const int total = end - begin;
+    if (total <= 0) return;
+    grain = std::max(1, grain);
+    const int max_chunks = (total + grain - 1) / grain;
+    ways = std::clamp(ways, 1, max_chunks);
+    if (ways == 1) {
+        fn(begin, end);
+        return;
+    }
+    // Chunk size: even split rounded up to a grain multiple.
+    const int chunk = ((total + ways - 1) / ways + grain - 1) / grain * grain;
+    const int chunks = (total + chunk - 1) / chunk;
+
+    Impl::Batch batch;
+    batch.remaining.store(chunks, std::memory_order_relaxed);
+    impl_->parallel_calls.fetch_add(1, std::memory_order_relaxed);
+
+    Impl::Task first{&fn, begin, std::min(end, begin + chunk), &batch};
+    {
+        std::lock_guard<std::mutex> lk(impl_->mu);
+        for (int c = 1; c < chunks; ++c) {
+            const int lo = begin + c * chunk;
+            impl_->queue.push_back(
+                Impl::Task{&fn, lo, std::min(end, lo + chunk), &batch});
+        }
+    }
+    if (chunks > 1) impl_->work_cv.notify_all();
+
+    impl_->run_task(first);
+
+    // Help drain the queue (our chunks or another caller's) until our batch
+    // completes. This guarantees progress even with zero pool workers.
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    while (batch.remaining.load(std::memory_order_acquire) > 0) {
+        if (!impl_->queue.empty()) {
+            Impl::Task t = impl_->queue.front();
+            impl_->queue.pop_front();
+            lk.unlock();
+            impl_->run_task(t);
+            lk.lock();
+        } else {
+            impl_->done_cv.wait(lk, [&] {
+                return batch.remaining.load(std::memory_order_acquire) == 0 ||
+                       !impl_->queue.empty();
+            });
+        }
+    }
+}
+
+int ThreadPool::worker_count() const noexcept {
+    return static_cast<int>(impl_->workers.size());
+}
+
+ThreadPoolStats ThreadPool::stats() const noexcept {
+    ThreadPoolStats s;
+    s.threads_created = impl_->threads_created.load(std::memory_order_relaxed);
+    s.parallel_calls = impl_->parallel_calls.load(std::memory_order_relaxed);
+    s.tasks_executed = impl_->tasks_executed.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace dronet

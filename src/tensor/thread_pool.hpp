@@ -1,0 +1,68 @@
+// Persistent worker pool for intra-op parallelism.
+//
+// The paper's FPS numbers are CPU-bound, and the original gemm_threaded
+// spawned (and joined) fresh std::threads on every convolution call — tens of
+// microseconds of overhead per layer, paid hundreds of times per frame. This
+// pool is created once on first use, parks its workers on a condition
+// variable, and hands them contiguous row ranges. gemm, gemm_i8 and im2col
+// all dispatch through it; concurrent callers (e.g. serve workers running
+// their own forward passes) are safe and simply interleave their chunks.
+//
+// The calling thread always participates: it runs the first chunk itself and
+// then helps drain the queue until its own batch is finished, so the pool
+// makes progress even on a single-core host and can never deadlock on
+// oversubscription.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace dronet {
+
+/// Monotonic counters for observability and tests. `threads_created` is the
+/// total number of OS threads the pool ever started — after first use it must
+/// stay constant, which is how the ablation bench proves "zero per-call
+/// thread creation".
+struct ThreadPoolStats {
+    std::uint64_t threads_created = 0;
+    std::uint64_t parallel_calls = 0;  ///< parallel_for calls that fanned out
+    std::uint64_t tasks_executed = 0;  ///< chunks run (on workers or callers)
+};
+
+class ThreadPool {
+  public:
+    /// Callback for one contiguous range [lo, hi). Must not throw.
+    using RangeFn = std::function<void(int lo, int hi)>;
+
+    /// Starts `workers` parked threads (clamped to >= 0). Most code should
+    /// use the shared instance() instead of constructing pools.
+    explicit ThreadPool(int workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Process-wide pool, lazily created on first call. Worker count is
+    /// DRONET_POOL_WORKERS when set, else hardware_concurrency(). The first
+    /// gemm/im2col call pays the one-time thread creation; every later call
+    /// reuses the parked workers.
+    static ThreadPool& instance();
+
+    /// Splits [begin, end) into at most `ways` contiguous chunks (chunk
+    /// boundaries are multiples of `grain`, so e.g. GEMM row tiles are never
+    /// torn) and runs `fn` on each chunk. The caller runs one chunk inline
+    /// and helps drain queued chunks while waiting. Returns after every chunk
+    /// has finished; writes made by the chunks happen-before the return.
+    /// Thread-safe for any number of concurrent callers. `ways <= 1` or an
+    /// empty range runs inline without touching the queue.
+    void parallel_for(int begin, int end, int ways, int grain, const RangeFn& fn);
+
+    [[nodiscard]] int worker_count() const noexcept;
+    [[nodiscard]] ThreadPoolStats stats() const noexcept;
+
+  private:
+    struct Impl;
+    Impl* impl_;  // raw pointer keeps the header dependency-free
+};
+
+}  // namespace dronet

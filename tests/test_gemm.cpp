@@ -1,8 +1,11 @@
 // GEMM kernels: blocked and threaded kernels must agree with the naive
 // reference across transpose modes, alpha/beta values and shapes
-// (parameterized property sweep).
+// (parameterized property sweep). The packed kernels are required to be
+// BIT-exact against gemm_naive (same accumulation order), which the
+// *BitExact* tests check via memcmp.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <tuple>
 #include <vector>
 
@@ -67,6 +70,62 @@ TEST_P(GemmAgreement, ThreadedMatchesNaive) {
     expect_near(c_ref, c_thr);
 }
 
+// The packed kernels reproduce gemm_naive's exact accumulation order
+// (full-k ascending into a fresh accumulator, then alpha*acc + beta*c), so
+// the results must match bit for bit — not just within tolerance. This is
+// what lets gemm() switch kernels without perturbing checkpoint evaluation.
+TEST_P(GemmAgreement, BlockedBitExactVsNaive) {
+    const GemmCase c = GetParam();
+    Rng rng(29);
+    const auto a = c.ta ? random_matrix(rng, c.k, c.m) : random_matrix(rng, c.m, c.k);
+    const auto b = c.tb ? random_matrix(rng, c.n, c.k) : random_matrix(rng, c.k, c.n);
+    auto c_ref = random_matrix(rng, c.m, c.n);
+    auto c_blk = c_ref;
+    const int lda = c.ta ? c.m : c.k;
+    const int ldb = c.tb ? c.k : c.n;
+    gemm_naive({c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(), ldb,
+                c.beta, c_ref.data(), c.n});
+    gemm_blocked({c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(), ldb,
+                  c.beta, c_blk.data(), c.n});
+    ASSERT_EQ(std::memcmp(c_ref.data(), c_blk.data(), c_ref.size() * sizeof(float)), 0);
+}
+
+TEST_P(GemmAgreement, ThreadedBitExactVsNaive) {
+    const GemmCase c = GetParam();
+    Rng rng(31);
+    const auto a = c.ta ? random_matrix(rng, c.k, c.m) : random_matrix(rng, c.m, c.k);
+    const auto b = c.tb ? random_matrix(rng, c.n, c.k) : random_matrix(rng, c.k, c.n);
+    auto c_ref = random_matrix(rng, c.m, c.n);
+    auto c_thr = c_ref;
+    const int lda = c.ta ? c.m : c.k;
+    const int ldb = c.tb ? c.k : c.n;
+    gemm_naive({c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(), ldb,
+                c.beta, c_ref.data(), c.n});
+    gemm_threaded({c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(), ldb,
+                   c.beta, c_thr.data(), c.n},
+                  4);
+    ASSERT_EQ(std::memcmp(c_ref.data(), c_thr.data(), c_ref.size() * sizeof(float)), 0);
+}
+
+// Legacy spawn-per-call sharding (kept as the ablation baseline) uses the
+// old k-blocked kernel, so it agrees within tolerance, not bitwise.
+TEST_P(GemmAgreement, SpawnLegacyMatchesNaive) {
+    const GemmCase c = GetParam();
+    Rng rng(37);
+    const auto a = c.ta ? random_matrix(rng, c.k, c.m) : random_matrix(rng, c.m, c.k);
+    const auto b = c.tb ? random_matrix(rng, c.n, c.k) : random_matrix(rng, c.k, c.n);
+    auto c_ref = random_matrix(rng, c.m, c.n);
+    auto c_spawn = c_ref;
+    const int lda = c.ta ? c.m : c.k;
+    const int ldb = c.tb ? c.k : c.n;
+    gemm_naive({c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(), ldb,
+                c.beta, c_ref.data(), c.n});
+    gemm_threaded_spawn({c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(),
+                         ldb, c.beta, c_spawn.data(), c.n},
+                        3);
+    expect_near(c_ref, c_spawn);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, GemmAgreement,
     ::testing::Values(
@@ -80,7 +139,17 @@ INSTANTIATE_TEST_SUITE_P(
         GemmCase{12, 20, 30, true, true, -1.0f, 0.5f},
         GemmCase{64, 100, 72, false, false, 1.0f, 0.0f},
         GemmCase{3, 300, 150, false, false, 1.0f, 0.0f},
-        GemmCase{130, 5, 260, false, false, 1.0f, 1.0f}));
+        GemmCase{130, 5, 260, false, false, 1.0f, 1.0f},
+        // Edge shapes around the 4x16 register tile: one under/over each
+        // boundary, single rows/columns, and a DroNet-like wide-N case.
+        GemmCase{5, 17, 3, false, false, 1.0f, 0.0f},
+        GemmCase{4, 16, 1, false, false, 1.0f, 0.0f},
+        GemmCase{3, 15, 8, false, false, 2.0f, -1.0f},
+        GemmCase{65, 257, 7, false, false, 1.0f, 0.5f},
+        GemmCase{1, 16, 32, false, true, 1.0f, 0.0f},
+        GemmCase{4, 1, 64, true, false, 1.0f, 1.0f},
+        GemmCase{8, 1024, 27, false, false, 1.0f, 0.0f},
+        GemmCase{9, 31, 5, false, true, -0.5f, 2.0f}));
 
 TEST(Gemm, IdentityMultiplication) {
     // I * B = B for a 3x3 identity.

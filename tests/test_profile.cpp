@@ -1,0 +1,137 @@
+// Per-layer forward profiler: off by default, one LayerStat per layer on a
+// real cfg-built network, monotonic accumulation across runs, layer-sum vs
+// end-to-end consistency, and a well-formed JSON report.
+// Runs from the repo root (WORKING_DIRECTORY) so models/DroNet.cfg resolves.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "nn/cfg.hpp"
+#include "profile/profiler.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dronet {
+namespace {
+
+Tensor random_input(Network& net) {
+    Tensor input(net.input_shape());
+    Rng rng(0xFACE);
+    rng.fill_uniform(input.span(), 0.0f, 1.0f);
+    return input;
+}
+
+TEST(Profile, DisabledByDefaultNoProfilerAllocated) {
+    profile::set_profiling(false);
+    Network net = load_cfg_file("models/DroNet.cfg");
+    net.set_batch(1);
+    const Tensor input = random_input(net);
+    net.forward(input);
+    EXPECT_EQ(net.profiler(), nullptr)
+        << "profiling off must not allocate or record anything";
+}
+
+TEST(Profile, RecordsOneStatPerLayerOnDroNet) {
+    Network net = load_cfg_file("models/DroNet.cfg");
+    net.set_batch(1);
+    const Tensor input = random_input(net);
+
+    profile::set_profiling(true);
+    net.forward(input);
+    profile::set_profiling(false);
+
+    const profile::ForwardProfiler* prof = net.profiler();
+    ASSERT_NE(prof, nullptr);
+    EXPECT_EQ(prof->layer_count(), net.num_layers());
+    EXPECT_EQ(prof->forwards(), 1u);
+    for (const profile::LayerStat& s : prof->layers()) {
+        EXPECT_GE(s.index, 0);
+        EXPECT_FALSE(s.name.empty());
+        EXPECT_EQ(s.calls, 1u);
+        EXPECT_GE(s.total_ms, 0.0);
+    }
+}
+
+TEST(Profile, TotalsGrowMonotonicallyAcrossRuns) {
+    Network net = load_cfg_file("models/DroNet.cfg");
+    net.set_batch(1);
+    const Tensor input = random_input(net);
+
+    profile::set_profiling(true);
+    net.forward(input);
+    const double total_1 = net.profiler()->total_forward_ms();
+    const double layer_sum_1 = net.profiler()->layer_sum_ms();
+    net.forward(input);
+    net.forward(input);
+    profile::set_profiling(false);
+
+    const profile::ForwardProfiler* prof = net.profiler();
+    ASSERT_NE(prof, nullptr);
+    EXPECT_EQ(prof->forwards(), 3u);
+    EXPECT_GT(prof->total_forward_ms(), total_1);
+    EXPECT_GT(prof->layer_sum_ms(), layer_sum_1);
+    for (const profile::LayerStat& s : prof->layers()) {
+        EXPECT_EQ(s.calls, 3u);
+    }
+    // Per-layer time is a subset of the end-to-end forward time; allow a tiny
+    // epsilon for timer quantisation.
+    EXPECT_LE(prof->layer_sum_ms(), prof->total_forward_ms() + 0.5);
+}
+
+TEST(Profile, ResetClearsEverything) {
+    Network net = load_cfg_file("models/DroNet.cfg");
+    net.set_batch(1);
+    const Tensor input = random_input(net);
+
+    profile::set_profiling(true);
+    net.forward(input);
+    profile::ForwardProfiler* prof = net.profiler();
+    ASSERT_NE(prof, nullptr);
+    prof->reset();
+    EXPECT_EQ(prof->layer_count(), 0u);
+    EXPECT_EQ(prof->forwards(), 0u);
+    EXPECT_EQ(prof->total_forward_ms(), 0.0);
+
+    net.forward(input);  // records into the same (reset) profiler
+    profile::set_profiling(false);
+    EXPECT_EQ(prof->forwards(), 1u);
+    EXPECT_EQ(prof->layer_count(), net.num_layers());
+}
+
+TEST(Profile, JsonReportHasExpectedKeys) {
+    Network net = load_cfg_file("models/DroNet.cfg");
+    net.set_batch(1);
+    const Tensor input = random_input(net);
+
+    profile::set_profiling(true);
+    net.forward(input);
+    profile::set_profiling(false);
+
+    const std::string json = net.profiler()->report_json();
+    for (const char* key :
+         {"\"forwards\"", "\"forward_ms_total\"", "\"forward_ms_mean\"",
+          "\"layer_sum_ms\"", "\"coverage\"", "\"layers\"", "\"kind\"",
+          "\"gflops\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+    }
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+
+    const std::string text = net.profiler()->report_text();
+    EXPECT_NE(text.find("conv"), std::string::npos);
+    EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST(Profile, LayerStatDerivedMetrics) {
+    profile::LayerStat s;
+    EXPECT_EQ(s.mean_ms(), 0.0);
+    EXPECT_EQ(s.gflops(), 0.0);
+    s.calls = 4;
+    s.total_ms = 8.0;
+    s.flops = 1'000'000;
+    EXPECT_DOUBLE_EQ(s.mean_ms(), 2.0);
+    EXPECT_GT(s.gflops(), 0.0);
+}
+
+}  // namespace
+}  // namespace dronet

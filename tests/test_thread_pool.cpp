@@ -1,0 +1,141 @@
+// Persistent thread pool: exact range coverage, grain alignment, reuse
+// without per-call thread creation, and concurrent GEMM callers (the serve
+// worker scenario). Runs under TSan via the `concurrency` ctest label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/thread_pool.hpp"
+
+namespace dronet {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+    ThreadPool& pool = ThreadPool::instance();
+    std::vector<std::atomic<int>> hits(1037);
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for(0, 1037, 8, 1, [&](int lo, int hi) {
+        for (int i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "element " << i;
+    }
+}
+
+TEST(ThreadPool, ChunkBoundariesRespectGrain) {
+    ThreadPool& pool = ThreadPool::instance();
+    std::mutex mu;
+    std::vector<std::pair<int, int>> chunks;
+    const int grain = 4;
+    pool.parallel_for(0, 30, 4, grain, [&](int lo, int hi) {
+        std::lock_guard<std::mutex> lk(mu);
+        chunks.emplace_back(lo, hi);
+    });
+    int covered = 0;
+    for (const auto& [lo, hi] : chunks) {
+        EXPECT_EQ(lo % grain, 0) << "chunk start must be grain-aligned";
+        EXPECT_TRUE(hi % grain == 0 || hi == 30);
+        covered += hi - lo;
+    }
+    EXPECT_EQ(covered, 30);
+}
+
+TEST(ThreadPool, EmptyAndSingleWayRunInline) {
+    ThreadPool& pool = ThreadPool::instance();
+    const ThreadPoolStats before = pool.stats();
+    int calls = 0;
+    pool.parallel_for(5, 5, 4, 1, [&](int, int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallel_for(0, 10, 1, 1, [&](int lo, int hi) {
+        ++calls;
+        EXPECT_EQ(lo, 0);
+        EXPECT_EQ(hi, 10);
+    });
+    EXPECT_EQ(calls, 1);
+    const ThreadPoolStats after = pool.stats();
+    EXPECT_EQ(after.parallel_calls, before.parallel_calls)
+        << "inline paths must not touch the queue";
+}
+
+TEST(ThreadPool, ReusedAcrossCallsWithoutCreatingThreads) {
+    ThreadPool& pool = ThreadPool::instance();
+    // Warm the pool (instance() above already created the workers).
+    pool.parallel_for(0, 64, 4, 1, [](int, int) {});
+    const ThreadPoolStats before = pool.stats();
+    for (int round = 0; round < 50; ++round) {
+        pool.parallel_for(0, 256, 4, 1, [](int, int) {});
+    }
+    const ThreadPoolStats after = pool.stats();
+    EXPECT_EQ(after.threads_created, before.threads_created)
+        << "the pool must never create threads after initialization";
+    EXPECT_GE(after.parallel_calls, before.parallel_calls + 50);
+    EXPECT_GT(after.tasks_executed, before.tasks_executed);
+}
+
+TEST(ThreadPool, GemmThreadedCreatesNoThreadsPerCall) {
+    Rng rng(3);
+    const int m = 32, n = 128, k = 64;
+    std::vector<float> a(static_cast<std::size_t>(m) * k);
+    std::vector<float> b(static_cast<std::size_t>(k) * n);
+    std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+    rng.fill_uniform(a, -1.0f, 1.0f);
+    rng.fill_uniform(b, -1.0f, 1.0f);
+    const GemmArgs g{false, false, m, n, k, 1.0f, a.data(), k,
+                     b.data(), n, 0.0f, c.data(), n};
+    gemm_threaded(g, 4);  // warm (may lazily create the pool)
+    const ThreadPoolStats before = ThreadPool::instance().stats();
+    for (int i = 0; i < 25; ++i) gemm_threaded(g, 4);
+    const ThreadPoolStats after = ThreadPool::instance().stats();
+    EXPECT_EQ(after.threads_created, before.threads_created);
+}
+
+// The serve scenario: several workers run their own forward passes, each
+// calling pooled gemm concurrently. Every caller must get results identical
+// to the serial reference.
+TEST(ThreadPool, ConcurrentGemmCallersAgreeWithReference) {
+    const int m = 48, n = 96, k = 57;
+    Rng rng(17);
+    std::vector<float> a(static_cast<std::size_t>(m) * k);
+    std::vector<float> b(static_cast<std::size_t>(k) * n);
+    rng.fill_uniform(a, -1.0f, 1.0f);
+    rng.fill_uniform(b, -1.0f, 1.0f);
+    std::vector<float> ref(static_cast<std::size_t>(m) * n, 0.0f);
+    gemm_naive({false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+                ref.data(), n});
+
+    constexpr int kCallers = 4;
+    std::vector<std::vector<float>> outs(
+        kCallers, std::vector<float>(static_cast<std::size_t>(m) * n, 0.0f));
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&, t] {
+            for (int round = 0; round < 8; ++round) {
+                gemm_threaded({false, false, m, n, k, 1.0f, a.data(), k, b.data(),
+                               n, 0.0f, outs[static_cast<std::size_t>(t)].data(), n},
+                              3);
+            }
+        });
+    }
+    for (auto& t : callers) t.join();
+    for (int t = 0; t < kCallers; ++t) {
+        ASSERT_EQ(std::memcmp(ref.data(), outs[static_cast<std::size_t>(t)].data(),
+                              ref.size() * sizeof(float)),
+                  0)
+            << "caller " << t;
+    }
+}
+
+TEST(ThreadPool, WorkerCountPositive) {
+    EXPECT_GE(ThreadPool::instance().worker_count(), 1);
+    EXPECT_GE(ThreadPool::instance().stats().threads_created, 1u);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -4,10 +4,11 @@
 // Usage:
 //   detect [--model DroNet] [--size 512] [--weights FILE] [--cfg FILE]
 //          [--thresh 0.3] [--nms 0.45] [--letterbox] [--threads N]
-//          image.ppm [more.ppm...]
+//          [--profile] image.ppm [more.ppm...]
 //
 // --threads N enables intra-op GEMM parallelism (tensor/gemm.hpp) for the
 // forward pass; serving-mode (inter-frame) parallelism lives in tools/serve_bench.
+// --profile prints a per-layer timing table after all images (docs/performance.md).
 //
 // With --cfg the network is built from a darknet cfg file; otherwise the
 // named zoo model is used and, when no --weights is given, the pretrained
@@ -23,6 +24,7 @@
 #include "models/pretrained.hpp"
 #include "nn/cfg.hpp"
 #include "nn/weights_io.hpp"
+#include "profile/profiler.hpp"
 #include "tensor/gemm.hpp"
 
 int main(int argc, char** argv) {
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
         else if (a == "--nms") post.nms_threshold = std::stof(next());
         else if (a == "--letterbox") post.use_letterbox = true;
         else if (a == "--threads") set_gemm_threads(std::stoi(next()));
+        else if (a == "--profile") profile::set_profiling(true);
         else if (a.rfind("--", 0) == 0) throw std::runtime_error("unknown flag " + a);
         else images.push_back(a);
     }
@@ -53,7 +56,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: detect [--model NAME|--cfg FILE] [--weights FILE] "
                      "[--size N] [--thresh T] [--nms T] [--letterbox] "
-                     "[--threads N] image.ppm...\n");
+                     "[--threads N] [--profile] image.ppm...\n");
         return 2;
     }
 
@@ -92,6 +95,9 @@ int main(int argc, char** argv) {
             std::filesystem::path(path).stem().string() + "_detections.ppm";
         write_ppm(draw_detections(im, dets), out);
         std::printf("  annotated image -> %s\n", out.c_str());
+    }
+    if (profile::profiling_enabled() && net.profiler() != nullptr) {
+        std::printf("%s", net.profiler()->report_text().c_str());
     }
     return 0;
 }

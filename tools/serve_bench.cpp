@@ -9,9 +9,12 @@
 //   serve_bench [--workers N] [--streams M] [--frames-per-stream K]
 //               [--size S] [--capacity Q] [--policy block|reject|drop-oldest]
 //               [--model DroNet] [--gemm-threads N] [--interval-ms T]
+//               [--profile]
 //
 // --interval-ms > 0 paces each stream like a camera (T ms between submits),
 // which exercises the backpressure policies; 0 submits as fast as possible.
+// --profile prints one per-layer timing JSON line per worker replica after
+// the run (profile/profiler.hpp, docs/performance.md).
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -22,6 +25,7 @@
 #include "data/dataset.hpp"
 #include "models/model_zoo.hpp"
 #include "models/pretrained.hpp"
+#include "profile/profiler.hpp"
 #include "serve/detection_service.hpp"
 #include "tensor/gemm.hpp"
 
@@ -38,6 +42,7 @@ struct Args {
     std::string model = "DroNet";
     int gemm_threads = 1;
     double interval_ms = 0;
+    bool profile = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -56,6 +61,7 @@ Args parse_args(int argc, char** argv) {
         else if (a == "--model") args.model = next();
         else if (a == "--gemm-threads") args.gemm_threads = std::stoi(next());
         else if (a == "--interval-ms") args.interval_ms = std::stod(next());
+        else if (a == "--profile") args.profile = true;
         else if (a == "--policy") {
             const std::string p = next();
             using dronet::serve::BackpressurePolicy;
@@ -76,6 +82,7 @@ int main(int argc, char** argv) {
     using namespace dronet;
     const Args args = parse_args(argc, argv);
     set_gemm_threads(args.gemm_threads);
+    if (args.profile) profile::set_profiling(true);
 
     const ModelId id = model_from_string(args.model);
     Network net = [&] {
@@ -122,9 +129,16 @@ int main(int argc, char** argv) {
     }
     for (auto& t : streams) t.join();
     service.drain();
+    service.stop();  // quiesce workers so profiler reads below are safe
 
     const serve::ServeStatsSnapshot snap = service.stats();
     std::printf("%s\n", snap.to_json().c_str());
+    if (args.profile) {
+        const std::vector<std::string> reports = service.profile_reports();
+        for (std::size_t w = 0; w < reports.size(); ++w) {
+            std::printf("{\"worker\":%zu,\"profile\":%s}\n", w, reports[w].c_str());
+        }
+    }
     std::fprintf(stderr,
                  "# %d workers, %d streams x %d frames @%d: %.1f frames/s, "
                  "p99 %.1f ms (dropped %llu, rejected %llu)\n",
