@@ -4,7 +4,10 @@
 // full DroNet architecture, random weights — timing only).
 //
 // Output: one JSON line per worker count, same style as the other bench_*
-// harnesses, plus a human-readable summary table on stderr.
+// harnesses, plus a human-readable summary table on stderr. After the sweep,
+// a micro-batching ablation runs the same load at 4 workers with
+// max_batch 1 vs 4 (ServiceConfig micro-batching, docs/serving.md) and
+// reports the throughput ratio plus the realized batch-size histogram.
 //
 //   DRONET_BENCH_SERVE_FRAMES=N   frames per sweep point (default 48)
 //   DRONET_BENCH_SERVE_SIZE=S     input size (default 512)
@@ -26,6 +29,44 @@ namespace {
 int env_int(const char* name, int fallback) {
     if (const char* v = std::getenv(name)) return std::max(1, std::atoi(v));
     return fallback;
+}
+
+// Runs `total_frames` through a fresh service (after a per-worker warm-up)
+// and returns the warm throughput in frames/s; `snap_out` receives the final
+// stats snapshot (for the batch-size histogram).
+double run_point(const dronet::Network& net, const dronet::DetectionDataset& frames,
+                 int workers, int max_batch, long long batch_timeout_us,
+                 int total_frames, dronet::serve::ServeStatsSnapshot* snap_out) {
+    using namespace dronet;
+    serve::ServiceConfig sc;
+    sc.workers = workers;
+    sc.queue_capacity = 16;
+    sc.policy = serve::BackpressurePolicy::kBlock;
+    sc.max_batch = max_batch;
+    sc.batch_timeout_us = batch_timeout_us;
+    serve::DetectionService service(net, sc);
+    {
+        std::vector<std::future<serve::ServeResult>> warm;
+        for (int i = 0; i < workers; ++i) {
+            warm.push_back(
+                service.submit(frames.image(static_cast<std::size_t>(i) % frames.size())));
+        }
+        for (auto& f : warm) (void)f.get();
+    }
+    const serve::ServeStatsSnapshot before = service.stats();
+    std::vector<std::future<serve::ServeResult>> futures;
+    futures.reserve(static_cast<std::size_t>(total_frames));
+    for (int f = 0; f < total_frames; ++f) {
+        futures.push_back(
+            service.submit(frames.image(static_cast<std::size_t>(f) % frames.size())));
+    }
+    for (auto& fut : futures) (void)fut.get();
+    service.drain();
+    const serve::ServeStatsSnapshot snap = service.stats();
+    service.stop();
+    if (snap_out != nullptr) *snap_out = snap;
+    const double wall = snap.wall_seconds - before.wall_seconds;
+    return wall > 0 ? static_cast<double>(snap.completed - before.completed) / wall : 0.0;
 }
 
 }  // namespace
@@ -94,5 +135,36 @@ int main() {
         std::fflush(stdout);
         service.stop();
     }
+
+    // Micro-batching ablation: identical load at 4 workers, frame-at-a-time
+    // vs dynamic batches of up to 4 with a 2 ms linger.
+    const int ab_workers = 4;
+    const int ab_frames = 2 * frames_per_point;
+    std::printf("# micro-batch ablation: %d workers, max_batch 1 vs 4\n", ab_workers);
+    serve::ServeStatsSnapshot snap1, snap4;
+    const double fps_unbatched =
+        run_point(net, frames, ab_workers, /*max_batch=*/1, 0, ab_frames, &snap1);
+    const double fps_batched = run_point(net, frames, ab_workers, /*max_batch=*/4,
+                                         /*batch_timeout_us=*/2000, ab_frames, &snap4);
+    for (const serve::ServeStatsSnapshot* snap : {&snap1, &snap4}) {
+        const bool batched = snap == &snap4;
+        std::printf("{\"bench\":\"serve_microbatch\",\"model\":\"DroNet\","
+                    "\"size\":%d,\"workers\":%d,\"max_batch\":%d,"
+                    "\"frames\":%d,\"frames_per_s\":%.2f,\"p50_ms\":%.2f,"
+                    "\"p99_ms\":%.2f,\"batches\":%llu,\"batch_sizes\":{",
+                    size, ab_workers, batched ? 4 : 1, ab_frames,
+                    batched ? fps_batched : fps_unbatched, snap->total.p50_ms,
+                    snap->total.p99_ms, static_cast<unsigned long long>(snap->batches));
+        for (std::size_t i = 0; i < snap->batch_sizes.size(); ++i) {
+            std::printf("%s\"%d\":%llu", i > 0 ? "," : "", snap->batch_sizes[i].first,
+                        static_cast<unsigned long long>(snap->batch_sizes[i].second));
+        }
+        std::printf("}}\n");
+    }
+    std::printf("{\"bench\":\"serve_microbatch_summary\",\"batch_speedup\":%.3f}\n",
+                fps_unbatched > 0 ? fps_batched / fps_unbatched : 0.0);
+    std::fprintf(stderr, "# micro-batch: %.1f -> %.1f frames/s (x%.2f)\n",
+                 fps_unbatched, fps_batched,
+                 fps_unbatched > 0 ? fps_batched / fps_unbatched : 0.0);
     return 0;
 }

@@ -37,6 +37,14 @@ cmake --build build-tsan
 ctest --test-dir build-tsan -L concurrency --output-on-failure 2>&1 \
   | tee tsan_output.txt
 
+# Micro-batching under TSan: drive the full service (batch collector, batched
+# forward, per-future completion) through serve_bench with --expect-complete,
+# which exits non-zero if any submitted frame was dropped, rejected, or left
+# incomplete.
+./build-tsan/tools/serve_bench --workers 2 --streams 4 --frames-per-stream 8 \
+  --size 96 --batch 4 --batch-timeout-us 1000 --expect-complete 2>&1 \
+  | tee tsan_serve_bench_output.txt
+
 # AddressSanitizer + UBSan pass over the FULL suite (memory errors and
 # undefined behaviour are not confined to the threaded paths).
 cmake -B build-asan -G Ninja -DDRONET_SANITIZE=address \

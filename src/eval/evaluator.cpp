@@ -1,29 +1,18 @@
 #include "eval/evaluator.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "detect/nms.hpp"
+#include "image/color.hpp"
 #include "image/resize.hpp"
 
 namespace dronet {
 
 namespace {
-
-// Maps network-space boxes back through the letterbox transform into
-// source-image normalized coordinates.
-Detections unletterbox(Detections dets, const Letterbox& lb, int net_w, int net_h,
-                       int src_w, int src_h) {
-    for (Detection& d : dets) {
-        const float px = d.box.x * static_cast<float>(net_w) - static_cast<float>(lb.offset_x);
-        const float py = d.box.y * static_cast<float>(net_h) - static_cast<float>(lb.offset_y);
-        d.box.x = px / (lb.scale * static_cast<float>(src_w));
-        d.box.y = py / (lb.scale * static_cast<float>(src_h));
-        d.box.w = d.box.w * static_cast<float>(net_w) / (lb.scale * static_cast<float>(src_w));
-        d.box.h = d.box.h * static_cast<float>(net_h) / (lb.scale * static_cast<float>(src_h));
-    }
-    return dets;
-}
 
 // Milliseconds elapsed since `since`, and resets `since` to now. No-op cost
 // when the caller passed no timings sink.
@@ -34,7 +23,69 @@ double lap_ms(std::chrono::steady_clock::time_point& since) {
     return ms;
 }
 
+// Per-image preprocessing record; carries the letterbox transform forward to
+// the post-decode inverse mapping.
+struct Preprocess {
+    bool letterboxed = false;
+    Letterbox lb;
+};
+
+// Preprocesses one image into batch slot `b` of `input` (whose shape is the
+// network input shape `in`). The transform sequence is the same regardless of
+// batch size, which is what keeps batched detection bit-exact per image
+// against the batch-1 path.
+Preprocess preprocess_image(const Image& image, const Shape& in,
+                            const EvalConfig& config, Tensor& input, int b) {
+    if (image.empty()) throw std::invalid_argument("detect_image: empty image");
+    Preprocess pp;
+    const Image* src = &image;
+    Image converted;
+    if (image.channels() != in.c) {
+        converted = convert_channels(image, in.c);
+        src = &converted;
+    }
+    if (config.use_letterbox && (src->width() != in.w || src->height() != in.h)) {
+        pp.letterboxed = true;
+        pp.lb = letterbox(*src, in.w, in.h);
+        pp.lb.image.copy_to_batch(input, b);
+    } else if (src->width() == in.w && src->height() == in.h) {
+        src->copy_to_batch(input, b);
+    } else {
+        resize_bilinear(*src, in.w, in.h).copy_to_batch(input, b);
+    }
+    return pp;
+}
+
 }  // namespace
+
+Detections unletterbox(Detections dets, const Letterbox& lb, int net_w, int net_h,
+                       int src_w, int src_h) {
+    // Invert through the *rounded* embedded extent so the mapping is the exact
+    // inverse of what letterbox() rendered; fall back to the unrounded scale
+    // for hand-built Letterbox values that predate the emb_w/emb_h fields.
+    const float emb_w = lb.emb_w > 0 ? static_cast<float>(lb.emb_w)
+                                     : lb.scale * static_cast<float>(src_w);
+    const float emb_h = lb.emb_h > 0 ? static_cast<float>(lb.emb_h)
+                                     : lb.scale * static_cast<float>(src_h);
+    for (Detection& d : dets) {
+        const float cx = (d.box.x * static_cast<float>(net_w) -
+                          static_cast<float>(lb.offset_x)) / emb_w;
+        const float cy = (d.box.y * static_cast<float>(net_h) -
+                          static_cast<float>(lb.offset_y)) / emb_h;
+        const float w = d.box.w * static_cast<float>(net_w) / emb_w;
+        const float h = d.box.h * static_cast<float>(net_h) / emb_h;
+        // Clamp to the valid [0,1] source range: boxes extending into the gray
+        // padding otherwise come back out of range and skew IoU matching. A
+        // box entirely inside the padding collapses to zero extent at the
+        // nearest border (zero area, matches nothing).
+        const float left = std::clamp(cx - w / 2, 0.0f, 1.0f);
+        const float right = std::clamp(cx + w / 2, 0.0f, 1.0f);
+        const float top = std::clamp(cy - h / 2, 0.0f, 1.0f);
+        const float bottom = std::clamp(cy + h / 2, 0.0f, 1.0f);
+        d.box = Box::from_corners(left, top, right, bottom);
+    }
+    return dets;
+}
 
 Detections detect_image(Network& net, const Image& image, const EvalConfig& config) {
     return detect_image_timed(net, image, config, nullptr);
@@ -42,37 +93,44 @@ Detections detect_image(Network& net, const Image& image, const EvalConfig& conf
 
 Detections detect_image_timed(Network& net, const Image& image,
                               const EvalConfig& config, DetectStageTimings* timings) {
+    std::vector<Detections> out =
+        detect_images_timed(net, std::span<const Image>(&image, 1), config, timings);
+    return std::move(out.front());
+}
+
+std::vector<Detections> detect_images(Network& net, std::span<const Image> images,
+                                      const EvalConfig& config) {
+    return detect_images_timed(net, images, config, nullptr);
+}
+
+std::vector<Detections> detect_images_timed(Network& net, std::span<const Image> images,
+                                            const EvalConfig& config,
+                                            DetectStageTimings* timings) {
     RegionLayer* head = net.region();
-    if (head == nullptr) throw std::logic_error("detect_image: network has no region layer");
-    if (net.config().batch != 1) net.set_batch(1);
+    if (head == nullptr) throw std::logic_error("detect_images: network has no region layer");
+    if (images.empty()) return {};
+    net.set_batch(static_cast<int>(images.size()));
     const Shape in = net.input_shape();
     Tensor input(in);
     auto mark = std::chrono::steady_clock::now();
-    if (config.use_letterbox &&
-        (image.width() != in.w || image.height() != in.h)) {
-        const Letterbox lb = letterbox(image, in.w, in.h);
-        lb.image.copy_to_batch(input, 0);
-        if (timings != nullptr) timings->preprocess_ms = lap_ms(mark);
-        net.forward(input, /*train=*/false);
-        if (timings != nullptr) timings->forward_ms = lap_ms(mark);
-        Detections dets = unletterbox(head->decode(0), lb, in.w, in.h, image.width(),
-                                      image.height());
-        dets = postprocess(dets, config.score_threshold, config.nms_threshold);
-        if (timings != nullptr) timings->postprocess_ms = lap_ms(mark);
-        return dets;
-    }
-    if (image.width() == in.w && image.height() == in.h && image.channels() == in.c) {
-        image.copy_to_batch(input, 0);
-    } else {
-        resize_bilinear(image, in.w, in.h).copy_to_batch(input, 0);
+    std::vector<Preprocess> pre(images.size());
+    for (std::size_t b = 0; b < images.size(); ++b) {
+        pre[b] = preprocess_image(images[b], in, config, input, static_cast<int>(b));
     }
     if (timings != nullptr) timings->preprocess_ms = lap_ms(mark);
     net.forward(input, /*train=*/false);
     if (timings != nullptr) timings->forward_ms = lap_ms(mark);
-    Detections dets =
-        postprocess(head->decode(0), config.score_threshold, config.nms_threshold);
+    std::vector<Detections> out(images.size());
+    for (std::size_t b = 0; b < images.size(); ++b) {
+        Detections dets = head->decode(static_cast<int>(b));
+        if (pre[b].letterboxed) {
+            dets = unletterbox(std::move(dets), pre[b].lb, in.w, in.h,
+                               images[b].width(), images[b].height());
+        }
+        out[b] = postprocess(dets, config.score_threshold, config.nms_threshold);
+    }
     if (timings != nullptr) timings->postprocess_ms = lap_ms(mark);
-    return dets;
+    return out;
 }
 
 DetectionMetrics evaluate_detector(Network& net, const DetectionDataset& ds,

@@ -5,8 +5,12 @@
 // metrics.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "data/dataset.hpp"
 #include "eval/metrics.hpp"
+#include "image/resize.hpp"
 #include "nn/network.hpp"
 
 namespace dronet {
@@ -30,6 +34,9 @@ struct DetectStageTimings {
 };
 
 /// Runs `net` (batch 1) on one image and returns post-processed detections.
+/// Images whose channel count differs from the network input are converted
+/// (gray replicated to RGB, alpha dropped); unsupported channel combinations
+/// throw std::invalid_argument.
 [[nodiscard]] Detections detect_image(Network& net, const Image& image,
                                       const EvalConfig& config = {});
 
@@ -38,6 +45,31 @@ struct DetectStageTimings {
 [[nodiscard]] Detections detect_image_timed(Network& net, const Image& image,
                                             const EvalConfig& config,
                                             DetectStageTimings* timings);
+
+/// Batched detection: preprocesses all `images` into one batch-N input tensor,
+/// runs a single forward pass, and decodes/post-processes per batch index.
+/// Per-image results are bit-identical to calling detect_image on each image
+/// individually (every layer processes batch items independently and the GEMM
+/// kernels are bit-exact regardless of batch position). Re-batches `net` to
+/// images.size().
+[[nodiscard]] std::vector<Detections> detect_images(Network& net,
+                                                    std::span<const Image> images,
+                                                    const EvalConfig& config = {});
+
+/// detect_images with aggregate per-stage timings for the whole batch
+/// (filled when `timings` is non-null).
+[[nodiscard]] std::vector<Detections> detect_images_timed(
+    Network& net, std::span<const Image> images, const EvalConfig& config,
+    DetectStageTimings* timings);
+
+/// Maps network-space detections back through the letterbox transform into
+/// source-image normalized coordinates, clamping every box to the valid [0,1]
+/// range (detections extending into the letterbox padding are cut at the
+/// source border). Inverts through the rounded embedded extent recorded in
+/// `lb`, so letterbox -> unletterbox round-trips are exact up to float
+/// arithmetic.
+[[nodiscard]] Detections unletterbox(Detections dets, const Letterbox& lb, int net_w,
+                                     int net_h, int src_w, int src_h);
 
 /// Evaluates the detector over every image of `ds`.
 [[nodiscard]] DetectionMetrics evaluate_detector(Network& net, const DetectionDataset& ds,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace dronet {
 
@@ -81,6 +82,31 @@ void add_gaussian_noise(Image& im, Rng& rng, float stddev) {
         im.data()[i] += rng.normal(stddev);
     }
     im.clamp01();
+}
+
+Image convert_channels(const Image& im, int channels) {
+    if (im.empty()) throw std::invalid_argument("convert_channels: empty source");
+    if (im.channels() == channels) return im;
+    Image out(im.width(), im.height(), channels);
+    if (im.channels() == 1 && channels == 3) {
+        for (int c = 0; c < 3; ++c) {
+            for (int y = 0; y < im.height(); ++y) {
+                for (int x = 0; x < im.width(); ++x) out.px(x, y, c) = im.px(x, y, 0);
+            }
+        }
+        return out;
+    }
+    if (im.channels() == 4 && channels == 3) {
+        for (int c = 0; c < 3; ++c) {
+            for (int y = 0; y < im.height(); ++y) {
+                for (int x = 0; x < im.width(); ++x) out.px(x, y, c) = im.px(x, y, c);
+            }
+        }
+        return out;
+    }
+    throw std::invalid_argument("convert_channels: no conversion from " +
+                                std::to_string(im.channels()) + " to " +
+                                std::to_string(channels) + " channels");
 }
 
 }  // namespace dronet

@@ -30,4 +30,12 @@ void flip_horizontal(Image& im);
 /// Adds zero-mean Gaussian pixel noise (sensor-noise model).
 void add_gaussian_noise(Image& im, Rng& rng, float stddev);
 
+/// Returns `im` converted to exactly `channels` planes:
+///  - same channel count: plain copy,
+///  - 1 -> 3: the gray plane replicated into R/G/B,
+///  - 4 -> 3: alpha plane dropped (no compositing; pixels are assumed
+///    straight, not premultiplied).
+/// Any other combination throws std::invalid_argument naming both counts.
+[[nodiscard]] Image convert_channels(const Image& im, int channels);
+
 }  // namespace dronet

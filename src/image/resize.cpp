@@ -9,16 +9,22 @@ namespace dronet {
 Image resize_bilinear(const Image& src, int new_w, int new_h) {
     if (src.empty()) throw std::invalid_argument("resize_bilinear: empty source");
     Image dst(new_w, new_h, src.channels());
-    const float sx = new_w > 1 ? static_cast<float>(src.width() - 1) / (new_w - 1) : 0.0f;
-    const float sy = new_h > 1 ? static_cast<float>(src.height() - 1) / (new_h - 1) : 0.0f;
+    // Half-pixel (pixel-center) sampling: destination pixel center (x + 0.5)
+    // maps to source coordinate (x + 0.5) * src/dst. This is the same
+    // continuous-coordinate scaling that letterbox's `scale = dst/src` implies,
+    // so the embed and the inverse box transform share one convention
+    // (align-corners' (src-1)/(dst-1) mapping did not, drifting by up to half
+    // a pixel at the borders).
+    const float sx = static_cast<float>(src.width()) / new_w;
+    const float sy = static_cast<float>(src.height()) / new_h;
     for (int y = 0; y < new_h; ++y) {
-        const float fy = y * sy;
-        const int y0 = static_cast<int>(fy);
+        const float fy = std::max((y + 0.5f) * sy - 0.5f, 0.0f);
+        const int y0 = std::min(static_cast<int>(fy), src.height() - 1);
         const int y1 = std::min(y0 + 1, src.height() - 1);
         const float wy = fy - static_cast<float>(y0);
         for (int x = 0; x < new_w; ++x) {
-            const float fx = x * sx;
-            const int x0 = static_cast<int>(fx);
+            const float fx = std::max((x + 0.5f) * sx - 0.5f, 0.0f);
+            const int x0 = std::min(static_cast<int>(fx), src.width() - 1);
             const int x1 = std::min(x0 + 1, src.width() - 1);
             const float wx = fx - static_cast<float>(x0);
             for (int c = 0; c < src.channels(); ++c) {
@@ -51,8 +57,10 @@ Letterbox letterbox(const Image& src, int new_w, int new_h) {
     Letterbox out;
     out.scale = std::min(static_cast<float>(new_w) / src.width(),
                          static_cast<float>(new_h) / src.height());
-    const int emb_w = std::max(1, static_cast<int>(std::lround(src.width() * out.scale)));
-    const int emb_h = std::max(1, static_cast<int>(std::lround(src.height() * out.scale)));
+    out.emb_w = std::max(1, static_cast<int>(std::lround(src.width() * out.scale)));
+    out.emb_h = std::max(1, static_cast<int>(std::lround(src.height() * out.scale)));
+    const int emb_w = out.emb_w;
+    const int emb_h = out.emb_h;
     out.offset_x = (new_w - emb_w) / 2;
     out.offset_y = (new_h - emb_h) / 2;
     Image embedded = resize_bilinear(src, emb_w, emb_h);

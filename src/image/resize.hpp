@@ -21,9 +21,11 @@ namespace dronet {
 /// network-space boxes back to source-image space.
 struct Letterbox {
     Image image;      ///< new_w x new_h with gray (0.5) padding
-    float scale = 1;  ///< source * scale = embedded size
+    float scale = 1;  ///< source * scale = embedded size (before rounding)
     int offset_x = 0; ///< left padding in pixels
     int offset_y = 0; ///< top padding in pixels
+    int emb_w = 0;    ///< embedded width in pixels (rounded from scale)
+    int emb_h = 0;    ///< embedded height in pixels (rounded from scale)
 };
 
 /// Aspect-preserving embed of `src` into a new_w x new_h canvas.

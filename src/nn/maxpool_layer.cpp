@@ -26,7 +26,10 @@ void MaxPoolLayer::setup(const Shape& input) {
     output_shape_ = Shape{input.n, input.c, out_h, out_w};
     output_.resize(output_shape_);
     delta_.resize(output_shape_);
-    argmax_.assign(static_cast<std::size_t>(output_shape_.size()), 0);
+    // Grow-only: forward() writes every element of argmax_ before backward()
+    // reads it, so batch-size toggling never needs a realloc or zero-fill.
+    const auto needed = static_cast<std::size_t>(output_shape_.size());
+    if (argmax_.size() < needed) argmax_.resize(needed, 0);
 }
 
 std::string MaxPoolLayer::describe() const {

@@ -35,7 +35,11 @@ Shape Network::next_input_shape() const {
 void Network::refresh_workspace() {
     std::size_t bytes = 0;
     for (const auto& l : layers_) bytes = std::max(bytes, l->workspace_bytes());
-    workspace_.assign((bytes + sizeof(float) - 1) / sizeof(float), 0.0f);
+    // Grow-only: im2col fully rewrites the workspace before every use, so a
+    // shrinking resize (batch toggling in the serving micro-batch path) need
+    // not reallocate or zero.
+    const std::size_t floats = (bytes + sizeof(float) - 1) / sizeof(float);
+    if (workspace_.size() < floats) workspace_.resize(floats, 0.0f);
 }
 
 template <typename L, typename... Args>
@@ -94,8 +98,9 @@ const Tensor& Network::forward(const Tensor& input, bool train) {
         prof = profiler_.get();
     }
     profile::ScopedForwardTimer forward_timer(prof);
-    input_copy_ = input;
-    const Tensor* x = &input_copy_;
+    // The input snapshot only feeds backward(); inference skips the copy.
+    if (train) input_copy_ = input;
+    const Tensor* x = train ? &input_copy_ : &input;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         Layer& l = *layers_[i];
         {
@@ -178,6 +183,7 @@ void Network::resize_input(int width, int height) {
 
 void Network::set_batch(int batch) {
     if (batch <= 0) throw std::invalid_argument("Network::set_batch: bad batch");
+    if (batch == config_.batch) return;
     config_.batch = batch;
     resize_input(config_.width, config_.height);
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "tensor/gemm_i8.hpp"
 #include "tensor/im2col.hpp"
@@ -91,6 +92,18 @@ void QuantizedNetwork::forward_quantized_conv(const QuantizedConv& qc,
 }
 
 const Tensor& QuantizedNetwork::forward(const Tensor& input) {
+    // The quantized conv path captures per-layer geometry at construction with
+    // batch 1 and indexes raw buffers accordingly. If the source network was
+    // re-batched afterwards (e.g. by the serving micro-batch path), the shape
+    // check below would still pass against the new batch-N input shape while
+    // forward_quantized_conv silently processed only item 0 — so reject it
+    // explicitly here.
+    if (net_.config().batch != 1) {
+        throw std::logic_error(
+            "QuantizedNetwork::forward: source network batch is " +
+            std::to_string(net_.config().batch) +
+            "; it was re-batched after quantization (batch must stay 1)");
+    }
     if (input.shape() != net_.input_shape()) {
         throw std::invalid_argument("QuantizedNetwork::forward: shape mismatch");
     }

@@ -8,12 +8,14 @@
 // `concurrency`-labeled tests.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace dronet::serve {
 
@@ -85,6 +87,42 @@ class BoundedQueue {
         lock.unlock();
         not_full_.notify_one();
         return item;
+    }
+
+    /// Batched pop for micro-batching consumers: blocks for the first item
+    /// exactly like pop(), then lingers up to `linger` for more items, taking
+    /// at most `max_items` in total. Items are appended to `out`; returns the
+    /// number taken, which is 0 only when the queue is closed and drained.
+    /// A zero `linger` takes whatever is already queued without waiting.
+    std::size_t pop_batch(std::vector<T>& out, std::size_t max_items,
+                          std::chrono::microseconds linger) {
+        if (max_items == 0) return 0;
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return 0;  // closed and drained
+        std::size_t taken = 0;
+        const auto take_available = [&] {
+            while (taken < max_items && !items_.empty()) {
+                out.push_back(std::move(items_.front()));
+                items_.pop_front();
+                ++taken;
+            }
+        };
+        take_available();
+        if (linger.count() > 0 && taken < max_items) {
+            const auto deadline = std::chrono::steady_clock::now() + linger;
+            while (taken < max_items) {
+                const bool woke = not_empty_.wait_until(
+                    lock, deadline, [&] { return closed_ || !items_.empty(); });
+                if (!woke || items_.empty()) break;  // timed out, or closed dry
+                take_available();
+            }
+        }
+        lock.unlock();
+        // Potentially freed several slots; wake every blocked producer.
+        if (taken > 1) not_full_.notify_all();
+        else not_full_.notify_one();
+        return taken;
     }
 
     /// Non-blocking pop; false when empty (regardless of closed state).

@@ -24,12 +24,22 @@ DetectionService::DetectionService(const Network& prototype, ServiceConfig confi
     if (config_.workers <= 0) {
         throw std::invalid_argument("DetectionService: workers must be positive");
     }
+    if (config_.max_batch <= 0) {
+        throw std::invalid_argument("DetectionService: max_batch must be positive");
+    }
+    if (config_.batch_timeout_us < 0) {
+        throw std::invalid_argument("DetectionService: batch_timeout_us must be >= 0");
+    }
     if (prototype.region() == nullptr) {
         throw std::invalid_argument("DetectionService: network has no region layer");
     }
     replicas_.reserve(static_cast<std::size_t>(config_.workers));
     for (int i = 0; i < config_.workers; ++i) {
         auto replica = std::make_unique<Network>(clone_network(prototype));
+        // Pre-reserve activations/workspace at the largest batch the worker
+        // will ever run: tensor storage is grow-only, so later per-batch
+        // set_batch() calls in detect_images are allocation-free.
+        replica->set_batch(config_.max_batch);
         replica->set_batch(1);
         replicas_.push_back(std::move(replica));
     }
@@ -95,32 +105,100 @@ std::future<ServeResult> DetectionService::submit(Image frame) {
 
 void DetectionService::worker_loop(std::size_t worker_id) {
     Network& net = *replicas_[worker_id];
+    const auto max_batch = static_cast<std::size_t>(config_.max_batch);
+    const std::chrono::microseconds linger(config_.batch_timeout_us);
+    std::vector<Job> jobs;
     while (true) {
-        std::optional<Job> job = queue_.pop();
-        if (!job) return;  // queue closed and drained
+        jobs.clear();
+        if (queue_.pop_batch(jobs, max_batch, linger) == 0) {
+            return;  // queue closed and drained
+        }
+        process_batch(net, jobs);
+    }
+}
+
+// Forwards the popped jobs as one batch and resolves each future
+// individually. Per-frame stage timings are the batch aggregate amortized
+// over the batch (queue wait stays per-frame); detections are bit-identical
+// to processing each frame alone.
+void DetectionService::process_batch(Network& net, std::vector<Job>& jobs) {
+    const std::size_t n = jobs.size();
+    stats_.record_batch(n);
+    const auto popped = std::chrono::steady_clock::now();
+    std::vector<Image> frames;
+    frames.reserve(n);
+    for (Job& j : jobs) frames.push_back(std::move(j.frame));
+
+    DetectStageTimings stages;
+    std::vector<Detections> dets;
+    std::exception_ptr batch_error;
+    try {
+        dets = detect_images_timed(net, frames, config_.pipeline.eval, &stages);
+    } catch (...) {
+        batch_error = std::current_exception();
+    }
+
+    if (batch_error != nullptr && n > 1) {
+        // One bad input (e.g. unsupported channel count) must not fail its
+        // batch-mates: retry each frame alone so only the offender's future
+        // carries the exception.
+        for (std::size_t i = 0; i < n; ++i) {
+            ServeResult r;
+            r.status = ServeStatus::kOk;
+            r.frame.frame_index = jobs[i].frame_index;
+            r.timings.queue_wait_ms = std::chrono::duration<double, std::milli>(
+                                          popped - jobs[i].submit_time)
+                                          .count();
+            DetectStageTimings solo;
+            try {
+                r.frame.detections =
+                    detect_image_timed(net, frames[i], config_.pipeline.eval, &solo);
+                if (config_.pipeline.altitude_filter_enabled) {
+                    const auto t0 = std::chrono::steady_clock::now();
+                    r.frame.detections = altitude_filter_.apply(
+                        r.frame.detections, config_.pipeline.altitude_m);
+                    solo.postprocess_ms += ms_since(t0);
+                }
+                r.timings.preprocess_ms = solo.preprocess_ms;
+                r.timings.forward_ms = solo.forward_ms;
+                r.timings.postprocess_ms = solo.postprocess_ms;
+                r.frame.latency_ms = r.timings.total_ms();
+                stats_.record_completed(r.timings);
+                jobs[i].promise.set_value(std::move(r));
+            } catch (...) {
+                jobs[i].promise.set_exception(std::current_exception());
+            }
+            finish_one();
+        }
+        return;
+    }
+    if (batch_error != nullptr) {
+        jobs[0].promise.set_exception(batch_error);
+        finish_one();
+        return;
+    }
+
+    const double share = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
         ServeResult r;
         r.status = ServeStatus::kOk;
-        r.frame.frame_index = job->frame_index;
-        r.timings.queue_wait_ms = ms_since(job->submit_time);
-        DetectStageTimings stages;
-        try {
+        r.frame.frame_index = jobs[i].frame_index;
+        r.timings.queue_wait_ms = std::chrono::duration<double, std::milli>(
+                                      popped - jobs[i].submit_time)
+                                      .count();
+        r.timings.preprocess_ms = stages.preprocess_ms * share;
+        r.timings.forward_ms = stages.forward_ms * share;
+        r.timings.postprocess_ms = stages.postprocess_ms * share;
+        r.frame.detections = std::move(dets[i]);
+        if (config_.pipeline.altitude_filter_enabled) {
+            const auto t0 = std::chrono::steady_clock::now();
             r.frame.detections =
-                detect_image_timed(net, job->frame, config_.pipeline.eval, &stages);
-            if (config_.pipeline.altitude_filter_enabled) {
-                const auto t0 = std::chrono::steady_clock::now();
-                r.frame.detections =
-                    altitude_filter_.apply(r.frame.detections, config_.pipeline.altitude_m);
-                stages.postprocess_ms += ms_since(t0);
-            }
-            r.timings.preprocess_ms = stages.preprocess_ms;
-            r.timings.forward_ms = stages.forward_ms;
-            r.timings.postprocess_ms = stages.postprocess_ms;
-            r.frame.latency_ms = r.timings.total_ms();
-            stats_.record_completed(r.timings);
-            job->promise.set_value(std::move(r));
-        } catch (...) {
-            job->promise.set_exception(std::current_exception());
+                altitude_filter_.apply(r.frame.detections, config_.pipeline.altitude_m);
+            r.timings.postprocess_ms += ms_since(t0);
         }
+        r.frame.latency_ms = r.timings.total_ms();
+        stats_.record_completed(r.timings);
+        jobs[i].promise.set_value(std::move(r));
         finish_one();
     }
 }

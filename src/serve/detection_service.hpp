@@ -17,7 +17,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -58,6 +60,16 @@ struct ServiceConfig {
     int workers = 2;
     std::size_t queue_capacity = 16;
     BackpressurePolicy policy = BackpressurePolicy::kBlock;
+    /// Upper bound on frames one worker forwards as a single batch. 1 keeps
+    /// the classic frame-at-a-time path; N > 1 enables dynamic micro-batching
+    /// (workers take whatever is queued, up to N, per forward pass). Results
+    /// stay bit-identical to frame-at-a-time — detect_images is bit-exact per
+    /// image against detect_image.
+    int max_batch = 1;
+    /// After popping the first frame of a batch, how long a worker lingers
+    /// waiting for more frames to fill it (0 = take only what is already
+    /// queued). Trades per-frame latency for larger batches under light load.
+    std::int64_t batch_timeout_us = 0;
     /// Post-processing thresholds and the optional altitude prior, shared
     /// with the serial DetectionPipeline for identical results.
     PipelineConfig pipeline;
@@ -112,6 +124,7 @@ class DetectionService {
     };
 
     void worker_loop(std::size_t worker_id);
+    void process_batch(Network& net, std::vector<Job>& jobs);
     void finish_one();
 
     ServiceConfig config_;

@@ -114,6 +114,14 @@ void ServeStats::record_dropped() noexcept {
     ++dropped_;
 }
 
+void ServeStats::record_batch(std::size_t size) noexcept {
+    if (size == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batches_;
+    const std::size_t bucket = std::min(size, kMaxTrackedBatch) - 1;
+    ++batch_size_counts_[bucket];
+}
+
 void ServeStats::record_completed(const FrameTimings& t) noexcept {
     std::lock_guard<std::mutex> lock(mu_);
     ++completed_;
@@ -132,6 +140,12 @@ ServeStatsSnapshot ServeStats::snapshot() const {
     s.completed = completed_;
     s.dropped = dropped_;
     s.rejected = rejected_;
+    s.batches = batches_;
+    for (std::size_t i = 0; i < kMaxTrackedBatch; ++i) {
+        if (batch_size_counts_[i] > 0) {
+            s.batch_sizes.emplace_back(static_cast<int>(i + 1), batch_size_counts_[i]);
+        }
+    }
     s.wall_seconds =
         clock_started_ ? std::max(0.0, last_done_s_ - first_submit_s_) : 0.0;
     s.throughput_fps = s.wall_seconds > 0
@@ -149,6 +163,12 @@ std::string ServeStatsSnapshot::to_json() const {
     std::ostringstream os;
     os << "{\"submitted\":" << submitted << ",\"completed\":" << completed
        << ",\"dropped\":" << dropped << ",\"rejected\":" << rejected
+       << ",\"batches\":" << batches << ",\"batch_sizes\":{";
+    for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << batch_sizes[i].first << "\":" << batch_sizes[i].second;
+    }
+    os << "}"
        << ",\"wall_seconds\":" << wall_seconds
        << ",\"throughput_fps\":" << throughput_fps << ",";
     json_stage(os, "queue_wait", queue_wait);

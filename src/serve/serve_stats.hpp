@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dronet::serve {
 
@@ -67,6 +69,10 @@ struct ServeStatsSnapshot {
     std::uint64_t completed = 0;
     std::uint64_t dropped = 0;   ///< evicted by kDropOldest
     std::uint64_t rejected = 0;  ///< refused by kReject (or closed queue)
+    std::uint64_t batches = 0;   ///< forward passes executed by workers
+    /// Per-batch-size histogram: (size, count) for every size that occurred,
+    /// ascending. completed == sum(size * count) once the service is drained.
+    std::vector<std::pair<int, std::uint64_t>> batch_sizes;
     double wall_seconds = 0;     ///< first submit -> last completion
     double throughput_fps = 0;   ///< completed / wall_seconds
     StageSummary queue_wait;
@@ -86,6 +92,11 @@ class ServeStats {
     void record_rejected() noexcept;
     void record_dropped() noexcept;
     void record_completed(const FrameTimings& timings) noexcept;
+    /// Records one worker forward pass covering `size` frames. Sizes beyond
+    /// kMaxTrackedBatch are clamped into the last bucket.
+    void record_batch(std::size_t size) noexcept;
+
+    static constexpr std::size_t kMaxTrackedBatch = 64;
 
     [[nodiscard]] ServeStatsSnapshot snapshot() const;
 
@@ -95,6 +106,8 @@ class ServeStats {
     std::uint64_t completed_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t batches_ = 0;
+    std::array<std::uint64_t, kMaxTrackedBatch> batch_size_counts_{};
     bool clock_started_ = false;
     double first_submit_s_ = 0;  ///< steady-clock seconds
     double last_done_s_ = 0;

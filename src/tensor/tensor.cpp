@@ -52,7 +52,10 @@ void Tensor::resize(Shape shape) {
         throw std::invalid_argument("Tensor::resize invalid shape " + shape.str());
     }
     shape_ = shape;
-    data_.assign(static_cast<std::size_t>(shape.size()), 0.0f);
+    // Grow-only storage: shrinking keeps the old buffer (and its contents
+    // beyond the logical size) so batch-size toggling is allocation-free.
+    const auto needed = static_cast<std::size_t>(shape.size());
+    if (data_.size() < needed) data_.resize(needed, 0.0f);
 }
 
 }  // namespace dronet

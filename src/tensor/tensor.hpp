@@ -6,6 +6,7 @@
 // 4-D accessor used in tests and non-critical code.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -31,8 +32,15 @@ class Tensor {
     [[nodiscard]] float* data() noexcept { return data_.data(); }
     [[nodiscard]] const float* data() const noexcept { return data_.data(); }
 
-    [[nodiscard]] std::span<float> span() noexcept { return {data_}; }
-    [[nodiscard]] std::span<const float> span() const noexcept { return {data_}; }
+    /// Logical element range. The backing vector may hold extra capacity
+    /// after a shrinking resize(); the span always covers exactly shape_.size()
+    /// elements.
+    [[nodiscard]] std::span<float> span() noexcept {
+        return {data_.data(), static_cast<std::size_t>(shape_.size())};
+    }
+    [[nodiscard]] std::span<const float> span() const noexcept {
+        return {data_.data(), static_cast<std::size_t>(shape_.size())};
+    }
 
     float& operator[](std::int64_t i) noexcept { return data_[static_cast<std::size_t>(i)]; }
     float operator[](std::int64_t i) const noexcept { return data_[static_cast<std::size_t>(i)]; }
@@ -56,10 +64,18 @@ class Tensor {
     /// Throws std::invalid_argument on size mismatch.
     void reshape(Shape shape);
 
-    /// Discards contents and re-allocates for `shape` (used by layer resize).
+    /// Re-shapes the tensor; contents become unspecified. Storage is only
+    /// grown, never released (new tail elements are zero), so repeatedly
+    /// toggling between batch sizes — the serving layer's micro-batching path
+    /// flips layer activations between batch 1 and max_batch per popped batch
+    /// — costs no allocation and no full-buffer zero-fill after the first
+    /// pass at the largest shape.
     void resize(Shape shape);
 
-    friend bool operator==(const Tensor&, const Tensor&) = default;
+    friend bool operator==(const Tensor& a, const Tensor& b) noexcept {
+        if (a.shape_ != b.shape_) return false;
+        return std::equal(a.span().begin(), a.span().end(), b.span().begin());
+    }
 
   private:
     Shape shape_{0, 0, 0, 0};

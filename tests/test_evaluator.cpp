@@ -1,9 +1,13 @@
-// Evaluator: detect_image / evaluate_detector plumbing and threshold
-// interactions on a controlled, hand-weighted detector.
+// Evaluator: detect_image / detect_images / evaluate_detector plumbing and
+// threshold interactions on a controlled, hand-weighted detector.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
 
 #include "data/dataset.hpp"
 #include "eval/evaluator.hpp"
+#include "image/color.hpp"
 #include "models/model_zoo.hpp"
 #include "tensor/rng.hpp"
 
@@ -12,6 +16,20 @@ namespace {
 
 Network micro_net() {
     return build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f});
+}
+
+// Field-level exact (bit-identical) comparison of two detection lists.
+void expect_identical(const Detections& a, const Detections& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].box.x, b[i].box.x);
+        EXPECT_EQ(a[i].box.y, b[i].box.y);
+        EXPECT_EQ(a[i].box.w, b[i].box.w);
+        EXPECT_EQ(a[i].box.h, b[i].box.h);
+        EXPECT_EQ(a[i].objectness, b[i].objectness);
+        EXPECT_EQ(a[i].class_id, b[i].class_id);
+        EXPECT_EQ(a[i].class_prob, b[i].class_prob);
+    }
 }
 
 TEST(DetectImage, RequiresRegionLayer) {
@@ -71,6 +89,150 @@ TEST(DetectImage, TighterNmsThresholdKeepsMore) {
     a.nms_threshold = 0.1f;
     b.nms_threshold = 0.9f;
     EXPECT_LE(detect_image(net, im, a).size(), detect_image(net, im, b).size());
+}
+
+TEST(DetectImages, EmptySpanReturnsEmpty) {
+    Network net = micro_net();
+    EXPECT_TRUE(detect_images(net, {}, {}).empty());
+}
+
+// The batched-equivalence property: detect_images on a shuffled N-image batch
+// must produce byte-identical detections to N sequential detect_image calls.
+// Every layer processes batch items independently and the GEMM kernels are
+// bit-exact irrespective of batch position, so equality here is exact, not
+// approximate.
+void check_batched_equivalence(Network net) {
+    const int n = 5;
+    Rng rng(21);
+    std::vector<Image> images;
+    for (int i = 0; i < n; ++i) {
+        // Mix of native-size and resampled inputs.
+        const int w = i % 2 == 0 ? net.config().width : 50 + 13 * i;
+        const int h = i % 2 == 0 ? net.config().height : 40 + 9 * i;
+        Image im(w, h, 3);
+        for (std::size_t p = 0; p < im.size(); ++p) im.data()[p] = rng.uniform();
+        images.push_back(std::move(im));
+    }
+    EvalConfig ec;
+    ec.score_threshold = 0.0f;  // keep detections non-vacuous
+    std::vector<Detections> sequential;
+    for (const Image& im : images) sequential.push_back(detect_image(net, im, ec));
+
+    // Shuffle, batch, and compare against the matching sequential result.
+    std::vector<std::size_t> order = {3, 0, 4, 2, 1};
+    std::vector<Image> shuffled;
+    for (std::size_t idx : order) shuffled.push_back(images[idx]);
+    const std::vector<Detections> batched = detect_images(net, shuffled, ec);
+    ASSERT_EQ(batched.size(), shuffled.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        expect_identical(batched[i], sequential[order[i]]);
+    }
+}
+
+TEST(DetectImages, BatchBitExactVsSequentialDroNet) {
+    check_batched_equivalence(
+        build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f}));
+}
+
+TEST(DetectImages, BatchBitExactVsSequentialTinyYoloNet) {
+    check_batched_equivalence(
+        build_model(ModelId::kTinyYoloNet, {.input_size = 64, .filter_scale = 0.25f}));
+}
+
+TEST(DetectImages, BatchBitExactWithLetterbox) {
+    Network net = micro_net();
+    Rng rng(33);
+    std::vector<Image> images;
+    for (int i = 0; i < 3; ++i) {
+        Image im(96 + 10 * i, 48, 3);  // non-square: letterbox path
+        for (std::size_t p = 0; p < im.size(); ++p) im.data()[p] = rng.uniform();
+        images.push_back(std::move(im));
+    }
+    EvalConfig ec;
+    ec.score_threshold = 0.0f;
+    ec.use_letterbox = true;
+    const std::vector<Detections> batched = detect_images(net, images, ec);
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        expect_identical(batched[i], detect_image(net, images[i], ec));
+    }
+}
+
+TEST(DetectImage, ConvertsGrayAndRgbaChannels) {
+    Network net = micro_net();
+    Rng rng(7);
+    Image gray(64, 64, 1);
+    for (std::size_t i = 0; i < gray.size(); ++i) gray.data()[i] = rng.uniform();
+    // Gray input is replicated to RGB: identical to detecting on the
+    // hand-replicated 3-channel image.
+    expect_identical(detect_image(net, gray, {}),
+                     detect_image(net, convert_channels(gray, 3), {}));
+
+    Image rgba(64, 64, 4);
+    for (std::size_t i = 0; i < rgba.size(); ++i) rgba.data()[i] = rng.uniform();
+    Image rgb(64, 64, 3);
+    for (int c = 0; c < 3; ++c) {
+        for (int y = 0; y < 64; ++y) {
+            for (int x = 0; x < 64; ++x) rgb.px(x, y, c) = rgba.px(x, y, c);
+        }
+    }
+    expect_identical(detect_image(net, rgba, {}), detect_image(net, rgb, {}));
+}
+
+TEST(DetectImage, ConvertsChannelsOnLetterboxPathToo) {
+    // Regression: the letterbox branch used to skip channel checks entirely
+    // and die inside copy_to_batch.
+    Network net = micro_net();
+    Image gray(100, 40, 1);
+    EvalConfig ec;
+    ec.use_letterbox = true;
+    EXPECT_NO_THROW((void)detect_image(net, gray, ec));
+}
+
+TEST(DetectImage, RejectsUnsupportedChannelCount) {
+    Network net = micro_net();
+    Image two(64, 64, 2);
+    EXPECT_THROW((void)detect_image(net, two, {}), std::invalid_argument);
+}
+
+TEST(Unletterbox, ClampsBoxesToSourceRange) {
+    // A detection centred in the horizontal padding of a tall letterboxed
+    // frame maps outside [0,1]; the clamp must cut it at the source border.
+    Image tall(50, 100, 3);
+    const Letterbox lb = letterbox(tall, 64, 64);
+    ASSERT_GT(lb.offset_x, 0);
+    Detection d;
+    d.box = {0.02f, 0.5f, 0.1f, 0.2f};  // centred inside the left padding
+    const Detections out = unletterbox({d}, lb, 64, 64, tall.width(), tall.height());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_GE(out[0].box.left(), 0.0f);
+    EXPECT_LE(out[0].box.right(), 1.0f);
+    EXPECT_GE(out[0].box.top(), 0.0f);
+    EXPECT_LE(out[0].box.bottom(), 1.0f);
+}
+
+TEST(Unletterbox, RoundTripIsTight) {
+    // Forward-map a source-space box through the letterbox transform exactly
+    // as letterbox() renders pixels (continuous coordinates scaled by the
+    // rounded embedded extent), then invert with unletterbox: the round trip
+    // must recover the box to float precision.
+    const int src_w = 100, src_h = 40, net_w = 64, net_h = 64;
+    Image src(src_w, src_h, 3);
+    const Letterbox lb = letterbox(src, net_w, net_h);
+    const Box original{0.4f, 0.6f, 0.25f, 0.3f};  // interior: no clamping
+    Detection d;
+    d.box.x = (original.x * static_cast<float>(lb.emb_w) +
+               static_cast<float>(lb.offset_x)) / static_cast<float>(net_w);
+    d.box.y = (original.y * static_cast<float>(lb.emb_h) +
+               static_cast<float>(lb.offset_y)) / static_cast<float>(net_h);
+    d.box.w = original.w * static_cast<float>(lb.emb_w) / static_cast<float>(net_w);
+    d.box.h = original.h * static_cast<float>(lb.emb_h) / static_cast<float>(net_h);
+    const Detections out =
+        unletterbox({d}, lb, net_w, net_h, src_w, src_h);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0].box.x, original.x, 1e-6f);
+    EXPECT_NEAR(out[0].box.y, original.y, 1e-6f);
+    EXPECT_NEAR(out[0].box.w, original.w, 1e-6f);
+    EXPECT_NEAR(out[0].box.h, original.h, 1e-6f);
 }
 
 TEST(EvaluateDetector, CountsAllGroundTruthAsFnForBlindDetector) {

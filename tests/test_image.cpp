@@ -120,6 +120,17 @@ TEST(Resize, InterpolatesBetweenPixels) {
     EXPECT_NEAR(out.px(1, 0, 0), 0.5f, 1e-5f);
 }
 
+TEST(Resize, HalfPixelConventionAveragesOnDownscale) {
+    // Pins the sampling convention: half-pixel mapping puts the single output
+    // pixel's centre exactly between the two inputs (align-corners would
+    // return the left pixel unchanged).
+    Image im(2, 1, 1);
+    im.px(0, 0, 0) = 0.0f;
+    im.px(1, 0, 0) = 1.0f;
+    const Image out = resize_bilinear(im, 1, 1);
+    EXPECT_NEAR(out.px(0, 0, 0), 0.5f, 1e-6f);
+}
+
 TEST(Resize, NearestKeepsValues) {
     Image im(2, 2, 1);
     im.px(0, 0, 0) = 1.0f;
@@ -140,6 +151,56 @@ TEST(Letterbox, PreservesAspectAndPads) {
     EXPECT_EQ(lb.offset_y, 16);
     EXPECT_FLOAT_EQ(lb.image.px(0, 0, 0), 0.5f);   // padding
     EXPECT_FLOAT_EQ(lb.image.px(0, 32, 0), 1.0f);  // content
+}
+
+TEST(Letterbox, RecordsRoundedEmbeddedExtent) {
+    Image im(100, 50, 3);
+    const Letterbox lb = letterbox(im, 64, 64);
+    EXPECT_EQ(lb.emb_w, 64);
+    EXPECT_EQ(lb.emb_h, 32);
+}
+
+TEST(ConvertChannels, GrayReplicatesToRgb) {
+    Image gray(3, 2, 1);
+    for (std::size_t i = 0; i < gray.size(); ++i) gray.data()[i] = 0.1f * static_cast<float>(i);
+    const Image rgb = convert_channels(gray, 3);
+    ASSERT_EQ(rgb.channels(), 3);
+    for (int c = 0; c < 3; ++c) {
+        for (int y = 0; y < 2; ++y) {
+            for (int x = 0; x < 3; ++x) {
+                EXPECT_FLOAT_EQ(rgb.px(x, y, c), gray.px(x, y, 0));
+            }
+        }
+    }
+}
+
+TEST(ConvertChannels, RgbaDropsAlpha) {
+    Image rgba(2, 2, 4);
+    for (std::size_t i = 0; i < rgba.size(); ++i) rgba.data()[i] = static_cast<float>(i);
+    const Image rgb = convert_channels(rgba, 3);
+    ASSERT_EQ(rgb.channels(), 3);
+    for (int c = 0; c < 3; ++c) {
+        for (int y = 0; y < 2; ++y) {
+            for (int x = 0; x < 2; ++x) EXPECT_FLOAT_EQ(rgb.px(x, y, c), rgba.px(x, y, c));
+        }
+    }
+}
+
+TEST(ConvertChannels, SameCountCopies) {
+    Image im(2, 2, 3);
+    im.fill(0.7f);
+    const Image out = convert_channels(im, 3);
+    EXPECT_EQ(out.channels(), 3);
+    EXPECT_FLOAT_EQ(out.px(1, 1, 2), 0.7f);
+}
+
+TEST(ConvertChannels, RejectsUnsupportedCombination) {
+    Image two(2, 2, 2);
+    EXPECT_THROW((void)convert_channels(two, 3), std::invalid_argument);
+    Image rgb(2, 2, 3);
+    EXPECT_THROW((void)convert_channels(rgb, 1), std::invalid_argument);
+    Image empty;
+    EXPECT_THROW((void)convert_channels(empty, 3), std::invalid_argument);
 }
 
 TEST(Draw, FilledRectClips) {

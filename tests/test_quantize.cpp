@@ -73,6 +73,22 @@ TEST(QuantizedNetwork, RequiresBatchOne) {
     EXPECT_THROW(QuantizedNetwork{net}, std::invalid_argument);
 }
 
+TEST(QuantizedNetwork, RejectsForwardAfterRebatch) {
+    // Regression: the quantized path captures batch-1 geometry at
+    // construction. Re-batching the source network afterwards (as the batched
+    // serving path does) used to pass the input-shape check against the new
+    // batch-N shape while silently corrupting output; it must throw instead.
+    Network net = build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f});
+    QuantizedNetwork q(net);
+    net.set_batch(3);
+    Tensor input(net.input_shape());
+    EXPECT_THROW((void)q.forward(input), std::logic_error);
+    // Restoring batch 1 restores service.
+    net.set_batch(1);
+    Tensor single(net.input_shape());
+    EXPECT_NO_THROW((void)q.forward(single));
+}
+
 TEST(QuantizedNetwork, SnapshotsEveryConvLayer) {
     Network net = build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f});
     QuantizedNetwork q(net);

@@ -118,6 +118,48 @@ TEST(BoundedQueue, DropOldestEvictsHeadAndReportsIt) {
     EXPECT_EQ(q.pop(), 3);
 }
 
+TEST(BoundedQueue, PopBatchTakesWhatIsQueuedWithoutLinger) {
+    serve::BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i) (void)q.push(int(i));
+    std::vector<int> out;
+    EXPECT_EQ(q.pop_batch(out, 3, std::chrono::microseconds(0)), 3u);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(q.pop_batch(out, 3, std::chrono::microseconds(0)), 2u);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+    q.close();
+    EXPECT_EQ(q.pop_batch(out, 3, std::chrono::microseconds(0)), 0u);
+}
+
+TEST(BoundedQueue, PopBatchLingersForLateItems) {
+    serve::BoundedQueue<int> q(8);
+    (void)q.push(1);
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        (void)q.push(2);
+    });
+    std::vector<int> out;
+    // Generous linger so the late push lands inside the window even on a
+    // loaded CI host.
+    const std::size_t n = q.pop_batch(out, 2, std::chrono::microseconds(2'000'000));
+    producer.join();
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueue, PopBatchReturnsRemainderWhenClosedMidLinger) {
+    serve::BoundedQueue<int> q(8);
+    (void)q.push(7);
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        q.close();
+    });
+    std::vector<int> out;
+    const std::size_t n = q.pop_batch(out, 4, std::chrono::microseconds(5'000'000));
+    closer.join();
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(out, (std::vector<int>{7}));
+}
+
 TEST(BoundedQueue, CloseWakesBlockedConsumer) {
     BoundedQueue<int> q(2);
     std::atomic<bool> got_nullopt{false};
@@ -334,6 +376,118 @@ TEST(DetectionService, RejectPolicyResolvesShedFramesImmediately) {
     EXPECT_EQ(snap.completed + snap.rejected, static_cast<std::uint64_t>(kSubmitted));
 }
 
+TEST(DetectionService, MicroBatchingMatchesSerialBitIdentically) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});
+    const PipelineConfig pc = low_threshold_pipeline();
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(96), 16, /*seed=*/0x5eed);
+
+    Network serial_net = clone_network(net);
+    DetectionPipeline serial(serial_net, pc);
+    std::vector<Detections> expected;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        expected.push_back(serial.process(frames.image(i)).detections);
+    }
+
+    // One worker + fast submission guarantees a backlog, so real multi-frame
+    // batches form (asserted below to keep the test non-vacuous).
+    serve::ServiceConfig sc;
+    sc.workers = 1;
+    sc.queue_capacity = 8;
+    sc.max_batch = 4;
+    sc.batch_timeout_us = 1000;
+    sc.pipeline = pc;
+    DetectionService service(net, sc);
+    std::vector<std::future<ServeResult>> futures;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        futures.push_back(service.submit(frames.image(i)));
+    }
+    std::size_t nonempty = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const ServeResult r = futures[i].get();
+        ASSERT_EQ(r.status, ServeStatus::kOk);
+        const Detections& got = r.frame.detections;
+        const Detections& want = expected[i];
+        ASSERT_EQ(got.size(), want.size()) << "frame " << i;
+        if (!want.empty()) ++nonempty;
+        for (std::size_t d = 0; d < want.size(); ++d) {
+            EXPECT_EQ(got[d].box.x, want[d].box.x);
+            EXPECT_EQ(got[d].box.y, want[d].box.y);
+            EXPECT_EQ(got[d].box.w, want[d].box.w);
+            EXPECT_EQ(got[d].box.h, want[d].box.h);
+            EXPECT_EQ(got[d].objectness, want[d].objectness);
+            EXPECT_EQ(got[d].class_prob, want[d].class_prob);
+            EXPECT_EQ(got[d].class_id, want[d].class_id);
+        }
+    }
+    EXPECT_GT(nonempty, 0u) << "determinism test is vacuous: no detections at all";
+
+    const serve::ServeStatsSnapshot snap = service.stats();
+    EXPECT_EQ(snap.completed, frames.size());
+    EXPECT_GT(snap.batches, 0u);
+    EXPECT_LT(snap.batches, frames.size());  // at least one multi-frame batch
+    std::uint64_t frames_in_batches = 0;
+    int max_size_seen = 0;
+    for (const auto& [size, count] : snap.batch_sizes) {
+        EXPECT_GE(size, 1);
+        EXPECT_LE(size, sc.max_batch);
+        frames_in_batches += static_cast<std::uint64_t>(size) * count;
+        max_size_seen = std::max(max_size_seen, size);
+    }
+    EXPECT_EQ(frames_in_batches, snap.completed);
+    EXPECT_GE(max_size_seen, 2);
+}
+
+TEST(DetectionService, BadFrameInBatchFailsOnlyItsOwnFuture) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});
+    serve::ServiceConfig sc;
+    sc.workers = 1;
+    sc.queue_capacity = 8;
+    sc.max_batch = 4;
+    sc.batch_timeout_us = 1000;
+    sc.pipeline = low_threshold_pipeline();
+    DetectionService service(net, sc);
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(96), 4, /*seed=*/7);
+
+    std::vector<std::future<ServeResult>> good;
+    good.push_back(service.submit(frames.image(0)));
+    std::future<ServeResult> bad =
+        service.submit(Image(96, 96, 2));  // unsupported channel count
+    good.push_back(service.submit(frames.image(1)));
+    good.push_back(service.submit(frames.image(2)));
+    service.drain();
+    EXPECT_THROW((void)bad.get(), std::invalid_argument);
+    for (auto& f : good) {
+        const ServeResult r = f.get();
+        EXPECT_EQ(r.status, ServeStatus::kOk);
+    }
+}
+
+TEST(DetectionService, RejectsInvalidBatchConfig) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});
+    serve::ServiceConfig sc;
+    sc.max_batch = 0;
+    EXPECT_THROW(DetectionService(net, sc), std::invalid_argument);
+    sc.max_batch = 2;
+    sc.batch_timeout_us = -1;
+    EXPECT_THROW(DetectionService(net, sc), std::invalid_argument);
+}
+
+TEST(ServeStats, BatchHistogramAccounting) {
+    serve::ServeStats stats;
+    stats.record_batch(1);
+    stats.record_batch(4);
+    stats.record_batch(1);
+    const serve::ServeStatsSnapshot snap = stats.snapshot();
+    EXPECT_EQ(snap.batches, 3u);
+    ASSERT_EQ(snap.batch_sizes.size(), 2u);
+    EXPECT_EQ(snap.batch_sizes[0], (std::pair<int, std::uint64_t>{1, 2}));
+    EXPECT_EQ(snap.batch_sizes[1], (std::pair<int, std::uint64_t>{4, 1}));
+    EXPECT_NE(snap.to_json().find("\"batch_sizes\":{\"1\":2,\"4\":1}"),
+              std::string::npos);
+}
+
 TEST(DetectionService, SubmitAfterStopIsRejected) {
     Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});
     serve::ServiceConfig sc;
@@ -355,6 +509,7 @@ TEST(DetectionService, StatsJsonHasStableSchema) {
     const std::string json = stats.snapshot().to_json();
     for (const char* key :
          {"\"submitted\":", "\"completed\":", "\"dropped\":", "\"rejected\":",
+          "\"batches\":", "\"batch_sizes\":",
           "\"throughput_fps\":", "\"queue_wait\":", "\"preprocess\":",
           "\"forward\":", "\"postprocess\":", "\"total\":", "\"p99_ms\":"}) {
         EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;

@@ -82,12 +82,33 @@ TEST(Tensor, ReshapeRejectsSizeMismatch) {
     EXPECT_THROW(t.reshape(Shape{1, 2, 3, 5}), std::invalid_argument);
 }
 
-TEST(Tensor, ResizeReallocatesAndZeroes) {
+TEST(Tensor, ResizeGrowsStorageLazily) {
     Tensor t(1, 1, 2, 2);
     t.fill(1.0f);
     t.resize(Shape{1, 1, 4, 4});
     EXPECT_EQ(t.size(), 16);
-    EXPECT_EQ(t[0], 0.0f);
+    // Growing zero-fills only the new tail; the old prefix is preserved.
+    EXPECT_EQ(t[0], 1.0f);
+    EXPECT_EQ(t[15], 0.0f);
+    // Shrinking keeps the backing storage but the span is logical-size...
+    t.resize(Shape{1, 1, 2, 2});
+    EXPECT_EQ(t.span().size(), 4u);
+    const float* data = t.data();
+    // ...so re-growing to a previously-seen shape reallocates nothing. This is
+    // what makes the serving layer's per-batch set_batch toggling cheap.
+    t.resize(Shape{1, 1, 4, 4});
+    EXPECT_EQ(t.data(), data);
+}
+
+TEST(Tensor, EqualityComparesLogicalContents) {
+    Tensor a(1, 1, 2, 2);
+    Tensor b(1, 1, 4, 4);
+    b.fill(7.0f);
+    b.resize(Shape{1, 1, 2, 2});  // stale 7s remain beyond the logical size
+    a.fill(7.0f);
+    EXPECT_TRUE(a == b);
+    b.resize(Shape{1, 1, 4, 4});
+    EXPECT_FALSE(a == b);  // shapes differ
 }
 
 TEST(Rng, Deterministic) {

@@ -4,15 +4,18 @@
 // Usage:
 //   detect [--model DroNet] [--size 512] [--weights FILE] [--cfg FILE]
 //          [--thresh 0.3] [--nms 0.45] [--letterbox] [--threads N]
-//          [--profile] image.ppm [more.ppm...]
+//          [--batch B] [--profile] image.ppm [more.ppm...]
 //
 // --threads N enables intra-op GEMM parallelism (tensor/gemm.hpp) for the
 // forward pass; serving-mode (inter-frame) parallelism lives in tools/serve_bench.
+// --batch B > 1 runs the image list through detect_images in chunks of B
+// (one forward pass per chunk; per-image results are bit-identical to B=1).
 // --profile prints a per-layer timing table after all images (docs/performance.md).
 //
 // With --cfg the network is built from a darknet cfg file; otherwise the
 // named zoo model is used and, when no --weights is given, the pretrained
 // checkpoint from the weights/ directory (if present).
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
     std::string model_name = "DroNet";
     std::string weights_path, cfg_path;
     int size = 512;
+    int batch = 1;
     EvalConfig post;
     std::vector<std::string> images;
     for (int i = 1; i < argc; ++i) {
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
         else if (a == "--nms") post.nms_threshold = std::stof(next());
         else if (a == "--letterbox") post.use_letterbox = true;
         else if (a == "--threads") set_gemm_threads(std::stoi(next()));
+        else if (a == "--batch") batch = std::max(1, std::stoi(next()));
         else if (a == "--profile") profile::set_profiling(true);
         else if (a.rfind("--", 0) == 0) throw std::runtime_error("unknown flag " + a);
         else images.push_back(a);
@@ -56,7 +61,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: detect [--model NAME|--cfg FILE] [--weights FILE] "
                      "[--size N] [--thresh T] [--nms T] [--letterbox] "
-                     "[--threads N] [--profile] image.ppm...\n");
+                     "[--threads N] [--batch B] [--profile] image.ppm...\n");
         return 2;
     }
 
@@ -83,18 +88,29 @@ int main(int argc, char** argv) {
         }
     }
 
-    for (const std::string& path : images) {
-        const Image im = read_ppm(path);
-        const Detections dets = detect_image(net, im, post);
-        std::printf("%s: %zu detections\n", path.c_str(), dets.size());
-        for (const Detection& d : dets) {
-            std::printf("  class %d  score %.3f  box %.4f %.4f %.4f %.4f\n",
-                        d.class_id, d.score(), d.box.x, d.box.y, d.box.w, d.box.h);
+    for (std::size_t start = 0; start < images.size();
+         start += static_cast<std::size_t>(batch)) {
+        const std::size_t count =
+            std::min(static_cast<std::size_t>(batch), images.size() - start);
+        std::vector<Image> chunk;
+        chunk.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            chunk.push_back(read_ppm(images[start + i]));
         }
-        const std::string out =
-            std::filesystem::path(path).stem().string() + "_detections.ppm";
-        write_ppm(draw_detections(im, dets), out);
-        std::printf("  annotated image -> %s\n", out.c_str());
+        const std::vector<Detections> results = detect_images(net, chunk, post);
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::string& path = images[start + i];
+            const Detections& dets = results[i];
+            std::printf("%s: %zu detections\n", path.c_str(), dets.size());
+            for (const Detection& d : dets) {
+                std::printf("  class %d  score %.3f  box %.4f %.4f %.4f %.4f\n",
+                            d.class_id, d.score(), d.box.x, d.box.y, d.box.w, d.box.h);
+            }
+            const std::string out =
+                std::filesystem::path(path).stem().string() + "_detections.ppm";
+            write_ppm(draw_detections(chunk[i], dets), out);
+            std::printf("  annotated image -> %s\n", out.c_str());
+        }
     }
     if (profile::profiling_enabled() && net.profiler() != nullptr) {
         std::printf("%s", net.profiler()->report_text().c_str());

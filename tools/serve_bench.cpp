@@ -9,13 +9,19 @@
 //   serve_bench [--workers N] [--streams M] [--frames-per-stream K]
 //               [--size S] [--capacity Q] [--policy block|reject|drop-oldest]
 //               [--model DroNet] [--gemm-threads N] [--interval-ms T]
-//               [--profile]
+//               [--batch B] [--batch-timeout-us U] [--profile]
+//               [--expect-complete]
 //
 // --interval-ms > 0 paces each stream like a camera (T ms between submits),
 // which exercises the backpressure policies; 0 submits as fast as possible.
-// --profile prints one per-layer timing JSON line per worker replica after
-// the run (profile/profiler.hpp, docs/performance.md).
+// --batch > 1 enables worker micro-batching (ServiceConfig::max_batch), with
+// --batch-timeout-us as the linger window; the JSON output then reports a
+// per-batch-size histogram. --profile prints one per-layer timing JSON line
+// per worker replica after the run (profile/profiler.hpp,
+// docs/performance.md). --expect-complete exits non-zero unless every
+// submitted frame completed (no drops/rejects) — used by the TSan CI step.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <future>
 #include <string>
@@ -42,7 +48,10 @@ struct Args {
     std::string model = "DroNet";
     int gemm_threads = 1;
     double interval_ms = 0;
+    int batch = 1;
+    std::int64_t batch_timeout_us = 0;
     bool profile = false;
+    bool expect_complete = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -61,7 +70,10 @@ Args parse_args(int argc, char** argv) {
         else if (a == "--model") args.model = next();
         else if (a == "--gemm-threads") args.gemm_threads = std::stoi(next());
         else if (a == "--interval-ms") args.interval_ms = std::stod(next());
+        else if (a == "--batch") args.batch = std::stoi(next());
+        else if (a == "--batch-timeout-us") args.batch_timeout_us = std::stoll(next());
         else if (a == "--profile") args.profile = true;
+        else if (a == "--expect-complete") args.expect_complete = true;
         else if (a == "--policy") {
             const std::string p = next();
             using dronet::serve::BackpressurePolicy;
@@ -106,6 +118,8 @@ int main(int argc, char** argv) {
     sc.workers = args.workers;
     sc.queue_capacity = args.capacity;
     sc.policy = args.policy;
+    sc.max_batch = args.batch;
+    sc.batch_timeout_us = args.batch_timeout_us;
     serve::DetectionService service(net, sc);
 
     std::vector<std::thread> streams;
@@ -146,5 +160,16 @@ int main(int argc, char** argv) {
                  snap.throughput_fps, snap.total.p99_ms,
                  static_cast<unsigned long long>(snap.dropped),
                  static_cast<unsigned long long>(snap.rejected));
+    if (args.expect_complete &&
+        (snap.dropped != 0 || snap.rejected != 0 || snap.completed != snap.submitted)) {
+        std::fprintf(stderr,
+                     "# FAIL --expect-complete: submitted=%llu completed=%llu "
+                     "dropped=%llu rejected=%llu\n",
+                     static_cast<unsigned long long>(snap.submitted),
+                     static_cast<unsigned long long>(snap.completed),
+                     static_cast<unsigned long long>(snap.dropped),
+                     static_cast<unsigned long long>(snap.rejected));
+        return 1;
+    }
     return 0;
 }
