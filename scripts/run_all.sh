@@ -45,6 +45,19 @@ ctest --test-dir build-tsan -L concurrency --output-on-failure 2>&1 \
   --size 96 --batch 4 --batch-timeout-us 1000 --expect-complete 2>&1 \
   | tee tsan_serve_bench_output.txt
 
+# Chaos stage under TSan: deterministic fault injection through the live
+# service (watchdog respawn, retries, breaker, deadlines, degradation,
+# crash-safe checkpointing — tests/test_chaos.cpp), then a fault-injected
+# serve_bench run: a worker-killing forward fault plus per-frame deadlines
+# must still resolve every future (no --expect-complete: the killed frame is
+# counted `failed` by design, and the run exits non-zero if any future hangs).
+ctest --test-dir build-tsan -L chaos --output-on-failure 2>&1 \
+  | tee tsan_chaos_output.txt
+./build-tsan/tools/serve_bench --workers 2 --streams 2 --frames-per-stream 8 \
+  --size 96 --deadline-ms 30000 --retries 1 \
+  --inject "network.forward:kill:nth=5:times=1" 2>&1 \
+  | tee tsan_chaos_bench_output.txt
+
 # AddressSanitizer + UBSan pass over the FULL suite (memory errors and
 # undefined behaviour are not confined to the threaded paths).
 cmake -B build-asan -G Ninja -DDRONET_SANITIZE=address \
@@ -52,6 +65,12 @@ cmake -B build-asan -G Ninja -DDRONET_SANITIZE=address \
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure 2>&1 \
   | tee asan_output.txt
+
+# Chaos stage under ASan: the full suite above already includes the chaos
+# label, but rerun it by name so a failure is attributable at a glance (and
+# so the label is exercised even if someone filters the suite above).
+ctest --test-dir build-asan -L chaos --output-on-failure 2>&1 \
+  | tee asan_chaos_output.txt
 
 for b in build/bench/*; do
   echo "===== $b ====="

@@ -1,0 +1,196 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace dronet::fault {
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = text.find(sep, start);
+        if (end == std::string::npos) {
+            parts.push_back(text.substr(start));
+            break;
+        }
+        parts.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return parts;
+}
+
+[[noreturn]] void parse_error(const std::string& clause, const std::string& why) {
+    throw std::invalid_argument("FaultPlan::parse: " + why + " in clause \"" + clause +
+                                "\" (grammar: site:action[:key=value]*; see "
+                                "docs/robustness.md)");
+}
+
+std::uint64_t parse_u64(const std::string& clause, const std::string& v) {
+    try {
+        return std::stoull(v);
+    } catch (const std::exception&) {
+        parse_error(clause, "bad integer \"" + v + "\"");
+    }
+}
+
+double parse_double(const std::string& clause, const std::string& v) {
+    try {
+        return std::stod(v);
+    } catch (const std::exception&) {
+        parse_error(clause, "bad number \"" + v + "\"");
+    }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+    FaultPlan plan;
+    for (const std::string& clause : split(text, ';')) {
+        if (clause.empty()) continue;
+        const std::vector<std::string> fields = split(clause, ':');
+        if (fields.size() < 2) parse_error(clause, "expected site:action");
+        FaultSpec spec;
+        spec.site = fields[0];
+        if (spec.site.empty()) parse_error(clause, "empty site name");
+        const std::string& action = fields[1];
+        if (action == "throw") spec.action = FaultAction::kThrow;
+        else if (action == "kill") spec.action = FaultAction::kKill;
+        else if (action == "latency") spec.action = FaultAction::kLatency;
+        else if (action == "short-read") spec.action = FaultAction::kShortRead;
+        else parse_error(clause, "unknown action \"" + action + "\"");
+        for (std::size_t i = 2; i < fields.size(); ++i) {
+            const std::size_t eq = fields[i].find('=');
+            if (eq == std::string::npos) parse_error(clause, "expected key=value");
+            const std::string key = fields[i].substr(0, eq);
+            const std::string value = fields[i].substr(eq + 1);
+            if (key == "nth") spec.nth = parse_u64(clause, value);
+            else if (key == "every") spec.every = parse_u64(clause, value);
+            else if (key == "p") spec.probability = parse_double(clause, value);
+            else if (key == "times") spec.times = parse_u64(clause, value);
+            else if (key == "latency") spec.latency_ms = parse_double(clause, value);
+            else if (key == "bytes") spec.bytes = static_cast<std::size_t>(parse_u64(clause, value));
+            else if (key == "msg") spec.message = value;
+            else if (key == "seed") plan.seed = parse_u64(clause, value);
+            else parse_error(clause, "unknown key \"" + key + "\"");
+        }
+        if (spec.probability < 0 || spec.probability > 1) {
+            parse_error(clause, "probability must be in [0,1]");
+        }
+        if (spec.action == FaultAction::kLatency && spec.latency_ms <= 0) {
+            parse_error(clause, "latency action needs latency=MS > 0");
+        }
+        plan.specs.push_back(std::move(spec));
+    }
+    return plan;
+}
+
+FaultInjector& FaultInjector::instance() {
+    static FaultInjector injector;
+    return injector;
+}
+
+void FaultInjector::install(FaultPlan plan) {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_.clear();
+    site_calls_.clear();
+    for (FaultSpec& spec : plan.specs) {
+        armed_.push_back(Armed{std::move(spec), 0, 0});
+    }
+    rng_.seed(plan.seed);
+    active_.store(!armed_.empty(), std::memory_order_release);
+}
+
+void FaultInjector::clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_.clear();
+    site_calls_.clear();
+    active_.store(false, std::memory_order_release);
+}
+
+FaultInjector::Decision FaultInjector::decide(const char* site, bool io_site,
+                                              std::size_t want) {
+    Decision d;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find_if(site_calls_.begin(), site_calls_.end(),
+                           [&](const auto& e) { return e.first == site; });
+    if (it == site_calls_.end()) {
+        site_calls_.emplace_back(site, 1);
+    } else {
+        ++it->second;
+    }
+    for (Armed& a : armed_) {
+        if (a.spec.site != site) continue;
+        if (a.spec.action == FaultAction::kShortRead && !io_site) continue;
+        ++a.calls;
+        if (a.fires >= a.spec.times) continue;
+        bool eligible = true;
+        if (a.spec.nth > 0) eligible = (a.calls == a.spec.nth);
+        else if (a.spec.every > 0) eligible = (a.calls % a.spec.every == 0);
+        else if (a.spec.probability > 0) {
+            eligible = std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+                       a.spec.probability;
+        }
+        if (!eligible) continue;
+        ++a.fires;
+        d.fired = true;
+        d.action = a.spec.action;
+        d.latency_ms = a.spec.latency_ms;
+        d.bytes = std::min(a.spec.bytes, want);
+        d.message = a.spec.message.empty()
+                        ? "injected fault at " + std::string(site)
+                        : a.spec.message;
+        break;  // first matching armed spec wins for this call
+    }
+    return d;
+}
+
+void FaultInjector::fire(const char* site) {
+    if (!active()) return;
+    const Decision d = decide(site, /*io_site=*/false, 0);
+    if (!d.fired) return;
+    switch (d.action) {
+        case FaultAction::kThrow: throw FaultInjected(d.message);
+        case FaultAction::kKill: throw WorkerKillFault(d.message);
+        case FaultAction::kLatency:
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(d.latency_ms));
+            return;
+        case FaultAction::kShortRead: return;  // meaningless off the I/O path
+    }
+}
+
+std::size_t FaultInjector::io_bytes(const char* site, std::size_t want) {
+    if (!active()) return want;
+    const Decision d = decide(site, /*io_site=*/true, want);
+    if (!d.fired) return want;
+    switch (d.action) {
+        case FaultAction::kThrow: throw FaultInjected(d.message);
+        case FaultAction::kKill: throw WorkerKillFault(d.message);
+        case FaultAction::kLatency:
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(d.latency_ms));
+            return want;
+        case FaultAction::kShortRead: return want - d.bytes;
+    }
+    return want;
+}
+
+std::uint64_t FaultInjector::calls(const std::string& site) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, count] : site_calls_) {
+        if (name == site) return count;
+    }
+    return 0;
+}
+
+std::uint64_t FaultInjector::fires(const std::string& site) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t total = 0;
+    for (const Armed& a : armed_) {
+        if (a.spec.site == site) total += a.fires;
+    }
+    return total;
+}
+
+}  // namespace dronet::fault

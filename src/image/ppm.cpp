@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
+
 namespace dronet {
 namespace {
 
@@ -72,12 +74,27 @@ Image read_ppm(const std::filesystem::path& path) {
     if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 255) {
         throw std::runtime_error("read_ppm: bad header in " + path.string());
     }
+    // Cap dimensions so a corrupted header fails cleanly instead of asking
+    // the allocator for gigabytes (32k x 32k x 3ch is already ~12 GB).
+    constexpr int kMaxDim = 1 << 15;
+    constexpr std::int64_t kMaxPixels = std::int64_t{1} << 26;
+    if (w > kMaxDim || h > kMaxDim ||
+        static_cast<std::int64_t>(w) * h > kMaxPixels) {
+        throw std::runtime_error("read_ppm: implausible dimensions " +
+                                 std::to_string(w) + "x" + std::to_string(h) +
+                                 " in " + path.string());
+    }
     Image im(w, h, channels);
     std::vector<unsigned char> row(static_cast<std::size_t>(w) * channels);
     const float inv = 1.0f / static_cast<float>(maxval);
     for (int y = 0; y < h; ++y) {
-        in.read(reinterpret_cast<char*>(row.data()), static_cast<std::streamsize>(row.size()));
-        if (!in) throw std::runtime_error("read_ppm: truncated pixel data");
+        // A short-read fault shrinks `take`, hitting the same truncation
+        // error path a physically truncated file would.
+        const std::size_t take = DRONET_FAULT_IO(fault::kSiteImageRead, row.size());
+        in.read(reinterpret_cast<char*>(row.data()), static_cast<std::streamsize>(take));
+        if (!in || take != row.size()) {
+            throw std::runtime_error("read_ppm: truncated pixel data in " + path.string());
+        }
         for (int x = 0; x < w; ++x) {
             for (int c = 0; c < channels; ++c) {
                 im.px(x, y, c) = static_cast<float>(row[static_cast<std::size_t>(x) * channels + c]) * inv;

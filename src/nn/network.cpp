@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "analysis/numerics.hpp"
+#include "fault/fault.hpp"
 
 namespace dronet {
 namespace {
@@ -92,6 +93,7 @@ const Tensor& Network::forward(const Tensor& input, bool train) {
                                     input.shape().str() + " != expected " +
                                     input_shape().str());
     }
+    DRONET_FAULT_POINT(fault::kSiteForward);
     profile::ForwardProfiler* prof = nullptr;
     if (profile::profiling_enabled()) {
         if (!profiler_) profiler_ = std::make_unique<profile::ForwardProfiler>();

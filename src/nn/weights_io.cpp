@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace dronet {
 namespace {
 
@@ -17,36 +19,59 @@ void write_floats(std::ofstream& out, const std::vector<float>& v) {
 }
 
 void read_floats(std::ifstream& in, std::vector<float>& v, const char* what) {
-    in.read(reinterpret_cast<char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(float)));
-    if (!in) throw std::runtime_error(std::string("load_weights: truncated at ") + what);
+    const std::size_t want = v.size() * sizeof(float);
+    // A short-read fault shrinks `take`; the truncation check below then
+    // reports exactly what a really-truncated file would.
+    const std::size_t take = DRONET_FAULT_IO(fault::kSiteWeightsRead, want);
+    in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(take));
+    if (!in || take != want) {
+        throw std::runtime_error(std::string("load_weights: truncated at ") + what);
+    }
 }
 
 }  // namespace
 
+// Crash-safe checkpointing: all bytes go to a sibling temp file which is
+// atomically renamed over `path` only after a successful flush+close. A crash
+// (or injected fault) at any point mid-write leaves the previous checkpoint
+// untouched — load_weights can never see a half-written file.
 void save_weights(const Network& net, const std::filesystem::path& path) {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) throw std::runtime_error("save_weights: cannot open " + path.string());
-    out.write(reinterpret_cast<const char*>(&kMajor), sizeof(kMajor));
-    out.write(reinterpret_cast<const char*>(&kMinor), sizeof(kMinor));
-    out.write(reinterpret_cast<const char*>(&kRevision), sizeof(kRevision));
-    const std::uint64_t seen =
-        static_cast<std::uint64_t>(net.batch_num()) * net.config().batch;
-    out.write(reinterpret_cast<const char*>(&seen), sizeof(seen));
-    auto& mutable_net = const_cast<Network&>(net);
-    for (std::size_t i = 0; i < net.num_layers(); ++i) {
-        Layer& l = mutable_net.layer(static_cast<int>(i));
-        if (l.kind() != LayerKind::kConvolutional) continue;
-        auto& conv = dynamic_cast<ConvolutionalLayer&>(l);
-        write_floats(out, conv.biases().v);
-        if (conv.config().batch_normalize) {
-            write_floats(out, conv.scales().v);
-            write_floats(out, conv.rolling_mean());
-            write_floats(out, conv.rolling_variance());
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    try {
+        {
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            if (!out) throw std::runtime_error("save_weights: cannot open " + tmp.string());
+            out.write(reinterpret_cast<const char*>(&kMajor), sizeof(kMajor));
+            out.write(reinterpret_cast<const char*>(&kMinor), sizeof(kMinor));
+            out.write(reinterpret_cast<const char*>(&kRevision), sizeof(kRevision));
+            const std::uint64_t seen =
+                static_cast<std::uint64_t>(net.batch_num()) * net.config().batch;
+            out.write(reinterpret_cast<const char*>(&seen), sizeof(seen));
+            auto& mutable_net = const_cast<Network&>(net);
+            for (std::size_t i = 0; i < net.num_layers(); ++i) {
+                Layer& l = mutable_net.layer(static_cast<int>(i));
+                if (l.kind() != LayerKind::kConvolutional) continue;
+                DRONET_FAULT_POINT(fault::kSiteWeightsWrite);
+                auto& conv = dynamic_cast<ConvolutionalLayer&>(l);
+                write_floats(out, conv.biases().v);
+                if (conv.config().batch_normalize) {
+                    write_floats(out, conv.scales().v);
+                    write_floats(out, conv.rolling_mean());
+                    write_floats(out, conv.rolling_variance());
+                }
+                write_floats(out, conv.weights().v);
+            }
+            out.flush();
+            if (!out) {
+                throw std::runtime_error("save_weights: write failed for " + tmp.string());
+            }
         }
-        write_floats(out, conv.weights().v);
+        std::filesystem::rename(tmp, path);  // atomic on POSIX
+    } catch (...) {
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);  // best-effort; a real crash leaves it
+        throw;
     }
-    if (!out) throw std::runtime_error("save_weights: write failed for " + path.string());
 }
 
 std::int64_t expected_weight_file_bytes(const Network& net) {

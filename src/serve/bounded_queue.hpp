@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
+
 namespace dronet::serve {
 
 enum class BackpressurePolicy {
@@ -56,6 +58,7 @@ class BoundedQueue {
     /// kEvictedOldest the evicted element is moved into `*evicted` when the
     /// caller provides one (so a serving layer can fail that frame's future).
     PushOutcome push(T&& item, std::optional<T>* evicted = nullptr) {
+        DRONET_FAULT_POINT(fault::kSiteQueuePush);  // before the lock: latency
         std::unique_lock<std::mutex> lock(mu_);
         if (policy_ == BackpressurePolicy::kBlock) {
             not_full_.wait(lock,
@@ -97,6 +100,7 @@ class BoundedQueue {
     std::size_t pop_batch(std::vector<T>& out, std::size_t max_items,
                           std::chrono::microseconds linger) {
         if (max_items == 0) return 0;
+        DRONET_FAULT_POINT(fault::kSiteQueuePop);  // before the lock: latency
         std::unique_lock<std::mutex> lock(mu_);
         not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
         if (items_.empty()) return 0;  // closed and drained

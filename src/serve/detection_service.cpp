@@ -1,8 +1,10 @@
 #include "serve/detection_service.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "eval/evaluator.hpp"
+#include "fault/fault.hpp"
 #include "nn/clone.hpp"
 
 namespace dronet::serve {
@@ -14,6 +16,12 @@ double ms_since(std::chrono::steady_clock::time_point t) {
                std::chrono::steady_clock::now() - t)
         .count();
 }
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+/// Thrown by detect_with_retry when a frame's deadline expires mid-retry;
+/// both ends live in this TU.
+struct DeadlineExpired {};
 
 }  // namespace
 
@@ -30,9 +38,32 @@ DetectionService::DetectionService(const Network& prototype, ServiceConfig confi
     if (config_.batch_timeout_us < 0) {
         throw std::invalid_argument("DetectionService: batch_timeout_us must be >= 0");
     }
+    if (config_.deadline_ms < 0 || config_.max_retries < 0 ||
+        config_.retry_backoff_ms < 0 || config_.breaker_threshold < 0 ||
+        config_.watchdog_interval_ms <= 0) {
+        throw std::invalid_argument("DetectionService: negative self-healing knob");
+    }
+    if (config_.breaker_threshold > 0 && config_.breaker_open_ms <= 0) {
+        throw std::invalid_argument("DetectionService: breaker_open_ms must be positive");
+    }
+    if (config_.degrade_high_watermark > 0) {
+        if (config_.degraded_size <= 0) {
+            throw std::invalid_argument(
+                "DetectionService: degradation needs degraded_size > 0");
+        }
+        if (config_.degrade_low_watermark > config_.degrade_high_watermark) {
+            throw std::invalid_argument(
+                "DetectionService: degrade_low_watermark > high watermark");
+        }
+        if (prototype.config().width != prototype.config().height) {
+            throw std::invalid_argument(
+                "DetectionService: degradation requires a square input network");
+        }
+    }
     if (prototype.region() == nullptr) {
         throw std::invalid_argument("DetectionService: network has no region layer");
     }
+    full_size_ = prototype.config().width;
     replicas_.reserve(static_cast<std::size_t>(config_.workers));
     for (int i = 0; i < config_.workers; ++i) {
         auto replica = std::make_unique<Network>(clone_network(prototype));
@@ -40,13 +71,25 @@ DetectionService::DetectionService(const Network& prototype, ServiceConfig confi
         // will ever run: tensor storage is grow-only, so later per-batch
         // set_batch() calls in detect_images are allocation-free.
         replica->set_batch(config_.max_batch);
+        if (config_.degrade_high_watermark > 0) {
+            // Warm the degraded geometry too (validates the fallback size up
+            // front and makes the overload mode switch allocation-free).
+            replica->resize_input(config_.degraded_size, config_.degraded_size);
+            replica->resize_input(full_size_, full_size_);
+        }
         replica->set_batch(1);
         replicas_.push_back(std::move(replica));
     }
-    threads_.reserve(static_cast<std::size_t>(config_.workers));
+    slots_.reserve(static_cast<std::size_t>(config_.workers));
     for (int i = 0; i < config_.workers; ++i) {
-        threads_.emplace_back(&DetectionService::worker_loop, this,
-                              static_cast<std::size_t>(i));
+        slots_.push_back(std::make_unique<WorkerSlot>());
+    }
+    for (int i = 0; i < config_.workers; ++i) {
+        slots_[static_cast<std::size_t>(i)]->thread = std::thread(
+            &DetectionService::worker_loop, this, static_cast<std::size_t>(i));
+    }
+    if (config_.watchdog) {
+        watchdog_ = std::thread(&DetectionService::watchdog_loop, this);
     }
 }
 
@@ -57,6 +100,9 @@ std::future<ServeResult> DetectionService::submit(Image frame) {
     job.frame = std::move(frame);
     job.frame_index = next_index_.fetch_add(1, std::memory_order_relaxed);
     job.submit_time = std::chrono::steady_clock::now();
+    job.deadline = config_.deadline_ms > 0
+                       ? job.submit_time + std::chrono::milliseconds(config_.deadline_ms)
+                       : kNoDeadline;
     std::future<ServeResult> future = job.promise.get_future();
     stats_.record_submitted();
 
@@ -64,6 +110,16 @@ std::future<ServeResult> DetectionService::submit(Image frame) {
         ServeResult r;
         r.status = ServeStatus::kRejected;
         r.frame.frame_index = job.frame_index;
+        r.error = "service stopped";
+        stats_.record_rejected();
+        job.promise.set_value(std::move(r));
+        return future;
+    }
+    if (!breaker_allows()) {
+        ServeResult r;
+        r.status = ServeStatus::kRejected;
+        r.frame.frame_index = job.frame_index;
+        r.error = "circuit breaker open";
         stats_.record_rejected();
         job.promise.set_value(std::move(r));
         return future;
@@ -73,8 +129,23 @@ std::future<ServeResult> DetectionService::submit(Image frame) {
         std::lock_guard<std::mutex> lock(inflight_mu_);
         ++accepted_;
     }
+    const int frame_index = job.frame_index;
     std::optional<Job> evicted;
-    const PushOutcome outcome = queue_.push(std::move(job), &evicted);
+    PushOutcome outcome;
+    try {
+        outcome = queue_.push(std::move(job), &evicted);
+    } catch (const std::exception& e) {
+        // Only reachable via an injected queue.push fault; shed the frame so
+        // the accounting invariant (and the caller's future) survive.
+        ServeResult r;
+        r.status = ServeStatus::kRejected;
+        r.frame.frame_index = frame_index;
+        r.error = e.what();
+        stats_.record_rejected();
+        job.promise.set_value(std::move(r));
+        finish_one();
+        return future;
+    }
     switch (outcome) {
         case PushOutcome::kEnqueued:
             break;
@@ -100,28 +171,161 @@ std::future<ServeResult> DetectionService::submit(Image frame) {
             break;
         }
     }
+    if (config_.degrade_high_watermark > 0 &&
+        (outcome == PushOutcome::kEnqueued || outcome == PushOutcome::kEvictedOldest) &&
+        queue_.size() >= config_.degrade_high_watermark) {
+        if (!degraded_.exchange(true, std::memory_order_acq_rel)) {
+            stats_.record_degrade_transition();
+        }
+    }
     return future;
 }
 
+void DetectionService::resolve(Job& job, ServeResult r) {
+    job.promise.set_value(std::move(r));
+    job.resolved = true;
+    finish_one();
+}
+
+void DetectionService::expire_overdue(std::vector<Job>& jobs) {
+    if (config_.deadline_ms <= 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Job> kept;
+    kept.reserve(jobs.size());
+    for (Job& job : jobs) {
+        if (now > job.deadline) {
+            ServeResult r;
+            r.status = ServeStatus::kTimeout;
+            r.frame.frame_index = job.frame_index;
+            r.error = "deadline expired before processing";
+            stats_.record_deadline_expired();
+            resolve(job, std::move(r));
+        } else {
+            kept.push_back(std::move(job));
+        }
+    }
+    jobs.swap(kept);
+}
+
+void DetectionService::apply_degrade_mode(Network& net, bool& degraded_now) {
+    degraded_now = false;
+    if (config_.degrade_high_watermark == 0) return;
+    if (degraded_.load(std::memory_order_acquire) &&
+        queue_.size() <= config_.degrade_low_watermark) {
+        if (degraded_.exchange(false, std::memory_order_acq_rel)) {
+            stats_.record_degrade_transition();
+        }
+    }
+    degraded_now = degraded_.load(std::memory_order_acquire);
+    const int desired = degraded_now ? config_.degraded_size : full_size_;
+    if (net.config().width != desired) {
+        net.resize_input(desired, desired);  // allocation-free: pre-reserved
+    }
+}
+
 void DetectionService::worker_loop(std::size_t worker_id) {
+    WorkerSlot& slot = *slots_[worker_id];
     Network& net = *replicas_[worker_id];
     const auto max_batch = static_cast<std::size_t>(config_.max_batch);
     const std::chrono::microseconds linger(config_.batch_timeout_us);
     std::vector<Job> jobs;
-    while (true) {
-        jobs.clear();
-        if (queue_.pop_batch(jobs, max_batch, linger) == 0) {
-            return;  // queue closed and drained
+    try {
+        while (true) {
+            jobs.clear();
+            if (queue_.pop_batch(jobs, max_batch, linger) == 0) {
+                slot.state.store(WorkerSlot::kFinished, std::memory_order_release);
+                return;  // queue closed and drained
+            }
+            expire_overdue(jobs);
+            if (jobs.empty()) continue;
+            bool degraded_now = false;
+            apply_degrade_mode(net, degraded_now);
+            process_batch(net, jobs, degraded_now);
         }
-        process_batch(net, jobs);
+    } catch (const std::exception& e) {
+        on_worker_death(slot, jobs, e.what());
+    } catch (...) {
+        on_worker_death(slot, jobs, "unknown exception");
+    }
+}
+
+// Unrecoverable fault (e.g. an injected worker-kill): fail whatever the
+// worker still holds so no future is abandoned, then mark the slot dead for
+// the watchdog to respawn.
+void DetectionService::on_worker_death(WorkerSlot& slot, std::vector<Job>& jobs,
+                                       const char* what) {
+    for (Job& job : jobs) {
+        if (job.resolved) continue;
+        ServeResult r;
+        r.status = ServeStatus::kFailed;
+        r.frame.frame_index = job.frame_index;
+        r.error = std::string("worker died: ") + what;
+        stats_.record_failed();
+        resolve(job, std::move(r));
+    }
+    note_frame_failure();
+    slot.state.store(WorkerSlot::kDead, std::memory_order_release);
+}
+
+void DetectionService::watchdog_loop() {
+    std::unique_lock<std::mutex> lock(watchdog_mu_);
+    while (!stopping_) {
+        watchdog_cv_.wait_for(
+            lock, std::chrono::milliseconds(config_.watchdog_interval_ms));
+        if (stopping_) return;
+        lock.unlock();
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            WorkerSlot& slot = *slots_[i];
+            if (slot.state.load(std::memory_order_acquire) != WorkerSlot::kDead) {
+                continue;
+            }
+            {
+                std::lock_guard<std::mutex> tl(threads_mu_);
+                if (slot.thread.joinable()) slot.thread.join();
+                slot.state.store(WorkerSlot::kRunning, std::memory_order_release);
+                slot.thread =
+                    std::thread(&DetectionService::worker_loop, this, i);
+            }
+            stats_.record_worker_restart();
+        }
+        lock.lock();
+    }
+}
+
+Detections DetectionService::detect_with_retry(Network& net, const Image& frame,
+                                               const Job& job,
+                                               DetectStageTimings* timings) {
+    std::int64_t backoff = std::max<std::int64_t>(config_.retry_backoff_ms, 0);
+    for (int attempt = 0;; ++attempt) {
+        if (job.deadline != kNoDeadline &&
+            std::chrono::steady_clock::now() > job.deadline) {
+            throw DeadlineExpired{};
+        }
+        try {
+            return detect_image_timed(net, frame, config_.pipeline.eval, timings);
+        } catch (const fault::WorkerKillFault&) {
+            throw;  // unrecoverable: escalate to the worker loop / watchdog
+        } catch (const std::logic_error&) {
+            throw;  // bad input (invalid_argument & co): retrying cannot help
+        } catch (const std::exception&) {
+            if (attempt >= config_.max_retries) throw;
+            stats_.record_retry();
+            if (backoff > 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+            }
+            backoff = std::min<std::int64_t>(backoff > 0 ? backoff * 2 : 1, 1000);
+        }
     }
 }
 
 // Forwards the popped jobs as one batch and resolves each future
 // individually. Per-frame stage timings are the batch aggregate amortized
 // over the batch (queue wait stays per-frame); detections are bit-identical
-// to processing each frame alone.
-void DetectionService::process_batch(Network& net, std::vector<Job>& jobs) {
+// to processing each frame alone. On a batch error every frame is retried
+// solo (with the configured transient-retry budget), so one bad or unlucky
+// frame never fails its batch-mates.
+void DetectionService::process_batch(Network& net, std::vector<Job>& jobs,
+                                     bool degraded) {
     const std::size_t n = jobs.size();
     stats_.record_batch(n);
     const auto popped = std::chrono::steady_clock::now();
@@ -131,28 +335,30 @@ void DetectionService::process_batch(Network& net, std::vector<Job>& jobs) {
 
     DetectStageTimings stages;
     std::vector<Detections> dets;
-    std::exception_ptr batch_error;
+    bool batch_ok = true;
     try {
         dets = detect_images_timed(net, frames, config_.pipeline.eval, &stages);
+    } catch (const fault::WorkerKillFault&) {
+        throw;  // worker_loop fails the held jobs and marks the slot dead
     } catch (...) {
-        batch_error = std::current_exception();
+        batch_ok = false;
     }
 
-    if (batch_error != nullptr && n > 1) {
-        // One bad input (e.g. unsupported channel count) must not fail its
-        // batch-mates: retry each frame alone so only the offender's future
-        // carries the exception.
+    if (!batch_ok) {
+        // Retry each frame alone so only genuinely-failing frames carry an
+        // error; transient faults get the per-frame retry budget.
         for (std::size_t i = 0; i < n; ++i) {
+            Job& job = jobs[i];
             ServeResult r;
             r.status = ServeStatus::kOk;
-            r.frame.frame_index = jobs[i].frame_index;
+            r.frame.frame_index = job.frame_index;
             r.timings.queue_wait_ms = std::chrono::duration<double, std::milli>(
-                                          popped - jobs[i].submit_time)
+                                          popped - job.submit_time)
                                           .count();
             DetectStageTimings solo;
             try {
                 r.frame.detections =
-                    detect_image_timed(net, frames[i], config_.pipeline.eval, &solo);
+                    detect_with_retry(net, frames[i], job, &solo);
                 if (config_.pipeline.altitude_filter_enabled) {
                     const auto t0 = std::chrono::steady_clock::now();
                     r.frame.detections = altitude_filter_.apply(
@@ -164,17 +370,32 @@ void DetectionService::process_batch(Network& net, std::vector<Job>& jobs) {
                 r.timings.postprocess_ms = solo.postprocess_ms;
                 r.frame.latency_ms = r.timings.total_ms();
                 stats_.record_completed(r.timings);
-                jobs[i].promise.set_value(std::move(r));
-            } catch (...) {
-                jobs[i].promise.set_exception(std::current_exception());
+                if (degraded) stats_.record_degraded(1);
+                note_frame_success();
+                resolve(job, std::move(r));
+            } catch (const DeadlineExpired&) {
+                r.status = ServeStatus::kTimeout;
+                r.frame.detections.clear();
+                r.error = "deadline expired during retry";
+                stats_.record_deadline_expired();
+                resolve(job, std::move(r));
+            } catch (const fault::WorkerKillFault&) {
+                throw;  // remaining jobs handled by worker_loop
+            } catch (const std::logic_error&) {
+                // Bad input: surface the exception itself (API contract with
+                // detect_image) rather than a kFailed status.
+                job.promise.set_exception(std::current_exception());
+                job.resolved = true;
+                finish_one();
+            } catch (const std::exception& e) {
+                r.status = ServeStatus::kFailed;
+                r.frame.detections.clear();
+                r.error = e.what();
+                stats_.record_failed();
+                note_frame_failure();
+                resolve(job, std::move(r));
             }
-            finish_one();
         }
-        return;
-    }
-    if (batch_error != nullptr) {
-        jobs[0].promise.set_exception(batch_error);
-        finish_one();
         return;
     }
 
@@ -198,9 +419,53 @@ void DetectionService::process_batch(Network& net, std::vector<Job>& jobs) {
         }
         r.frame.latency_ms = r.timings.total_ms();
         stats_.record_completed(r.timings);
-        jobs[i].promise.set_value(std::move(r));
-        finish_one();
+        resolve(jobs[i], std::move(r));
     }
+    if (degraded) stats_.record_degraded(n);
+    note_frame_success();
+}
+
+bool DetectionService::breaker_allows() {
+    if (config_.breaker_threshold <= 0) return true;
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    if (!breaker_open_) return true;
+    const double open_ms = ms_since(breaker_opened_at_);
+    if (open_ms >= static_cast<double>(config_.breaker_open_ms)) {
+        // Half-open: close, let this frame through as the trial request.
+        breaker_open_ = false;
+        breaker_failures_ = 0;
+        stats_.record_breaker_open_ms(open_ms);
+        return true;
+    }
+    return false;
+}
+
+void DetectionService::note_frame_failure() {
+    if (config_.breaker_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    ++breaker_failures_;
+    if (!breaker_open_ && breaker_failures_ >= config_.breaker_threshold) {
+        breaker_open_ = true;
+        breaker_opened_at_ = std::chrono::steady_clock::now();
+        stats_.record_breaker_opened();
+    }
+}
+
+void DetectionService::note_frame_success() {
+    if (config_.breaker_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    breaker_failures_ = 0;
+}
+
+ServeStatsSnapshot DetectionService::stats() const {
+    ServeStatsSnapshot s = stats_.snapshot();
+    if (config_.breaker_threshold > 0) {
+        std::lock_guard<std::mutex> lock(breaker_mu_);
+        if (breaker_open_) {
+            s.breaker_open_ms += ms_since(breaker_opened_at_);
+        }
+    }
+    return s;
 }
 
 void DetectionService::finish_one() {
@@ -222,8 +487,29 @@ void DetectionService::stop() {
     // Serialize joins so stop() is safe to call from several threads (and
     // again from the destructor).
     std::lock_guard<std::mutex> lock(stop_mu_);
-    for (auto& t : threads_) {
-        if (t.joinable()) t.join();
+    {
+        std::lock_guard<std::mutex> wl(watchdog_mu_);
+        stopping_ = true;
+    }
+    watchdog_cv_.notify_all();
+    if (watchdog_.joinable()) watchdog_.join();
+    {
+        std::lock_guard<std::mutex> tl(threads_mu_);
+        for (auto& slot : slots_) {
+            if (slot->thread.joinable()) slot->thread.join();
+        }
+    }
+    // Workers normally drain the queue before exiting, but if they died (and
+    // the watchdog was off or already stopped) frames may still be queued:
+    // resolve every one with a shutdown error so no future blocks forever.
+    Job job;
+    while (queue_.try_pop(job)) {
+        ServeResult r;
+        r.status = ServeStatus::kShutdown;
+        r.frame.frame_index = job.frame_index;
+        r.error = "service stopped before the frame was processed";
+        stats_.record_rejected();
+        resolve(job, std::move(r));
     }
 }
 

@@ -9,6 +9,14 @@
 // scheduling, so detections are bit-identical to the serial pipeline — the
 // same detect_image code path runs, just on a replica.
 //
+// The service is self-healing (docs/robustness.md): per-frame deadlines
+// resolve late frames with kTimeout instead of occupying a worker, transient
+// forward faults are retried with exponential backoff, a watchdog respawns
+// workers killed by unrecoverable faults, a circuit breaker sheds load after
+// consecutive failures, and under queue-depth overload workers degrade to a
+// smaller pre-reserved input size, recovering when the backlog clears. Every
+// submitted future always resolves — success, timeout, failure, or shutdown.
+//
 //   DetectionService service(net, {.workers = 4});
 //   auto f = service.submit(frame);          // non-blocking (policy-dependent)
 //   ServeResult r = f.get();                 // detections + status + timings
@@ -23,6 +31,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -36,7 +45,10 @@ namespace dronet::serve {
 enum class ServeStatus {
     kOk,        ///< frame was processed; detections valid
     kDropped,   ///< evicted from the queue by kDropOldest backpressure
-    kRejected,  ///< refused at submit (kReject policy full, or service stopped)
+    kRejected,  ///< refused at submit (kReject policy full, breaker open, or stopped)
+    kTimeout,   ///< deadline expired before a worker could process the frame
+    kFailed,    ///< forward pass failed after all configured retries
+    kShutdown,  ///< still queued when the service stopped
 };
 
 [[nodiscard]] constexpr const char* to_string(ServeStatus s) noexcept {
@@ -44,16 +56,21 @@ enum class ServeStatus {
         case ServeStatus::kOk: return "ok";
         case ServeStatus::kDropped: return "dropped";
         case ServeStatus::kRejected: return "rejected";
+        case ServeStatus::kTimeout: return "timeout";
+        case ServeStatus::kFailed: return "failed";
+        case ServeStatus::kShutdown: return "shutdown";
     }
     return "?";
 }
 
 /// Outcome of one submitted frame. `frame.detections` is empty unless
-/// status == kOk.
+/// status == kOk; `error` is non-empty for kFailed (and names the breaker for
+/// breaker-shed kRejected frames).
 struct ServeResult {
     ServeStatus status = ServeStatus::kOk;
     FrameResult frame;     ///< index, detections, end-to-end latency
     FrameTimings timings;  ///< per-stage breakdown (zeros unless kOk)
+    std::string error;     ///< diagnostic for kFailed / shed frames
 };
 
 struct ServiceConfig {
@@ -70,6 +87,40 @@ struct ServiceConfig {
     /// waiting for more frames to fill it (0 = take only what is already
     /// queued). Trades per-frame latency for larger batches under light load.
     std::int64_t batch_timeout_us = 0;
+
+    // --- self-healing knobs (all recovery paths off by default) ---
+
+    /// Per-frame deadline measured from submit. A frame still queued (or
+    /// retried) past its deadline resolves with kTimeout instead of occupying
+    /// a worker. 0 disables deadlines.
+    std::int64_t deadline_ms = 0;
+    /// Retries per frame when the forward pass throws a transient error
+    /// (std::runtime_error family). Input errors (std::invalid_argument) are
+    /// never retried. 0 disables retries.
+    int max_retries = 0;
+    /// Initial retry backoff; doubles per attempt (capped at 1 s).
+    std::int64_t retry_backoff_ms = 1;
+    /// Consecutive frame failures that open the circuit breaker; while open,
+    /// submits are shed immediately as kRejected. 0 disables the breaker.
+    int breaker_threshold = 0;
+    /// How long the breaker stays open before the next submit half-opens it.
+    std::int64_t breaker_open_ms = 100;
+    /// Queue depth at which workers switch their replica to `degraded_size`
+    /// (graceful degradation under overload). 0 disables degradation.
+    std::size_t degrade_high_watermark = 0;
+    /// Queue depth at or below which workers switch back to full resolution.
+    std::size_t degrade_low_watermark = 0;
+    /// Fallback square input size used while degraded (e.g. 256 for a 512
+    /// network). Storage is pre-reserved at construction so the switch is
+    /// allocation-free (grow-only tensors). Required when
+    /// degrade_high_watermark > 0.
+    int degraded_size = 0;
+    /// Supervisor thread that respawns dead workers (replica preserved) and
+    /// counts the restart in ServeStats. Leave on unless the process manages
+    /// worker death externally.
+    bool watchdog = true;
+    std::int64_t watchdog_interval_ms = 10;
+
     /// Post-processing thresholds and the optional altitude prior, shared
     /// with the serial DetectionPipeline for identical results.
     PipelineConfig pipeline;
@@ -80,7 +131,8 @@ class DetectionService {
     /// Builds `config.workers` independent replicas of `prototype` (which is
     /// only read during construction and may be used freely afterwards) and
     /// starts the worker threads. Throws std::invalid_argument for a
-    /// prototype without a region layer or a non-positive worker count.
+    /// prototype without a region layer, a non-positive worker count, or an
+    /// inconsistent self-healing configuration.
     DetectionService(const Network& prototype, ServiceConfig config);
 
     /// Stops accepting work, waits for queued frames, joins the workers.
@@ -96,17 +148,25 @@ class DetectionService {
     /// status for shed frames).
     [[nodiscard]] std::future<ServeResult> submit(Image frame);
 
-    /// Blocks until every accepted frame has resolved (completed or
-    /// dropped). Producers should be quiescent while draining.
+    /// Blocks until every accepted frame has resolved (completed, timed out,
+    /// failed, dropped, or swept at shutdown). Producers should be quiescent
+    /// while draining.
     void drain();
 
-    /// Closes the queue, drains in-flight work and joins all workers.
+    /// Closes the queue, joins watchdog and workers, then resolves any frame
+    /// still queued with kShutdown — no future is ever left unresolved.
     /// Subsequent submits resolve as kRejected. Idempotent.
     void stop();
 
-    [[nodiscard]] ServeStatsSnapshot stats() const { return stats_.snapshot(); }
+    /// Snapshot of the service counters. breaker_open_ms includes the
+    /// still-running open interval when the breaker is currently open.
+    [[nodiscard]] ServeStatsSnapshot stats() const;
     [[nodiscard]] int workers() const noexcept { return config_.workers; }
     [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+    /// True while workers are serving at the degraded input size.
+    [[nodiscard]] bool degraded() const noexcept {
+        return degraded_.load(std::memory_order_acquire);
+    }
 
     /// Per-worker profiler JSON (profile/profiler.hpp), one entry per replica
     /// that recorded at least one forward; empty unless DRONET_PROFILE /
@@ -121,10 +181,30 @@ class DetectionService {
         std::promise<ServeResult> promise;
         int frame_index = 0;
         std::chrono::steady_clock::time_point submit_time;
+        std::chrono::steady_clock::time_point deadline;  ///< max() = none
+        bool resolved = false;  ///< promise already fulfilled (worker-local)
+    };
+
+    /// One worker's supervision slot; the thread object is guarded by
+    /// threads_mu_ (watchdog respawn vs. stop() join).
+    struct WorkerSlot {
+        std::thread thread;
+        enum State { kRunning = 0, kFinished = 1, kDead = 2 };
+        std::atomic<int> state{kRunning};
     };
 
     void worker_loop(std::size_t worker_id);
-    void process_batch(Network& net, std::vector<Job>& jobs);
+    void on_worker_death(WorkerSlot& slot, std::vector<Job>& jobs, const char* what);
+    void watchdog_loop();
+    void process_batch(Network& net, std::vector<Job>& jobs, bool degraded);
+    Detections detect_with_retry(Network& net, const Image& frame, const Job& job,
+                                 DetectStageTimings* timings);
+    void resolve(Job& job, ServeResult r);
+    void expire_overdue(std::vector<Job>& jobs);
+    void apply_degrade_mode(Network& net, bool& degraded_now);
+    [[nodiscard]] bool breaker_allows();
+    void note_frame_failure();
+    void note_frame_success();
     void finish_one();
 
     ServiceConfig config_;
@@ -132,11 +212,27 @@ class DetectionService {
     std::vector<std::unique_ptr<Network>> replicas_;
     BoundedQueue<Job> queue_;
     ServeStats stats_;
-    std::vector<std::thread> threads_;
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
+    int full_size_ = 0;  ///< prototype input size (degradation restores this)
 
     std::atomic<int> next_index_{0};
     std::atomic<bool> stopped_{false};
-    std::mutex stop_mu_;  ///< serializes thread joins across stop() callers
+    std::atomic<bool> degraded_{false};
+    std::mutex stop_mu_;     ///< serializes stop() callers
+    std::mutex threads_mu_;  ///< guards WorkerSlot::thread join/respawn
+
+    // Watchdog.
+    std::thread watchdog_;
+    std::mutex watchdog_mu_;
+    std::condition_variable watchdog_cv_;
+    bool stopping_ = false;  ///< guarded by watchdog_mu_
+
+    // Circuit breaker (guarded by breaker_mu_; mutable so stats() can fold
+    // the live open interval into the snapshot).
+    mutable std::mutex breaker_mu_;
+    int breaker_failures_ = 0;
+    bool breaker_open_ = false;
+    std::chrono::steady_clock::time_point breaker_opened_at_;
 
     // drain() bookkeeping: frames accepted into the queue vs. resolved.
     mutable std::mutex inflight_mu_;

@@ -114,6 +114,46 @@ void ServeStats::record_dropped() noexcept {
     ++dropped_;
 }
 
+void ServeStats::record_failed() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failed_;
+}
+
+void ServeStats::record_retry() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++retries_;
+}
+
+void ServeStats::record_deadline_expired() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++deadline_expired_;
+}
+
+void ServeStats::record_worker_restart() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++worker_restarts_;
+}
+
+void ServeStats::record_degraded(std::uint64_t frames) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    degraded_frames_ += frames;
+}
+
+void ServeStats::record_degrade_transition() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++degrade_transitions_;
+}
+
+void ServeStats::record_breaker_opened() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++breaker_opens_;
+}
+
+void ServeStats::record_breaker_open_ms(double ms) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ms > 0) breaker_open_ms_ += ms;
+}
+
 void ServeStats::record_batch(std::size_t size) noexcept {
     if (size == 0) return;
     std::lock_guard<std::mutex> lock(mu_);
@@ -141,6 +181,14 @@ ServeStatsSnapshot ServeStats::snapshot() const {
     s.dropped = dropped_;
     s.rejected = rejected_;
     s.batches = batches_;
+    s.failed = failed_;
+    s.retries = retries_;
+    s.deadline_expired = deadline_expired_;
+    s.worker_restarts = worker_restarts_;
+    s.degraded_frames = degraded_frames_;
+    s.degrade_transitions = degrade_transitions_;
+    s.breaker_opens = breaker_opens_;
+    s.breaker_open_ms = breaker_open_ms_;
     for (std::size_t i = 0; i < kMaxTrackedBatch; ++i) {
         if (batch_size_counts_[i] > 0) {
             s.batch_sizes.emplace_back(static_cast<int>(i + 1), batch_size_counts_[i]);
@@ -163,6 +211,13 @@ std::string ServeStatsSnapshot::to_json() const {
     std::ostringstream os;
     os << "{\"submitted\":" << submitted << ",\"completed\":" << completed
        << ",\"dropped\":" << dropped << ",\"rejected\":" << rejected
+       << ",\"failed\":" << failed << ",\"retries\":" << retries
+       << ",\"deadline_expired\":" << deadline_expired
+       << ",\"worker_restarts\":" << worker_restarts
+       << ",\"degraded_frames\":" << degraded_frames
+       << ",\"degrade_transitions\":" << degrade_transitions
+       << ",\"breaker_opens\":" << breaker_opens
+       << ",\"breaker_open_ms\":" << breaker_open_ms
        << ",\"batches\":" << batches << ",\"batch_sizes\":{";
     for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
         if (i > 0) os << ",";

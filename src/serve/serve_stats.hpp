@@ -68,8 +68,19 @@ struct ServeStatsSnapshot {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t dropped = 0;   ///< evicted by kDropOldest
-    std::uint64_t rejected = 0;  ///< refused by kReject (or closed queue)
+    std::uint64_t rejected = 0;  ///< refused by kReject, closed queue, open breaker, shutdown sweep
     std::uint64_t batches = 0;   ///< forward passes executed by workers
+    // Self-healing counters (docs/robustness.md). An accounting invariant the
+    // chaos tests assert: submitted == completed + dropped + rejected +
+    // failed + deadline_expired once the service is drained.
+    std::uint64_t failed = 0;            ///< frames whose forward failed after all retries
+    std::uint64_t retries = 0;           ///< transient-fault retry attempts
+    std::uint64_t deadline_expired = 0;  ///< frames resolved kTimeout past their deadline
+    std::uint64_t worker_restarts = 0;   ///< dead workers respawned by the watchdog
+    std::uint64_t degraded_frames = 0;   ///< frames served at the fallback input size
+    std::uint64_t degrade_transitions = 0;  ///< full<->degraded mode flips
+    std::uint64_t breaker_opens = 0;        ///< circuit-breaker open transitions
+    double breaker_open_ms = 0;             ///< cumulative time the breaker was open
     /// Per-batch-size histogram: (size, count) for every size that occurred,
     /// ascending. completed == sum(size * count) once the service is drained.
     std::vector<std::pair<int, std::uint64_t>> batch_sizes;
@@ -95,6 +106,16 @@ class ServeStats {
     /// Records one worker forward pass covering `size` frames. Sizes beyond
     /// kMaxTrackedBatch are clamped into the last bucket.
     void record_batch(std::size_t size) noexcept;
+    // Self-healing events (see ServeStatsSnapshot field docs).
+    void record_failed() noexcept;
+    void record_retry() noexcept;
+    void record_deadline_expired() noexcept;
+    void record_worker_restart() noexcept;
+    void record_degraded(std::uint64_t frames) noexcept;
+    void record_degrade_transition() noexcept;
+    void record_breaker_opened() noexcept;
+    /// Accumulates one closed open-interval of the circuit breaker.
+    void record_breaker_open_ms(double ms) noexcept;
 
     static constexpr std::size_t kMaxTrackedBatch = 64;
 
@@ -107,6 +128,14 @@ class ServeStats {
     std::uint64_t dropped_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t batches_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t deadline_expired_ = 0;
+    std::uint64_t worker_restarts_ = 0;
+    std::uint64_t degraded_frames_ = 0;
+    std::uint64_t degrade_transitions_ = 0;
+    std::uint64_t breaker_opens_ = 0;
+    double breaker_open_ms_ = 0;
     std::array<std::uint64_t, kMaxTrackedBatch> batch_size_counts_{};
     bool clock_started_ = false;
     double first_submit_s_ = 0;  ///< steady-clock seconds

@@ -1,0 +1,190 @@
+// Unit tests for the fault-injection layer (src/fault): plan-grammar parsing,
+// selector semantics (nth / every / p / times), action behaviour, and the
+// determinism contract — a fixed plan must produce the identical fire pattern
+// on every run. These tests drive FaultInjector directly, so they hold
+// regardless of whether DRONET_FAULTS compiled the production sites in.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault.hpp"
+
+namespace dronet::fault {
+namespace {
+
+TEST(FaultPlan, ParsesFullGrammar) {
+    const FaultPlan plan = FaultPlan::parse(
+        "network.forward:kill:nth=3:times=1;"
+        "weights.write:throw:msg=boom;"
+        "weights.read:short-read:bytes=8:seed=99;"
+        "queue.pop:latency:latency=2.5:every=4");
+    ASSERT_EQ(plan.specs.size(), 4u);
+    EXPECT_EQ(plan.seed, 99u);
+
+    EXPECT_EQ(plan.specs[0].site, "network.forward");
+    EXPECT_EQ(plan.specs[0].action, FaultAction::kKill);
+    EXPECT_EQ(plan.specs[0].nth, 3u);
+    EXPECT_EQ(plan.specs[0].times, 1u);
+
+    EXPECT_EQ(plan.specs[1].action, FaultAction::kThrow);
+    EXPECT_EQ(plan.specs[1].message, "boom");
+
+    EXPECT_EQ(plan.specs[2].action, FaultAction::kShortRead);
+    EXPECT_EQ(plan.specs[2].bytes, 8u);
+
+    EXPECT_EQ(plan.specs[3].action, FaultAction::kLatency);
+    EXPECT_DOUBLE_EQ(plan.specs[3].latency_ms, 2.5);
+    EXPECT_EQ(plan.specs[3].every, 4u);
+}
+
+TEST(FaultPlan, RejectsMalformedClauses) {
+    EXPECT_THROW((void)FaultPlan::parse("siteonly"), std::invalid_argument);
+    EXPECT_THROW((void)FaultPlan::parse(":throw"), std::invalid_argument);
+    EXPECT_THROW((void)FaultPlan::parse("x:frobnicate"), std::invalid_argument);
+    EXPECT_THROW((void)FaultPlan::parse("x:throw:nth"), std::invalid_argument);
+    EXPECT_THROW((void)FaultPlan::parse("x:throw:nth=abc"), std::invalid_argument);
+    EXPECT_THROW((void)FaultPlan::parse("x:throw:p=1.5"), std::invalid_argument);
+    EXPECT_THROW((void)FaultPlan::parse("x:throw:wat=1"), std::invalid_argument);
+    EXPECT_THROW((void)FaultPlan::parse("x:latency"), std::invalid_argument);
+}
+
+TEST(FaultPlan, EmptyTextYieldsInactivePlan) {
+    const FaultPlan plan = FaultPlan::parse("");
+    EXPECT_TRUE(plan.specs.empty());
+    FaultInjector::instance().install(plan);
+    EXPECT_FALSE(FaultInjector::instance().active());
+    EXPECT_NO_THROW(FaultInjector::instance().fire("anything"));
+    FaultInjector::instance().clear();
+}
+
+TEST(FaultInjector, NthFiresExactlyOnce) {
+    ScopedFaultPlan plan("x:throw:nth=3");
+    auto& inj = FaultInjector::instance();
+    EXPECT_NO_THROW(inj.fire("x"));
+    EXPECT_NO_THROW(inj.fire("x"));
+    EXPECT_THROW(inj.fire("x"), FaultInjected);
+    EXPECT_NO_THROW(inj.fire("x"));
+    EXPECT_NO_THROW(inj.fire("x"));
+    EXPECT_EQ(inj.calls("x"), 5u);
+    EXPECT_EQ(inj.fires("x"), 1u);
+}
+
+TEST(FaultInjector, EveryWithTimesBoundsFires) {
+    ScopedFaultPlan plan("x:throw:every=2:times=2");
+    auto& inj = FaultInjector::instance();
+    int thrown = 0;
+    for (int call = 1; call <= 8; ++call) {
+        try {
+            inj.fire("x");
+        } catch (const FaultInjected&) {
+            ++thrown;
+            // Fires on calls 2 and 4, then the `times` budget is spent.
+            EXPECT_TRUE(call == 2 || call == 4) << "fired on call " << call;
+        }
+    }
+    EXPECT_EQ(thrown, 2);
+    EXPECT_EQ(inj.fires("x"), 2u);
+}
+
+TEST(FaultInjector, UnlistedSitesNeverFire) {
+    ScopedFaultPlan plan("x:throw");
+    auto& inj = FaultInjector::instance();
+    EXPECT_NO_THROW(inj.fire("y"));
+    EXPECT_EQ(inj.fires("y"), 0u);
+    EXPECT_THROW(inj.fire("x"), FaultInjected);
+}
+
+TEST(FaultInjector, ProbabilityPatternIsSeedDeterministic) {
+    const auto pattern = [] {
+        FaultInjector::instance().install(FaultPlan::parse("x:throw:p=0.5:seed=42"));
+        std::string s;
+        for (int i = 0; i < 64; ++i) {
+            try {
+                FaultInjector::instance().fire("x");
+                s += '.';
+            } catch (const FaultInjected&) {
+                s += 'F';
+            }
+        }
+        FaultInjector::instance().clear();
+        return s;
+    };
+    const std::string a = pattern();
+    const std::string b = pattern();
+    EXPECT_EQ(a, b);
+    // p=0.5 over 64 calls: both outcomes occur (for this fixed seed).
+    EXPECT_NE(a.find('F'), std::string::npos);
+    EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST(FaultInjector, ShortReadWithholdsBytes) {
+    ScopedFaultPlan plan("io:short-read:bytes=4:nth=1;io2:short-read:nth=1");
+    auto& inj = FaultInjector::instance();
+    EXPECT_EQ(inj.io_bytes("io", 10), 6u);   // 4 bytes withheld
+    EXPECT_EQ(inj.io_bytes("io", 10), 10u);  // nth=1 spent
+    EXPECT_EQ(inj.io_bytes("io2", 10), 0u);  // default: withhold everything
+}
+
+TEST(FaultInjector, ShortReadIsIgnoredAtNonIoSites) {
+    ScopedFaultPlan plan("io:short-read:nth=1");
+    auto& inj = FaultInjector::instance();
+    // fire() is a non-I/O trip point; the short-read spec must not burn its
+    // selector there.
+    for (int i = 0; i < 5; ++i) EXPECT_NO_THROW(inj.fire("io"));
+    EXPECT_EQ(inj.fires("io"), 0u);
+    EXPECT_EQ(inj.io_bytes("io", 10), 0u);  // first I/O call still fires
+}
+
+TEST(FaultInjector, KillThrowsWorkerKillFault) {
+    ScopedFaultPlan plan("x:kill:msg=deliberate");
+    try {
+        FaultInjector::instance().fire("x");
+        FAIL() << "expected WorkerKillFault";
+    } catch (const WorkerKillFault& e) {
+        EXPECT_STREQ(e.what(), "deliberate");
+    }
+}
+
+TEST(FaultInjector, ExceptionTaxonomyMatchesRetryContract) {
+    // FaultInjected models a transient error (retryable: runtime_error
+    // family); WorkerKillFault is deliberately outside it so the serving
+    // retry loop escalates instead of retrying.
+    EXPECT_TRUE((std::is_base_of_v<std::runtime_error, FaultInjected>));
+    EXPECT_FALSE((std::is_base_of_v<std::runtime_error, WorkerKillFault>));
+    EXPECT_TRUE((std::is_base_of_v<std::exception, WorkerKillFault>));
+}
+
+TEST(FaultInjector, LatencyActionSleeps) {
+    ScopedFaultPlan plan("x:latency:latency=30:nth=1");
+    const auto t0 = std::chrono::steady_clock::now();
+    FaultInjector::instance().fire("x");
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(ms, 25.0);
+}
+
+TEST(FaultInjector, ScopedPlanClearsOnExit) {
+    {
+        ScopedFaultPlan plan("x:throw");
+        EXPECT_TRUE(FaultInjector::instance().active());
+    }
+    EXPECT_FALSE(FaultInjector::instance().active());
+    EXPECT_NO_THROW(FaultInjector::instance().fire("x"));
+}
+
+TEST(FaultInjector, InstallResetsCounters) {
+    auto& inj = FaultInjector::instance();
+    inj.install(FaultPlan::parse("x:throw:nth=1"));
+    EXPECT_THROW(inj.fire("x"), FaultInjected);
+    EXPECT_EQ(inj.calls("x"), 1u);
+    inj.install(FaultPlan::parse("x:throw:nth=1"));
+    EXPECT_EQ(inj.calls("x"), 0u);
+    EXPECT_THROW(inj.fire("x"), FaultInjected);  // counter restarted
+    inj.clear();
+}
+
+}  // namespace
+}  // namespace dronet::fault

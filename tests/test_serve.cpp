@@ -509,11 +509,40 @@ TEST(DetectionService, StatsJsonHasStableSchema) {
     const std::string json = stats.snapshot().to_json();
     for (const char* key :
          {"\"submitted\":", "\"completed\":", "\"dropped\":", "\"rejected\":",
+          "\"failed\":", "\"retries\":", "\"deadline_expired\":",
+          "\"worker_restarts\":", "\"degraded_frames\":",
+          "\"degrade_transitions\":", "\"breaker_opens\":", "\"breaker_open_ms\":",
           "\"batches\":", "\"batch_sizes\":",
           "\"throughput_fps\":", "\"queue_wait\":", "\"preprocess\":",
           "\"forward\":", "\"postprocess\":", "\"total\":", "\"p99_ms\":"}) {
         EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
     }
+}
+
+TEST(ServeStats, SelfHealingCountersAccumulate) {
+    serve::ServeStats stats;
+    stats.record_failed();
+    stats.record_retry();
+    stats.record_retry();
+    stats.record_deadline_expired();
+    stats.record_worker_restart();
+    stats.record_degraded(3);
+    stats.record_degrade_transition();
+    stats.record_degrade_transition();
+    stats.record_breaker_opened();
+    stats.record_breaker_open_ms(12.5);
+    const serve::ServeStatsSnapshot snap = stats.snapshot();
+    EXPECT_EQ(snap.failed, 1u);
+    EXPECT_EQ(snap.retries, 2u);
+    EXPECT_EQ(snap.deadline_expired, 1u);
+    EXPECT_EQ(snap.worker_restarts, 1u);
+    EXPECT_EQ(snap.degraded_frames, 3u);
+    EXPECT_EQ(snap.degrade_transitions, 2u);
+    EXPECT_EQ(snap.breaker_opens, 1u);
+    EXPECT_DOUBLE_EQ(snap.breaker_open_ms, 12.5);
+    const std::string json = snap.to_json();
+    EXPECT_NE(json.find("\"retries\":2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"degraded_frames\":3"), std::string::npos) << json;
 }
 
 }  // namespace

@@ -30,7 +30,9 @@
 #include "profile/profiler.hpp"
 #include "tensor/gemm.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
     using namespace dronet;
     std::string model_name = "DroNet";
     std::string weights_path, cfg_path;
@@ -116,4 +118,19 @@ int main(int argc, char** argv) {
         std::printf("%s", net.profiler()->report_text().c_str());
     }
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Every failure mode below this point — unreadable or corrupt image,
+    // missing cfg, truncated checkpoint (the loader reports expected vs
+    // actual bytes) — surfaces as one actionable line and a non-zero exit,
+    // never an unhandled exception.
+    try {
+        return run(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "detect: error: %s\n", e.what());
+        return 1;
+    }
 }

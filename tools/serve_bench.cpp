@@ -10,7 +10,9 @@
 //               [--size S] [--capacity Q] [--policy block|reject|drop-oldest]
 //               [--model DroNet] [--gemm-threads N] [--interval-ms T]
 //               [--batch B] [--batch-timeout-us U] [--profile]
-//               [--expect-complete]
+//               [--expect-complete] [--deadline-ms D] [--retries R]
+//               [--degraded-size S] [--degrade-high N] [--degrade-low N]
+//               [--inject PLAN]
 //
 // --interval-ms > 0 paces each stream like a camera (T ms between submits),
 // which exercises the backpressure policies; 0 submits as fast as possible.
@@ -20,6 +22,14 @@
 // per worker replica after the run (profile/profiler.hpp,
 // docs/performance.md). --expect-complete exits non-zero unless every
 // submitted frame completed (no drops/rejects) — used by the TSan CI step.
+//
+// Self-healing knobs (docs/robustness.md): --deadline-ms, --retries, and the
+// --degrade-* trio map onto the matching ServiceConfig fields. --inject PLAN
+// installs a deterministic fault plan ("site:action[:key=value]*", e.g.
+// "network.forward:kill:nth=5:times=1") before the service starts — the CI
+// chaos stage uses it to drive a worker kill through a live bench run. The
+// run exits zero as long as every future resolved; pair with the stats JSON
+// (worker_restarts, deadline_expired, ...) to assert recovery.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "fault/fault.hpp"
 #include "models/model_zoo.hpp"
 #include "models/pretrained.hpp"
 #include "profile/profiler.hpp"
@@ -52,6 +63,12 @@ struct Args {
     std::int64_t batch_timeout_us = 0;
     bool profile = false;
     bool expect_complete = false;
+    std::int64_t deadline_ms = 0;
+    int retries = 0;
+    int degraded_size = 0;
+    std::size_t degrade_high = 0;
+    std::size_t degrade_low = 0;
+    std::string inject_plan;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -74,6 +91,12 @@ Args parse_args(int argc, char** argv) {
         else if (a == "--batch-timeout-us") args.batch_timeout_us = std::stoll(next());
         else if (a == "--profile") args.profile = true;
         else if (a == "--expect-complete") args.expect_complete = true;
+        else if (a == "--deadline-ms") args.deadline_ms = std::stoll(next());
+        else if (a == "--retries") args.retries = std::stoi(next());
+        else if (a == "--degraded-size") args.degraded_size = std::stoi(next());
+        else if (a == "--degrade-high") args.degrade_high = static_cast<std::size_t>(std::stoul(next()));
+        else if (a == "--degrade-low") args.degrade_low = static_cast<std::size_t>(std::stoul(next()));
+        else if (a == "--inject") args.inject_plan = next();
         else if (a == "--policy") {
             const std::string p = next();
             using dronet::serve::BackpressurePolicy;
@@ -90,10 +113,21 @@ Args parse_args(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
     using namespace dronet;
     const Args args = parse_args(argc, argv);
     set_gemm_threads(args.gemm_threads);
+    if (!args.inject_plan.empty()) {
+        if (!fault::compiled_in()) {
+            throw std::runtime_error(
+                "--inject needs a build with DRONET_FAULTS=ON (fault sites "
+                "are compiled out)");
+        }
+        fault::FaultInjector::instance().install(fault::FaultPlan::parse(args.inject_plan));
+        std::fprintf(stderr, "# fault plan armed: %s\n", args.inject_plan.c_str());
+    }
     if (args.profile) profile::set_profiling(true);
 
     const ModelId id = model_from_string(args.model);
@@ -120,6 +154,13 @@ int main(int argc, char** argv) {
     sc.policy = args.policy;
     sc.max_batch = args.batch;
     sc.batch_timeout_us = args.batch_timeout_us;
+    sc.deadline_ms = args.deadline_ms;
+    sc.max_retries = args.retries;
+    if (args.degrade_high > 0) {
+        sc.degrade_high_watermark = args.degrade_high;
+        sc.degrade_low_watermark = args.degrade_low;
+        sc.degraded_size = args.degraded_size > 0 ? args.degraded_size : args.size / 2;
+    }
     serve::DetectionService service(net, sc);
 
     std::vector<std::thread> streams;
@@ -144,6 +185,7 @@ int main(int argc, char** argv) {
     for (auto& t : streams) t.join();
     service.drain();
     service.stop();  // quiesce workers so profiler reads below are safe
+    if (!args.inject_plan.empty()) fault::FaultInjector::instance().clear();
 
     const serve::ServeStatsSnapshot snap = service.stats();
     std::printf("%s\n", snap.to_json().c_str());
@@ -155,11 +197,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "# %d workers, %d streams x %d frames @%d: %.1f frames/s, "
-                 "p99 %.1f ms (dropped %llu, rejected %llu)\n",
+                 "p99 %.1f ms (dropped %llu, rejected %llu, failed %llu, "
+                 "expired %llu, restarts %llu, degraded %llu)\n",
                  args.workers, args.streams, args.frames_per_stream, args.size,
                  snap.throughput_fps, snap.total.p99_ms,
                  static_cast<unsigned long long>(snap.dropped),
-                 static_cast<unsigned long long>(snap.rejected));
+                 static_cast<unsigned long long>(snap.rejected),
+                 static_cast<unsigned long long>(snap.failed),
+                 static_cast<unsigned long long>(snap.deadline_expired),
+                 static_cast<unsigned long long>(snap.worker_restarts),
+                 static_cast<unsigned long long>(snap.degraded_frames));
     if (args.expect_complete &&
         (snap.dropped != 0 || snap.rejected != 0 || snap.completed != snap.submitted)) {
         std::fprintf(stderr,
@@ -172,4 +219,17 @@ int main(int argc, char** argv) {
         return 1;
     }
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Bad flags, a malformed --inject plan, or a missing/corrupt checkpoint
+    // all end as one actionable line and a non-zero exit.
+    try {
+        return run(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "serve_bench: error: %s\n", e.what());
+        return 1;
+    }
 }
