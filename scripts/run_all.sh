@@ -72,6 +72,29 @@ ctest --test-dir build-asan --output-on-failure 2>&1 \
 ctest --test-dir build-asan -L chaos --output-on-failure 2>&1 \
   | tee asan_chaos_output.txt
 
+# Cluster stage under ASan: the multi-process serving tier (wire protocol,
+# router dispatch/admission/breaker, spawned serve_worker fleet) plus the
+# worker-kill chaos test. fork/exec + socket framing is exactly where ASan
+# earns its keep (fd lifetimes, buffer reassembly, stale-frame handling).
+ctest --test-dir build-asan -L cluster --output-on-failure 2>&1 \
+  | tee asan_cluster_output.txt
+
+# Router + worker fleet end to end through serve_bench's cluster mode: two
+# spawned worker processes, --expect-complete exits non-zero if any frame
+# resolved as anything but kOk. Then the loadgen smoke: a scaling sweep with
+# admission knobs engaged that exits non-zero on any abandoned future,
+# accounting violation, or incomplete run.
+./build/tools/serve_bench --cluster 2 --workers 1 --streams 4 \
+  --frames-per-stream 8 --size 96 --filter-scale 0.5 --expect-complete 2>&1 \
+  | tee cluster_bench_output.txt
+./build/tools/loadgen --workers-list 1,2 --clients 4 --requests 6 --size 96 \
+  --filter-scale 0.5 --expect-complete 2>&1 | tee loadgen_output.txt
+# Worker-kill chaos through loadgen: SIGKILL a worker mid-load; every future
+# must still resolve (retried or shed, never hung) with the accounting
+# identity intact — loadgen exits 2 otherwise.
+./build/tools/loadgen --workers-list 2 --clients 4 --requests 8 --size 96 \
+  --filter-scale 0.5 --kill-after-ms 100 2>&1 | tee loadgen_chaos_output.txt
+
 for b in build/bench/*; do
   echo "===== $b ====="
   "$b"

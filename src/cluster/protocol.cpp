@@ -1,0 +1,315 @@
+#include "cluster/protocol.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+#include "io/fdio.hpp"
+
+namespace dronet::cluster {
+
+namespace {
+
+// Append/consume helpers. Encoding is memcpy-based (host order, see header
+// comment); decoding bounds-checks every consume so a corrupt or truncated
+// payload becomes a clean runtime_error, never an out-of-bounds read.
+
+template <typename T>
+void put(std::vector<std::uint8_t>& buf, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+void put_bytes(std::vector<std::uint8_t>& buf, const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf.insert(buf.end(), p, p + n);
+}
+
+class Cursor {
+  public:
+    explicit Cursor(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+    template <typename T>
+    [[nodiscard]] T take(const char* what) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        take_bytes(&v, sizeof(T), what);
+        return v;
+    }
+
+    void take_bytes(void* out, std::size_t n, const char* what) {
+        if (buf_.size() - pos_ < n) {
+            throw std::runtime_error(std::string("protocol: payload truncated at ") +
+                                     what);
+        }
+        std::memcpy(out, buf_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    [[nodiscard]] std::string take_string(const char* what) {
+        const auto len = take<std::uint32_t>(what);
+        if (buf_.size() - pos_ < len) {
+            throw std::runtime_error(std::string("protocol: payload truncated at ") +
+                                     what);
+        }
+        std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), len);
+        pos_ += len;
+        return s;
+    }
+
+    void expect_consumed(const char* what) const {
+        if (pos_ != buf_.size()) {
+            throw std::runtime_error(std::string("protocol: trailing bytes after ") +
+                                     what);
+        }
+    }
+
+  private:
+    const std::vector<std::uint8_t>& buf_;
+    std::size_t pos_ = 0;
+};
+
+void put_string(std::vector<std::uint8_t>& buf, const std::string& s) {
+    put(buf, static_cast<std::uint32_t>(s.size()));
+    put_bytes(buf, s.data(), s.size());
+}
+
+void put_gauges(std::vector<std::uint8_t>& buf, const WorkerGauges& g) {
+    put(buf, g.queue_depth);
+    put(buf, g.in_flight);
+    put(buf, g.uptime_ms);
+}
+
+WorkerGauges take_gauges(Cursor& c) {
+    WorkerGauges g;
+    g.queue_depth = c.take<std::uint64_t>("gauges");
+    g.in_flight = c.take<std::uint64_t>("gauges");
+    g.uptime_ms = c.take<std::uint64_t>("gauges");
+    return g;
+}
+
+}  // namespace
+
+const char* to_string(Opcode op) noexcept {
+    switch (op) {
+        case Opcode::kDetectRequest: return "detect-request";
+        case Opcode::kDetectResponse: return "detect-response";
+        case Opcode::kPing: return "ping";
+        case Opcode::kPong: return "pong";
+        case Opcode::kStatsRequest: return "stats-request";
+        case Opcode::kStatsResponse: return "stats-response";
+        case Opcode::kShutdown: return "shutdown";
+        case Opcode::kShutdownAck: return "shutdown-ack";
+        case Opcode::kError: return "error";
+    }
+    return "?";
+}
+
+bool read_frame(int fd, Frame& out) {
+    FrameHeader h;
+    const std::size_t got = io::read_full(fd, &h, sizeof(h));
+    if (got == 0) return false;  // peer closed at a frame boundary
+    if (got != sizeof(h)) {
+        throw std::runtime_error("protocol: stream ended inside a frame header");
+    }
+    if (h.magic != kMagic) {
+        throw std::runtime_error("protocol: bad magic (not a DroNet cluster stream)");
+    }
+    if (h.version != kProtocolVersion) {
+        throw std::runtime_error("protocol: version mismatch (got " +
+                                 std::to_string(h.version) + ", speak " +
+                                 std::to_string(kProtocolVersion) + ")");
+    }
+    if (h.payload_bytes > kMaxPayloadBytes) {
+        throw std::runtime_error("protocol: payload length " +
+                                 std::to_string(h.payload_bytes) +
+                                 " exceeds the " +
+                                 std::to_string(kMaxPayloadBytes) + "-byte cap");
+    }
+    out.header = h;
+    out.payload.resize(h.payload_bytes);
+    if (h.payload_bytes > 0 &&
+        io::read_full(fd, out.payload.data(), out.payload.size()) !=
+            out.payload.size()) {
+        throw std::runtime_error("protocol: stream ended inside a frame payload");
+    }
+    return true;
+}
+
+void write_frame(int fd, Opcode opcode, std::uint64_t request_id,
+                 const void* payload, std::size_t payload_bytes) {
+    if (payload_bytes > kMaxPayloadBytes) {
+        throw std::runtime_error("protocol: refusing to send oversized payload");
+    }
+    FrameHeader h;
+    h.opcode = static_cast<std::uint16_t>(opcode);
+    h.request_id = request_id;
+    h.payload_bytes = static_cast<std::uint32_t>(payload_bytes);
+    // One buffered write per frame: header and payload leave as a unit, so a
+    // concurrent writer on another fd never interleaves with us and small
+    // frames cost one syscall.
+    std::vector<std::uint8_t> wire;
+    wire.reserve(sizeof(h) + payload_bytes);
+    put_bytes(wire, &h, sizeof(h));
+    if (payload_bytes > 0) put_bytes(wire, payload, payload_bytes);
+    io::write_full(fd, wire.data(), wire.size());
+}
+
+void write_frame(int fd, Opcode opcode, std::uint64_t request_id,
+                 const std::vector<std::uint8_t>& payload) {
+    write_frame(fd, opcode, request_id, payload.data(), payload.size());
+}
+
+std::vector<std::uint8_t> encode_detect_request(const Image& frame) {
+    std::vector<std::uint8_t> buf;
+    buf.reserve(8 + frame.size() * sizeof(float));
+    put(buf, static_cast<std::uint16_t>(frame.width()));
+    put(buf, static_cast<std::uint16_t>(frame.height()));
+    put(buf, static_cast<std::uint16_t>(frame.channels()));
+    put(buf, static_cast<std::uint16_t>(0));
+    put_bytes(buf, frame.data(), frame.size() * sizeof(float));
+    return buf;
+}
+
+Image decode_detect_request(const std::vector<std::uint8_t>& payload) {
+    Cursor c(payload);
+    const int w = c.take<std::uint16_t>("detect-request");
+    const int h = c.take<std::uint16_t>("detect-request");
+    const int ch = c.take<std::uint16_t>("detect-request");
+    (void)c.take<std::uint16_t>("detect-request");  // reserved
+    if (w <= 0 || h <= 0 || ch <= 0) {
+        throw std::runtime_error("protocol: detect-request with empty geometry");
+    }
+    Image img(w, h, ch);
+    c.take_bytes(img.data(), img.size() * sizeof(float), "detect-request pixels");
+    c.expect_consumed("detect-request");
+    return img;
+}
+
+std::vector<std::uint8_t> encode_detect_response(const WireDetectResult& r) {
+    std::vector<std::uint8_t> buf;
+    buf.reserve(64 + r.detections.size() * 28 + r.error.size());
+    put(buf, static_cast<std::uint8_t>(r.status));
+    put(buf, std::uint8_t{0});
+    put(buf, std::uint16_t{0});
+    put(buf, r.frame_index);
+    put(buf, r.timings.queue_wait_ms);
+    put(buf, r.timings.preprocess_ms);
+    put(buf, r.timings.forward_ms);
+    put(buf, r.timings.postprocess_ms);
+    put(buf, static_cast<std::uint32_t>(r.detections.size()));
+    for (const Detection& d : r.detections) {
+        put(buf, d.box.x);
+        put(buf, d.box.y);
+        put(buf, d.box.w);
+        put(buf, d.box.h);
+        put(buf, d.objectness);
+        put(buf, d.class_prob);
+        put(buf, static_cast<std::int32_t>(d.class_id));
+    }
+    put_string(buf, r.error);
+    return buf;
+}
+
+WireDetectResult decode_detect_response(const std::vector<std::uint8_t>& payload) {
+    Cursor c(payload);
+    WireDetectResult r;
+    const auto status = c.take<std::uint8_t>("detect-response");
+    if (status > static_cast<std::uint8_t>(serve::ServeStatus::kShutdown)) {
+        throw std::runtime_error("protocol: detect-response with unknown status");
+    }
+    r.status = static_cast<serve::ServeStatus>(status);
+    (void)c.take<std::uint8_t>("detect-response");
+    (void)c.take<std::uint16_t>("detect-response");
+    r.frame_index = c.take<std::int32_t>("detect-response");
+    r.timings.queue_wait_ms = c.take<double>("detect-response");
+    r.timings.preprocess_ms = c.take<double>("detect-response");
+    r.timings.forward_ms = c.take<double>("detect-response");
+    r.timings.postprocess_ms = c.take<double>("detect-response");
+    const auto n = c.take<std::uint32_t>("detect-response");
+    r.detections.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Detection d;
+        d.box.x = c.take<float>("detection");
+        d.box.y = c.take<float>("detection");
+        d.box.w = c.take<float>("detection");
+        d.box.h = c.take<float>("detection");
+        d.objectness = c.take<float>("detection");
+        d.class_prob = c.take<float>("detection");
+        d.class_id = c.take<std::int32_t>("detection");
+        r.detections.push_back(d);
+    }
+    r.error = c.take_string("detect-response error");
+    c.expect_consumed("detect-response");
+    return r;
+}
+
+std::vector<std::uint8_t> encode_pong(const WorkerGauges& g) {
+    std::vector<std::uint8_t> buf;
+    buf.reserve(24);
+    put_gauges(buf, g);
+    return buf;
+}
+
+WorkerGauges decode_pong(const std::vector<std::uint8_t>& payload) {
+    Cursor c(payload);
+    WorkerGauges g = take_gauges(c);
+    c.expect_consumed("pong");
+    return g;
+}
+
+std::vector<std::uint8_t> encode_stats_response(
+    const serve::ServeStatsSnapshot& snapshot) {
+    std::vector<std::uint8_t> buf;
+    put(buf, snapshot.submitted);
+    put(buf, snapshot.completed);
+    put(buf, snapshot.dropped);
+    put(buf, snapshot.rejected);
+    put(buf, snapshot.failed);
+    put(buf, snapshot.retries);
+    put(buf, snapshot.deadline_expired);
+    put(buf, snapshot.worker_restarts);
+    put(buf, snapshot.batches);
+    put(buf, snapshot.wall_seconds);
+    put(buf, snapshot.throughput_fps);
+    put_gauges(buf, WorkerGauges{snapshot.queue_depth, snapshot.in_flight,
+                                 snapshot.uptime_ms});
+    put_string(buf, snapshot.to_json());
+    return buf;
+}
+
+WireStats decode_stats_response(const std::vector<std::uint8_t>& payload) {
+    Cursor c(payload);
+    WireStats s;
+    s.submitted = c.take<std::uint64_t>("stats");
+    s.completed = c.take<std::uint64_t>("stats");
+    s.dropped = c.take<std::uint64_t>("stats");
+    s.rejected = c.take<std::uint64_t>("stats");
+    s.failed = c.take<std::uint64_t>("stats");
+    s.retries = c.take<std::uint64_t>("stats");
+    s.deadline_expired = c.take<std::uint64_t>("stats");
+    s.worker_restarts = c.take<std::uint64_t>("stats");
+    s.batches = c.take<std::uint64_t>("stats");
+    s.wall_seconds = c.take<double>("stats");
+    s.throughput_fps = c.take<double>("stats");
+    s.gauges = take_gauges(c);
+    s.json = c.take_string("stats json");
+    c.expect_consumed("stats-response");
+    return s;
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& message) {
+    std::vector<std::uint8_t> buf;
+    put_string(buf, message);
+    return buf;
+}
+
+std::string decode_error(const std::vector<std::uint8_t>& payload) {
+    Cursor c(payload);
+    std::string s = c.take_string("error");
+    c.expect_consumed("error");
+    return s;
+}
+
+}  // namespace dronet::cluster

@@ -1,0 +1,762 @@
+#include "cluster/router.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace dronet::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t).count();
+}
+
+/// Reaps a child, escalating to SIGKILL after `grace_ms` of WNOHANG polling.
+void reap_child(pid_t pid, std::int64_t grace_ms) {
+    if (pid <= 0) return;
+    int status = 0;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(grace_ms);
+    for (;;) {
+        const pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r != 0) return;  // reaped (or ECHILD: someone else did)
+        if (Clock::now() >= deadline) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+}
+
+}  // namespace
+
+std::string FleetStats::to_json() const {
+    std::ostringstream os;
+    os << "{\"router\":{"
+       << "\"submitted\":" << submitted << ",\"ok\":" << ok
+       << ",\"dropped\":" << dropped << ",\"rejected\":" << rejected
+       << ",\"timeout\":" << timeout << ",\"failed\":" << failed
+       << ",\"shutdown\":" << shutdown
+       << ",\"rejected_admission\":" << rejected_admission
+       << ",\"rejected_quota\":" << rejected_quota
+       << ",\"rejected_no_worker\":" << rejected_no_worker
+       << ",\"retried\":" << retried
+       << ",\"worker_ejects\":" << worker_ejects
+       << ",\"worker_readmits\":" << worker_readmits
+       << ",\"worker_respawns\":" << worker_respawns
+       << ",\"worker_deaths\":" << worker_deaths
+       << ",\"wall_seconds\":" << wall_seconds
+       << ",\"throughput_fps\":" << throughput_fps
+       << ",\"accounting_ok\":" << (accounting_ok() ? "true" : "false") << "}";
+    os << ",\"workers\":[";
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        if (i > 0) os << ",";
+        // The worker's own ServeStats JSON, verbatim.
+        os << workers[i].json;
+    }
+    os << "],\"aggregate\":{\"completed\":" << agg_completed
+       << ",\"throughput_fps\":" << agg_throughput_fps << "}}";
+    return os.str();
+}
+
+Router::Router(RouterConfig config) : config_(std::move(config)) {
+    if (config_.workers < 0) {
+        throw std::invalid_argument("Router: negative worker count");
+    }
+    if (config_.workers > 0 && config_.worker_argv.empty()) {
+        throw std::invalid_argument("Router: workers > 0 requires worker_argv");
+    }
+    const std::size_t total =
+        static_cast<std::size_t>(config_.workers) + config_.adopt_fds.size();
+    if (total == 0) {
+        throw std::invalid_argument("Router: no workers to spawn or adopt");
+    }
+    io::ignore_sigpipe();
+
+    // Adopted fds are wrapped first so every handed-in descriptor is owned
+    // (and closed on any failure path) before fork can throw.
+    workers_.reserve(total);
+    for (int i = 0; i < config_.workers; ++i) {
+        auto w = std::make_unique<Worker>();
+        w->slot = workers_.size();
+        workers_.push_back(std::move(w));
+    }
+    for (int fd : config_.adopt_fds) {
+        auto w = std::make_unique<Worker>();
+        w->slot = workers_.size();
+        w->fd.reset(fd);
+        workers_.push_back(std::move(w));
+    }
+    try {
+        for (int i = 0; i < config_.workers; ++i) {
+            spawn_into_slot(static_cast<std::size_t>(i));
+        }
+    } catch (...) {
+        for (auto& w : workers_) {
+            if (w->pid > 0) reap_child(w->pid, 0);
+        }
+        throw;
+    }
+    for (auto& w : workers_) start_receiver(*w);
+    health_ = std::thread(&Router::health_loop, this);
+}
+
+Router::~Router() { stop(); }
+
+void Router::spawn_into_slot(std::size_t slot) {
+    Worker& w = *workers_[slot];
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        throw std::system_error(errno, std::generic_category(),
+                                "Router: socketpair");
+    }
+    // The router end must never leak into children spawned later.
+    ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+    // argv is fully materialized before fork: only async-signal-safe calls
+    // are legal between fork and exec in a threaded parent.
+    std::vector<std::string> argv_s = config_.worker_argv;
+    argv_s.push_back("--fd");
+    argv_s.push_back(std::to_string(sv[1]));
+    std::vector<char*> argv;
+    argv.reserve(argv_s.size() + 1);
+    for (auto& s : argv_s) argv.push_back(s.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        const int err = errno;
+        ::close(sv[0]);
+        ::close(sv[1]);
+        throw std::system_error(err, std::generic_category(), "Router: fork");
+    }
+    if (pid == 0) {
+        // Child: drop every inherited descriptor except stdio and our socket.
+        // Sibling workers' child ends carry no CLOEXEC flag (they must survive
+        // their own exec), and holding copies here would mask their EOFs.
+        for (int fd = 3; fd < 1024; ++fd) {
+            if (fd != sv[1]) ::close(fd);
+        }
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+    }
+    ::close(sv[1]);
+    std::lock_guard<std::mutex> lock(mu_);  // publish fd/pid to accessors
+    w.fd.reset(sv[0]);
+    w.pid = pid;
+}
+
+void Router::start_receiver(Worker& w) {
+    w.receiver = std::thread(&Router::receiver_loop, this, std::ref(w), w.fd.get());
+}
+
+std::future<serve::ServeResult> Router::submit(std::uint64_t client_id,
+                                               Image frame) {
+    const auto now = Clock::now();
+    PendingRequest p;
+    p.client_id = client_id;
+    p.retries_left = config_.max_retries;
+    p.submit_time = now;
+    std::future<serve::ServeResult> fut = p.promise.get_future();
+    // Encoded before any lock: the payload dominates the work and sheds are
+    // the rare path.
+    const std::vector<std::uint8_t> payload = encode_detect_request(frame);
+    p.frame = std::move(frame);
+
+    serve::ServeStatus shed_status = serve::ServeStatus::kOk;
+    std::string shed_error;
+    Worker* target = nullptr;
+    std::uint64_t id = 0;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        note_first_submit_locked();
+        ++counters_.submitted;
+        p.frame_index = next_frame_index_++;
+        if (stopping_) {
+            shed_status = serve::ServeStatus::kShutdown;
+            shed_error = "router stopped";
+            count_resolution_locked(shed_status);
+        } else {
+            // --- admission control ---
+            ClientState& c = clients_[client_id];
+            if (!c.initialized) {
+                c.initialized = true;
+                c.tokens = config_.client_burst;
+                c.last_refill = now;
+            }
+            if (config_.client_max_inflight > 0 &&
+                c.inflight >= config_.client_max_inflight) {
+                shed_status = serve::ServeStatus::kRejected;
+                shed_error = "admission: client in-flight cap reached";
+                ++counters_.rejected_admission;
+                count_resolution_locked(shed_status);
+            } else if (config_.client_rate_per_s > 0) {
+                const double elapsed_s =
+                    std::chrono::duration<double>(now - c.last_refill).count();
+                c.tokens = std::min(config_.client_burst,
+                                    c.tokens + elapsed_s * config_.client_rate_per_s);
+                c.last_refill = now;
+                if (c.tokens < 1.0) {
+                    shed_status = serve::ServeStatus::kRejected;
+                    shed_error = "admission: client quota exhausted";
+                    ++counters_.rejected_quota;
+                    count_resolution_locked(shed_status);
+                } else {
+                    c.tokens -= 1.0;
+                }
+            }
+            if (shed_status == serve::ServeStatus::kOk) {
+                // Accepted: counts against the client until resolved.
+                c.inflight++;
+                ++total_pending_;
+                // --- dispatch ---
+                for (;;) {
+                    target = pick_worker_locked(false);
+                    if (target != nullptr) break;
+                    const bool any_up = std::any_of(
+                        workers_.begin(), workers_.end(), [](const auto& w) {
+                            return w->state == WorkerState::kUp;
+                        });
+                    if (stopping_ || !any_up) {
+                        shed_status = stopping_ ? serve::ServeStatus::kShutdown
+                                                : serve::ServeStatus::kRejected;
+                        shed_error = stopping_ ? "router stopped"
+                                               : "no healthy worker available";
+                        if (!stopping_) ++counters_.rejected_no_worker;
+                        count_resolution_locked(shed_status);
+                        clients_[client_id].inflight--;
+                        --total_pending_;
+                        break;
+                    }
+                    capacity_cv_.wait(lock);
+                }
+            }
+            if (target != nullptr) {
+                id = register_locked(*target, std::move(p));
+            }
+        }
+    }
+    if (target == nullptr) {
+        drained_cv_.notify_all();
+        resolve_shed(std::move(p), shed_status, std::move(shed_error));
+        return fut;
+    }
+    try {
+        std::lock_guard<std::mutex> wl(target->write_mu);
+        write_frame(target->fd.get(), Opcode::kDetectRequest, id, payload);
+    } catch (const std::exception&) {
+        // The pending frame is registered on `target`; taking the worker out
+        // re-dispatches or sheds it (never abandons it).
+        take_worker_out(*target, WorkerState::kDead, "request write failed");
+    }
+    return fut;
+}
+
+Router::Worker* Router::pick_worker_locked(bool ignore_inflight_limit) {
+    const auto eligible = [&](const Worker& w) {
+        if (w.state != WorkerState::kUp) return false;
+        if (ignore_inflight_limit || config_.worker_inflight_limit == 0) return true;
+        return w.inflight < config_.worker_inflight_limit;
+    };
+    if (config_.dispatch == DispatchPolicy::kRoundRobin) {
+        for (std::size_t n = 0; n < workers_.size(); ++n) {
+            const std::size_t i = (rr_next_ + n) % workers_.size();
+            if (eligible(*workers_[i])) {
+                rr_next_ = (i + 1) % workers_.size();
+                return workers_[i].get();
+            }
+        }
+        return nullptr;
+    }
+    Worker* best = nullptr;
+    for (auto& w : workers_) {
+        if (!eligible(*w)) continue;
+        if (best == nullptr || w->inflight < best->inflight ||
+            (w->inflight == best->inflight &&
+             w->gauges.queue_depth < best->gauges.queue_depth)) {
+            best = w.get();
+        }
+    }
+    return best;
+}
+
+std::uint64_t Router::register_locked(Worker& w, PendingRequest p) {
+    const std::uint64_t id = next_request_id_++;
+    w.pending.emplace(id, std::move(p));
+    w.inflight++;
+    return id;
+}
+
+void Router::resolve_shed(PendingRequest p, serve::ServeStatus status,
+                          std::string error) {
+    serve::ServeResult r;
+    r.status = status;
+    r.frame.frame_index = p.frame_index;
+    r.frame.latency_ms = ms_since(p.submit_time);
+    r.error = std::move(error);
+    p.promise.set_value(std::move(r));
+}
+
+void Router::count_resolution_locked(serve::ServeStatus status) {
+    switch (status) {
+        case serve::ServeStatus::kOk: ++counters_.ok; break;
+        case serve::ServeStatus::kDropped: ++counters_.dropped; break;
+        case serve::ServeStatus::kRejected: ++counters_.rejected; break;
+        case serve::ServeStatus::kTimeout: ++counters_.timeout; break;
+        case serve::ServeStatus::kFailed: ++counters_.failed; break;
+        case serve::ServeStatus::kShutdown: ++counters_.shutdown; break;
+    }
+    last_resolution_ = Clock::now();
+}
+
+void Router::note_first_submit_locked() {
+    if (!clock_started_) {
+        clock_started_ = true;
+        first_submit_ = Clock::now();
+        last_resolution_ = first_submit_;
+    }
+}
+
+void Router::receiver_loop(Worker& w, int fd) {
+    try {
+        Frame frame;
+        while (read_frame(fd, frame)) {
+            switch (static_cast<Opcode>(frame.header.opcode)) {
+                case Opcode::kDetectResponse:
+                case Opcode::kError:
+                    handle_detect_response(w, frame);
+                    break;
+                case Opcode::kPong:
+                    handle_pong(w, frame);
+                    break;
+                case Opcode::kStatsResponse:
+                    handle_stats_response(w, frame);
+                    break;
+                case Opcode::kShutdownAck:
+                    break;  // the worker's final frame; EOF follows
+                default:
+                    break;  // tolerated: never wedge the fleet on one frame
+            }
+        }
+    } catch (const std::exception&) {
+        // Corrupt stream or socket error: same handling as a closed peer.
+    }
+    take_worker_out(w, WorkerState::kDead, "connection closed");
+}
+
+void Router::handle_detect_response(Worker& w, const Frame& frame) {
+    WireDetectResult wire;
+    if (static_cast<Opcode>(frame.header.opcode) == Opcode::kError) {
+        wire.status = serve::ServeStatus::kFailed;
+        wire.error = decode_error(frame.payload);
+    } else {
+        wire = decode_detect_response(frame.payload);
+    }
+    PendingRequest p;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Any answered frame proves liveness as well as a pong does.
+        w.consecutive_failures = 0;
+        auto it = w.pending.find(frame.header.request_id);
+        if (it == w.pending.end()) return;  // stale: re-dispatched or shed
+        p = std::move(it->second);
+        w.pending.erase(it);
+        if (w.inflight > 0) w.inflight--;
+        --total_pending_;
+        auto cit = clients_.find(p.client_id);
+        if (cit != clients_.end() && cit->second.inflight > 0) {
+            cit->second.inflight--;
+        }
+        count_resolution_locked(wire.status);
+    }
+    capacity_cv_.notify_all();
+    drained_cv_.notify_all();
+    serve::ServeResult r;
+    r.status = wire.status;
+    r.frame.frame_index = p.frame_index;  // fleet-wide index, not worker-local
+    r.frame.detections = std::move(wire.detections);
+    r.frame.latency_ms = ms_since(p.submit_time);
+    r.timings = wire.timings;
+    r.error = std::move(wire.error);
+    p.promise.set_value(std::move(r));
+}
+
+void Router::handle_pong(Worker& w, const Frame& frame) {
+    const WorkerGauges g = decode_pong(frame.payload);
+    bool readmitted = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        w.gauges = g;
+        w.ping_outstanding = false;
+        if (w.state == WorkerState::kHalfOpen) {
+            w.state = WorkerState::kUp;
+            w.consecutive_failures = 0;
+            ++counters_.worker_readmits;
+            readmitted = true;
+        } else if (w.state == WorkerState::kUp) {
+            w.consecutive_failures = 0;
+        }
+    }
+    if (readmitted) capacity_cv_.notify_all();
+}
+
+void Router::handle_stats_response(Worker& w, const Frame& frame) {
+    std::promise<WireStats> promise;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = w.pending_stats.find(frame.header.request_id);
+        if (it == w.pending_stats.end()) return;  // probe already timed out
+        promise = std::move(it->second);
+        w.pending_stats.erase(it);
+    }
+    try {
+        promise.set_value(decode_stats_response(frame.payload));
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+    }
+}
+
+void Router::take_worker_out(Worker& w, WorkerState to_state, const char* reason) {
+    (void)reason;
+    std::vector<PendingRequest> stranded;
+    std::vector<std::promise<WireStats>> broken_stats;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (w.state == WorkerState::kDead) return;
+        if (to_state == WorkerState::kDead) {
+            w.state = WorkerState::kDead;
+            if (!stopping_) ++counters_.worker_deaths;
+        } else {
+            if (w.state == WorkerState::kEjected) return;
+            w.state = WorkerState::kEjected;
+            w.ejected_at = Clock::now();
+            ++counters_.worker_ejects;
+        }
+        w.ping_outstanding = false;
+        w.consecutive_failures = 0;
+        stranded.reserve(w.pending.size());
+        for (auto& [id, p] : w.pending) stranded.push_back(std::move(p));
+        w.pending.clear();
+        w.inflight = 0;
+        for (auto& [id, sp] : w.pending_stats) broken_stats.push_back(std::move(sp));
+        w.pending_stats.clear();
+    }
+    capacity_cv_.notify_all();
+    for (auto& sp : broken_stats) {
+        sp.set_exception(std::make_exception_ptr(
+            std::runtime_error("cluster: worker lost before stats reply")));
+    }
+    redispatch_or_shed(std::move(stranded));
+}
+
+void Router::redispatch_or_shed(std::vector<PendingRequest> stranded) {
+    for (auto& p : stranded) {
+        const std::vector<std::uint8_t> payload = encode_detect_request(p.frame);
+        Worker* target = nullptr;
+        std::uint64_t id = 0;
+        const int frame_index = p.frame_index;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!stopping_ && p.retries_left > 0) {
+                // Retries jump the in-flight cap: they already waited once.
+                target = pick_worker_locked(true);
+            }
+            if (target != nullptr) {
+                p.retries_left--;
+                ++counters_.retried;
+                id = register_locked(*target, std::move(p));
+            } else {
+                count_resolution_locked(serve::ServeStatus::kShutdown);
+                auto cit = clients_.find(p.client_id);
+                if (cit != clients_.end() && cit->second.inflight > 0) {
+                    cit->second.inflight--;
+                }
+                --total_pending_;
+            }
+        }
+        if (target == nullptr) {
+            drained_cv_.notify_all();
+            resolve_shed(std::move(p), serve::ServeStatus::kShutdown,
+                         "worker lost; no re-dispatch budget or healthy worker");
+            continue;
+        }
+        (void)frame_index;
+        try {
+            std::lock_guard<std::mutex> wl(target->write_mu);
+            write_frame(target->fd.get(), Opcode::kDetectRequest, id, payload);
+        } catch (const std::exception&) {
+            // Recursion bounded by retries_left and the worker count; the
+            // just-registered frame is in `target`'s pending map, so the
+            // nested call owns it from here.
+            take_worker_out(*target, WorkerState::kDead, "retry write failed");
+        }
+    }
+}
+
+void Router::send_ping(Worker& w) {
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (w.state == WorkerState::kDead) return;
+        id = next_request_id_++;
+        w.ping_sent_at = Clock::now();
+        w.ping_outstanding = true;
+    }
+    try {
+        std::lock_guard<std::mutex> wl(w.write_mu);
+        write_frame(w.fd.get(), Opcode::kPing, id, nullptr, 0);
+    } catch (const std::exception&) {
+        take_worker_out(w, WorkerState::kDead, "ping write failed");
+    }
+}
+
+void Router::health_loop() {
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> hl(health_mu_);
+            health_cv_.wait_for(
+                hl, std::chrono::milliseconds(config_.health_interval_ms),
+                [&] { return health_stop_; });
+            if (health_stop_) return;
+        }
+        for (auto& wp : workers_) {
+            Worker& w = *wp;
+            enum class Action { kNone, kPing, kEject, kRespawn };
+            Action action = Action::kNone;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                const auto now = Clock::now();
+                const bool overdue =
+                    w.ping_outstanding &&
+                    now - w.ping_sent_at >
+                        std::chrono::milliseconds(config_.health_timeout_ms);
+                switch (w.state) {
+                    case WorkerState::kUp:
+                        if (overdue) {
+                            w.ping_outstanding = false;
+                            if (++w.consecutive_failures >= config_.eject_threshold) {
+                                action = Action::kEject;
+                            }
+                        } else if (!w.ping_outstanding) {
+                            action = Action::kPing;
+                        }
+                        break;
+                    case WorkerState::kEjected:
+                        if (now - w.ejected_at >=
+                            std::chrono::milliseconds(config_.readmit_ms)) {
+                            w.state = WorkerState::kHalfOpen;
+                            w.ping_outstanding = false;
+                            action = Action::kPing;  // the trial probe
+                        }
+                        break;
+                    case WorkerState::kHalfOpen:
+                        if (overdue) {
+                            // Failed probe: breaker snaps back open.
+                            w.state = WorkerState::kEjected;
+                            w.ejected_at = now;
+                            w.ping_outstanding = false;
+                        } else if (!w.ping_outstanding) {
+                            action = Action::kPing;
+                        }
+                        break;
+                    case WorkerState::kDead:
+                        if (config_.respawn && w.pid > 0 && !stopping_) {
+                            action = Action::kRespawn;
+                        }
+                        break;
+                }
+            }
+            switch (action) {
+                case Action::kNone:
+                    break;
+                case Action::kPing:
+                    send_ping(w);
+                    break;
+                case Action::kEject:
+                    take_worker_out(w, WorkerState::kEjected,
+                                    "health checks failed");
+                    break;
+                case Action::kRespawn:
+                    try {
+                        if (w.receiver.joinable()) w.receiver.join();
+                        reap_child(w.pid, 100);
+                        w.fd.reset();
+                        spawn_into_slot(w.slot);
+                        {
+                            std::lock_guard<std::mutex> lock(mu_);
+                            w.state = WorkerState::kUp;
+                            w.consecutive_failures = 0;
+                            w.ping_outstanding = false;
+                            w.gauges = WorkerGauges{};
+                            ++counters_.worker_respawns;
+                        }
+                        start_receiver(w);
+                        capacity_cv_.notify_all();
+                    } catch (const std::exception&) {
+                        // Spawn failed (fd exhaustion, fork error): the slot
+                        // stays dead and the next tick retries.
+                    }
+                    break;
+            }
+        }
+    }
+}
+
+void Router::drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [&] { return total_pending_ == 0; });
+}
+
+void Router::stop() {
+    std::lock_guard<std::mutex> sg(stop_mu_);
+    if (stopped_.exchange(true)) return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    capacity_cv_.notify_all();
+    // Health thread first: no more pings or respawns while tearing down.
+    {
+        std::lock_guard<std::mutex> hl(health_mu_);
+        health_stop_ = true;
+    }
+    health_cv_.notify_all();
+    if (health_.joinable()) health_.join();
+    // Ask every connected worker to drain and exit.
+    for (auto& wp : workers_) {
+        Worker& w = *wp;
+        bool connected = false;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            connected = w.state != WorkerState::kDead;
+        }
+        if (!connected) continue;
+        try {
+            std::lock_guard<std::mutex> wl(w.write_mu);
+            write_frame(w.fd.get(), Opcode::kShutdown, 0, nullptr, 0);
+        } catch (const std::exception&) {
+            take_worker_out(w, WorkerState::kDead, "shutdown write failed");
+        }
+    }
+    // Give in-flight frames a bounded window to come back answered.
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        drained_cv_.wait_for(
+            lock, std::chrono::milliseconds(config_.shutdown_timeout_ms),
+            [&] { return total_pending_ == 0; });
+    }
+    // Sever connections: blocked receivers wake with EOF and their
+    // take_worker_out resolves any straggler as kShutdown (stopping_ is set,
+    // so nothing is re-dispatched and nothing is abandoned).
+    for (auto& wp : workers_) {
+        if (wp->fd) ::shutdown(wp->fd.get(), SHUT_RDWR);
+    }
+    for (auto& wp : workers_) {
+        if (wp->receiver.joinable()) wp->receiver.join();
+    }
+    for (auto& wp : workers_) wp->fd.reset();
+    for (auto& wp : workers_) {
+        reap_child(wp->pid, config_.shutdown_timeout_ms);
+        wp->pid = -1;
+    }
+}
+
+FleetStats Router::fleet_stats(std::int64_t timeout_ms) {
+    struct Probe {
+        Worker* worker;
+        std::uint64_t id;
+        std::future<WireStats> fut;
+    };
+    std::vector<Probe> probes;
+    for (auto& wp : workers_) {
+        Worker& w = *wp;
+        std::uint64_t id = 0;
+        std::future<WireStats> fut;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (w.state == WorkerState::kDead) continue;
+            id = next_request_id_++;
+            std::promise<WireStats> promise;
+            fut = promise.get_future();
+            w.pending_stats.emplace(id, std::move(promise));
+        }
+        try {
+            std::lock_guard<std::mutex> wl(w.write_mu);
+            write_frame(w.fd.get(), Opcode::kStatsRequest, id, nullptr, 0);
+        } catch (const std::exception&) {
+            take_worker_out(w, WorkerState::kDead, "stats write failed");
+            continue;  // the probe's promise was broken by take_worker_out
+        }
+        probes.push_back(Probe{&w, id, std::move(fut)});
+    }
+    FleetStats out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out = counters_;
+        if (clock_started_) {
+            out.wall_seconds =
+                std::chrono::duration<double>(last_resolution_ - first_submit_)
+                    .count();
+        }
+    }
+    out.throughput_fps =
+        out.wall_seconds > 0 ? static_cast<double>(out.ok) / out.wall_seconds : 0;
+    for (Probe& probe : probes) {
+        if (probe.fut.wait_for(std::chrono::milliseconds(timeout_ms)) !=
+            std::future_status::ready) {
+            std::lock_guard<std::mutex> lock(mu_);
+            probe.worker->pending_stats.erase(probe.id);
+            continue;
+        }
+        try {
+            WireStats ws = probe.fut.get();
+            out.agg_completed += ws.completed;
+            out.agg_throughput_fps += ws.throughput_fps;
+            out.workers.push_back(std::move(ws));
+        } catch (const std::exception&) {
+            // Worker died between write and reply; router counters cover it.
+        }
+    }
+    return out;
+}
+
+std::size_t Router::slots() const noexcept { return workers_.size(); }
+
+WorkerState Router::worker_state(std::size_t slot) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers_.at(slot)->state;
+}
+
+pid_t Router::worker_pid(std::size_t slot) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers_.at(slot)->pid;
+}
+
+int Router::alive_workers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int n = 0;
+    for (const auto& w : workers_) {
+        if (w->state == WorkerState::kUp) ++n;
+    }
+    return n;
+}
+
+void Router::kill_worker(std::size_t slot) {
+    pid_t pid = -1;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        pid = workers_.at(slot)->pid;
+    }
+    if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+}  // namespace dronet::cluster

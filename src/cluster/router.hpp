@@ -1,0 +1,281 @@
+// Front-end router of the sharded serving tier (docs/serving.md).
+//
+// One Router process owns a fleet of worker processes, each wrapping a
+// DetectionService behind the wire protocol in protocol.hpp. The router:
+//
+//  * spawns workers (fork/exec of tools/serve_worker over a socketpair) and
+//    adopts pre-connected ones (already-running workers handed in as fds);
+//  * dispatches detect requests least-loaded (router-side in-flight count,
+//    worker queue-depth gauge as tiebreak) or round-robin, pipelining up to
+//    `worker_inflight_limit` frames per worker;
+//  * enforces per-client admission control: an in-flight cap and a
+//    token-bucket quota, shedding violators immediately as kRejected;
+//  * health-checks workers with ping frames and folds the results into the
+//    same circuit-breaker shape the in-process service uses for threads
+//    (PR 5): `eject_threshold` consecutive failures eject a worker, after
+//    `readmit_ms` it half-opens and a successful probe re-admits it, and
+//    dead spawned workers are reaped and respawned like the in-process
+//    watchdog respawns threads;
+//  * guarantees the PR-5 accounting invariant fleet-wide: every accepted
+//    future resolves. Frames in flight on a worker that dies or is ejected
+//    are re-dispatched to a healthy worker (up to `max_retries`) or resolved
+//    kShutdown — never silently abandoned.
+//
+// All submit() futures resolve with the same ServeResult type the in-process
+// DetectionService returns, so callers can swap one for a fleet untouched.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/protocol.hpp"
+#include "image/image.hpp"
+#include "io/fdio.hpp"
+#include "serve/detection_service.hpp"
+
+namespace dronet::cluster {
+
+enum class DispatchPolicy {
+    kLeastLoaded,  ///< fewest router-tracked in-flight frames; gauge tiebreak
+    kRoundRobin,   ///< strict rotation over healthy workers
+};
+
+[[nodiscard]] constexpr const char* to_string(DispatchPolicy p) noexcept {
+    switch (p) {
+        case DispatchPolicy::kLeastLoaded: return "least-loaded";
+        case DispatchPolicy::kRoundRobin: return "round-robin";
+    }
+    return "?";
+}
+
+enum class WorkerState {
+    kUp,        ///< healthy, eligible for dispatch
+    kEjected,   ///< breaker open: too many consecutive health failures
+    kHalfOpen,  ///< trial probe outstanding after readmit_ms
+    kDead,      ///< connection lost / process exited; awaiting respawn
+};
+
+[[nodiscard]] constexpr const char* to_string(WorkerState s) noexcept {
+    switch (s) {
+        case WorkerState::kUp: return "up";
+        case WorkerState::kEjected: return "ejected";
+        case WorkerState::kHalfOpen: return "half-open";
+        case WorkerState::kDead: return "dead";
+    }
+    return "?";
+}
+
+struct RouterConfig {
+    /// Command line used to exec each spawned worker; the router appends
+    /// "--fd N" with its end of the socketpair. Required when workers > 0.
+    std::vector<std::string> worker_argv;
+    /// Number of worker processes to spawn.
+    int workers = 0;
+    /// Already-connected worker sockets to adopt (ownership transfers to the
+    /// router). Adopted workers are health-checked and ejectable like spawned
+    /// ones but are never respawned — the router did not start them.
+    std::vector<int> adopt_fds;
+
+    DispatchPolicy dispatch = DispatchPolicy::kLeastLoaded;
+    /// Max frames the router keeps in flight per worker; further submits
+    /// block until a slot frees (admission control sheds before this point
+    /// for well-configured clients). 0 = unlimited.
+    std::size_t worker_inflight_limit = 4;
+
+    // --- per-client admission control (0 disables each knob) ---
+    std::size_t client_max_inflight = 0;  ///< cap on unresolved frames per client
+    double client_rate_per_s = 0;         ///< token-bucket refill rate
+    double client_burst = 8;              ///< token-bucket depth
+
+    // --- health / breaker / respawn ---
+    std::int64_t health_interval_ms = 50;  ///< ping cadence per worker
+    std::int64_t health_timeout_ms = 2000; ///< unanswered ping = one failure
+    int eject_threshold = 3;               ///< consecutive failures to eject
+    std::int64_t readmit_ms = 500;         ///< ejected -> half-open delay
+    bool respawn = true;                   ///< restart dead spawned workers
+    /// Re-dispatch budget for frames stranded on a dead/ejected worker;
+    /// exhausted frames resolve kShutdown.
+    int max_retries = 1;
+    /// stop(): how long to wait for workers to answer in-flight frames after
+    /// kShutdown before severing connections and resolving leftovers.
+    std::int64_t shutdown_timeout_ms = 5000;
+};
+
+/// Router-side counters plus one WireStats per reachable worker. The
+/// accounting invariant (chaos tests assert it fleet-wide): submitted ==
+/// ok + dropped + rejected + timeout + failed + shutdown.
+struct FleetStats {
+    // Resolution counts by ServeStatus.
+    std::uint64_t submitted = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t rejected = 0;  ///< admission + quota + no-worker + worker-shed
+    std::uint64_t timeout = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t shutdown = 0;
+    // Rejection breakdown (all included in `rejected` above).
+    std::uint64_t rejected_admission = 0;  ///< client in-flight cap
+    std::uint64_t rejected_quota = 0;      ///< token bucket empty
+    std::uint64_t rejected_no_worker = 0;  ///< no healthy worker available
+    // Fleet lifecycle.
+    std::uint64_t retried = 0;         ///< frames re-dispatched off a lost worker
+    std::uint64_t worker_ejects = 0;   ///< breaker-open transitions
+    std::uint64_t worker_readmits = 0; ///< half-open probes that re-admitted
+    std::uint64_t worker_respawns = 0; ///< dead processes replaced
+    std::uint64_t worker_deaths = 0;   ///< connections lost outside stop()
+    double wall_seconds = 0;           ///< first submit -> last resolution
+    double throughput_fps = 0;         ///< ok / wall_seconds
+
+    /// Per-worker snapshots (workers that answered the stats probe), in slot
+    /// order, plus aggregate sums over them.
+    std::vector<WireStats> workers;
+    std::uint64_t agg_completed = 0;
+    double agg_throughput_fps = 0;
+
+    [[nodiscard]] bool accounting_ok() const noexcept {
+        return submitted == ok + dropped + rejected + timeout + failed + shutdown;
+    }
+    /// One-line JSON: router counters under "router", the workers' own
+    /// ServeStats JSON embedded verbatim under "workers".
+    [[nodiscard]] std::string to_json() const;
+};
+
+class Router {
+  public:
+    /// Spawns/adopts the configured workers and starts receiver + health
+    /// threads. Throws std::invalid_argument for an impossible config and
+    /// std::runtime_error when spawning fails.
+    explicit Router(RouterConfig config);
+    ~Router();
+
+    Router(const Router&) = delete;
+    Router& operator=(const Router&) = delete;
+
+    /// Dispatches one frame on behalf of `client_id`. Thread-safe. The future
+    /// always resolves (admission sheds and fleet failures included). Blocks
+    /// only when every healthy worker is at worker_inflight_limit.
+    [[nodiscard]] std::future<serve::ServeResult> submit(std::uint64_t client_id,
+                                                         Image frame);
+
+    /// Blocks until no accepted frame is unresolved. Producers should be
+    /// quiescent, as with DetectionService::drain().
+    void drain();
+
+    /// Graceful shutdown: workers get kShutdown, in-flight frames are awaited
+    /// up to shutdown_timeout_ms, stragglers resolve kShutdown, spawned
+    /// processes are reaped (SIGKILL after the timeout). Idempotent.
+    void stop();
+
+    /// Polls every dispatchable worker for its ServeStats (bounded by
+    /// `timeout_ms` each) and merges with the router counters.
+    [[nodiscard]] FleetStats fleet_stats(std::int64_t timeout_ms = 2000);
+
+    [[nodiscard]] std::size_t slots() const noexcept;
+    [[nodiscard]] WorkerState worker_state(std::size_t slot) const;
+    [[nodiscard]] pid_t worker_pid(std::size_t slot) const;
+    [[nodiscard]] int alive_workers() const;
+    [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
+
+    /// Chaos hook: SIGKILL a spawned worker process (no-op for adopted
+    /// workers). The fleet reacts exactly as it would to a real crash.
+    void kill_worker(std::size_t slot);
+
+  private:
+    struct PendingRequest {
+        std::promise<serve::ServeResult> promise;
+        std::uint64_t client_id = 0;
+        Image frame;  ///< retained for re-dispatch after a worker loss
+        int frame_index = 0;
+        int retries_left = 0;
+        std::chrono::steady_clock::time_point submit_time;
+    };
+
+    struct Worker {
+        std::size_t slot = 0;
+        io::UniqueFd fd;
+        pid_t pid = -1;  ///< -1 for adopted workers
+        std::thread receiver;
+        std::mutex write_mu;  ///< serializes frames onto the socket
+
+        // Everything below is guarded by Router::mu_.
+        WorkerState state = WorkerState::kUp;
+        std::size_t inflight = 0;
+        std::map<std::uint64_t, PendingRequest> pending;
+        std::map<std::uint64_t, std::promise<WireStats>> pending_stats;
+        int consecutive_failures = 0;
+        std::chrono::steady_clock::time_point ejected_at;
+        std::chrono::steady_clock::time_point ping_sent_at;  ///< zero = none
+        bool ping_outstanding = false;
+        WorkerGauges gauges;  ///< from the last pong
+    };
+
+    struct ClientState {
+        std::uint64_t inflight = 0;
+        double tokens = 0;
+        std::chrono::steady_clock::time_point last_refill;
+        bool initialized = false;
+    };
+
+    void spawn_into_slot(std::size_t slot);       // mu_ NOT held
+    void start_receiver(Worker& w);
+    void receiver_loop(Worker& w, int fd);
+    void handle_detect_response(Worker& w, const Frame& frame);
+    void handle_pong(Worker& w, const Frame& frame);
+    void handle_stats_response(Worker& w, const Frame& frame);
+    void health_loop();
+    void send_ping(Worker& w);
+    /// Marks the worker dead/ejected and strands its in-flight work.
+    /// `to_state` is kDead or kEjected. mu_ NOT held.
+    void take_worker_out(Worker& w, WorkerState to_state, const char* reason);
+    /// Re-dispatches stranded frames or resolves them kShutdown. mu_ NOT held.
+    void redispatch_or_shed(std::vector<PendingRequest> stranded);
+    /// Picks a dispatch target under mu_; nullptr when none is eligible.
+    [[nodiscard]] Worker* pick_worker_locked(bool ignore_inflight_limit);
+    /// Registers `p` on `w` under mu_ and returns the encoded request frame
+    /// bytes + id for the caller to write outside the lock.
+    std::uint64_t register_locked(Worker& w, PendingRequest p);
+    void resolve_shed(PendingRequest p, serve::ServeStatus status,
+                      std::string error);
+    void count_resolution_locked(serve::ServeStatus status);
+    void note_first_submit_locked();
+
+    RouterConfig config_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    mutable std::mutex mu_;
+    std::condition_variable capacity_cv_;  ///< a worker slot freed / state change
+    std::condition_variable drained_cv_;   ///< pending count hit zero
+    bool stopping_ = false;
+    std::uint64_t next_request_id_ = 1;
+    int next_frame_index_ = 0;
+    std::size_t rr_next_ = 0;
+    std::uint64_t total_pending_ = 0;
+    std::map<std::uint64_t, ClientState> clients_;
+
+    // Router counters (guarded by mu_; snapshot into FleetStats).
+    FleetStats counters_;
+    bool clock_started_ = false;
+    std::chrono::steady_clock::time_point first_submit_;
+    std::chrono::steady_clock::time_point last_resolution_;
+
+    std::thread health_;
+    std::mutex health_mu_;
+    std::condition_variable health_cv_;
+    bool health_stop_ = false;
+
+    std::mutex stop_mu_;  ///< serializes stop() callers
+    std::atomic<bool> stopped_{false};
+};
+
+}  // namespace dronet::cluster

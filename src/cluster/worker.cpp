@@ -1,0 +1,132 @@
+#include "cluster/worker.hpp"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "cluster/protocol.hpp"
+#include "io/fdio.hpp"
+
+namespace dronet::cluster {
+
+namespace {
+
+/// Pending slots between the reader and the resolver. Deep enough that the
+/// reader never blocks on the resolver under normal pipelining (the router's
+/// per-worker in-flight cap is far smaller); kBlock backpressure bounds
+/// memory if a router misbehaves.
+constexpr std::size_t kPendingCapacity = 256;
+
+}  // namespace
+
+WorkerServer::WorkerServer(serve::DetectionService& service, int fd)
+    : service_(service),
+      fd_(fd),
+      pending_(kPendingCapacity, serve::BackpressurePolicy::kBlock) {
+    io::ignore_sigpipe();
+}
+
+void WorkerServer::respond(std::uint64_t request_id, const serve::ServeResult& r) {
+    WireDetectResult wire;
+    wire.status = r.status;
+    wire.frame_index = r.frame.frame_index;
+    wire.timings = r.timings;
+    wire.detections = r.frame.detections;
+    wire.error = r.error;
+    const std::vector<std::uint8_t> payload = encode_detect_response(wire);
+    std::lock_guard<std::mutex> lock(write_mu_);
+    write_frame(fd_, Opcode::kDetectResponse, request_id, payload);
+}
+
+void WorkerServer::resolver_loop() {
+    while (auto pending = pending_.pop()) {
+        // The service contract: every submitted future resolves (success,
+        // timeout, failure, or shutdown sweep) — this get() never hangs.
+        serve::ServeResult r = pending->result.get();
+        if (peer_gone_.load(std::memory_order_acquire)) continue;
+        try {
+            respond(pending->request_id, r);
+        } catch (const std::exception&) {
+            // Peer vanished mid-stream; keep draining futures so the service
+            // can quiesce, but stop writing.
+            peer_gone_.store(true, std::memory_order_release);
+        }
+    }
+}
+
+std::uint64_t WorkerServer::run() {
+    std::thread resolver(&WorkerServer::resolver_loop, this);
+    bool shutdown_requested = false;
+    std::exception_ptr stream_error;
+    try {
+        Frame frame;
+        while (read_frame(fd_, frame)) {
+            const auto opcode = static_cast<Opcode>(frame.header.opcode);
+            const std::uint64_t id = frame.header.request_id;
+            switch (opcode) {
+                case Opcode::kDetectRequest: {
+                    Image img;
+                    try {
+                        img = decode_detect_request(frame.payload);
+                    } catch (const std::exception& e) {
+                        std::lock_guard<std::mutex> lock(write_mu_);
+                        write_frame(fd_, Opcode::kError, id, encode_error(e.what()));
+                        break;
+                    }
+                    Pending p;
+                    p.request_id = id;
+                    p.result = service_.submit(std::move(img));
+                    ++served_;
+                    (void)pending_.push(std::move(p));
+                    break;
+                }
+                case Opcode::kPing: {
+                    const serve::ServeStatsSnapshot s = service_.stats();
+                    const WorkerGauges g{s.queue_depth, s.in_flight, s.uptime_ms};
+                    std::lock_guard<std::mutex> lock(write_mu_);
+                    write_frame(fd_, Opcode::kPong, id, encode_pong(g));
+                    break;
+                }
+                case Opcode::kStatsRequest: {
+                    const std::vector<std::uint8_t> payload =
+                        encode_stats_response(service_.stats());
+                    std::lock_guard<std::mutex> lock(write_mu_);
+                    write_frame(fd_, Opcode::kStatsResponse, id, payload);
+                    break;
+                }
+                case Opcode::kShutdown:
+                    shutdown_requested = true;
+                    break;
+                default: {
+                    std::lock_guard<std::mutex> lock(write_mu_);
+                    write_frame(fd_, Opcode::kError, id,
+                                encode_error(std::string("unexpected opcode ") +
+                                             to_string(opcode)));
+                    break;
+                }
+            }
+            if (shutdown_requested) break;
+        }
+    } catch (...) {
+        // Corrupt stream or dead peer: answer what we already accepted, then
+        // surface the error to the process entry point.
+        stream_error = std::current_exception();
+        peer_gone_.store(true, std::memory_order_release);
+    }
+    // Drain: no new requests arrive; the resolver finishes answering every
+    // accepted frame before the queue reports empty-and-closed.
+    pending_.close();
+    resolver.join();
+    if (shutdown_requested && !peer_gone_.load(std::memory_order_acquire)) {
+        try {
+            std::lock_guard<std::mutex> lock(write_mu_);
+            write_frame(fd_, Opcode::kShutdownAck, 0, nullptr, 0);
+        } catch (const std::exception&) {
+            // Router left without waiting for the ack; nothing to do.
+        }
+    }
+    if (stream_error) std::rethrow_exception(stream_error);
+    return served_;
+}
+
+}  // namespace dronet::cluster

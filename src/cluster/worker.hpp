@@ -1,0 +1,62 @@
+// The worker-process half of the sharded serving tier.
+//
+// A WorkerServer wraps one DetectionService behind a single connected socket:
+// a reader loop decodes frames (protocol.hpp) and submits detect requests to
+// the service, and a resolver thread turns the resulting futures back into
+// detect-response frames. Requests therefore pipeline — the router can keep
+// several frames in flight per worker and the service's own queue, micro-
+// batching, and self-healing machinery (docs/robustness.md) all apply
+// unchanged inside the worker process.
+//
+// Lifecycle: run() serves until the peer closes the socket or sends
+// kShutdown; every in-flight frame is resolved and answered (kShutdown
+// additionally gets a kShutdownAck as the final frame) before run() returns.
+// tools/serve_worker is the process entry point around this class.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "serve/bounded_queue.hpp"
+#include "serve/detection_service.hpp"
+
+namespace dronet::cluster {
+
+class WorkerServer {
+  public:
+    /// Serves `service` over the connected socket `fd` (not owned; the caller
+    /// keeps it open for the duration of run()).
+    WorkerServer(serve::DetectionService& service, int fd);
+
+    WorkerServer(const WorkerServer&) = delete;
+    WorkerServer& operator=(const WorkerServer&) = delete;
+
+    /// Blocks serving the connection; returns the number of detect requests
+    /// handled. Protocol errors from a corrupt stream propagate as
+    /// std::runtime_error after in-flight work is resolved.
+    std::uint64_t run();
+
+  private:
+    struct Pending {
+        std::uint64_t request_id = 0;
+        std::future<serve::ServeResult> result;
+    };
+
+    void resolver_loop();
+    void respond(std::uint64_t request_id, const serve::ServeResult& r);
+
+    serve::DetectionService& service_;
+    int fd_;
+    std::mutex write_mu_;  ///< reader (pong/stats/error) vs resolver responses
+    /// FIFO of submitted-but-unanswered requests. Every future resolves (the
+    /// service guarantees it), so the resolver can wait on them in order;
+    /// responses still carry their request id, so ordering is cosmetic.
+    serve::BoundedQueue<Pending> pending_;
+    std::atomic<bool> peer_gone_{false};  ///< stop writing after EPIPE
+    std::uint64_t served_ = 0;
+};
+
+}  // namespace dronet::cluster

@@ -1,0 +1,51 @@
+#include "io/fdio.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <system_error>
+
+namespace dronet::io {
+
+std::size_t read_full(int fd, void* buf, std::size_t n) {
+    auto* p = static_cast<char*>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t got = ::read(fd, p + done, n - done);
+        if (got > 0) {
+            done += static_cast<std::size_t>(got);
+            continue;
+        }
+        if (got == 0) break;  // end of stream
+        if (errno == EINTR) continue;
+        throw std::system_error(errno, std::generic_category(), "read_full");
+    }
+    return done;
+}
+
+void write_full(int fd, const void* buf, std::size_t n) {
+    const auto* p = static_cast<const char*>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t put = ::write(fd, p + done, n - done);
+        if (put > 0) {
+            done += static_cast<std::size_t>(put);
+            continue;
+        }
+        // write() returning 0 for n > 0 is only possible for exotic fds;
+        // treat it as an error rather than spinning.
+        if (put < 0 && errno == EINTR) continue;
+        throw std::system_error(put < 0 ? errno : EIO, std::generic_category(),
+                                "write_full");
+    }
+}
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+void UniqueFd::reset(int fd) noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+}
+
+}  // namespace dronet::io

@@ -1,10 +1,13 @@
 #include "nn/weights_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdint>
-#include <fstream>
 #include <stdexcept>
 
 #include "fault/fault.hpp"
+#include "io/fdio.hpp"
 
 namespace dronet {
 namespace {
@@ -13,18 +16,22 @@ constexpr std::int32_t kMajor = 0;
 constexpr std::int32_t kMinor = 2;
 constexpr std::int32_t kRevision = 0;
 
-void write_floats(std::ofstream& out, const std::vector<float>& v) {
-    out.write(reinterpret_cast<const char*>(v.data()),
-              static_cast<std::streamsize>(v.size() * sizeof(float)));
+// Checkpoints go through the shared EINTR-safe helpers (io/fdio.hpp) — the
+// same single definition the cluster wire protocol uses — so a signal landing
+// mid-transfer (watchdog respawns, chaos tests) can never shear a read or
+// write in two.
+
+void write_floats(int fd, const std::vector<float>& v) {
+    io::write_full(fd, v.data(), v.size() * sizeof(float));
 }
 
-void read_floats(std::ifstream& in, std::vector<float>& v, const char* what) {
+void read_floats(int fd, std::vector<float>& v, const char* what) {
     const std::size_t want = v.size() * sizeof(float);
     // A short-read fault shrinks `take`; the truncation check below then
     // reports exactly what a really-truncated file would.
     const std::size_t take = DRONET_FAULT_IO(fault::kSiteWeightsRead, want);
-    in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(take));
-    if (!in || take != want) {
+    const std::size_t got = io::read_full(fd, v.data(), take);
+    if (got != want) {
         throw std::runtime_error(std::string("load_weights: truncated at ") + what);
     }
 }
@@ -32,37 +39,39 @@ void read_floats(std::ifstream& in, std::vector<float>& v, const char* what) {
 }  // namespace
 
 // Crash-safe checkpointing: all bytes go to a sibling temp file which is
-// atomically renamed over `path` only after a successful flush+close. A crash
+// atomically renamed over `path` only after a successful fsync+close. A crash
 // (or injected fault) at any point mid-write leaves the previous checkpoint
 // untouched — load_weights can never see a half-written file.
 void save_weights(const Network& net, const std::filesystem::path& path) {
     const std::filesystem::path tmp = path.string() + ".tmp";
     try {
         {
-            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-            if (!out) throw std::runtime_error("save_weights: cannot open " + tmp.string());
-            out.write(reinterpret_cast<const char*>(&kMajor), sizeof(kMajor));
-            out.write(reinterpret_cast<const char*>(&kMinor), sizeof(kMinor));
-            out.write(reinterpret_cast<const char*>(&kRevision), sizeof(kRevision));
+            io::UniqueFd out(::open(tmp.c_str(),
+                                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+            if (!out) {
+                throw std::runtime_error("save_weights: cannot open " + tmp.string());
+            }
+            io::write_full(out.get(), &kMajor, sizeof(kMajor));
+            io::write_full(out.get(), &kMinor, sizeof(kMinor));
+            io::write_full(out.get(), &kRevision, sizeof(kRevision));
             const std::uint64_t seen =
                 static_cast<std::uint64_t>(net.batch_num()) * net.config().batch;
-            out.write(reinterpret_cast<const char*>(&seen), sizeof(seen));
+            io::write_full(out.get(), &seen, sizeof(seen));
             auto& mutable_net = const_cast<Network&>(net);
             for (std::size_t i = 0; i < net.num_layers(); ++i) {
                 Layer& l = mutable_net.layer(static_cast<int>(i));
                 if (l.kind() != LayerKind::kConvolutional) continue;
                 DRONET_FAULT_POINT(fault::kSiteWeightsWrite);
                 auto& conv = dynamic_cast<ConvolutionalLayer&>(l);
-                write_floats(out, conv.biases().v);
+                write_floats(out.get(), conv.biases().v);
                 if (conv.config().batch_normalize) {
-                    write_floats(out, conv.scales().v);
-                    write_floats(out, conv.rolling_mean());
-                    write_floats(out, conv.rolling_variance());
+                    write_floats(out.get(), conv.scales().v);
+                    write_floats(out.get(), conv.rolling_mean());
+                    write_floats(out.get(), conv.rolling_variance());
                 }
-                write_floats(out, conv.weights().v);
+                write_floats(out.get(), conv.weights().v);
             }
-            out.flush();
-            if (!out) {
+            if (::fsync(out.get()) != 0) {
                 throw std::runtime_error("save_weights: write failed for " + tmp.string());
             }
         }
@@ -103,30 +112,29 @@ void load_weights(Network& net, const std::filesystem::path& path) {
                 " (truncated checkpoint or cfg/weights mismatch)");
         }
     }
-    std::ifstream in(path, std::ios::binary);
+    io::UniqueFd in(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
     if (!in) throw std::runtime_error("load_weights: cannot open " + path.string());
-    std::int32_t major = 0, minor = 0, revision = 0;
-    in.read(reinterpret_cast<char*>(&major), sizeof(major));
-    in.read(reinterpret_cast<char*>(&minor), sizeof(minor));
-    in.read(reinterpret_cast<char*>(&revision), sizeof(revision));
+    std::int32_t header[3] = {0, 0, 0};  // major, minor, revision
     std::uint64_t seen = 0;
-    in.read(reinterpret_cast<char*>(&seen), sizeof(seen));
-    if (!in) throw std::runtime_error("load_weights: truncated header in " + path.string());
+    if (io::read_full(in.get(), header, sizeof(header)) != sizeof(header) ||
+        io::read_full(in.get(), &seen, sizeof(seen)) != sizeof(seen)) {
+        throw std::runtime_error("load_weights: truncated header in " + path.string());
+    }
     for (std::size_t i = 0; i < net.num_layers(); ++i) {
         Layer& l = net.layer(static_cast<int>(i));
         if (l.kind() != LayerKind::kConvolutional) continue;
         auto& conv = dynamic_cast<ConvolutionalLayer&>(l);
-        read_floats(in, conv.biases().v, "biases");
+        read_floats(in.get(), conv.biases().v, "biases");
         if (conv.config().batch_normalize) {
-            read_floats(in, conv.scales().v, "scales");
-            read_floats(in, conv.rolling_mean(), "rolling_mean");
-            read_floats(in, conv.rolling_variance(), "rolling_variance");
+            read_floats(in.get(), conv.scales().v, "scales");
+            read_floats(in.get(), conv.rolling_mean(), "rolling_mean");
+            read_floats(in.get(), conv.rolling_variance(), "rolling_variance");
         }
-        read_floats(in, conv.weights().v, "weights");
+        read_floats(in.get(), conv.weights().v, "weights");
     }
     // Trailing bytes indicate a structure/file mismatch.
-    in.peek();
-    if (!in.eof()) {
+    char extra = 0;
+    if (io::read_full(in.get(), &extra, 1) != 0) {
         throw std::runtime_error("load_weights: file larger than network: " + path.string());
     }
     if (net.config().batch > 0) {

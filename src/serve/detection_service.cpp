@@ -28,7 +28,8 @@ struct DeadlineExpired {};
 DetectionService::DetectionService(const Network& prototype, ServiceConfig config)
     : config_(config),
       altitude_filter_(config.pipeline.camera, config.pipeline.size_prior),
-      queue_(config.queue_capacity, config.policy) {
+      queue_(config.queue_capacity, config.policy),
+      started_at_(std::chrono::steady_clock::now()) {
     if (config_.workers <= 0) {
         throw std::invalid_argument("DetectionService: workers must be positive");
     }
@@ -465,6 +466,12 @@ ServeStatsSnapshot DetectionService::stats() const {
             s.breaker_open_ms += ms_since(breaker_opened_at_);
         }
     }
+    s.queue_depth = queue_.size();
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        s.in_flight = accepted_ - resolved_;
+    }
+    s.uptime_ms = static_cast<std::uint64_t>(ms_since(started_at_));
     return s;
 }
 

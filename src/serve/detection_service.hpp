@@ -159,7 +159,8 @@ class DetectionService {
     void stop();
 
     /// Snapshot of the service counters. breaker_open_ms includes the
-    /// still-running open interval when the breaker is currently open.
+    /// still-running open interval when the breaker is currently open; the
+    /// live gauges (queue_depth, in_flight, uptime_ms) are sampled here.
     [[nodiscard]] ServeStatsSnapshot stats() const;
     [[nodiscard]] int workers() const noexcept { return config_.workers; }
     [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
@@ -214,6 +215,7 @@ class DetectionService {
     ServeStats stats_;
     std::vector<std::unique_ptr<WorkerSlot>> slots_;
     int full_size_ = 0;  ///< prototype input size (degradation restores this)
+    std::chrono::steady_clock::time_point started_at_;  ///< uptime_ms gauge
 
     std::atomic<int> next_index_{0};
     std::atomic<bool> stopped_{false};

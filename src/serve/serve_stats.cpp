@@ -218,6 +218,9 @@ std::string ServeStatsSnapshot::to_json() const {
        << ",\"degrade_transitions\":" << degrade_transitions
        << ",\"breaker_opens\":" << breaker_opens
        << ",\"breaker_open_ms\":" << breaker_open_ms
+       << ",\"queue_depth\":" << queue_depth
+       << ",\"in_flight\":" << in_flight
+       << ",\"uptime_ms\":" << uptime_ms
        << ",\"batches\":" << batches << ",\"batch_sizes\":{";
     for (std::size_t i = 0; i < batch_sizes.size(); ++i) {
         if (i > 0) os << ",";

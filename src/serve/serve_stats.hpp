@@ -81,6 +81,13 @@ struct ServeStatsSnapshot {
     std::uint64_t degrade_transitions = 0;  ///< full<->degraded mode flips
     std::uint64_t breaker_opens = 0;        ///< circuit-breaker open transitions
     double breaker_open_ms = 0;             ///< cumulative time the breaker was open
+    // Live gauges (point-in-time, not counters). DetectionService::stats()
+    // fills them; a bare ServeStats::snapshot() leaves them zero. They feed
+    // the cluster router's least-loaded dispatch and the fleet-aggregated
+    // JSON (docs/serving.md).
+    std::uint64_t queue_depth = 0;  ///< frames waiting in the service queue now
+    std::uint64_t in_flight = 0;    ///< frames accepted but not yet resolved
+    std::uint64_t uptime_ms = 0;    ///< since service construction
     /// Per-batch-size histogram: (size, count) for every size that occurred,
     /// ascending. completed == sum(size * count) once the service is drained.
     std::vector<std::pair<int, std::uint64_t>> batch_sizes;

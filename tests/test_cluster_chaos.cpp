@@ -1,0 +1,105 @@
+// Chaos test for the sharded serving tier: SIGKILL a worker process in the
+// middle of a loaded run and assert the PR-5 invariant fleet-wide — every
+// accepted future resolves (kOk, retried-kOk, kRejected, or kShutdown; never
+// hung), the accounting identity holds, and the respawned worker restores
+// full fleet capacity. Carries the `chaos` + `cluster` ctest labels;
+// scripts/run_all.sh re-runs it under both TSan and ASan.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "data/dataset.hpp"
+#include "serve/detection_service.hpp"
+
+#ifndef DRONET_SERVE_WORKER_PATH
+#define DRONET_SERVE_WORKER_PATH ""
+#endif
+
+namespace dronet {
+namespace {
+
+using serve::ServeResult;
+using serve::ServeStatus;
+
+TEST(ClusterChaos, WorkerKillMidLoadResolvesEveryFuture) {
+    const std::string worker_bin = DRONET_SERVE_WORKER_PATH;
+    ASSERT_FALSE(worker_bin.empty());
+
+    cluster::RouterConfig rc;
+    rc.worker_argv = {worker_bin, "--size", "64", "--filter-scale", "0.25",
+                      "--workers", "1"};
+    rc.workers = 2;
+    rc.worker_inflight_limit = 2;
+    rc.max_retries = 1;
+    rc.health_interval_ms = 20;
+    rc.respawn = true;
+    cluster::Router router(rc);
+
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(64), 8, /*seed=*/21);
+    constexpr int kTotal = 48;
+    std::vector<std::future<ServeResult>> futures;
+    futures.reserve(kTotal);
+    bool killed = false;
+    for (int i = 0; i < kTotal; ++i) {
+        futures.push_back(router.submit(/*client_id=*/1 + (i % 4),
+                                        frames.image(static_cast<std::size_t>(i % 8))));
+        if (!killed && i == kTotal / 3) {
+            router.kill_worker(0);  // SIGKILL mid-load, in-flight frames stranded
+            killed = true;
+        }
+    }
+
+    // The invariant under test: every accepted future resolves. The deadline
+    // is a hang detector, not a latency bound.
+    std::uint64_t by_status[6] = {};
+    int unresolved = 0;
+    for (auto& f : futures) {
+        if (f.wait_for(std::chrono::seconds(120)) != std::future_status::ready) {
+            ++unresolved;
+            continue;
+        }
+        const ServeResult r = f.get();
+        by_status[static_cast<int>(r.status)]++;
+    }
+    EXPECT_EQ(unresolved, 0) << "futures abandoned after worker kill";
+    EXPECT_EQ(by_status[static_cast<int>(ServeStatus::kOk)] +
+                  by_status[static_cast<int>(ServeStatus::kDropped)] +
+                  by_status[static_cast<int>(ServeStatus::kRejected)] +
+                  by_status[static_cast<int>(ServeStatus::kTimeout)] +
+                  by_status[static_cast<int>(ServeStatus::kFailed)] +
+                  by_status[static_cast<int>(ServeStatus::kShutdown)],
+              static_cast<std::uint64_t>(kTotal));
+    // Most of the load must still succeed: only frames in flight on the dying
+    // worker at the kill instant can shed, and the retry budget covers one
+    // re-dispatch each.
+    EXPECT_GE(by_status[static_cast<int>(ServeStatus::kOk)],
+              static_cast<std::uint64_t>(kTotal - 2 * rc.worker_inflight_limit));
+
+    const cluster::FleetStats fs = router.fleet_stats();
+    EXPECT_TRUE(fs.accounting_ok()) << fs.to_json();
+    EXPECT_EQ(fs.submitted, static_cast<std::uint64_t>(kTotal));
+    EXPECT_GE(fs.worker_deaths, 1u);
+
+    // The watchdog must respawn the killed worker and restore capacity.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (router.alive_workers() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(router.alive_workers(), 2);
+    EXPECT_GE(router.fleet_stats(/*timeout_ms=*/5000).worker_respawns, 1u);
+
+    // And the respawned fleet serves again.
+    auto after = router.submit(/*client_id=*/1, frames.image(0));
+    EXPECT_EQ(after.get().status, ServeStatus::kOk);
+    router.stop();
+}
+
+}  // namespace
+}  // namespace dronet

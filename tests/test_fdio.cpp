@@ -1,0 +1,108 @@
+// Unit tests for the shared EINTR-safe full-buffer IO helpers (src/io/fdio).
+// These are the single read/write definition under both crash-safe weight
+// checkpoints (nn/weights_io) and the cluster wire protocol, so the
+// short-read/short-write reassembly contract is pinned here once.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "io/fdio.hpp"
+
+namespace dronet {
+namespace {
+
+struct Pipe {
+    io::UniqueFd rd;
+    io::UniqueFd wr;
+    Pipe() {
+        int fds[2];
+        if (::pipe(fds) != 0) throw std::system_error(errno, std::generic_category());
+        rd.reset(fds[0]);
+        wr.reset(fds[1]);
+    }
+};
+
+TEST(Fdio, WriteFullReassemblesShortWritesAcrossPipeBuffer) {
+    // 4 MB through a pipe whose kernel buffer is ~64 KB: write_full must loop
+    // over many partial writes, read_full over many partial reads, and the
+    // byte stream must come out exact.
+    Pipe p;
+    constexpr std::size_t kBytes = 4u << 20;
+    std::vector<std::uint8_t> sent(kBytes);
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+        sent[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+    }
+    std::thread writer([&] { io::write_full(p.wr.get(), sent.data(), sent.size()); });
+    std::vector<std::uint8_t> got(kBytes, 0);
+    const std::size_t n = io::read_full(p.rd.get(), got.data(), got.size());
+    writer.join();
+    EXPECT_EQ(n, kBytes);
+    EXPECT_EQ(std::memcmp(sent.data(), got.data(), kBytes), 0);
+}
+
+TEST(Fdio, ReadFullReassemblesDribbledShortReads) {
+    // The writer trickles one byte at a time; a single read_full call still
+    // returns the complete buffer.
+    Pipe p;
+    const std::uint8_t want[10] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::thread writer([&] {
+        for (std::uint8_t b : want) {
+            io::write_full(p.wr.get(), &b, 1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+    std::uint8_t got[10] = {};
+    EXPECT_EQ(io::read_full(p.rd.get(), got, sizeof(got)), sizeof(got));
+    writer.join();
+    EXPECT_EQ(std::memcmp(want, got, sizeof(got)), 0);
+}
+
+TEST(Fdio, ReadFullReturnsShortCountAtEof) {
+    Pipe p;
+    const char partial[100] = {};
+    io::write_full(p.wr.get(), partial, sizeof(partial));
+    p.wr.reset();  // EOF after 100 bytes
+    char buf[256];
+    EXPECT_EQ(io::read_full(p.rd.get(), buf, sizeof(buf)), 100u);
+    // Stream exhausted: the next read reports a clean zero-byte EOF.
+    EXPECT_EQ(io::read_full(p.rd.get(), buf, sizeof(buf)), 0u);
+}
+
+TEST(Fdio, WriteFullThrowsWhenReaderIsGone) {
+    io::ignore_sigpipe();  // EPIPE as an error return, not a process kill
+    Pipe p;
+    p.rd.reset();
+    std::vector<std::uint8_t> payload(1u << 20, 0xab);
+    EXPECT_THROW(io::write_full(p.wr.get(), payload.data(), payload.size()),
+                 std::system_error);
+}
+
+TEST(Fdio, UniqueFdClosesOnDestructionAndMoves) {
+    int raw = -1;
+    {
+        Pipe p;
+        raw = p.rd.get();
+        ASSERT_NE(::fcntl(raw, F_GETFD), -1);
+        io::UniqueFd moved = std::move(p.rd);
+        EXPECT_FALSE(static_cast<bool>(p.rd));
+        EXPECT_EQ(moved.get(), raw);
+        ASSERT_NE(::fcntl(raw, F_GETFD), -1);  // still open while owned
+    }
+    EXPECT_EQ(::fcntl(raw, F_GETFD), -1);  // closed when the owner died
+    // release() hands the fd back without closing.
+    Pipe p2;
+    const int kept = p2.wr.release();
+    EXPECT_FALSE(static_cast<bool>(p2.wr));
+    ASSERT_NE(::fcntl(kept, F_GETFD), -1);
+    ::close(kept);
+}
+
+}  // namespace
+}  // namespace dronet

@@ -160,6 +160,58 @@ TEST(BoundedQueue, PopBatchReturnsRemainderWhenClosedMidLinger) {
     EXPECT_EQ(out, (std::vector<int>{7}));
 }
 
+TEST(BoundedQueue, PopBatchZeroLingerBlocksForFirstItemOnly) {
+    serve::BoundedQueue<int> q(8);
+    std::vector<int> out;
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        (void)q.push(42);
+    });
+    // Empty queue + zero linger: pop_batch still blocks for the first item
+    // (like pop()) but returns the moment it has it, without lingering for a
+    // fuller batch.
+    const std::size_t n = q.pop_batch(out, 4, std::chrono::microseconds(0));
+    producer.join();
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(out, (std::vector<int>{42}));
+}
+
+TEST(BoundedQueue, PopBatchExactlyAtMaxSkipsLinger) {
+    serve::BoundedQueue<int> q(8);
+    for (int i = 0; i < 3; ++i) (void)q.push(int(i));
+    std::vector<int> out;
+    const auto t0 = std::chrono::steady_clock::now();
+    // The batch fills from what is already queued, so the (long) linger
+    // window must not be entered at all.
+    const std::size_t n = q.pop_batch(out, 3, std::chrono::microseconds(30'000'000));
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(n, 3u);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(BoundedQueue, CloseMidLingerDeliversLatePushThenEndsEarly) {
+    serve::BoundedQueue<int> q(8);
+    (void)q.push(1);
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        (void)q.push(2);  // lands inside the linger window...
+        q.close();        // ...then the queue stops mid-linger
+    });
+    std::vector<int> out;
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t n = q.pop_batch(out, 4, std::chrono::microseconds(30'000'000));
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    closer.join();
+    // Items pushed before the close are still delivered; the close ends the
+    // linger well before its 30 s window instead of waiting it out.
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(out, (std::vector<int>{1, 2}));
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    // Closed and drained: the next batched pop reports end-of-stream.
+    EXPECT_EQ(q.pop_batch(out, 4, std::chrono::microseconds(0)), 0u);
+}
+
 TEST(BoundedQueue, CloseWakesBlockedConsumer) {
     BoundedQueue<int> q(2);
     std::atomic<bool> got_nullopt{false};
@@ -513,10 +565,35 @@ TEST(DetectionService, StatsJsonHasStableSchema) {
           "\"worker_restarts\":", "\"degraded_frames\":",
           "\"degrade_transitions\":", "\"breaker_opens\":", "\"breaker_open_ms\":",
           "\"batches\":", "\"batch_sizes\":",
+          "\"queue_depth\":", "\"in_flight\":", "\"uptime_ms\":",
           "\"throughput_fps\":", "\"queue_wait\":", "\"preprocess\":",
           "\"forward\":", "\"postprocess\":", "\"total\":", "\"p99_ms\":"}) {
         EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
     }
+}
+
+TEST(DetectionService, LiveGaugesTrackQueueInflightAndUptime) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});
+    serve::ServiceConfig sc;
+    sc.workers = 1;
+    sc.pipeline = low_threshold_pipeline();
+    DetectionService service(net, sc);
+    const serve::ServeStatsSnapshot before = service.stats();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(96), 4, /*seed=*/7);
+    std::vector<std::future<ServeResult>> futures;
+    for (int i = 0; i < 4; ++i) futures.push_back(service.submit(frames.image(i)));
+    for (auto& f : futures) (void)f.get();
+    service.drain();
+
+    const serve::ServeStatsSnapshot after = service.stats();
+    // Uptime is a live gauge: it grows between snapshots regardless of load.
+    EXPECT_GE(after.uptime_ms, before.uptime_ms + 10);
+    // Quiescent after drain: nothing queued, nothing unresolved.
+    EXPECT_EQ(after.queue_depth, 0u);
+    EXPECT_EQ(after.in_flight, 0u);
 }
 
 TEST(ServeStats, SelfHealingCountersAccumulate) {

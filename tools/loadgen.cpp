@@ -1,0 +1,338 @@
+// loadgen — fleet load generator for the sharded serving tier.
+//
+// Drives a Router + worker fleet with N concurrent clients and prints one
+// table row per worker count, producing the throughput-vs-worker-count curve
+// in docs/performance.md. Every future is awaited with a hard timeout: a
+// dropped or unresolved request is a tool failure (non-zero exit), which is
+// what the CI smoke stage asserts.
+//
+// Usage:
+//   loadgen [--worker-bin PATH] [--workers-list 1,2,4] [--clients N]
+//           [--requests K] [--size S] [--model DroNet] [--filter-scale F]
+//           [--client-inflight N] [--interval-ms T]
+//           [--small-every N] [--small-size S] [--stats-every N]
+//           [--dispatch least-loaded|round-robin] [--inflight-limit N]
+//           [--max-inflight N] [--rate R] [--burst B] [--retries N]
+//           [--kill-after-ms T] [--expect-complete] [--json]
+//
+// Request mix: every --small-every'th request submits a --small-size frame
+// (mixed resolutions exercise the worker's preprocess path), and every
+// --stats-every'th request polls fleet stats over the wire instead of a pure
+// detect-only stream. --client-inflight is each client's pipelining depth
+// (default 1: a client waits for its oldest frame once the limit is reached).
+// --inflight-limit is the router's per-worker pipelining cap (default 1 for
+// the scaling curve: each worker computes one frame while the router turns
+// around the protocol work of the others — the single-host overlap that makes
+// throughput grow with worker count even on one core).
+//
+// --kill-after-ms T SIGKILLs worker slot 0 mid-run (chaos): the run must
+// still resolve every request (ok / retried / kRejected / kShutdown) and keep
+// the fleet accounting invariant, or loadgen exits non-zero.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "data/dataset.hpp"
+#include "serve/detection_service.hpp"
+
+#ifndef DRONET_SERVE_WORKER_PATH
+#define DRONET_SERVE_WORKER_PATH ""
+#endif
+
+namespace {
+
+using dronet::serve::ServeStatus;
+
+struct Args {
+    std::string worker_bin = DRONET_SERVE_WORKER_PATH;
+    std::vector<int> workers_list = {1, 2, 4};
+    int clients = 4;
+    int requests = 8;
+    int size = 96;
+    std::string model = "DroNet";
+    float filter_scale = 1.0f;
+    int client_inflight = 1;
+    double interval_ms = 0;
+    int small_every = 0;
+    int small_size = 0;
+    int stats_every = 0;
+    dronet::cluster::DispatchPolicy dispatch =
+        dronet::cluster::DispatchPolicy::kLeastLoaded;
+    std::size_t inflight_limit = 1;
+    std::size_t max_inflight = 0;
+    double rate = 0;
+    double burst = 8;
+    int retries = 1;
+    std::int64_t kill_after_ms = 0;
+    bool expect_complete = false;
+    bool json = false;
+};
+
+std::vector<int> parse_int_list(const std::string& s) {
+    std::vector<int> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+    if (out.empty()) throw std::runtime_error("empty workers list");
+    return out;
+}
+
+Args parse_args(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) throw std::runtime_error("missing value for " + a);
+            return argv[++i];
+        };
+        if (a == "--worker-bin") args.worker_bin = next();
+        else if (a == "--workers-list") args.workers_list = parse_int_list(next());
+        else if (a == "--clients") args.clients = std::stoi(next());
+        else if (a == "--requests") args.requests = std::stoi(next());
+        else if (a == "--size") args.size = std::stoi(next());
+        else if (a == "--model") args.model = next();
+        else if (a == "--filter-scale") args.filter_scale = std::stof(next());
+        else if (a == "--client-inflight") args.client_inflight = std::stoi(next());
+        else if (a == "--interval-ms") args.interval_ms = std::stod(next());
+        else if (a == "--small-every") args.small_every = std::stoi(next());
+        else if (a == "--small-size") args.small_size = std::stoi(next());
+        else if (a == "--stats-every") args.stats_every = std::stoi(next());
+        else if (a == "--inflight-limit") args.inflight_limit = static_cast<std::size_t>(std::stoul(next()));
+        else if (a == "--max-inflight") args.max_inflight = static_cast<std::size_t>(std::stoul(next()));
+        else if (a == "--rate") args.rate = std::stod(next());
+        else if (a == "--burst") args.burst = std::stod(next());
+        else if (a == "--retries") args.retries = std::stoi(next());
+        else if (a == "--kill-after-ms") args.kill_after_ms = std::stoll(next());
+        else if (a == "--expect-complete") args.expect_complete = true;
+        else if (a == "--json") args.json = true;
+        else if (a == "--dispatch") {
+            const std::string d = next();
+            using dronet::cluster::DispatchPolicy;
+            if (d == "least-loaded") args.dispatch = DispatchPolicy::kLeastLoaded;
+            else if (d == "round-robin") args.dispatch = DispatchPolicy::kRoundRobin;
+            else throw std::runtime_error("unknown dispatch policy " + d);
+        } else {
+            throw std::runtime_error("unknown flag " + a);
+        }
+    }
+    if (args.worker_bin.empty()) {
+        throw std::runtime_error("--worker-bin is required (no compiled-in default)");
+    }
+    return args;
+}
+
+struct RunResult {
+    std::uint64_t by_status[6] = {0, 0, 0, 0, 0, 0};
+    std::uint64_t abandoned = 0;  ///< futures that missed the hard deadline
+    double client_fps = 0;        ///< ok frames / measured client wall
+    dronet::cluster::FleetStats fleet;
+};
+
+/// Hard ceiling on any single future; the router contract says every future
+/// resolves, so hitting this means a real bug and fails the run.
+constexpr auto kFutureDeadline = std::chrono::seconds(300);
+
+RunResult run_once(const Args& args, int workers,
+                   const dronet::DetectionDataset& frames,
+                   const dronet::DetectionDataset* small_frames) {
+    using namespace dronet;
+    cluster::RouterConfig rc;
+    rc.worker_argv = {args.worker_bin,
+                      "--workers", "1",
+                      "--size", std::to_string(args.size),
+                      "--model", args.model,
+                      "--filter-scale", std::to_string(args.filter_scale),
+                      "--gemm-threads", "1"};
+    rc.workers = workers;
+    rc.dispatch = args.dispatch;
+    rc.worker_inflight_limit = args.inflight_limit;
+    rc.client_max_inflight = args.max_inflight;
+    rc.client_rate_per_s = args.rate;
+    rc.client_burst = args.burst;
+    rc.max_retries = args.retries;
+    cluster::Router router(rc);
+
+    // Warm-up: one frame per worker, awaited. Covers worker start-up (model
+    // build) so the measured window sees a steady fleet.
+    {
+        std::vector<std::future<serve::ServeResult>> warm;
+        for (int w = 0; w < workers; ++w) {
+            warm.push_back(router.submit(/*client_id=*/0, frames.image(0)));
+        }
+        for (auto& f : warm) (void)f.get();
+    }
+
+    RunResult res;
+    std::atomic<std::uint64_t> by_status[6] = {};
+    std::atomic<std::uint64_t> abandoned{0};
+
+    std::thread chaos;
+    if (args.kill_after_ms > 0) {
+        chaos = std::thread([&] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(args.kill_after_ms));
+            router.kill_worker(0);
+        });
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(args.clients));
+    for (int c = 0; c < args.clients; ++c) {
+        clients.emplace_back([&, c] {
+            const std::uint64_t client_id = static_cast<std::uint64_t>(c) + 1;
+            std::deque<std::future<serve::ServeResult>> inflight;
+            auto settle = [&](std::future<serve::ServeResult> fut) {
+                if (fut.wait_for(kFutureDeadline) != std::future_status::ready) {
+                    abandoned.fetch_add(1);
+                    return;
+                }
+                const serve::ServeResult r = fut.get();
+                by_status[static_cast<int>(r.status)].fetch_add(1);
+            };
+            for (int r = 0; r < args.requests; ++r) {
+                if (args.stats_every > 0 && (r + 1) % args.stats_every == 0) {
+                    (void)router.fleet_stats(/*timeout_ms=*/1000);
+                }
+                const bool small = small_frames != nullptr &&
+                                   args.small_every > 0 &&
+                                   (r + 1) % args.small_every == 0;
+                const DetectionDataset& pool = small ? *small_frames : frames;
+                const std::size_t idx =
+                    (static_cast<std::size_t>(c) * 7 + static_cast<std::size_t>(r)) %
+                    pool.size();
+                while (inflight.size() >=
+                       static_cast<std::size_t>(std::max(1, args.client_inflight))) {
+                    settle(std::move(inflight.front()));
+                    inflight.pop_front();
+                }
+                inflight.push_back(router.submit(client_id, pool.image(idx)));
+                if (args.interval_ms > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double, std::milli>(args.interval_ms));
+                }
+            }
+            while (!inflight.empty()) {
+                settle(std::move(inflight.front()));
+                inflight.pop_front();
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (chaos.joinable()) chaos.join();
+
+    router.drain();
+    res.fleet = router.fleet_stats();
+    router.stop();
+
+    for (int s = 0; s < 6; ++s) res.by_status[s] = by_status[s].load();
+    res.abandoned = abandoned.load();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    res.client_fps =
+        wall > 0 ? static_cast<double>(res.by_status[0]) / wall : 0;
+    return res;
+}
+
+int run(int argc, char** argv) {
+    using namespace dronet;
+    const Args args = parse_args(argc, argv);
+
+    const DetectionDataset frames = generate_dataset(
+        benchmark_scene_config(args.size), std::max(8, args.requests),
+        /*seed=*/0xbeef);
+    DetectionDataset small_frames;
+    const DetectionDataset* small = nullptr;
+    if (args.small_every > 0) {
+        const int ssize = args.small_size > 0 ? args.small_size : args.size / 2;
+        small_frames = generate_dataset(benchmark_scene_config(ssize),
+                                        std::max(8, args.requests),
+                                        /*seed=*/0xfeed);
+        small = &small_frames;
+    }
+
+    std::printf("workers  submitted  ok  dropped  rejected  timeout  failed  "
+                "shutdown  retried  deaths  respawns  fps\n");
+    int exit_code = 0;
+    double prev_fps = -1;
+    for (const int workers : args.workers_list) {
+        std::fprintf(stderr, "# loadgen: %d worker(s), %d clients x %d requests @%d "
+                     "(model=%s scale=%.2f inflight-limit=%zu)\n",
+                     workers, args.clients, args.requests, args.size,
+                     args.model.c_str(), static_cast<double>(args.filter_scale),
+                     args.inflight_limit);
+        const RunResult res = run_once(args, workers, frames, small);
+        const cluster::FleetStats& fs = res.fleet;
+        std::printf("%-7d  %-9llu  %-2llu  %-7llu  %-8llu  %-7llu  %-6llu  "
+                    "%-8llu  %-7llu  %-6llu  %-8llu  %.2f\n",
+                    workers,
+                    static_cast<unsigned long long>(fs.submitted),
+                    static_cast<unsigned long long>(res.by_status[0]),
+                    static_cast<unsigned long long>(res.by_status[1]),
+                    static_cast<unsigned long long>(res.by_status[2]),
+                    static_cast<unsigned long long>(res.by_status[3]),
+                    static_cast<unsigned long long>(res.by_status[4]),
+                    static_cast<unsigned long long>(res.by_status[5]),
+                    static_cast<unsigned long long>(fs.retried),
+                    static_cast<unsigned long long>(fs.worker_deaths),
+                    static_cast<unsigned long long>(fs.worker_respawns),
+                    res.client_fps);
+        if (args.json) std::printf("%s\n", fs.to_json().c_str());
+        if (res.abandoned > 0) {
+            std::fprintf(stderr, "# FAIL: %llu future(s) never resolved\n",
+                         static_cast<unsigned long long>(res.abandoned));
+            exit_code = 2;
+        }
+        if (!fs.accounting_ok()) {
+            std::fprintf(stderr,
+                         "# FAIL: fleet accounting invariant violated: %s\n",
+                         fs.to_json().c_str());
+            exit_code = 2;
+        }
+        const std::uint64_t expected = static_cast<std::uint64_t>(args.clients) *
+                                       static_cast<std::uint64_t>(args.requests);
+        std::uint64_t resolved = 0;
+        for (int s = 0; s < 6; ++s) resolved += res.by_status[s];
+        if (resolved != expected) {
+            std::fprintf(stderr,
+                         "# FAIL: resolved %llu of %llu client requests\n",
+                         static_cast<unsigned long long>(resolved),
+                         static_cast<unsigned long long>(expected));
+            exit_code = 2;
+        }
+        if (args.expect_complete && res.by_status[0] != expected) {
+            std::fprintf(stderr,
+                         "# FAIL --expect-complete: only %llu of %llu requests "
+                         "resolved ok\n",
+                         static_cast<unsigned long long>(res.by_status[0]),
+                         static_cast<unsigned long long>(expected));
+            exit_code = 1;
+        }
+        if (prev_fps >= 0 && res.client_fps < prev_fps) {
+            std::fprintf(stderr, "# note: throughput dipped %0.2f -> %0.2f fps\n",
+                         prev_fps, res.client_fps);
+        }
+        prev_fps = res.client_fps;
+    }
+    return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return run(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "loadgen: error: %s\n", e.what());
+        return 1;
+    }
+}

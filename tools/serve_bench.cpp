@@ -13,6 +13,8 @@
 //               [--expect-complete] [--deadline-ms D] [--retries R]
 //               [--degraded-size S] [--degrade-high N] [--degrade-low N]
 //               [--inject PLAN]
+//               [--cluster W] [--worker-bin PATH] [--filter-scale F]
+//               [--inflight-limit N] [--kill-after-ms T]
 //
 // --interval-ms > 0 paces each stream like a camera (T ms between submits),
 // which exercises the backpressure policies; 0 submits as fast as possible.
@@ -30,6 +32,16 @@
 // chaos stage uses it to drive a worker kill through a live bench run. The
 // run exits zero as long as every future resolved; pair with the stats JSON
 // (worker_restarts, deadline_expired, ...) to assert recovery.
+//
+// --cluster W switches to the multi-process path: the same stream workload
+// drives a cluster Router over W spawned serve_worker processes (--workers
+// then means service threads per worker process) and the output is the fleet
+// JSON. --expect-complete there asserts the fleet-wide PR-5 accounting
+// invariant plus, without chaos, that every frame resolved kOk.
+// --kill-after-ms T SIGKILLs worker 0 mid-run; the run still must resolve
+// every future (ok, retried onto a healthy worker, kRejected by admission, or
+// kShutdown) — a hung or abandoned future is a non-zero exit.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -38,6 +50,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/router.hpp"
 #include "data/dataset.hpp"
 #include "fault/fault.hpp"
 #include "models/model_zoo.hpp"
@@ -45,6 +58,10 @@
 #include "profile/profiler.hpp"
 #include "serve/detection_service.hpp"
 #include "tensor/gemm.hpp"
+
+#ifndef DRONET_SERVE_WORKER_PATH
+#define DRONET_SERVE_WORKER_PATH ""
+#endif
 
 namespace {
 
@@ -69,6 +86,11 @@ struct Args {
     std::size_t degrade_high = 0;
     std::size_t degrade_low = 0;
     std::string inject_plan;
+    int cluster = 0;
+    std::string worker_bin = DRONET_SERVE_WORKER_PATH;
+    float filter_scale = 1.0f;
+    std::size_t inflight_limit = 4;
+    std::int64_t kill_after_ms = 0;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -97,6 +119,11 @@ Args parse_args(int argc, char** argv) {
         else if (a == "--degrade-high") args.degrade_high = static_cast<std::size_t>(std::stoul(next()));
         else if (a == "--degrade-low") args.degrade_low = static_cast<std::size_t>(std::stoul(next()));
         else if (a == "--inject") args.inject_plan = next();
+        else if (a == "--cluster") args.cluster = std::stoi(next());
+        else if (a == "--worker-bin") args.worker_bin = next();
+        else if (a == "--filter-scale") args.filter_scale = std::stof(next());
+        else if (a == "--inflight-limit") args.inflight_limit = static_cast<std::size_t>(std::stoul(next()));
+        else if (a == "--kill-after-ms") args.kill_after_ms = std::stoll(next());
         else if (a == "--policy") {
             const std::string p = next();
             using dronet::serve::BackpressurePolicy;
@@ -115,9 +142,120 @@ Args parse_args(int argc, char** argv) {
 
 namespace {
 
+/// The multi-process path: the same stream workload, dispatched through a
+/// Router over --cluster spawned serve_worker processes.
+int run_cluster(const Args& args) {
+    using namespace dronet;
+    if (args.worker_bin.empty()) {
+        throw std::runtime_error("--cluster needs --worker-bin (no default)");
+    }
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(args.size),
+                         std::max(8, args.frames_per_stream), /*seed=*/0xbeef);
+
+    cluster::RouterConfig rc;
+    rc.worker_argv = {args.worker_bin,
+                      "--workers", std::to_string(args.workers),
+                      "--size", std::to_string(args.size),
+                      "--model", args.model,
+                      "--filter-scale", std::to_string(args.filter_scale),
+                      "--capacity", std::to_string(args.capacity),
+                      "--batch", std::to_string(args.batch),
+                      "--batch-timeout-us", std::to_string(args.batch_timeout_us),
+                      "--deadline-ms", std::to_string(args.deadline_ms),
+                      "--retries", std::to_string(args.retries),
+                      "--gemm-threads", std::to_string(args.gemm_threads)};
+    rc.workers = args.cluster;
+    rc.worker_inflight_limit = args.inflight_limit;
+    cluster::Router router(rc);
+
+    std::thread chaos;
+    if (args.kill_after_ms > 0) {
+        chaos = std::thread([&] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(args.kill_after_ms));
+            std::fprintf(stderr, "# chaos: SIGKILL worker 0 (pid %d)\n",
+                         static_cast<int>(router.worker_pid(0)));
+            router.kill_worker(0);
+        });
+    }
+
+    std::atomic<std::uint64_t> resolved_by_status[6] = {};
+    std::vector<std::thread> streams;
+    streams.reserve(static_cast<std::size_t>(args.streams));
+    for (int s = 0; s < args.streams; ++s) {
+        streams.emplace_back([&, s] {
+            std::vector<std::future<serve::ServeResult>> futures;
+            futures.reserve(static_cast<std::size_t>(args.frames_per_stream));
+            for (int f = 0; f < args.frames_per_stream; ++f) {
+                const std::size_t idx =
+                    (static_cast<std::size_t>(s) * 7 + static_cast<std::size_t>(f)) %
+                    frames.size();
+                futures.push_back(router.submit(
+                    static_cast<std::uint64_t>(s) + 1, frames.image(idx)));
+                if (args.interval_ms > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double, std::milli>(args.interval_ms));
+                }
+            }
+            for (auto& fut : futures) {
+                const serve::ServeResult r = fut.get();
+                resolved_by_status[static_cast<int>(r.status)].fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : streams) t.join();
+    if (chaos.joinable()) chaos.join();
+    router.drain();
+    const cluster::FleetStats fs = router.fleet_stats();
+    router.stop();
+
+    std::printf("%s\n", fs.to_json().c_str());
+    std::uint64_t resolved = 0;
+    for (int s = 0; s < 6; ++s) resolved += resolved_by_status[s].load();
+    std::fprintf(stderr,
+                 "# cluster of %d x %d-thread workers, %d streams x %d frames "
+                 "@%d: %.1f frames/s (ok %llu, rejected %llu, shutdown %llu, "
+                 "retried %llu, deaths %llu, respawns %llu)\n",
+                 args.cluster, args.workers, args.streams,
+                 args.frames_per_stream, args.size, fs.throughput_fps,
+                 static_cast<unsigned long long>(fs.ok),
+                 static_cast<unsigned long long>(fs.rejected),
+                 static_cast<unsigned long long>(fs.shutdown),
+                 static_cast<unsigned long long>(fs.retried),
+                 static_cast<unsigned long long>(fs.worker_deaths),
+                 static_cast<unsigned long long>(fs.worker_respawns));
+
+    const std::uint64_t expected = static_cast<std::uint64_t>(args.streams) *
+                                   static_cast<std::uint64_t>(args.frames_per_stream);
+    if (resolved != expected) {
+        std::fprintf(stderr, "# FAIL: resolved %llu of %llu futures\n",
+                     static_cast<unsigned long long>(resolved),
+                     static_cast<unsigned long long>(expected));
+        return 1;
+    }
+    if (!fs.accounting_ok()) {
+        std::fprintf(stderr, "# FAIL: fleet accounting invariant violated\n");
+        return 1;
+    }
+    if (args.expect_complete && args.kill_after_ms == 0 &&
+        (fs.ok != fs.submitted || fs.rejected != 0 || fs.shutdown != 0)) {
+        std::fprintf(stderr,
+                     "# FAIL --expect-complete: submitted=%llu ok=%llu "
+                     "rejected=%llu shutdown=%llu\n",
+                     static_cast<unsigned long long>(fs.submitted),
+                     static_cast<unsigned long long>(fs.ok),
+                     static_cast<unsigned long long>(fs.rejected),
+                     static_cast<unsigned long long>(fs.shutdown));
+        return 1;
+    }
+    return 0;
+}
+
 int run(int argc, char** argv) {
     using namespace dronet;
     const Args args = parse_args(argc, argv);
+    if (args.cluster > 0) return run_cluster(args);
     set_gemm_threads(args.gemm_threads);
     if (!args.inject_plan.empty()) {
         if (!fault::compiled_in()) {
