@@ -20,13 +20,27 @@ scripts/check_docs.sh
 
 # Static analysis over the library and tools (the curated check set lives in
 # .clang-tidy; compile_commands.json comes from CMAKE_EXPORT_COMPILE_COMMANDS).
-# The tool is optional in minimal containers, so gate on its presence.
+# Enforcing: WarningsAsErrors '*' makes clang-tidy exit non-zero on any
+# finding, and pipefail propagates that — a hit fails the sweep. The tool is
+# optional in minimal containers, so gate on its presence.
 if command -v clang-tidy >/dev/null 2>&1; then
   git ls-files 'src/*.cpp' 'tools/*.cpp' \
     | xargs clang-tidy -p build --quiet 2>&1 | tee tidy_output.txt
 else
   echo "clang-tidy not found; skipping static-analysis pass" | tee tidy_output.txt
 fi
+
+# Concurrency-correctness stage (docs/static_analysis.md): rebuild with the
+# runtime lock-order deadlock detector compiled in (every sync::Mutex
+# acquisition feeds the global lock-order graph; an ABBA inversion aborts
+# with both acquisition stacks) and rerun the threaded + cluster labels.
+# Under Clang this build also promotes -Wthread-safety to an error
+# (DRONET_WERROR) and registers the tests/compile_fail negative cases.
+cmake -B build-sync -G Ninja -DDRONET_WERROR=ON -DDRONET_DEADLOCK_DETECT=ON \
+  -DDRONET_BUILD_BENCH=OFF -DDRONET_BUILD_EXAMPLES=OFF
+cmake --build build-sync
+ctest --test-dir build-sync -L "concurrency|cluster" --output-on-failure 2>&1 \
+  | tee sync_output.txt
 
 # ThreadSanitizer pass over the threaded code paths (bounded queue,
 # DetectionService workers, threaded GEMM): rebuild the `concurrency`-labeled
@@ -36,6 +50,13 @@ cmake -B build-tsan -G Ninja -DDRONET_SANITIZE=thread \
 cmake --build build-tsan
 ctest --test-dir build-tsan -L concurrency --output-on-failure 2>&1 \
   | tee tsan_output.txt
+
+# Cluster tier under TSan: the in-process slice (router + FakeWorker sockets,
+# receiver/health/dispatch threads all in one process — the part TSan can
+# see). Spawned-worker tests stay in the ASan stage below: TSan cannot follow
+# fork/exec.
+ctest --test-dir build-tsan -L cluster-inproc --output-on-failure 2>&1 \
+  | tee tsan_cluster_output.txt
 
 # Micro-batching under TSan: drive the full service (batch collector, batched
 # forward, per-future completion) through serve_bench with --expect-complete,

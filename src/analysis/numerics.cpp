@@ -34,6 +34,8 @@ NumericsError::NumericsError(const std::string& where, std::int64_t index, float
 bool numerics_checks_enabled() noexcept {
     int state = g_checks_enabled.load(std::memory_order_relaxed);
     if (state < 0) {
+        // Read once under the static initializer; no setenv in-process.
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         const char* env = std::getenv("DRONET_CHECK_NUMERICS");
         state = (env != nullptr && env_truthy(env)) ? 1 : 0;
         g_checks_enabled.store(state, std::memory_order_relaxed);

@@ -150,7 +150,7 @@ void Router::spawn_into_slot(std::size_t slot) {
         ::_exit(127);
     }
     ::close(sv[1]);
-    std::lock_guard<std::mutex> lock(mu_);  // publish fd/pid to accessors
+    sync::MutexLock lock(mu_);  // publish fd/pid to accessors
     w.fd.reset(sv[0]);
     w.pid = pid;
 }
@@ -177,7 +177,7 @@ std::future<serve::ServeResult> Router::submit(std::uint64_t client_id,
     Worker* target = nullptr;
     std::uint64_t id = 0;
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         note_first_submit_locked();
         ++counters_.submitted;
         p.frame_index = next_frame_index_++;
@@ -237,7 +237,7 @@ std::future<serve::ServeResult> Router::submit(std::uint64_t client_id,
                         --total_pending_;
                         break;
                     }
-                    capacity_cv_.wait(lock);
+                    capacity_cv_.wait(mu_);
                 }
             }
             if (target != nullptr) {
@@ -251,7 +251,7 @@ std::future<serve::ServeResult> Router::submit(std::uint64_t client_id,
         return fut;
     }
     try {
-        std::lock_guard<std::mutex> wl(target->write_mu);
+        sync::MutexLock wl(target->write_mu);
         write_frame(target->fd.get(), Opcode::kDetectRequest, id, payload);
     } catch (const std::exception&) {
         // The pending frame is registered on `target`; taking the worker out
@@ -363,7 +363,7 @@ void Router::handle_detect_response(Worker& w, const Frame& frame) {
     }
     PendingRequest p;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         // Any answered frame proves liveness as well as a pong does.
         w.consecutive_failures = 0;
         auto it = w.pending.find(frame.header.request_id);
@@ -394,7 +394,7 @@ void Router::handle_pong(Worker& w, const Frame& frame) {
     const WorkerGauges g = decode_pong(frame.payload);
     bool readmitted = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         w.gauges = g;
         w.ping_outstanding = false;
         if (w.state == WorkerState::kHalfOpen) {
@@ -412,7 +412,7 @@ void Router::handle_pong(Worker& w, const Frame& frame) {
 void Router::handle_stats_response(Worker& w, const Frame& frame) {
     std::promise<WireStats> promise;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         auto it = w.pending_stats.find(frame.header.request_id);
         if (it == w.pending_stats.end()) return;  // probe already timed out
         promise = std::move(it->second);
@@ -430,7 +430,7 @@ void Router::take_worker_out(Worker& w, WorkerState to_state, const char* reason
     std::vector<PendingRequest> stranded;
     std::vector<std::promise<WireStats>> broken_stats;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         if (w.state == WorkerState::kDead) return;
         if (to_state == WorkerState::kDead) {
             w.state = WorkerState::kDead;
@@ -465,7 +465,7 @@ void Router::redispatch_or_shed(std::vector<PendingRequest> stranded) {
         std::uint64_t id = 0;
         const int frame_index = p.frame_index;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            sync::MutexLock lock(mu_);
             if (!stopping_ && p.retries_left > 0) {
                 // Retries jump the in-flight cap: they already waited once.
                 target = pick_worker_locked(true);
@@ -491,7 +491,7 @@ void Router::redispatch_or_shed(std::vector<PendingRequest> stranded) {
         }
         (void)frame_index;
         try {
-            std::lock_guard<std::mutex> wl(target->write_mu);
+            sync::MutexLock wl(target->write_mu);
             write_frame(target->fd.get(), Opcode::kDetectRequest, id, payload);
         } catch (const std::exception&) {
             // Recursion bounded by retries_left and the worker count; the
@@ -505,14 +505,14 @@ void Router::redispatch_or_shed(std::vector<PendingRequest> stranded) {
 void Router::send_ping(Worker& w) {
     std::uint64_t id = 0;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         if (w.state == WorkerState::kDead) return;
         id = next_request_id_++;
         w.ping_sent_at = Clock::now();
         w.ping_outstanding = true;
     }
     try {
-        std::lock_guard<std::mutex> wl(w.write_mu);
+        sync::MutexLock wl(w.write_mu);
         write_frame(w.fd.get(), Opcode::kPing, id, nullptr, 0);
     } catch (const std::exception&) {
         take_worker_out(w, WorkerState::kDead, "ping write failed");
@@ -522,10 +522,14 @@ void Router::send_ping(Worker& w) {
 void Router::health_loop() {
     for (;;) {
         {
-            std::unique_lock<std::mutex> hl(health_mu_);
-            health_cv_.wait_for(
-                hl, std::chrono::milliseconds(config_.health_interval_ms),
-                [&] { return health_stop_; });
+            sync::MutexLock hl(health_mu_);
+            const auto tick_deadline =
+                Clock::now() +
+                std::chrono::milliseconds(config_.health_interval_ms);
+            while (!health_stop_ &&
+                   health_cv_.wait_until(health_mu_, tick_deadline) !=
+                       std::cv_status::timeout) {
+            }
             if (health_stop_) return;
         }
         for (auto& wp : workers_) {
@@ -533,7 +537,7 @@ void Router::health_loop() {
             enum class Action { kNone, kPing, kEject, kRespawn };
             Action action = Action::kNone;
             {
-                std::lock_guard<std::mutex> lock(mu_);
+                sync::MutexLock lock(mu_);
                 const auto now = Clock::now();
                 const bool overdue =
                     w.ping_outstanding &&
@@ -592,7 +596,7 @@ void Router::health_loop() {
                         w.fd.reset();
                         spawn_into_slot(w.slot);
                         {
-                            std::lock_guard<std::mutex> lock(mu_);
+                            sync::MutexLock lock(mu_);
                             w.state = WorkerState::kUp;
                             w.consecutive_failures = 0;
                             w.ping_outstanding = false;
@@ -612,21 +616,21 @@ void Router::health_loop() {
 }
 
 void Router::drain() {
-    std::unique_lock<std::mutex> lock(mu_);
-    drained_cv_.wait(lock, [&] { return total_pending_ == 0; });
+    sync::MutexLock lock(mu_);
+    while (total_pending_ != 0) drained_cv_.wait(mu_);
 }
 
 void Router::stop() {
-    std::lock_guard<std::mutex> sg(stop_mu_);
+    sync::MutexLock sg(stop_mu_);
     if (stopped_.exchange(true)) return;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         stopping_ = true;
     }
     capacity_cv_.notify_all();
     // Health thread first: no more pings or respawns while tearing down.
     {
-        std::lock_guard<std::mutex> hl(health_mu_);
+        sync::MutexLock hl(health_mu_);
         health_stop_ = true;
     }
     health_cv_.notify_all();
@@ -636,12 +640,12 @@ void Router::stop() {
         Worker& w = *wp;
         bool connected = false;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            sync::MutexLock lock(mu_);
             connected = w.state != WorkerState::kDead;
         }
         if (!connected) continue;
         try {
-            std::lock_guard<std::mutex> wl(w.write_mu);
+            sync::MutexLock wl(w.write_mu);
             write_frame(w.fd.get(), Opcode::kShutdown, 0, nullptr, 0);
         } catch (const std::exception&) {
             take_worker_out(w, WorkerState::kDead, "shutdown write failed");
@@ -649,10 +653,14 @@ void Router::stop() {
     }
     // Give in-flight frames a bounded window to come back answered.
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        drained_cv_.wait_for(
-            lock, std::chrono::milliseconds(config_.shutdown_timeout_ms),
-            [&] { return total_pending_ == 0; });
+        sync::MutexLock lock(mu_);
+        const auto deadline =
+            Clock::now() +
+            std::chrono::milliseconds(config_.shutdown_timeout_ms);
+        while (total_pending_ != 0 &&
+               drained_cv_.wait_until(mu_, deadline) !=
+                   std::cv_status::timeout) {
+        }
     }
     // Sever connections: blocked receivers wake with EOF and their
     // take_worker_out resolves any straggler as kShutdown (stopping_ is set,
@@ -682,7 +690,7 @@ FleetStats Router::fleet_stats(std::int64_t timeout_ms) {
         std::uint64_t id = 0;
         std::future<WireStats> fut;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            sync::MutexLock lock(mu_);
             if (w.state == WorkerState::kDead) continue;
             id = next_request_id_++;
             std::promise<WireStats> promise;
@@ -690,7 +698,7 @@ FleetStats Router::fleet_stats(std::int64_t timeout_ms) {
             w.pending_stats.emplace(id, std::move(promise));
         }
         try {
-            std::lock_guard<std::mutex> wl(w.write_mu);
+            sync::MutexLock wl(w.write_mu);
             write_frame(w.fd.get(), Opcode::kStatsRequest, id, nullptr, 0);
         } catch (const std::exception&) {
             take_worker_out(w, WorkerState::kDead, "stats write failed");
@@ -700,7 +708,7 @@ FleetStats Router::fleet_stats(std::int64_t timeout_ms) {
     }
     FleetStats out;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         out = counters_;
         if (clock_started_) {
             out.wall_seconds =
@@ -713,7 +721,7 @@ FleetStats Router::fleet_stats(std::int64_t timeout_ms) {
     for (Probe& probe : probes) {
         if (probe.fut.wait_for(std::chrono::milliseconds(timeout_ms)) !=
             std::future_status::ready) {
-            std::lock_guard<std::mutex> lock(mu_);
+            sync::MutexLock lock(mu_);
             probe.worker->pending_stats.erase(probe.id);
             continue;
         }
@@ -732,17 +740,17 @@ FleetStats Router::fleet_stats(std::int64_t timeout_ms) {
 std::size_t Router::slots() const noexcept { return workers_.size(); }
 
 WorkerState Router::worker_state(std::size_t slot) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return workers_.at(slot)->state;
 }
 
 pid_t Router::worker_pid(std::size_t slot) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return workers_.at(slot)->pid;
 }
 
 int Router::alive_workers() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     int n = 0;
     for (const auto& w : workers_) {
         if (w->state == WorkerState::kUp) ++n;
@@ -753,7 +761,7 @@ int Router::alive_workers() const {
 void Router::kill_worker(std::size_t slot) {
     pid_t pid = -1;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         pid = workers_.at(slot)->pid;
     }
     if (pid > 0) ::kill(pid, SIGKILL);

@@ -29,12 +29,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +41,7 @@
 #include "image/image.hpp"
 #include "io/fdio.hpp"
 #include "serve/detection_service.hpp"
+#include "sync/mutex.hpp"
 
 namespace dronet::cluster {
 
@@ -206,9 +205,12 @@ class Router {
         io::UniqueFd fd;
         pid_t pid = -1;  ///< -1 for adopted workers
         std::thread receiver;
-        std::mutex write_mu;  ///< serializes frames onto the socket
+        sync::Mutex write_mu{"Router::Worker::write_mu"};  ///< serializes frames onto the socket
 
-        // Everything below is guarded by Router::mu_.
+        // Everything below is guarded by Router::mu_. (The thread-safety
+        // analysis cannot express GUARDED_BY on a nested struct's fields
+        // referring to the outer class's mutex; the *_locked methods carry
+        // REQUIRES(mu_) instead.)
         WorkerState state = WorkerState::kUp;
         std::size_t inflight = 0;
         std::map<std::uint64_t, PendingRequest> pending;
@@ -241,40 +243,41 @@ class Router {
     /// Re-dispatches stranded frames or resolves them kShutdown. mu_ NOT held.
     void redispatch_or_shed(std::vector<PendingRequest> stranded);
     /// Picks a dispatch target under mu_; nullptr when none is eligible.
-    [[nodiscard]] Worker* pick_worker_locked(bool ignore_inflight_limit);
+    [[nodiscard]] Worker* pick_worker_locked(bool ignore_inflight_limit)
+        REQUIRES(mu_);
     /// Registers `p` on `w` under mu_ and returns the encoded request frame
     /// bytes + id for the caller to write outside the lock.
-    std::uint64_t register_locked(Worker& w, PendingRequest p);
+    std::uint64_t register_locked(Worker& w, PendingRequest p) REQUIRES(mu_);
     void resolve_shed(PendingRequest p, serve::ServeStatus status,
                       std::string error);
-    void count_resolution_locked(serve::ServeStatus status);
-    void note_first_submit_locked();
+    void count_resolution_locked(serve::ServeStatus status) REQUIRES(mu_);
+    void note_first_submit_locked() REQUIRES(mu_);
 
     RouterConfig config_;
     std::vector<std::unique_ptr<Worker>> workers_;
 
-    mutable std::mutex mu_;
-    std::condition_variable capacity_cv_;  ///< a worker slot freed / state change
-    std::condition_variable drained_cv_;   ///< pending count hit zero
-    bool stopping_ = false;
-    std::uint64_t next_request_id_ = 1;
-    int next_frame_index_ = 0;
-    std::size_t rr_next_ = 0;
-    std::uint64_t total_pending_ = 0;
-    std::map<std::uint64_t, ClientState> clients_;
+    mutable sync::Mutex mu_{"Router::mu"};
+    sync::CondVar capacity_cv_;  ///< a worker slot freed / state change
+    sync::CondVar drained_cv_;   ///< pending count hit zero
+    bool stopping_ GUARDED_BY(mu_) = false;
+    std::uint64_t next_request_id_ GUARDED_BY(mu_) = 1;
+    int next_frame_index_ GUARDED_BY(mu_) = 0;
+    std::size_t rr_next_ GUARDED_BY(mu_) = 0;
+    std::uint64_t total_pending_ GUARDED_BY(mu_) = 0;
+    std::map<std::uint64_t, ClientState> clients_ GUARDED_BY(mu_);
 
-    // Router counters (guarded by mu_; snapshot into FleetStats).
-    FleetStats counters_;
-    bool clock_started_ = false;
-    std::chrono::steady_clock::time_point first_submit_;
-    std::chrono::steady_clock::time_point last_resolution_;
+    // Router counters (snapshot into FleetStats).
+    FleetStats counters_ GUARDED_BY(mu_);
+    bool clock_started_ GUARDED_BY(mu_) = false;
+    std::chrono::steady_clock::time_point first_submit_ GUARDED_BY(mu_);
+    std::chrono::steady_clock::time_point last_resolution_ GUARDED_BY(mu_);
 
     std::thread health_;
-    std::mutex health_mu_;
-    std::condition_variable health_cv_;
-    bool health_stop_ = false;
+    sync::Mutex health_mu_{"Router::health_mu"};
+    sync::CondVar health_cv_;
+    bool health_stop_ GUARDED_BY(health_mu_) = false;
 
-    std::mutex stop_mu_;  ///< serializes stop() callers
+    sync::Mutex stop_mu_{"Router::stop_mu"};  ///< serializes stop() callers
     std::atomic<bool> stopped_{false};
 };
 

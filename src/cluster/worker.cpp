@@ -34,7 +34,7 @@ void WorkerServer::respond(std::uint64_t request_id, const serve::ServeResult& r
     wire.detections = r.frame.detections;
     wire.error = r.error;
     const std::vector<std::uint8_t> payload = encode_detect_response(wire);
-    std::lock_guard<std::mutex> lock(write_mu_);
+    sync::MutexLock lock(write_mu_);
     write_frame(fd_, Opcode::kDetectResponse, request_id, payload);
 }
 
@@ -69,7 +69,7 @@ std::uint64_t WorkerServer::run() {
                     try {
                         img = decode_detect_request(frame.payload);
                     } catch (const std::exception& e) {
-                        std::lock_guard<std::mutex> lock(write_mu_);
+                        sync::MutexLock lock(write_mu_);
                         write_frame(fd_, Opcode::kError, id, encode_error(e.what()));
                         break;
                     }
@@ -83,14 +83,14 @@ std::uint64_t WorkerServer::run() {
                 case Opcode::kPing: {
                     const serve::ServeStatsSnapshot s = service_.stats();
                     const WorkerGauges g{s.queue_depth, s.in_flight, s.uptime_ms};
-                    std::lock_guard<std::mutex> lock(write_mu_);
+                    sync::MutexLock lock(write_mu_);
                     write_frame(fd_, Opcode::kPong, id, encode_pong(g));
                     break;
                 }
                 case Opcode::kStatsRequest: {
                     const std::vector<std::uint8_t> payload =
                         encode_stats_response(service_.stats());
-                    std::lock_guard<std::mutex> lock(write_mu_);
+                    sync::MutexLock lock(write_mu_);
                     write_frame(fd_, Opcode::kStatsResponse, id, payload);
                     break;
                 }
@@ -98,7 +98,7 @@ std::uint64_t WorkerServer::run() {
                     shutdown_requested = true;
                     break;
                 default: {
-                    std::lock_guard<std::mutex> lock(write_mu_);
+                    sync::MutexLock lock(write_mu_);
                     write_frame(fd_, Opcode::kError, id,
                                 encode_error(std::string("unexpected opcode ") +
                                              to_string(opcode)));
@@ -119,7 +119,7 @@ std::uint64_t WorkerServer::run() {
     resolver.join();
     if (shutdown_requested && !peer_gone_.load(std::memory_order_acquire)) {
         try {
-            std::lock_guard<std::mutex> lock(write_mu_);
+            sync::MutexLock lock(write_mu_);
             write_frame(fd_, Opcode::kShutdownAck, 0, nullptr, 0);
         } catch (const std::exception&) {
             // Router left without waiting for the ack; nothing to do.

@@ -17,11 +17,11 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <thread>
 
 #include "serve/bounded_queue.hpp"
 #include "serve/detection_service.hpp"
+#include "sync/mutex.hpp"
 
 namespace dronet::cluster {
 
@@ -50,7 +50,7 @@ class WorkerServer {
 
     serve::DetectionService& service_;
     int fd_;
-    std::mutex write_mu_;  ///< reader (pong/stats/error) vs resolver responses
+    sync::Mutex write_mu_{"WorkerServer::write_mu"};  ///< reader (pong/stats/error) vs resolver responses
     /// FIFO of submitted-but-unanswered requests. Every future resolves (the
     /// service guarantees it), so the resolver can wait on them in order;
     /// responses still carry their request id, so ordering is cosmetic.

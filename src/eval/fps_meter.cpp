@@ -40,7 +40,7 @@ double FpsMeter::fps() const noexcept {
 
 void ConcurrentFpsMeter::record_latency_ms(double ms) {
     const auto now = Clock::now();
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (frames_ == 0) first_ = now;
     last_ = now;
     total_ms_ += ms;
@@ -49,22 +49,22 @@ void ConcurrentFpsMeter::record_latency_ms(double ms) {
 }
 
 int ConcurrentFpsMeter::frames() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return frames_;
 }
 
 double ConcurrentFpsMeter::mean_latency_ms() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return frames_ > 0 ? total_ms_ / frames_ : 0.0;
 }
 
 double ConcurrentFpsMeter::max_latency_ms() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return max_ms_;
 }
 
 double ConcurrentFpsMeter::fps() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (frames_ < 2) return 0.0;
     const double seconds = std::chrono::duration<double>(last_ - first_).count();
     return seconds > 0 ? static_cast<double>(frames_ - 1) / seconds : 0.0;

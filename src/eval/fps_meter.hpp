@@ -3,7 +3,8 @@
 
 #include <chrono>
 #include <functional>
-#include <mutex>
+
+#include "sync/mutex.hpp"
 
 namespace dronet {
 
@@ -52,12 +53,12 @@ class ConcurrentFpsMeter {
 
   private:
     using Clock = std::chrono::steady_clock;
-    mutable std::mutex mu_;
-    Clock::time_point first_{};
-    Clock::time_point last_{};
-    double total_ms_ = 0;
-    double max_ms_ = 0;
-    int frames_ = 0;
+    mutable sync::Mutex mu_{"ConcurrentFpsMeter::mu"};
+    Clock::time_point first_ GUARDED_BY(mu_){};
+    Clock::time_point last_ GUARDED_BY(mu_){};
+    double total_ms_ GUARDED_BY(mu_) = 0;
+    double max_ms_ GUARDED_BY(mu_) = 0;
+    int frames_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dronet

@@ -93,7 +93,7 @@ FaultInjector& FaultInjector::instance() {
 }
 
 void FaultInjector::install(FaultPlan plan) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     armed_.clear();
     site_calls_.clear();
     for (FaultSpec& spec : plan.specs) {
@@ -104,7 +104,7 @@ void FaultInjector::install(FaultPlan plan) {
 }
 
 void FaultInjector::clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     armed_.clear();
     site_calls_.clear();
     active_.store(false, std::memory_order_release);
@@ -113,7 +113,7 @@ void FaultInjector::clear() {
 FaultInjector::Decision FaultInjector::decide(const char* site, bool io_site,
                                               std::size_t want) {
     Decision d;
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     auto it = std::find_if(site_calls_.begin(), site_calls_.end(),
                            [&](const auto& e) { return e.first == site; });
     if (it == site_calls_.end()) {
@@ -177,7 +177,7 @@ std::size_t FaultInjector::io_bytes(const char* site, std::size_t want) {
 }
 
 std::uint64_t FaultInjector::calls(const std::string& site) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     for (const auto& [name, count] : site_calls_) {
         if (name == site) return count;
     }
@@ -185,7 +185,7 @@ std::uint64_t FaultInjector::calls(const std::string& site) const {
 }
 
 std::uint64_t FaultInjector::fires(const std::string& site) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     std::uint64_t total = 0;
     for (const Armed& a : armed_) {
         if (a.spec.site == site) total += a.fires;

@@ -34,11 +34,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <random>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "sync/mutex.hpp"
 
 namespace dronet::fault {
 
@@ -156,12 +157,14 @@ class FaultInjector {
         std::string message;
         bool fired = false;
     };
-    [[nodiscard]] Decision decide(const char* site, bool io_site, std::size_t want);
+    [[nodiscard]] Decision decide(const char* site, bool io_site,
+                                  std::size_t want) EXCLUDES(mu_);
 
-    mutable std::mutex mu_;
-    std::vector<Armed> armed_;
-    std::vector<std::pair<std::string, std::uint64_t>> site_calls_;
-    std::mt19937_64 rng_{0x5eed};
+    mutable sync::Mutex mu_{"FaultInjector::mu"};
+    std::vector<Armed> armed_ GUARDED_BY(mu_);
+    std::vector<std::pair<std::string, std::uint64_t>> site_calls_
+        GUARDED_BY(mu_);
+    std::mt19937_64 rng_ GUARDED_BY(mu_){0x5eed};
     std::atomic<bool> active_{false};
 };
 

@@ -13,6 +13,8 @@ namespace {
 std::vector<std::filesystem::path> search_dirs() {
     // An explicit DRONET_WEIGHTS_DIR is authoritative (no fallbacks), so a
     // caller can point at a specific checkpoint set deterministically.
+    // Tools read this at startup before any thread spawns; the process
+    // never calls setenv. NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("DRONET_WEIGHTS_DIR")) return {env};
     return {"weights", "../weights", "../../weights"};
 }

@@ -17,6 +17,9 @@ std::uint64_t now_ns() noexcept {
 }
 
 bool env_default() noexcept {
+    // Read once under call_once-like static init (flag() below); no
+    // concurrent setenv in this process.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("DRONET_PROFILE");
     return env != nullptr && env[0] != '\0' &&
            !(env[0] == '0' && env[1] == '\0');
@@ -51,6 +54,7 @@ double LayerStat::gflops() const noexcept {
 void ForwardProfiler::record_layer(int index, std::string_view name,
                                    std::int64_t flops, double ms) {
     if (index < 0) return;
+    sync::MutexLock lock(mu_);
     if (static_cast<std::size_t>(index) >= layers_.size()) {
         layers_.resize(static_cast<std::size_t>(index) + 1);
     }
@@ -65,23 +69,51 @@ void ForwardProfiler::record_layer(int index, std::string_view name,
 }
 
 void ForwardProfiler::record_forward(double ms) {
+    sync::MutexLock lock(mu_);
     ++forwards_;
     total_forward_ms_ += ms;
 }
 
+std::size_t ForwardProfiler::layer_count() const {
+    sync::MutexLock lock(mu_);
+    return layers_.size();
+}
+
+std::vector<LayerStat> ForwardProfiler::layers() const {
+    sync::MutexLock lock(mu_);
+    return layers_;
+}
+
+std::uint64_t ForwardProfiler::forwards() const {
+    sync::MutexLock lock(mu_);
+    return forwards_;
+}
+
+double ForwardProfiler::total_forward_ms() const {
+    sync::MutexLock lock(mu_);
+    return total_forward_ms_;
+}
+
 double ForwardProfiler::layer_sum_ms() const {
+    sync::MutexLock lock(mu_);
+    return layer_sum_ms_locked();
+}
+
+double ForwardProfiler::layer_sum_ms_locked() const {
     double sum = 0.0;
     for (const LayerStat& s : layers_) sum += s.total_ms;
     return sum;
 }
 
 void ForwardProfiler::reset() {
+    sync::MutexLock lock(mu_);
     layers_.clear();
     forwards_ = 0;
     total_forward_ms_ = 0.0;
 }
 
 std::string ForwardProfiler::report_text() const {
+    sync::MutexLock lock(mu_);
     std::ostringstream os;
     os.setf(std::ios::fixed);
     const double total = total_forward_ms_;
@@ -107,7 +139,7 @@ std::string ForwardProfiler::report_text() const {
         os << s.gflops() << "\n";
     }
     os.precision(3);
-    os << "forwards " << forwards_ << ", layer sum " << layer_sum_ms()
+    os << "forwards " << forwards_ << ", layer sum " << layer_sum_ms_locked()
        << " ms, end-to-end " << total_forward_ms_ << " ms";
     if (forwards_ > 0) {
         os << " (" << total_forward_ms_ / static_cast<double>(forwards_)
@@ -118,10 +150,11 @@ std::string ForwardProfiler::report_text() const {
 }
 
 std::string ForwardProfiler::report_json() const {
+    sync::MutexLock lock(mu_);
     std::ostringstream os;
     os.setf(std::ios::fixed);
     os.precision(4);
-    const double sum = layer_sum_ms();
+    const double sum = layer_sum_ms_locked();
     os << "{\"forwards\":" << forwards_
        << ",\"forward_ms_total\":" << total_forward_ms_ << ",\"forward_ms_mean\":"
        << (forwards_ > 0 ? total_forward_ms_ / static_cast<double>(forwards_) : 0.0)

@@ -11,8 +11,11 @@
 // relaxed atomic load. Enable with the DRONET_PROFILE environment variable
 // (any value except "0") or programmatically via set_profiling(true).
 // Each Network owns its own ForwardProfiler, so DetectionService replicas
-// profile independently and no locking is needed on the hot path (a single
-// network's forward is always driven by one thread at a time).
+// profile independently; a single network's forward is always driven by one
+// thread at a time, so the internal mutex is uncontended on the hot path. It
+// exists because *reports* are read from other threads (DetectionService::
+// profile_reports aggregates replica profilers) — the lock makes those reads
+// well-defined and lets the thread-safety analysis check the discipline.
 //
 // Consumers: tools/profile (per-layer breakdown CLI), tools/detect
 // --profile, tools/serve_bench --profile, docs/performance.md.
@@ -22,6 +25,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "sync/mutex.hpp"
 
 namespace dronet::profile {
 
@@ -44,43 +49,45 @@ struct LayerStat {
     [[nodiscard]] double gflops() const noexcept;
 };
 
-/// Per-network aggregation sink. Not thread-safe by itself: a network's
-/// forward pass is single-threaded, and DetectionService gives each replica
-/// its own profiler. Read reports only while the owning network is quiescent.
+/// Per-network aggregation sink. Records are serialized by the internal
+/// mutex; a network's forward pass is single-threaded, so the lock is
+/// uncontended unless reports are read concurrently.
 class ForwardProfiler {
   public:
     /// Adds `ms` of wall time to layer `index`, creating its slot on first
     /// sight. `name`/`flops` are sticky from the first record.
     void record_layer(int index, std::string_view name, std::int64_t flops,
-                      double ms);
+                      double ms) EXCLUDES(mu_);
 
     /// Adds one completed end-to-end forward of `ms` wall time.
-    void record_forward(double ms);
+    void record_forward(double ms) EXCLUDES(mu_);
 
-    [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
-    [[nodiscard]] const std::vector<LayerStat>& layers() const noexcept {
-        return layers_;
-    }
-    [[nodiscard]] std::uint64_t forwards() const noexcept { return forwards_; }
+    [[nodiscard]] std::size_t layer_count() const EXCLUDES(mu_);
+    /// Snapshot of the per-layer stats (copied under the lock).
+    [[nodiscard]] std::vector<LayerStat> layers() const EXCLUDES(mu_);
+    [[nodiscard]] std::uint64_t forwards() const EXCLUDES(mu_);
     /// End-to-end forward wall time summed over all recorded forwards.
-    [[nodiscard]] double total_forward_ms() const noexcept { return total_forward_ms_; }
+    [[nodiscard]] double total_forward_ms() const EXCLUDES(mu_);
     /// Sum of per-layer wall time (<= total_forward_ms; the difference is
     /// loop overhead: shape checks, the input copy, timer reads).
-    [[nodiscard]] double layer_sum_ms() const;
+    [[nodiscard]] double layer_sum_ms() const EXCLUDES(mu_);
 
-    void reset();
+    void reset() EXCLUDES(mu_);
 
     /// Human table: one line per layer with share-of-total and GFLOP/s.
-    [[nodiscard]] std::string report_text() const;
+    [[nodiscard]] std::string report_text() const EXCLUDES(mu_);
     /// Single JSON object: {"forwards", "forward_ms_total", "forward_ms_mean",
     /// "layer_sum_ms", "coverage", "layers": [...]} — the tools/profile
     /// --json payload.
-    [[nodiscard]] std::string report_json() const;
+    [[nodiscard]] std::string report_json() const EXCLUDES(mu_);
 
   private:
-    std::vector<LayerStat> layers_;
-    std::uint64_t forwards_ = 0;
-    double total_forward_ms_ = 0.0;
+    [[nodiscard]] double layer_sum_ms_locked() const REQUIRES(mu_);
+
+    mutable sync::Mutex mu_{"ForwardProfiler::mu"};
+    std::vector<LayerStat> layers_ GUARDED_BY(mu_);
+    std::uint64_t forwards_ GUARDED_BY(mu_) = 0;
+    double total_forward_ms_ GUARDED_BY(mu_) = 0.0;
 };
 
 /// RAII wall-clock timer: records into `sink` at destruction. A null sink

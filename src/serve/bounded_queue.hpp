@@ -9,15 +9,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "sync/mutex.hpp"
 
 namespace dronet::serve {
 
@@ -57,12 +56,12 @@ class BoundedQueue {
     /// kClosed the argument is left unconsumed (not moved from). On
     /// kEvictedOldest the evicted element is moved into `*evicted` when the
     /// caller provides one (so a serving layer can fail that frame's future).
-    PushOutcome push(T&& item, std::optional<T>* evicted = nullptr) {
+    PushOutcome push(T&& item, std::optional<T>* evicted = nullptr)
+        EXCLUDES(mu_) {
         DRONET_FAULT_POINT(fault::kSiteQueuePush);  // before the lock: latency
-        std::unique_lock<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         if (policy_ == BackpressurePolicy::kBlock) {
-            not_full_.wait(lock,
-                           [&] { return closed_ || items_.size() < capacity_; });
+            while (!closed_ && items_.size() >= capacity_) not_full_.wait(mu_);
         }
         if (closed_) return PushOutcome::kClosed;
         PushOutcome outcome = PushOutcome::kEnqueued;
@@ -81,9 +80,9 @@ class BoundedQueue {
 
     /// Blocks until an item is available or the queue is closed and drained;
     /// returns nullopt only in the latter case.
-    std::optional<T> pop() {
-        std::unique_lock<std::mutex> lock(mu_);
-        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    std::optional<T> pop() EXCLUDES(mu_) {
+        sync::MutexLock lock(mu_);
+        while (!closed_ && items_.empty()) not_empty_.wait(mu_);
         if (items_.empty()) return std::nullopt;  // closed and drained
         T item = std::move(items_.front());
         items_.pop_front();
@@ -98,28 +97,28 @@ class BoundedQueue {
     /// number taken, which is 0 only when the queue is closed and drained.
     /// A zero `linger` takes whatever is already queued without waiting.
     std::size_t pop_batch(std::vector<T>& out, std::size_t max_items,
-                          std::chrono::microseconds linger) {
+                          std::chrono::microseconds linger) EXCLUDES(mu_) {
         if (max_items == 0) return 0;
         DRONET_FAULT_POINT(fault::kSiteQueuePop);  // before the lock: latency
-        std::unique_lock<std::mutex> lock(mu_);
-        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        sync::MutexLock lock(mu_);
+        while (!closed_ && items_.empty()) not_empty_.wait(mu_);
         if (items_.empty()) return 0;  // closed and drained
         std::size_t taken = 0;
-        const auto take_available = [&] {
-            while (taken < max_items && !items_.empty()) {
-                out.push_back(std::move(items_.front()));
-                items_.pop_front();
-                ++taken;
-            }
-        };
-        take_available();
+        take_available_locked(out, taken, max_items);
         if (linger.count() > 0 && taken < max_items) {
             const auto deadline = std::chrono::steady_clock::now() + linger;
             while (taken < max_items) {
-                const bool woke = not_empty_.wait_until(
-                    lock, deadline, [&] { return closed_ || !items_.empty(); });
-                if (!woke || items_.empty()) break;  // timed out, or closed dry
-                take_available();
+                bool timed_out = false;
+                while (!closed_ && items_.empty()) {
+                    if (not_empty_.wait_until(mu_, deadline) ==
+                        std::cv_status::timeout) {
+                        timed_out = true;
+                        break;
+                    }
+                }
+                if (items_.empty()) break;  // timed out, or closed dry
+                take_available_locked(out, taken, max_items);
+                if (timed_out) break;
             }
         }
         lock.unlock();
@@ -130,8 +129,8 @@ class BoundedQueue {
     }
 
     /// Non-blocking pop; false when empty (regardless of closed state).
-    bool try_pop(T& out) {
-        std::unique_lock<std::mutex> lock(mu_);
+    bool try_pop(T& out) EXCLUDES(mu_) {
+        sync::MutexLock lock(mu_);
         if (items_.empty()) return false;
         out = std::move(items_.front());
         items_.pop_front();
@@ -142,22 +141,22 @@ class BoundedQueue {
 
     /// Closes the queue: subsequent pushes fail with kClosed, blocked
     /// producers and consumers wake up. Items already queued remain poppable.
-    void close() {
+    void close() EXCLUDES(mu_) {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            sync::MutexLock lock(mu_);
             closed_ = true;
         }
         not_empty_.notify_all();
         not_full_.notify_all();
     }
 
-    [[nodiscard]] bool closed() const {
-        std::lock_guard<std::mutex> lock(mu_);
+    [[nodiscard]] bool closed() const EXCLUDES(mu_) {
+        sync::MutexLock lock(mu_);
         return closed_;
     }
 
-    [[nodiscard]] std::size_t size() const {
-        std::lock_guard<std::mutex> lock(mu_);
+    [[nodiscard]] std::size_t size() const EXCLUDES(mu_) {
+        sync::MutexLock lock(mu_);
         return items_.size();
     }
 
@@ -165,13 +164,23 @@ class BoundedQueue {
     [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
 
   private:
-    mutable std::mutex mu_;
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::deque<T> items_;
+    /// Moves up to `max_items - taken` queued items into `out`.
+    void take_available_locked(std::vector<T>& out, std::size_t& taken,
+                               std::size_t max_items) REQUIRES(mu_) {
+        while (taken < max_items && !items_.empty()) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+            ++taken;
+        }
+    }
+
+    mutable sync::Mutex mu_{"BoundedQueue::mu"};
+    sync::CondVar not_empty_;
+    sync::CondVar not_full_;
+    std::deque<T> items_ GUARDED_BY(mu_);
     const std::size_t capacity_;
     const BackpressurePolicy policy_;
-    bool closed_ = false;
+    bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dronet::serve

@@ -127,7 +127,7 @@ std::future<ServeResult> DetectionService::submit(Image frame) {
     }
 
     {
-        std::lock_guard<std::mutex> lock(inflight_mu_);
+        sync::MutexLock lock(inflight_mu_);
         ++accepted_;
     }
     const int frame_index = job.frame_index;
@@ -269,10 +269,11 @@ void DetectionService::on_worker_death(WorkerSlot& slot, std::vector<Job>& jobs,
 }
 
 void DetectionService::watchdog_loop() {
-    std::unique_lock<std::mutex> lock(watchdog_mu_);
+    sync::MutexLock lock(watchdog_mu_);
     while (!stopping_) {
         watchdog_cv_.wait_for(
-            lock, std::chrono::milliseconds(config_.watchdog_interval_ms));
+            watchdog_mu_,
+            std::chrono::milliseconds(config_.watchdog_interval_ms));
         if (stopping_) return;
         lock.unlock();
         for (std::size_t i = 0; i < slots_.size(); ++i) {
@@ -281,7 +282,7 @@ void DetectionService::watchdog_loop() {
                 continue;
             }
             {
-                std::lock_guard<std::mutex> tl(threads_mu_);
+                sync::MutexLock tl(threads_mu_);
                 if (slot.thread.joinable()) slot.thread.join();
                 slot.state.store(WorkerSlot::kRunning, std::memory_order_release);
                 slot.thread =
@@ -428,7 +429,7 @@ void DetectionService::process_batch(Network& net, std::vector<Job>& jobs,
 
 bool DetectionService::breaker_allows() {
     if (config_.breaker_threshold <= 0) return true;
-    std::lock_guard<std::mutex> lock(breaker_mu_);
+    sync::MutexLock lock(breaker_mu_);
     if (!breaker_open_) return true;
     const double open_ms = ms_since(breaker_opened_at_);
     if (open_ms >= static_cast<double>(config_.breaker_open_ms)) {
@@ -443,7 +444,7 @@ bool DetectionService::breaker_allows() {
 
 void DetectionService::note_frame_failure() {
     if (config_.breaker_threshold <= 0) return;
-    std::lock_guard<std::mutex> lock(breaker_mu_);
+    sync::MutexLock lock(breaker_mu_);
     ++breaker_failures_;
     if (!breaker_open_ && breaker_failures_ >= config_.breaker_threshold) {
         breaker_open_ = true;
@@ -454,21 +455,21 @@ void DetectionService::note_frame_failure() {
 
 void DetectionService::note_frame_success() {
     if (config_.breaker_threshold <= 0) return;
-    std::lock_guard<std::mutex> lock(breaker_mu_);
+    sync::MutexLock lock(breaker_mu_);
     breaker_failures_ = 0;
 }
 
 ServeStatsSnapshot DetectionService::stats() const {
     ServeStatsSnapshot s = stats_.snapshot();
     if (config_.breaker_threshold > 0) {
-        std::lock_guard<std::mutex> lock(breaker_mu_);
+        sync::MutexLock lock(breaker_mu_);
         if (breaker_open_) {
             s.breaker_open_ms += ms_since(breaker_opened_at_);
         }
     }
     s.queue_depth = queue_.size();
     {
-        std::lock_guard<std::mutex> lock(inflight_mu_);
+        sync::MutexLock lock(inflight_mu_);
         s.in_flight = accepted_ - resolved_;
     }
     s.uptime_ms = static_cast<std::uint64_t>(ms_since(started_at_));
@@ -477,15 +478,15 @@ ServeStatsSnapshot DetectionService::stats() const {
 
 void DetectionService::finish_one() {
     {
-        std::lock_guard<std::mutex> lock(inflight_mu_);
+        sync::MutexLock lock(inflight_mu_);
         ++resolved_;
     }
     inflight_cv_.notify_all();
 }
 
 void DetectionService::drain() {
-    std::unique_lock<std::mutex> lock(inflight_mu_);
-    inflight_cv_.wait(lock, [&] { return resolved_ >= accepted_; });
+    sync::MutexLock lock(inflight_mu_);
+    while (resolved_ < accepted_) inflight_cv_.wait(inflight_mu_);
 }
 
 void DetectionService::stop() {
@@ -493,15 +494,15 @@ void DetectionService::stop() {
     queue_.close();
     // Serialize joins so stop() is safe to call from several threads (and
     // again from the destructor).
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    sync::MutexLock lock(stop_mu_);
     {
-        std::lock_guard<std::mutex> wl(watchdog_mu_);
+        sync::MutexLock wl(watchdog_mu_);
         stopping_ = true;
     }
     watchdog_cv_.notify_all();
     if (watchdog_.joinable()) watchdog_.join();
     {
-        std::lock_guard<std::mutex> tl(threads_mu_);
+        sync::MutexLock tl(threads_mu_);
         for (auto& slot : slots_) {
             if (slot->thread.joinable()) slot->thread.join();
         }

@@ -26,11 +26,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +36,7 @@
 #include "nn/network.hpp"
 #include "serve/bounded_queue.hpp"
 #include "serve/serve_stats.hpp"
+#include "sync/mutex.hpp"
 #include "video/pipeline.hpp"
 
 namespace dronet::serve {
@@ -203,10 +202,10 @@ class DetectionService {
     void resolve(Job& job, ServeResult r);
     void expire_overdue(std::vector<Job>& jobs);
     void apply_degrade_mode(Network& net, bool& degraded_now);
-    [[nodiscard]] bool breaker_allows();
-    void note_frame_failure();
-    void note_frame_success();
-    void finish_one();
+    [[nodiscard]] bool breaker_allows() EXCLUDES(breaker_mu_);
+    void note_frame_failure() EXCLUDES(breaker_mu_);
+    void note_frame_success() EXCLUDES(breaker_mu_);
+    void finish_one() EXCLUDES(inflight_mu_);
 
     ServiceConfig config_;
     AltitudeFilter altitude_filter_;
@@ -220,27 +219,31 @@ class DetectionService {
     std::atomic<int> next_index_{0};
     std::atomic<bool> stopped_{false};
     std::atomic<bool> degraded_{false};
-    std::mutex stop_mu_;     ///< serializes stop() callers
-    std::mutex threads_mu_;  ///< guards WorkerSlot::thread join/respawn
+    sync::Mutex stop_mu_{"DetectionService::stop_mu"};  ///< serializes stop()
+    /// Guards WorkerSlot::thread join/respawn. (The slots live behind
+    /// unique_ptrs in slots_, so the guarded data cannot carry a GUARDED_BY
+    /// referring back to this member.)
+    sync::Mutex threads_mu_{"DetectionService::threads_mu"};
 
     // Watchdog.
     std::thread watchdog_;
-    std::mutex watchdog_mu_;
-    std::condition_variable watchdog_cv_;
-    bool stopping_ = false;  ///< guarded by watchdog_mu_
+    sync::Mutex watchdog_mu_{"DetectionService::watchdog_mu"};
+    sync::CondVar watchdog_cv_;
+    bool stopping_ GUARDED_BY(watchdog_mu_) = false;
 
-    // Circuit breaker (guarded by breaker_mu_; mutable so stats() can fold
-    // the live open interval into the snapshot).
-    mutable std::mutex breaker_mu_;
-    int breaker_failures_ = 0;
-    bool breaker_open_ = false;
-    std::chrono::steady_clock::time_point breaker_opened_at_;
+    // Circuit breaker (mutable so stats() can fold the live open interval
+    // into the snapshot).
+    mutable sync::Mutex breaker_mu_{"DetectionService::breaker_mu"};
+    int breaker_failures_ GUARDED_BY(breaker_mu_) = 0;
+    bool breaker_open_ GUARDED_BY(breaker_mu_) = false;
+    std::chrono::steady_clock::time_point breaker_opened_at_
+        GUARDED_BY(breaker_mu_);
 
     // drain() bookkeeping: frames accepted into the queue vs. resolved.
-    mutable std::mutex inflight_mu_;
-    std::condition_variable inflight_cv_;
-    std::uint64_t accepted_ = 0;
-    std::uint64_t resolved_ = 0;
+    mutable sync::Mutex inflight_mu_{"DetectionService::inflight_mu"};
+    sync::CondVar inflight_cv_;
+    std::uint64_t accepted_ GUARDED_BY(inflight_mu_) = 0;
+    std::uint64_t resolved_ GUARDED_BY(inflight_mu_) = 0;
 };
 
 }  // namespace dronet::serve

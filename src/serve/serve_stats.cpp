@@ -96,7 +96,7 @@ double LatencyHistogram::percentile(double p) const noexcept {
 }
 
 void ServeStats::record_submitted() noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++submitted_;
     if (!clock_started_) {
         clock_started_ = true;
@@ -105,65 +105,65 @@ void ServeStats::record_submitted() noexcept {
 }
 
 void ServeStats::record_rejected() noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++rejected_;
 }
 
 void ServeStats::record_dropped() noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++dropped_;
 }
 
 void ServeStats::record_failed() noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++failed_;
 }
 
 void ServeStats::record_retry() noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++retries_;
 }
 
 void ServeStats::record_deadline_expired() noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++deadline_expired_;
 }
 
 void ServeStats::record_worker_restart() noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++worker_restarts_;
 }
 
 void ServeStats::record_degraded(std::uint64_t frames) noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     degraded_frames_ += frames;
 }
 
 void ServeStats::record_degrade_transition() noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++degrade_transitions_;
 }
 
 void ServeStats::record_breaker_opened() noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++breaker_opens_;
 }
 
 void ServeStats::record_breaker_open_ms(double ms) noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (ms > 0) breaker_open_ms_ += ms;
 }
 
 void ServeStats::record_batch(std::size_t size) noexcept {
     if (size == 0) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++batches_;
     const std::size_t bucket = std::min(size, kMaxTrackedBatch) - 1;
     ++batch_size_counts_[bucket];
 }
 
 void ServeStats::record_completed(const FrameTimings& t) noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ++completed_;
     last_done_s_ = now_seconds();
     queue_wait_.record(t.queue_wait_ms);
@@ -174,7 +174,7 @@ void ServeStats::record_completed(const FrameTimings& t) noexcept {
 }
 
 ServeStatsSnapshot ServeStats::snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ServeStatsSnapshot s;
     s.submitted = submitted_;
     s.completed = completed_;

@@ -9,10 +9,11 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "sync/mutex.hpp"
 
 namespace dronet::serve {
 
@@ -129,29 +130,30 @@ class ServeStats {
     [[nodiscard]] ServeStatsSnapshot snapshot() const;
 
   private:
-    mutable std::mutex mu_;
-    std::uint64_t submitted_ = 0;
-    std::uint64_t completed_ = 0;
-    std::uint64_t dropped_ = 0;
-    std::uint64_t rejected_ = 0;
-    std::uint64_t batches_ = 0;
-    std::uint64_t failed_ = 0;
-    std::uint64_t retries_ = 0;
-    std::uint64_t deadline_expired_ = 0;
-    std::uint64_t worker_restarts_ = 0;
-    std::uint64_t degraded_frames_ = 0;
-    std::uint64_t degrade_transitions_ = 0;
-    std::uint64_t breaker_opens_ = 0;
-    double breaker_open_ms_ = 0;
-    std::array<std::uint64_t, kMaxTrackedBatch> batch_size_counts_{};
-    bool clock_started_ = false;
-    double first_submit_s_ = 0;  ///< steady-clock seconds
-    double last_done_s_ = 0;
-    LatencyHistogram queue_wait_;
-    LatencyHistogram preprocess_;
-    LatencyHistogram forward_;
-    LatencyHistogram postprocess_;
-    LatencyHistogram total_;
+    mutable sync::Mutex mu_{"ServeStats::mu"};
+    std::uint64_t submitted_ GUARDED_BY(mu_) = 0;
+    std::uint64_t completed_ GUARDED_BY(mu_) = 0;
+    std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
+    std::uint64_t rejected_ GUARDED_BY(mu_) = 0;
+    std::uint64_t batches_ GUARDED_BY(mu_) = 0;
+    std::uint64_t failed_ GUARDED_BY(mu_) = 0;
+    std::uint64_t retries_ GUARDED_BY(mu_) = 0;
+    std::uint64_t deadline_expired_ GUARDED_BY(mu_) = 0;
+    std::uint64_t worker_restarts_ GUARDED_BY(mu_) = 0;
+    std::uint64_t degraded_frames_ GUARDED_BY(mu_) = 0;
+    std::uint64_t degrade_transitions_ GUARDED_BY(mu_) = 0;
+    std::uint64_t breaker_opens_ GUARDED_BY(mu_) = 0;
+    double breaker_open_ms_ GUARDED_BY(mu_) = 0;
+    std::array<std::uint64_t, kMaxTrackedBatch> batch_size_counts_
+        GUARDED_BY(mu_){};
+    bool clock_started_ GUARDED_BY(mu_) = false;
+    double first_submit_s_ GUARDED_BY(mu_) = 0;  ///< steady-clock seconds
+    double last_done_s_ GUARDED_BY(mu_) = 0;
+    LatencyHistogram queue_wait_ GUARDED_BY(mu_);
+    LatencyHistogram preprocess_ GUARDED_BY(mu_);
+    LatencyHistogram forward_ GUARDED_BY(mu_);
+    LatencyHistogram postprocess_ GUARDED_BY(mu_);
+    LatencyHistogram total_ GUARDED_BY(mu_);
 };
 
 }  // namespace dronet::serve

@@ -1,0 +1,235 @@
+#include "sync/deadlock.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define DRONET_HAVE_EXECINFO 1
+#endif
+#endif
+
+namespace dronet::sync::deadlock {
+
+namespace {
+
+std::atomic<std::uint64_t> g_cycles{0};
+
+// Handler storage. Guarded by its own mutex (never a sync::Mutex: the
+// detector must not recurse into itself).
+std::mutex& handler_mu() {
+    static std::mutex mu;
+    return mu;
+}
+std::function<void(const CycleReport&)>& handler_slot() {
+    static std::function<void(const CycleReport&)> h;
+    return h;
+}
+
+}  // namespace
+
+void set_handler(std::function<void(const CycleReport&)> handler) {
+    std::lock_guard<std::mutex> lock(handler_mu());
+    handler_slot() = std::move(handler);
+}
+
+std::uint64_t cycles_detected() noexcept {
+    return g_cycles.load(std::memory_order_acquire);
+}
+
+#if defined(DRONET_DEADLOCK_DETECT) && DRONET_DEADLOCK_DETECT
+
+namespace {
+
+using Key = std::uintptr_t;
+
+Key key_of(const void* mu) noexcept {
+    return reinterpret_cast<Key>(mu);
+}
+
+std::string describe(Key key, const char* name) {
+    if (name != nullptr) return name;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "mutex@%#zx", static_cast<std::size_t>(key));
+    return buf;
+}
+
+/// Symbolized backtrace of the current call site (best effort; empty when
+/// the platform has no execinfo).
+std::string capture_stack() {
+#if defined(DRONET_HAVE_EXECINFO)
+    void* frames[32];
+    const int n = ::backtrace(frames, 32);
+    char** symbols = ::backtrace_symbols(frames, n);
+    if (symbols == nullptr) return {};
+    std::ostringstream os;
+    // Frame 0 is capture_stack itself, 1 is the detector; start at 2.
+    for (int i = 2; i < n; ++i) os << "      " << symbols[i] << "\n";
+    std::free(symbols);
+    return os.str();
+#else
+    return {};
+#endif
+}
+
+struct EdgeInfo {
+    const char* before_name = nullptr;
+    const char* after_name = nullptr;
+    std::string stack;  ///< where `after` was first acquired under `before`
+};
+
+/// Global lock-order graph: edge (a -> b) means "a was held while b was
+/// acquired". Once recorded, an edge persists until one endpoint's mutex is
+/// destroyed — the order contract outlives any single acquisition.
+struct Registry {
+    std::mutex mu;
+    std::unordered_map<Key, std::unordered_map<Key, EdgeInfo>> edges;
+
+    static Registry& instance() {
+        // Leaked on purpose: mutexes (and their destruction hooks) may run
+        // during static teardown, after a normal static's destructor.
+        static Registry* r = new Registry();
+        return *r;
+    }
+
+    /// Depth-first search for a path `from -> ... -> to`, collecting the
+    /// edges along the found path. Requires mu held.
+    bool find_path(Key from, Key to, std::vector<std::pair<Key, Key>>& path,
+                   std::unordered_map<Key, bool>& visited) {
+        if (from == to) return true;
+        visited[from] = true;
+        auto it = edges.find(from);
+        if (it == edges.end()) return false;
+        for (const auto& [next, info] : it->second) {
+            if (visited.count(next) != 0) continue;
+            path.emplace_back(from, next);
+            if (find_path(next, to, path, visited)) return true;
+            path.pop_back();
+        }
+        return false;
+    }
+};
+
+/// Per-thread stack of currently held sync::Mutexes, in acquisition order.
+struct HeldLock {
+    Key key;
+    const char* name;
+};
+thread_local std::vector<HeldLock> t_held;
+
+void report_cycle(CycleReport report) {
+    g_cycles.fetch_add(1, std::memory_order_acq_rel);
+    std::function<void(const CycleReport&)> h;
+    {
+        std::lock_guard<std::mutex> lock(handler_mu());
+        h = handler_slot();
+    }
+    if (h) {
+        h(report);
+        return;
+    }
+    std::fputs(report.text.c_str(), stderr);
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace
+
+void on_acquire(const void* mu, const char* name) {
+    const Key acquiring = key_of(mu);
+
+    // Recursive acquisition of a non-recursive mutex: a guaranteed deadlock,
+    // reported without consulting the graph.
+    for (const HeldLock& held : t_held) {
+        if (held.key != acquiring) continue;
+        CycleReport report;
+        std::ostringstream os;
+        os << "dronet deadlock detector: recursive acquisition of "
+           << describe(acquiring, name) << " — this thread already holds it\n"
+           << capture_stack();
+        report.edges.push_back(CycleEdge{describe(acquiring, name),
+                                         describe(acquiring, name),
+                                         capture_stack()});
+        report.text = os.str();
+        t_held.push_back(HeldLock{acquiring, name});
+        report_cycle(std::move(report));
+        return;
+    }
+
+    if (!t_held.empty()) {
+        Registry& reg = Registry::instance();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        for (const HeldLock& held : t_held) {
+            EdgeInfo& edge = reg.edges[held.key][acquiring];
+            const bool is_new = edge.stack.empty();
+            if (!is_new) continue;  // order already on record
+            edge.before_name = held.name;
+            edge.after_name = name;
+            edge.stack = capture_stack();
+
+            // Would the new edge close a cycle? I.e. does the graph already
+            // order `acquiring` before `held`?
+            std::vector<std::pair<Key, Key>> path;
+            std::unordered_map<Key, bool> visited;
+            if (!reg.find_path(acquiring, held.key, path, visited)) continue;
+
+            CycleReport report;
+            std::ostringstream os;
+            os << "dronet deadlock detector: lock-order cycle\n"
+               << "  new edge: " << describe(held.key, held.name) << " -> "
+               << describe(acquiring, name)
+               << " (held while acquiring), acquired at:\n"
+               << edge.stack;
+            report.edges.push_back(CycleEdge{describe(held.key, held.name),
+                                             describe(acquiring, name),
+                                             edge.stack});
+            os << "  conflicting order on record:\n";
+            for (const auto& [from, to] : path) {
+                const EdgeInfo& info = reg.edges[from][to];
+                os << "    " << describe(from, info.before_name) << " -> "
+                   << describe(to, info.after_name) << ", acquired at:\n"
+                   << info.stack;
+                report.edges.push_back(CycleEdge{describe(from, info.before_name),
+                                                 describe(to, info.after_name),
+                                                 info.stack});
+            }
+            report.text = os.str();
+            t_held.push_back(HeldLock{acquiring, name});
+            report_cycle(std::move(report));
+            return;
+        }
+    }
+    t_held.push_back(HeldLock{acquiring, name});
+}
+
+void on_release(const void* mu) noexcept {
+    const Key key = key_of(mu);
+    // Out-of-order release is legal (MutexLock::unlock interleavings): erase
+    // the most recent matching entry, wherever it sits.
+    for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+        if (it->key == key) {
+            t_held.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+void on_destroy(const void* mu) noexcept {
+    const Key key = key_of(mu);
+    Registry& reg = Registry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    // The address may be reused by a future Mutex: drop every edge touching
+    // this node so stale orders cannot leak across lifetimes.
+    reg.edges.erase(key);
+    for (auto& [from, adj] : reg.edges) adj.erase(key);
+}
+
+#endif  // DRONET_DEADLOCK_DETECT
+
+}  // namespace dronet::sync::deadlock

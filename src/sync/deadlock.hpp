@@ -1,0 +1,83 @@
+// Runtime lock-order deadlock detection (debug builds).
+//
+// The static thread-safety analysis proves that guarded fields are accessed
+// with the right lock held, but it cannot see a global acquisition *order*
+// across call chains — the classic ABBA deadlock where thread 1 locks A then
+// B while thread 2 locks B then A. This module catches that class at
+// runtime: every sync::Mutex acquisition pushes onto a per-thread held-lock
+// stack and adds "held -> acquiring" edges to a global lock-order graph. The
+// first acquisition that would close a cycle in that graph is reported
+// immediately — with the acquisition stacks of both directions — rather than
+// waiting for the interleaving that actually deadlocks. One test run that
+// merely *touches* both orders is enough; the threads never need to collide.
+//
+// Gating: compiled in with -DDRONET_DEADLOCK_DETECT=ON (a global cmake
+// option, so header-inlined hooks agree across every TU). Compiled out, the
+// hooks below are empty inline functions and sync::Mutex is a plain
+// std::mutex shim. The cost when enabled — a global registry lock on every
+// acquisition — is deliberate and confined to debug/chaos builds; see the
+// sync stage in scripts/run_all.sh.
+//
+// By default a detected cycle prints the report to stderr and aborts (a
+// deadlock-in-waiting is not a recoverable condition in the field — the
+// UAV deployment would rather respawn than wedge). Tests install a handler
+// via set_handler() to assert on reports instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dronet::sync::deadlock {
+
+/// True when the build compiled the detector in (DRONET_DEADLOCK_DETECT).
+/// Tests use this to skip detector assertions in plain builds.
+[[nodiscard]] constexpr bool compiled_in() noexcept {
+#if defined(DRONET_DEADLOCK_DETECT) && DRONET_DEADLOCK_DETECT
+    return true;
+#else
+    return false;
+#endif
+}
+
+/// One edge of a detected cycle: `before` was held while `after` was being
+/// acquired. `stack` is the symbolized acquisition backtrace recorded when
+/// the edge first entered the lock-order graph.
+struct CycleEdge {
+    std::string before;  ///< mutex name (or "mutex@0x..." when unnamed)
+    std::string after;
+    std::string stack;
+};
+
+/// A lock-order inversion: following `edges` leads from one mutex back to
+/// itself. `text` is the full human-readable report (what the default
+/// handler prints before aborting).
+struct CycleReport {
+    std::vector<CycleEdge> edges;
+    std::string text;
+};
+
+/// Installs `handler` to receive cycle reports instead of the default
+/// print-and-abort. Pass nullptr to restore the default. Test hook.
+void set_handler(std::function<void(const CycleReport&)> handler);
+
+/// Total cycles reported since process start (0 when compiled out).
+[[nodiscard]] std::uint64_t cycles_detected() noexcept;
+
+#if defined(DRONET_DEADLOCK_DETECT) && DRONET_DEADLOCK_DETECT
+
+/// Hooks called by sync::Mutex. `mu` is used purely as an identity key.
+void on_acquire(const void* mu, const char* name);
+void on_release(const void* mu) noexcept;
+void on_destroy(const void* mu) noexcept;
+
+#else
+
+inline void on_acquire(const void*, const char*) {}
+inline void on_release(const void*) noexcept {}
+inline void on_destroy(const void*) noexcept {}
+
+#endif
+
+}  // namespace dronet::sync::deadlock

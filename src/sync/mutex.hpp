@@ -1,0 +1,150 @@
+// Annotated mutex / lock / condition-variable wrappers.
+//
+// Every locking site in the tree goes through these types instead of raw
+// std::mutex, for two reasons:
+//
+//  1. They carry the Clang thread-safety attributes (thread_annotations.hpp),
+//     so `clang++ -Wthread-safety` can prove each GUARDED_BY field is only
+//     touched with its mutex held and each REQUIRES contract is met.
+//  2. They feed the runtime lock-order deadlock detector (deadlock.hpp) when
+//     the build enables DRONET_DEADLOCK_DETECT: every acquisition is checked
+//     against the global lock-order graph and an ABBA inversion aborts with
+//     both acquisition stacks instead of deadlocking in the field.
+//
+// With the detector compiled out (the default) Mutex is a zero-overhead
+// shim over std::mutex — lock() inlines to mu_.lock().
+//
+// Usage mirrors the std types it replaces:
+//
+//   sync::Mutex mu_;
+//   int value_ GUARDED_BY(mu_);
+//   sync::CondVar cv_;
+//
+//   sync::MutexLock lock(mu_);          // std::unique_lock shape
+//   while (!ready_) cv_.wait(mu_);      // predicate as an explicit loop:
+//                                       // the analysis can't see into lambdas
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "sync/deadlock.hpp"
+#include "sync/thread_annotations.hpp"
+
+namespace dronet::sync {
+
+/// std::mutex with a Clang capability attribute and optional runtime
+/// lock-order checking. The optional `name` appears in deadlock-detector
+/// reports; pass a string literal (the pointer is stored, not copied).
+class CAPABILITY("mutex") Mutex {
+  public:
+    Mutex() = default;
+    explicit Mutex(const char* name) : name_(name) {}
+    ~Mutex() { deadlock::on_destroy(this); }
+
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() ACQUIRE() {
+        deadlock::on_acquire(this, name_);
+        mu_.lock();
+    }
+    void unlock() RELEASE() {
+        deadlock::on_release(this);
+        mu_.unlock();
+    }
+    [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) {
+        if (!mu_.try_lock()) return false;
+        // A successful try_lock cannot deadlock, but it still establishes
+        // ordering edges for later blocking acquisitions.
+        deadlock::on_acquire(this, name_);
+        return true;
+    }
+
+    [[nodiscard]] const char* name() const noexcept { return name_; }
+
+  private:
+    std::mutex mu_;
+    const char* name_ = nullptr;
+};
+
+/// RAII lock with the std::unique_lock surface the codebase uses: scoped
+/// acquire/release plus explicit unlock()/lock() for drain-style loops that
+/// drop the lock to run work. Not movable — a lock's scope is its critical
+/// section.
+class SCOPED_CAPABILITY MutexLock {
+  public:
+    explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+        mu_.lock();
+    }
+    ~MutexLock() RELEASE() {
+        if (held_) mu_.unlock();
+    }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+    /// Early release (re-acquirable); the destructor then does nothing.
+    void unlock() RELEASE() {
+        mu_.unlock();
+        held_ = false;
+    }
+    /// Re-acquire after unlock().
+    void lock() ACQUIRE() {
+        mu_.lock();
+        held_ = true;
+    }
+
+  private:
+    Mutex& mu_;
+    bool held_;
+};
+
+/// Condition variable paired with sync::Mutex, abseil CondVar shape: waits
+/// name the Mutex itself (not the lock object), so REQUIRES contracts stay
+/// expressible. Waiters must hold `mu` via a MutexLock in the same scope;
+/// wait() atomically releases and re-acquires it.
+///
+/// Predicates are deliberately NOT taken as callables: the thread-safety
+/// analysis does not propagate the held-lock context into lambda bodies, so
+/// a guarded field read inside a predicate lambda would defeat the proof.
+/// Write the loop out instead: `while (!pred) cv.wait(mu);`.
+class CondVar {
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /// Blocks until notified; `mu` is released while blocked and re-held on
+    /// return. Spurious wakeups happen — always wait in a predicate loop.
+    void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+    /// Timed wait; returns std::cv_status::timeout when `rel_time` elapsed.
+    template <typename Rep, typename Period>
+    std::cv_status wait_for(Mutex& mu,
+                            const std::chrono::duration<Rep, Period>& rel_time)
+        REQUIRES(mu) {
+        return cv_.wait_for(mu, rel_time);
+    }
+
+    /// Deadline wait; returns std::cv_status::timeout once `deadline` passed.
+    template <typename Clock, typename Duration>
+    std::cv_status wait_until(
+        Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+        REQUIRES(mu) {
+        return cv_.wait_until(mu, deadline);
+    }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+  private:
+    // condition_variable_any waits on anything BasicLockable — including our
+    // Mutex directly, which keeps the deadlock detector's held-lock stack
+    // consistent across the wait (the unlock/relock goes through
+    // Mutex::unlock/lock).
+    std::condition_variable_any cv_;
+};
+
+}  // namespace dronet::sync

@@ -1,0 +1,87 @@
+// Clang thread-safety annotation macros (ATen / abseil style).
+//
+// These macros attach compile-time lock discipline to types, fields and
+// functions: a field declares the mutex that guards it (GUARDED_BY), a
+// function declares the locks it needs (REQUIRES) or manipulates
+// (ACQUIRE / RELEASE), and `clang++ -Wthread-safety` then *proves* every
+// access is made with the right locks held — the concurrency analogue of
+// what tools/cfglint does for model definitions. Under DRONET_WERROR the
+// analysis is promoted to an error, so an unguarded access fails the build
+// (tests/compile_fail/ asserts exactly that).
+//
+// The annotations are attributes only Clang understands; under GCC (or any
+// compiler without the attribute) every macro expands to nothing, so the
+// annotated code stays portable. The runtime companion is the lock-order
+// deadlock detector in sync/deadlock.hpp, which catches what a static
+// analysis cannot (ordering across call chains the analysis does not see).
+//
+// Apply them through the wrapper types in sync/mutex.hpp — dronet::sync::
+// Mutex / MutexLock / CondVar — not to raw std::mutex, which carries no
+// capability attribute.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DRONET_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DRONET_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the kind in
+/// diagnostics). Applies to the type declaration.
+#define CAPABILITY(x) DRONET_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (std::lock_guard shape).
+#define SCOPED_CAPABILITY DRONET_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads/writes require holding `x`.
+#define GUARDED_BY(x) DRONET_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field annotation: the *pointed-to* data requires holding `x`.
+#define PT_GUARDED_BY(x) DRONET_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares a required lock order between two mutexes: this one must be
+/// acquired before / after the named ones. The static analysis enforces it
+/// where visible; sync/deadlock.hpp enforces the global order at runtime.
+#define ACQUIRED_BEFORE(...) DRONET_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) DRONET_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function annotation: callers must hold the listed capabilities (and they
+/// are not released).
+#define REQUIRES(...) DRONET_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+    DRONET_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the listed capabilities (callers must NOT
+/// already hold them); they are held on return.
+#define ACQUIRE(...) DRONET_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+    DRONET_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function annotation: releases the listed capabilities (callers must hold
+/// them on entry).
+#define RELEASE(...) DRONET_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+    DRONET_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability only when returning `b`
+/// (try_lock shape).
+#define TRY_ACQUIRE(...) DRONET_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: callers must NOT hold the listed capabilities
+/// (deadlock guard for functions that acquire them internally).
+#define EXCLUDES(...) DRONET_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: asserts at runtime that the capability is held,
+/// telling the analysis to assume it from here on.
+#define ASSERT_CAPABILITY(x) DRONET_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function annotation: returns a reference to the named capability (lets
+/// accessors like `Mutex& mu()` participate in the analysis).
+#define RETURN_CAPABILITY(x) DRONET_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is intentionally invisible to the
+/// analysis (e.g. the lock/unlock plumbing inside MutexLock and CondVar, or
+/// init/teardown code that is single-threaded by construction). Always pair
+/// with a comment saying why it is sound.
+#define NO_THREAD_SAFETY_ANALYSIS DRONET_THREAD_ANNOTATION(no_thread_safety_analysis)

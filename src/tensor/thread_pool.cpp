@@ -2,17 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sync/mutex.hpp"
 
 namespace dronet {
 namespace {
 
 int default_worker_count() {
+    // Read once when the static pool is constructed; no setenv in-process.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("DRONET_POOL_WORKERS")) {
         const int n = std::atoi(env);
         if (n >= 0) return std::min(n, 64);
@@ -39,34 +41,34 @@ struct ThreadPool::Impl {
         Batch* batch = nullptr;
     };
 
-    mutable std::mutex mu;
-    std::condition_variable work_cv;  ///< wakes parked workers
-    std::condition_variable done_cv;  ///< wakes callers waiting on a batch
-    std::deque<Task> queue;
-    bool shutdown = false;
-    std::vector<std::thread> workers;
+    mutable sync::Mutex mu{"ThreadPool::mu"};
+    sync::CondVar work_cv;  ///< wakes parked workers
+    sync::CondVar done_cv;  ///< wakes callers waiting on a batch
+    std::deque<Task> queue GUARDED_BY(mu);
+    bool shutdown GUARDED_BY(mu) = false;
+    std::vector<std::thread> workers;  ///< written only in ctor/dtor
 
     std::atomic<std::uint64_t> threads_created{0};
     std::atomic<std::uint64_t> parallel_calls{0};
     std::atomic<std::uint64_t> tasks_executed{0};
 
-    void run_task(const Task& t) {
+    void run_task(const Task& t) EXCLUDES(mu) {
         (*t.fn)(t.lo, t.hi);
         tasks_executed.fetch_add(1, std::memory_order_relaxed);
         if (t.batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             // Last chunk of the batch: wake its caller. Lock/unlock pairs the
             // notification with the caller's predicate check.
-            { std::lock_guard<std::mutex> lk(mu); }
+            { sync::MutexLock lk(mu); }
             done_cv.notify_all();
         }
     }
 
-    void worker_loop() {
+    void worker_loop() EXCLUDES(mu) {
         for (;;) {
             Task t;
             {
-                std::unique_lock<std::mutex> lk(mu);
-                work_cv.wait(lk, [&] { return shutdown || !queue.empty(); });
+                sync::MutexLock lk(mu);
+                while (!shutdown && queue.empty()) work_cv.wait(mu);
                 if (queue.empty()) return;  // shutdown with no work left
                 t = queue.front();
                 queue.pop_front();
@@ -87,7 +89,7 @@ ThreadPool::ThreadPool(int workers) : impl_(new Impl) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lk(impl_->mu);
+        sync::MutexLock lk(impl_->mu);
         impl_->shutdown = true;
     }
     impl_->work_cv.notify_all();
@@ -121,7 +123,7 @@ void ThreadPool::parallel_for(int begin, int end, int ways, int grain,
 
     Impl::Task first{&fn, begin, std::min(end, begin + chunk), &batch};
     {
-        std::lock_guard<std::mutex> lk(impl_->mu);
+        sync::MutexLock lk(impl_->mu);
         for (int c = 1; c < chunks; ++c) {
             const int lo = begin + c * chunk;
             impl_->queue.push_back(
@@ -134,7 +136,7 @@ void ThreadPool::parallel_for(int begin, int end, int ways, int grain,
 
     // Help drain the queue (our chunks or another caller's) until our batch
     // completes. This guarantees progress even with zero pool workers.
-    std::unique_lock<std::mutex> lk(impl_->mu);
+    sync::MutexLock lk(impl_->mu);
     while (batch.remaining.load(std::memory_order_acquire) > 0) {
         if (!impl_->queue.empty()) {
             Impl::Task t = impl_->queue.front();
@@ -143,10 +145,10 @@ void ThreadPool::parallel_for(int begin, int end, int ways, int grain,
             impl_->run_task(t);
             lk.lock();
         } else {
-            impl_->done_cv.wait(lk, [&] {
-                return batch.remaining.load(std::memory_order_acquire) == 0 ||
-                       !impl_->queue.empty();
-            });
+            while (batch.remaining.load(std::memory_order_acquire) != 0 &&
+                   impl_->queue.empty()) {
+                impl_->done_cv.wait(impl_->mu);
+            }
         }
     }
 }

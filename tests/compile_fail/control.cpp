@@ -1,0 +1,49 @@
+// Positive control for the compile-fail cases: the same code shapes as
+// unguarded_access.cpp and lock_order.cpp, but lock-correct. Builds and runs
+// in every configuration — if this target ever fails to compile under Clang,
+// the annotations themselves (not a violation) are broken; if the negative
+// cases start passing their builds, the analysis is off and this control is
+// what distinguishes "analysis clean" from "analysis disabled".
+#include "sync/mutex.hpp"
+
+namespace {
+
+namespace sync = dronet::sync;  // shadows the POSIX ::sync() in this TU
+
+class Counter {
+  public:
+    void increment() EXCLUDES(mu_) {
+        sync::MutexLock lock(mu_);
+        ++value_;
+    }
+    [[nodiscard]] int value() const EXCLUDES(mu_) {
+        sync::MutexLock lock(mu_);
+        return value_;
+    }
+
+  private:
+    mutable sync::Mutex mu_{"control.counter"};
+    int value_ GUARDED_BY(mu_) = 0;
+};
+
+class TwoLocks {
+  public:
+    void right_order() EXCLUDES(a_, b_) {
+        sync::MutexLock la(a_);
+        sync::MutexLock lb(b_);
+    }
+
+  private:
+    sync::Mutex a_ ACQUIRED_BEFORE(b_);
+    sync::Mutex b_;
+};
+
+}  // namespace
+
+int main() {
+    Counter c;
+    c.increment();
+    TwoLocks t;
+    t.right_order();
+    return c.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+// Compile-fail case: acquires two mutexes against their declared
+// ACQUIRED_BEFORE order. Expected diagnostic (clang -Wthread-safety-beta):
+//   mutex 'a_' must be acquired before 'b_'
+#include "sync/mutex.hpp"
+
+class TwoLocks {
+  public:
+    void wrong_order() {
+        dronet::sync::MutexLock lb(b_);
+        dronet::sync::MutexLock la(a_);  // BAD: contract says a_ first
+    }
+
+  private:
+    dronet::sync::Mutex a_ ACQUIRED_BEFORE(b_);
+    dronet::sync::Mutex b_;
+};
+
+int main() {
+    TwoLocks t;
+    t.wrong_order();
+    return 0;
+}

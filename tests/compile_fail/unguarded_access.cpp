@@ -1,0 +1,19 @@
+// Compile-fail case: writes a GUARDED_BY field without holding its mutex.
+// Expected diagnostic (clang -Wthread-safety):
+//   writing variable 'value_' requires holding mutex 'mu_' exclusively
+#include "sync/mutex.hpp"
+
+class Counter {
+  public:
+    void increment() { ++value_; }  // BAD: mu_ not held
+
+  private:
+    dronet::sync::Mutex mu_;
+    int value_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+    Counter c;
+    c.increment();
+    return 0;
+}

@@ -1,0 +1,217 @@
+// Tests for the sync primitives (src/sync): the Mutex/MutexLock/CondVar
+// wrappers and the runtime lock-order deadlock detector.
+//
+// The detector tests install a handler (sync::deadlock::set_handler) so a
+// detected cycle is recorded instead of aborting the test binary, and they
+// sequence the two acquisition orders with joins — the detector flags the
+// *order inversion* from the lock-order graph alone; the threads never need
+// to actually collide. In builds without -DDRONET_DEADLOCK_DETECT=ON the
+// detector hooks are no-ops, so those tests GTEST_SKIP.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "sync/deadlock.hpp"
+#include "sync/mutex.hpp"
+
+namespace {
+
+namespace sync = dronet::sync;  // shadows the POSIX ::sync() in this TU
+
+/// RAII handler install: captures reports, restores default on scope exit.
+class CaptureReports {
+  public:
+    CaptureReports() {
+        sync::deadlock::set_handler(
+            [this](const sync::deadlock::CycleReport& r) {
+                std::lock_guard<std::mutex> lock(mu_);
+                reports_.push_back(r);
+            });
+    }
+    ~CaptureReports() { sync::deadlock::set_handler(nullptr); }
+
+    [[nodiscard]] std::size_t count() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return reports_.size();
+    }
+    [[nodiscard]] sync::deadlock::CycleReport last() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return reports_.back();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<sync::deadlock::CycleReport> reports_;
+};
+
+TEST(SyncMutex, LockUnlockAndTryLock) {
+    sync::Mutex mu("test.basic");
+    mu.lock();
+    EXPECT_FALSE(mu.try_lock());  // non-recursive: already held
+    mu.unlock();
+    EXPECT_TRUE(mu.try_lock());
+    mu.unlock();
+}
+
+TEST(SyncMutex, MutexLockGuardsCriticalSection) {
+    sync::Mutex mu("test.guard");
+    int counter = 0;
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 1000; ++i) {
+                sync::MutexLock lock(mu);
+                ++counter;
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(counter, 4000);
+}
+
+TEST(SyncMutex, MutexLockManualUnlockRelock) {
+    sync::Mutex mu("test.manual");
+    sync::MutexLock lock(mu);
+    lock.unlock();
+    EXPECT_TRUE(mu.try_lock());  // really released
+    mu.unlock();
+    lock.lock();  // destructor releases again
+}
+
+TEST(SyncCondVar, WaitWakesOnNotify) {
+    sync::Mutex mu("test.cv");
+    sync::CondVar cv;
+    bool ready = false;
+    std::thread waiter([&] {
+        sync::MutexLock lock(mu);
+        while (!ready) cv.wait(mu);
+    });
+    {
+        sync::MutexLock lock(mu);
+        ready = true;
+    }
+    cv.notify_one();
+    waiter.join();
+    EXPECT_TRUE(ready);
+}
+
+TEST(SyncCondVar, WaitForTimesOut) {
+    sync::Mutex mu("test.cv_timeout");
+    sync::CondVar cv;
+    sync::MutexLock lock(mu);
+    const auto status = cv.wait_for(mu, std::chrono::milliseconds(5));
+    EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(DeadlockDetector, WellOrderedNestingIsClean) {
+    if (!sync::deadlock::compiled_in()) {
+        GTEST_SKIP() << "detector compiled out (DRONET_DEADLOCK_DETECT=OFF)";
+    }
+    CaptureReports capture;
+    sync::Mutex a("order.a");
+    sync::Mutex b("order.b");
+    const auto nested = [&] {
+        sync::MutexLock la(a);
+        sync::MutexLock lb(b);  // always a -> b: consistent order
+    };
+    std::thread t1(nested);
+    t1.join();
+    std::thread t2(nested);
+    t2.join();
+    nested();
+    EXPECT_EQ(capture.count(), 0u);
+}
+
+TEST(DeadlockDetector, AbbaInversionIsReported) {
+    if (!sync::deadlock::compiled_in()) {
+        GTEST_SKIP() << "detector compiled out (DRONET_DEADLOCK_DETECT=OFF)";
+    }
+    CaptureReports capture;
+    sync::Mutex a("abba.a");
+    sync::Mutex b("abba.b");
+    // Thread 1 establishes a -> b; after it fully finishes, thread 2 takes
+    // b -> a. No real deadlock ever happens — the graph alone convicts.
+    std::thread t1([&] {
+        sync::MutexLock la(a);
+        sync::MutexLock lb(b);
+    });
+    t1.join();
+    std::thread t2([&] {
+        sync::MutexLock lb(b);
+        sync::MutexLock la(a);  // closes the cycle: report fires here
+    });
+    t2.join();
+    ASSERT_EQ(capture.count(), 1u);
+    const sync::deadlock::CycleReport report = capture.last();
+    ASSERT_GE(report.edges.size(), 2u);
+    EXPECT_EQ(report.edges[0].before, "abba.b");
+    EXPECT_EQ(report.edges[0].after, "abba.a");
+    EXPECT_NE(report.text.find("lock-order cycle"), std::string::npos);
+    EXPECT_NE(report.text.find("abba.a"), std::string::npos);
+    EXPECT_NE(report.text.find("abba.b"), std::string::npos);
+    EXPECT_GE(sync::deadlock::cycles_detected(), 1u);
+}
+
+TEST(DeadlockDetector, RecursiveAcquisitionIsReported) {
+    if (!sync::deadlock::compiled_in()) {
+        GTEST_SKIP() << "detector compiled out (DRONET_DEADLOCK_DETECT=OFF)";
+    }
+    CaptureReports capture;
+    sync::Mutex mu("recursive.mu");
+    // With the handler swallowing the report, the second lock() would block
+    // on the real std::mutex forever — so only exercise the hook directly.
+    mu.lock();
+    sync::deadlock::on_acquire(&mu, "recursive.mu");
+    sync::deadlock::on_release(&mu);
+    mu.unlock();
+    ASSERT_EQ(capture.count(), 1u);
+    EXPECT_NE(capture.last().text.find("recursive acquisition"),
+              std::string::npos);
+}
+
+TEST(DeadlockDetector, LongerCycleAcrossThreeLocks) {
+    if (!sync::deadlock::compiled_in()) {
+        GTEST_SKIP() << "detector compiled out (DRONET_DEADLOCK_DETECT=OFF)";
+    }
+    CaptureReports capture;
+    sync::Mutex a("tri.a");
+    sync::Mutex b("tri.b");
+    sync::Mutex c("tri.c");
+    const auto take = [](sync::Mutex& first, sync::Mutex& second) {
+        sync::MutexLock l1(first);
+        sync::MutexLock l2(second);
+    };
+    std::thread([&] { take(a, b); }).join();
+    std::thread([&] { take(b, c); }).join();
+    EXPECT_EQ(capture.count(), 0u);  // a->b->c: still a partial order
+    std::thread([&] { take(c, a); }).join();  // c->a closes a 3-cycle
+    ASSERT_EQ(capture.count(), 1u);
+    const sync::deadlock::CycleReport report = capture.last();
+    EXPECT_GE(report.edges.size(), 3u);
+}
+
+TEST(DeadlockDetector, DestroyedMutexDropsItsEdges) {
+    if (!sync::deadlock::compiled_in()) {
+        GTEST_SKIP() << "detector compiled out (DRONET_DEADLOCK_DETECT=OFF)";
+    }
+    CaptureReports capture;
+    sync::Mutex a("lifetime.a");
+    {
+        sync::Mutex b("lifetime.b");
+        sync::MutexLock la(a);
+        sync::MutexLock lb(b);  // records a -> b
+    }  // b destroyed: the edge must go with it
+    sync::Mutex b2("lifetime.b2");  // may reuse b's address
+    {
+        sync::MutexLock lb(b2);
+        sync::MutexLock la(a);  // b2 -> a: no cycle against the dead edge
+    }
+    EXPECT_EQ(capture.count(), 0u);
+}
+
+}  // namespace
