@@ -13,6 +13,8 @@
 
 #include "models/model_zoo.hpp"
 #include "nn/network.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/half.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/thread_pool.hpp"
@@ -149,6 +151,74 @@ void BM_GemmPooledPacked(benchmark::State& state) {
         ThreadPool::instance().stats().threads_created - threads_before));
 }
 BENCHMARK(BM_GemmPooledPacked)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+// SIMD dispatch ablation (docs/vectorization.md): the same blocked GEMM at
+// 512-input DroNet shapes with the kernel level pinned, so the scalar vs
+// AVX2 delta is the micro-kernel alone (identical blocking, packing, and
+// threading either way). Args: (stage, level) with level 0=scalar, 1=avx2.
+void BM_GemmSimdLevel(benchmark::State& state) {
+    const GemmShape s = kDroNetStages512[state.range(0)];
+    const auto want = state.range(1) == 0 ? simd::SimdLevel::kScalar
+                                          : simd::SimdLevel::kAvx2;
+    if (want == simd::SimdLevel::kAvx2 && !simd::cpu_supports_avx2()) {
+        state.SkipWithError("CPU/build lacks AVX2");
+        return;
+    }
+    const simd::ScopedSimdLevel pin(want);
+    std::vector<float> a(static_cast<std::size_t>(s.m) * s.k);
+    std::vector<float> b(static_cast<std::size_t>(s.k) * s.n);
+    std::vector<float> c(static_cast<std::size_t>(s.m) * s.n);
+    fill_random(a, 1);
+    fill_random(b, 2);
+    for (auto _ : state) {
+        gemm_blocked({false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(),
+                      s.n, 0.0f, c.data(), s.n});
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetLabel(simd::to_string(simd::active_level()));
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        static_cast<double>(gemm_flops(s.m, s.n, s.k)) * state.iterations() * 1e-9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmSimdLevel)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// FP16 weight-storage GEMM (gemm_halfw: widen half A rows, then the ordinary
+// packed kernel) vs the fp32 GEMM at the same shapes — the per-call widening
+// overhead the --fp16 mode pays for halving weight memory.
+void BM_GemmFp16Weights(benchmark::State& state) {
+    const GemmShape s = kDroNetStages512[state.range(0)];
+    std::vector<float> a32(static_cast<std::size_t>(s.m) * s.k);
+    fill_random(a32, 1);
+    std::vector<std::uint16_t> a16(a32.size());
+    simd::floats_to_halfs(a32.data(), a16.data(), a32.size());
+    std::vector<float> b(static_cast<std::size_t>(s.k) * s.n);
+    std::vector<float> c(static_cast<std::size_t>(s.m) * s.n);
+    fill_random(b, 2);
+    for (auto _ : state) {
+        gemm_halfw(s.m, s.n, s.k, a16.data(), s.k, b.data(), s.n, c.data(), s.n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        static_cast<double>(gemm_flops(s.m, s.n, s.k)) * state.iterations() * 1e-9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmFp16Weights)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+// End-to-end: DroNet forward with fp16 weight+activation storage vs fp32
+// (BM_DroNetForward below is the fp32 baseline at the same sizes).
+void BM_DroNetForwardFp16(benchmark::State& state) {
+    Network net = build_model(ModelId::kDroNet,
+                              {.input_size = static_cast<int>(state.range(0))});
+    net.set_fp16(true);
+    Tensor in(net.input_shape());
+    for (auto _ : state) {
+        net.forward(in);
+        benchmark::DoNotOptimize(net.region());
+    }
+}
+BENCHMARK(BM_DroNetForwardFp16)->Arg(352)->Arg(512)->Unit(benchmark::kMillisecond);
 
 // im2col+GEMM (production path) vs direct convolution (reference path) on a
 // real DroNet stage-3 layer.

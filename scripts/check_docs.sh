@@ -48,6 +48,21 @@ for f in docs/*.md; do
   fi
 done
 
+# Every DRONET_* configuration surface must be documented in
+# docs/build_flags.md: CMake options/cache variables declared in any
+# CMakeLists.txt, and runtime environment toggles read via getenv in source.
+flags="$( { grep -rhoE '(option|set)\(DRONET_[A-Z0-9_]+' \
+              --include=CMakeLists.txt . | sed -E 's/^(option|set)\(//'; \
+            grep -rhoE 'getenv\("DRONET_[A-Z0-9_]+"' src tools \
+              | sed -E 's/^getenv\("//; s/"$//'; } | sort -u)" || true
+while IFS= read -r flag; do
+  [[ -z "$flag" ]] && continue
+  if ! grep -q "$flag" docs/build_flags.md; then
+    echo "UNDOCUMENTED FLAG: $flag missing from docs/build_flags.md"
+    fail=1
+  fi
+done <<< "$flags"
+
 if [[ "$fail" -ne 0 ]]; then
   echo "check_docs: FAILED"
   exit 1

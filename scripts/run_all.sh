@@ -14,8 +14,24 @@ fi
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+# SIMD dispatch stage (docs/vectorization.md): rerun the kernel-sensitive
+# label with the dispatch level forced from startup, exercising the same
+# from-process-start path a user hits with DRONET_SIMD=... The scalar run
+# must pass everywhere; the avx2 run is gated on host support (the dispatcher
+# would silently downgrade, which would test scalar twice and prove nothing).
+DRONET_SIMD=scalar ctest --test-dir build -L simd-kernels \
+  --output-on-failure 2>&1 | tee simd_scalar_output.txt
+if grep -qw avx2 /proc/cpuinfo; then
+  DRONET_SIMD=avx2 ctest --test-dir build -L simd-kernels \
+    --output-on-failure 2>&1 | tee simd_avx2_output.txt
+else
+  echo "host CPU lacks AVX2; skipping DRONET_SIMD=avx2 test pass" \
+    | tee simd_avx2_output.txt
+fi
+
 # Documentation hygiene: every relative link in README.md and docs/ must
-# resolve, and every docs/ page must be indexed in docs/README.md.
+# resolve, every docs/ page must be indexed in docs/README.md, and every
+# DRONET_* build/runtime toggle must be documented in docs/build_flags.md.
 scripts/check_docs.sh
 
 # Static analysis over the library and tools (the curated check set lives in

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/kernels.hpp"
+
 namespace dronet {
 
 Activation activation_from_string(const std::string& name) {
@@ -45,6 +47,16 @@ float activation_gradient(Activation a, float y) noexcept {
 
 void apply_activation(Activation a, std::span<float> x) noexcept {
     if (a == Activation::kLinear) return;
+    // Leaky and relu dominate inference (every conv layer); both dispatch to
+    // the vectorized row kernels, bit-exact with the scalar activate() loop.
+    if (a == Activation::kLeaky) {
+        simd::kernels().leaky_relu(x.data(), x.size());
+        return;
+    }
+    if (a == Activation::kRelu) {
+        simd::kernels().relu(x.data(), x.size());
+        return;
+    }
     for (float& v : x) v = activate(a, v);
 }
 

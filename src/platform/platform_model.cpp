@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <vector>
 
+#include "simd/dispatch.hpp"
 #include "tensor/gemm.hpp"
 
 namespace dronet {
@@ -96,7 +98,10 @@ PlatformSpec calibrate_host_platform() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
     const double gflops =
         static_cast<double>(gemm_flops(m, n, k)) * reps / (seconds > 0 ? seconds : 1e-9) * 1e-9;
-    PlatformSpec spec{"host (measured)", std::max(0.1, gflops), 8.0, 4e6, 0.12, 1.0};
+    // The measured figure depends on which kernel level ran; record it.
+    const std::string name =
+        std::string("host (measured, ") + simd::to_string(simd::active_level()) + ")";
+    PlatformSpec spec{name, std::max(0.1, gflops), 8.0, 4e6, 0.12, 1.0};
     return spec;
 }
 

@@ -1,0 +1,95 @@
+#include "simd/half.hpp"
+
+#include <bit>
+#include <vector>
+
+#include "simd/kernels.hpp"
+
+namespace dronet::simd {
+
+std::uint16_t float_to_half_rtne(float f) noexcept {
+    const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+    const std::uint16_t sign = static_cast<std::uint16_t>((x >> 16) & 0x8000u);
+    const std::uint32_t raw_exp = (x >> 23) & 0xFFu;
+    const std::uint32_t man = x & 0x7FFFFFu;
+
+    if (raw_exp == 0xFFu) {  // Inf or NaN
+        if (man == 0) return sign | 0x7C00u;
+        std::uint16_t hm = static_cast<std::uint16_t>(man >> 13);
+        // A payload living entirely in the truncated low bits would decode as
+        // Inf; substitute the quiet bit so NaN-ness survives.
+        if (hm == 0) hm = 0x200u;
+        return static_cast<std::uint16_t>(sign | 0x7C00u | hm);
+    }
+
+    // Rebias: half exponent = float exponent - 127 + 15.
+    const std::int32_t exp = static_cast<std::int32_t>(raw_exp) - 112;
+    if (exp >= 31) return sign | 0x7C00u;  // overflow -> Inf (after RTNE this
+                                           // is exact: 65520 is the cutoff)
+    if (exp <= 0) {
+        // Subnormal half (or underflow to zero). Value = 1.man * 2^(exp-15);
+        // express it in units of 2^-24 (the subnormal ULP) and round.
+        const std::int32_t shift = 14 - exp;  // 24-bit significand >> shift
+        if (shift > 25) return sign;          // below half of the smallest ULP
+        const std::uint32_t full = man | 0x800000u;
+        std::uint32_t h = full >> shift;  // shift <= 25, always in range
+        const std::uint32_t rem = full & ((1u << shift) - 1u);
+        const std::uint32_t half_point = 1u << (shift - 1);
+        if (rem > half_point || (rem == half_point && (h & 1u))) ++h;
+        // A carry out of the subnormal range lands on 0x0400 — the smallest
+        // normal half — which is exactly the right encoding.
+        return static_cast<std::uint16_t>(sign | h);
+    }
+
+    // Normal: round 23-bit mantissa to 10 bits, ties to even. The increment
+    // may carry into the exponent (and from 30 into Inf) — both are correct.
+    std::uint32_t h = (static_cast<std::uint32_t>(exp) << 10) | (man >> 13);
+    const std::uint32_t rem = man & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+    return static_cast<std::uint16_t>(sign | h);
+}
+
+float half_to_float(std::uint16_t h) noexcept {
+    const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1Fu;
+    std::uint32_t man = h & 0x3FFu;
+    std::uint32_t bits;
+    if (exp == 0) {
+        if (man == 0) {
+            bits = sign;  // signed zero
+        } else {
+            // Subnormal: normalize by shifting the leading 1 into place.
+            std::int32_t e = 0;
+            while ((man & 0x400u) == 0) {
+                man <<= 1;
+                ++e;
+            }
+            man &= 0x3FFu;
+            // After e shifts the value is (man/2^10) * 2^(-14-e) with an
+            // implicit leading 1, so the float exponent is -14-e (bias 127).
+            bits = sign | (static_cast<std::uint32_t>(127 - 14 - e) << 23) | (man << 13);
+        }
+    } else if (exp == 31) {
+        bits = sign | 0x7F800000u | (man << 13);  // Inf / NaN, payload kept
+    } else {
+        bits = sign | ((exp + 112u) << 23) | (man << 13);
+    }
+    return std::bit_cast<float>(bits);
+}
+
+void floats_to_halfs(const float* src, std::uint16_t* dst, std::size_t n) {
+    kernels().floats_to_halfs(src, dst, n);
+}
+
+void halfs_to_floats(const std::uint16_t* src, float* dst, std::size_t n) {
+    kernels().halfs_to_floats(src, dst, n);
+}
+
+void fp16_round_trip(std::span<float> x) {
+    thread_local std::vector<std::uint16_t> scratch;
+    if (scratch.size() < x.size()) scratch.resize(x.size());
+    kernels().floats_to_halfs(x.data(), scratch.data(), x.size());
+    kernels().halfs_to_floats(scratch.data(), x.data(), x.size());
+}
+
+}  // namespace dronet::simd

@@ -1,0 +1,53 @@
+// IEEE-754 binary16 ("half") storage type with software conversions.
+//
+// The numerics policy (docs/vectorization.md):
+//   * float_to_half_rtne rounds to nearest, ties to even — the same rounding
+//     hardware F16C (vcvtps2ph with _MM_FROUND_TO_NEAREST_INT) performs, so
+//     the software and vectorized conversion paths agree bitwise on every
+//     finite input and on infinities.
+//   * Overflow (|x| >= 65520) saturates to ±Inf; values below 2^-24 round to
+//     signed zero; the subnormal range [2^-24, 2^-14) is rounded exactly,
+//     never flushed.
+//   * NaNs stay NaNs. The top 10 mantissa bits are kept, and a payload that
+//     would truncate to zero is replaced with the quiet-NaN bit so the result
+//     still encodes NaN. half -> float -> half is the identity for ALL 65536
+//     bit patterns, including NaN payloads (test_half exercises this
+//     exhaustively).
+//
+// Half is storage-only: arithmetic converts to float, computes, converts
+// back. Bulk conversions go through simd::kernels() (F16C on the AVX2 level).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dronet::simd {
+
+[[nodiscard]] std::uint16_t float_to_half_rtne(float f) noexcept;
+[[nodiscard]] float half_to_float(std::uint16_t h) noexcept;
+
+/// POD 16-bit storage scalar. Implicit float conversion keeps call sites
+/// readable; construction from float is explicit so narrowing is visible.
+struct Half {
+    std::uint16_t bits = 0;
+
+    Half() = default;
+    explicit Half(float f) noexcept : bits(float_to_half_rtne(f)) {}
+    static Half from_bits(std::uint16_t b) noexcept {
+        Half h;
+        h.bits = b;
+        return h;
+    }
+    operator float() const noexcept { return half_to_float(bits); }  // NOLINT(google-explicit-constructor)
+};
+
+/// Bulk conversions, dispatched (kernels.hpp): F16C on the AVX2 level,
+/// the scalar routines above otherwise.
+void floats_to_halfs(const float* src, std::uint16_t* dst, std::size_t n);
+void halfs_to_floats(const std::uint16_t* src, float* dst, std::size_t n);
+
+/// Rounds every value through fp16 storage precision in place — what a layer
+/// output goes through when activations are stored as halves.
+void fp16_round_trip(std::span<float> x);
+
+}  // namespace dronet::simd

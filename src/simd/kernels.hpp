@@ -1,0 +1,51 @@
+// Dispatched kernel entry points backing the hot paths (tensor/gemm,
+// tensor/im2col, tensor/ops, nn/activation, image/resize, nn fp16 storage).
+//
+// Callers fetch the active table once per call site via kernels() — one
+// atomic acquire load — and invoke plain function pointers. The scalar table
+// is always available; the AVX2 table exists when the binary was built with
+// AVX2 kernels (x86-64) and is installed by dispatch when the CPU qualifies.
+//
+// Bit-exactness contract per entry (docs/vectorization.md):
+//   * copy_row / add_bias_row / scale_row / normalize_row / leaky_relu /
+//     relu / lerp_rows perform identical per-element IEEE operations at both
+//     levels — results are bitwise equal regardless of dispatch.
+//   * gemm_micro_4x16 is null on the scalar table (the caller keeps its
+//     reference loop); the AVX2 entry uses FMA and is tolerance-gated.
+//   * floats_to_halfs / halfs_to_floats agree bitwise across levels for all
+//     finite values and infinities (RTNE both ways); NaN payloads may differ.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dronet::simd {
+
+struct KernelTable {
+    void (*copy_row)(float* dst, const float* src, std::size_t n);
+    void (*add_bias_row)(float* p, std::size_t n, float bias);
+    void (*scale_row)(float* p, std::size_t n, float scale);
+    void (*normalize_row)(float* p, std::size_t n, float mean, float inv_std);
+    void (*leaky_relu)(float* p, std::size_t n);
+    void (*relu)(float* p, std::size_t n);
+    /// dst[i] = a[i]*(1-w) + b[i]*w — the bilinear vertical pass.
+    void (*lerp_rows)(const float* a, const float* b, float w, float* dst,
+                      std::size_t n);
+    void (*floats_to_halfs)(const float* src, std::uint16_t* dst, std::size_t n);
+    void (*halfs_to_floats)(const std::uint16_t* src, float* dst, std::size_t n);
+    /// Full 4x16 C tile: c[r][j] = alpha*sum_k(ap[k*4+r]*b[k*b_stride+j]) +
+    /// beta*c[r][j]. Null on the scalar table (caller's reference loop runs).
+    void (*gemm_micro_4x16)(const float* ap, const float* b,
+                            std::int64_t b_stride, int k, float alpha,
+                            float beta, float* c, std::int64_t ldc);
+};
+
+/// The table for the active dispatch level (dispatch.hpp).
+[[nodiscard]] const KernelTable& kernels() noexcept;
+
+/// Tables by capability; scalar_kernel_table() always exists,
+/// avx2_kernel_table() returns null when the binary carries no AVX2 kernels.
+[[nodiscard]] const KernelTable* scalar_kernel_table() noexcept;
+[[nodiscard]] const KernelTable* avx2_kernel_table() noexcept;
+
+}  // namespace dronet::simd

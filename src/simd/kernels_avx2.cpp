@@ -1,0 +1,100 @@
+// AVX2/FMA/F16C instantiation of the kernel templates plus the hand-written
+// GEMM micro-kernel and half conversions. This TU — and only this TU — is
+// compiled with -mavx2 -mfma -mf16c (src/simd/CMakeLists.txt); nothing here
+// may be called before dispatch has confirmed the CPU capability.
+#include "simd/kernels.hpp"
+
+#include <immintrin.h>
+
+#include "simd/half.hpp"
+#include "simd/kernels_impl.hpp"
+#include "simd/vec_avx2.hpp"
+
+namespace dronet::simd {
+namespace {
+
+/// Full 4x16 tile with FMA accumulators: 8 ymm accumulators (4 rows x 2
+/// halves), one B-row load pair amortized over four broadcast A values —
+/// the vector mirror of tensor/gemm.cpp's micro_full_direct/_packed.
+void gemm_micro_4x16_fma(const float* ap, const float* b, std::int64_t b_stride,
+                         int k, float alpha, float beta, float* c,
+                         std::int64_t ldc) {
+    __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+    __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+    __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+    __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+    for (int kk = 0; kk < k; ++kk) {
+        const float* brow = b + static_cast<std::int64_t>(kk) * b_stride;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        const __m256 a0 = _mm256_broadcast_ss(ap + 0);
+        const __m256 a1 = _mm256_broadcast_ss(ap + 1);
+        const __m256 a2 = _mm256_broadcast_ss(ap + 2);
+        const __m256 a3 = _mm256_broadcast_ss(ap + 3);
+        ap += 4;
+        acc00 = _mm256_fmadd_ps(a0, b0, acc00);
+        acc01 = _mm256_fmadd_ps(a0, b1, acc01);
+        acc10 = _mm256_fmadd_ps(a1, b0, acc10);
+        acc11 = _mm256_fmadd_ps(a1, b1, acc11);
+        acc20 = _mm256_fmadd_ps(a2, b0, acc20);
+        acc21 = _mm256_fmadd_ps(a2, b1, acc21);
+        acc30 = _mm256_fmadd_ps(a3, b0, acc30);
+        acc31 = _mm256_fmadd_ps(a3, b1, acc31);
+    }
+    const __m256 va = _mm256_set1_ps(alpha);
+    const __m256 vb = _mm256_set1_ps(beta);
+    const __m256 accs[4][2] = {
+        {acc00, acc01}, {acc10, acc11}, {acc20, acc21}, {acc30, acc31}};
+    for (int r = 0; r < 4; ++r) {
+        float* crow = c + static_cast<std::int64_t>(r) * ldc;
+        for (int h = 0; h < 2; ++h) {
+            float* cp = crow + 8 * h;
+            // alpha*acc + beta*c, beta multiplying whatever C holds — the
+            // same expression the scalar write_tile evaluates.
+            const __m256 cv = _mm256_loadu_ps(cp);
+            _mm256_storeu_ps(
+                cp, _mm256_add_ps(_mm256_mul_ps(va, accs[r][h]),
+                                  _mm256_mul_ps(vb, cv)));
+        }
+    }
+}
+
+void floats_to_halfs_f16c(const float* src, std::uint16_t* dst, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 v = _mm256_loadu_ps(src + i);
+        const __m128i h =
+            _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+    }
+    for (; i < n; ++i) dst[i] = float_to_half_rtne(src[i]);
+}
+
+void halfs_to_floats_f16c(const std::uint16_t* src, float* dst, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i h =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+        _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+    }
+    for (; i < n; ++i) dst[i] = half_to_float(src[i]);
+}
+
+constexpr KernelTable kAvx2Table = {
+    impl::copy_row<VecAvx2>,
+    impl::add_bias_row<VecAvx2>,
+    impl::scale_row<VecAvx2>,
+    impl::normalize_row<VecAvx2>,
+    impl::leaky_relu<VecAvx2>,
+    impl::relu<VecAvx2>,
+    impl::lerp_rows<VecAvx2>,
+    floats_to_halfs_f16c,
+    halfs_to_floats_f16c,
+    gemm_micro_4x16_fma,
+};
+
+}  // namespace
+
+const KernelTable* avx2_kernel_table() noexcept { return &kAvx2Table; }
+
+}  // namespace dronet::simd

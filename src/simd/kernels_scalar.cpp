@@ -1,0 +1,38 @@
+// Scalar instantiation of the kernel templates — the always-available,
+// bit-exact dispatch level. gemm_micro_4x16 stays null: tensor/gemm.cpp keeps
+// its reference micro-kernel loop on this level.
+#include "simd/kernels.hpp"
+
+#include "simd/half.hpp"
+#include "simd/kernels_impl.hpp"
+#include "simd/vec_base.hpp"
+
+namespace dronet::simd {
+namespace {
+
+void floats_to_halfs_scalar(const float* src, std::uint16_t* dst, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = float_to_half_rtne(src[i]);
+}
+
+void halfs_to_floats_scalar(const std::uint16_t* src, float* dst, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = half_to_float(src[i]);
+}
+
+constexpr KernelTable kScalarTable = {
+    impl::copy_row<VecScalar>,
+    impl::add_bias_row<VecScalar>,
+    impl::scale_row<VecScalar>,
+    impl::normalize_row<VecScalar>,
+    impl::leaky_relu<VecScalar>,
+    impl::relu<VecScalar>,
+    impl::lerp_rows<VecScalar>,
+    floats_to_halfs_scalar,
+    halfs_to_floats_scalar,
+    nullptr,  // gemm_micro_4x16: scalar level keeps the reference loop
+};
+
+}  // namespace
+
+const KernelTable* scalar_kernel_table() noexcept { return &kScalarTable; }
+
+}  // namespace dronet::simd

@@ -1,0 +1,77 @@
+// AVX2/FMA specialization of the Vec interface (see vec_base.hpp for the
+// semantics contract). This header must only be included from translation
+// units compiled with -mavx2 -mfma (kernels_avx2.cpp): the types below expand
+// to 256-bit ymm intrinsics, and inlining them into a generic TU would let
+// AVX instructions leak into code that runs before dispatch checks CPUID.
+#pragma once
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "vec_avx2.hpp requires a TU compiled with -mavx2 -mfma"
+#endif
+
+#include <immintrin.h>
+
+namespace dronet::simd {
+
+struct VecAvx2 {
+    static constexpr int kWidth = 8;
+    __m256 v;
+
+    VecAvx2() = default;
+    explicit VecAvx2(__m256 x) : v(x) {}
+
+    static VecAvx2 loadu(const float* p) { return VecAvx2(_mm256_loadu_ps(p)); }
+    void storeu(float* p) const { _mm256_storeu_ps(p, v); }
+    static VecAvx2 broadcast(float x) { return VecAvx2(_mm256_set1_ps(x)); }
+    static VecAvx2 zero() { return VecAvx2(_mm256_setzero_ps()); }
+
+    friend VecAvx2 operator+(const VecAvx2& a, const VecAvx2& b) {
+        return VecAvx2(_mm256_add_ps(a.v, b.v));
+    }
+    friend VecAvx2 operator-(const VecAvx2& a, const VecAvx2& b) {
+        return VecAvx2(_mm256_sub_ps(a.v, b.v));
+    }
+    friend VecAvx2 operator*(const VecAvx2& a, const VecAvx2& b) {
+        return VecAvx2(_mm256_mul_ps(a.v, b.v));
+    }
+
+    /// True fused multiply-add: one rounding. Tolerance-gated paths only.
+    static VecAvx2 fmadd(const VecAvx2& a, const VecAvx2& b, const VecAvx2& c) {
+        return VecAvx2(_mm256_fmadd_ps(a.v, b.v, c.v));
+    }
+
+    // x86 max/min return the second operand when either input is NaN, which
+    // is exactly the `a > b ? a : b` contract from vec_base.hpp.
+    static VecAvx2 max(const VecAvx2& a, const VecAvx2& b) {
+        return VecAvx2(_mm256_max_ps(a.v, b.v));
+    }
+    static VecAvx2 min(const VecAvx2& a, const VecAvx2& b) {
+        return VecAvx2(_mm256_min_ps(a.v, b.v));
+    }
+
+    static VecAvx2 cmp_gt(const VecAvx2& a, const VecAvx2& b) {
+        return VecAvx2(_mm256_cmp_ps(a.v, b.v, _CMP_GT_OQ));
+    }
+    static VecAvx2 blend(const VecAvx2& mask, const VecAvx2& a, const VecAvx2& b) {
+        return VecAvx2(_mm256_blendv_ps(b.v, a.v, mask.v));
+    }
+
+    [[nodiscard]] float hsum() const {
+        const __m128 lo = _mm256_castps256_ps128(v);
+        const __m128 hi = _mm256_extractf128_ps(v, 1);
+        __m128 s = _mm_add_ps(lo, hi);
+        s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        return _mm_cvtss_f32(s);
+    }
+    [[nodiscard]] float hmax() const {
+        const __m128 lo = _mm256_castps256_ps128(v);
+        const __m128 hi = _mm256_extractf128_ps(v, 1);
+        __m128 m = _mm_max_ps(lo, hi);
+        m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+        m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+        return _mm_cvtss_f32(m);
+    }
+};
+
+}  // namespace dronet::simd

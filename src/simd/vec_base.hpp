@@ -1,0 +1,102 @@
+// Vec: fixed-width vector abstraction in the style of ATen's Vec256.
+//
+// Kernels in kernels_impl.hpp are written once against this interface and
+// instantiated per CPU capability: VecScalar here (plain C++, any target) and
+// VecAvx2 in vec_avx2.hpp (compiled only in the -mavx2 -mfma translation
+// unit). Both expose the same 8-lane float surface: loadu/storeu,
+// broadcast/zero, elementwise arithmetic, fmadd, max/min, compare+blend, and
+// horizontal reductions.
+//
+// Semantics contract (docs/vectorization.md):
+//   * VecScalar::fmadd computes a*b + c with SEPARATE roundings — the
+//     reference semantics every scalar kernel in this repo uses, which is
+//     what keeps the scalar dispatch level bit-exact against gemm_naive.
+//     VecAvx2::fmadd is a true fused multiply-add (one rounding); paths that
+//     use it are gated by tolerance tests, not memcmp.
+//   * max/min return the SECOND operand when either input is NaN, matching
+//     the `a > b ? a : b` scalar idiom and x86 max/min instruction semantics.
+#pragma once
+
+#include <cstddef>
+
+namespace dronet::simd {
+
+struct VecScalar {
+    static constexpr int kWidth = 8;
+    float v[kWidth];
+
+    static VecScalar loadu(const float* p) {
+        VecScalar r;
+        for (int i = 0; i < kWidth; ++i) r.v[i] = p[i];
+        return r;
+    }
+    void storeu(float* p) const {
+        for (int i = 0; i < kWidth; ++i) p[i] = v[i];
+    }
+    static VecScalar broadcast(float x) {
+        VecScalar r;
+        for (int i = 0; i < kWidth; ++i) r.v[i] = x;
+        return r;
+    }
+    static VecScalar zero() { return broadcast(0.0f); }
+
+    friend VecScalar operator+(const VecScalar& a, const VecScalar& b) {
+        VecScalar r;
+        for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] + b.v[i];
+        return r;
+    }
+    friend VecScalar operator-(const VecScalar& a, const VecScalar& b) {
+        VecScalar r;
+        for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] - b.v[i];
+        return r;
+    }
+    friend VecScalar operator*(const VecScalar& a, const VecScalar& b) {
+        VecScalar r;
+        for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] * b.v[i];
+        return r;
+    }
+
+    /// a*b + c, reference (two-rounding) semantics on the scalar level.
+    static VecScalar fmadd(const VecScalar& a, const VecScalar& b, const VecScalar& c) {
+        VecScalar r;
+        for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] * b.v[i] + c.v[i];
+        return r;
+    }
+
+    static VecScalar max(const VecScalar& a, const VecScalar& b) {
+        VecScalar r;
+        for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+        return r;
+    }
+    static VecScalar min(const VecScalar& a, const VecScalar& b) {
+        VecScalar r;
+        for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+        return r;
+    }
+
+    /// Lane mask: all-ones where a > b (ordered), zero elsewhere.
+    static VecScalar cmp_gt(const VecScalar& a, const VecScalar& b) {
+        VecScalar r;
+        for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] > b.v[i] ? 1.0f : 0.0f;
+        return r;
+    }
+    /// Per lane: mask ? a : b (mask as produced by cmp_gt).
+    static VecScalar blend(const VecScalar& mask, const VecScalar& a, const VecScalar& b) {
+        VecScalar r;
+        for (int i = 0; i < kWidth; ++i) r.v[i] = mask.v[i] != 0.0f ? a.v[i] : b.v[i];
+        return r;
+    }
+
+    [[nodiscard]] float hsum() const {
+        float s = 0.0f;
+        for (int i = 0; i < kWidth; ++i) s += v[i];
+        return s;
+    }
+    [[nodiscard]] float hmax() const {
+        float m = v[0];
+        for (int i = 1; i < kWidth; ++i) m = v[i] > m ? v[i] : m;
+        return m;
+    }
+};
+
+}  // namespace dronet::simd

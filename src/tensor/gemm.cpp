@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "simd/kernels.hpp"
 #include "tensor/thread_pool.hpp"
 
 namespace dronet {
@@ -181,6 +182,10 @@ void packed_rows(const GemmArgs& g, int row_begin, int row_end) {
         }
         return;
     }
+    // Fetched once per row range: null on the scalar level (the reference
+    // loops below stay the kernel), the FMA tile on AVX2. Edge tiles always
+    // take the scalar path — only full 4x16 tiles dispatch.
+    const auto micro_simd = simd::kernels().gemm_micro_4x16;
     float* ap = a_scratch(static_cast<std::size_t>(kMr) * std::max(1, g.k));
     if (!g.trans_b) {
         for (int i0 = row_begin; i0 < row_end; i0 += kMr) {
@@ -188,7 +193,15 @@ void packed_rows(const GemmArgs& g, int row_begin, int row_end) {
             pack_a(g, i0, mr, ap);
             int j0 = 0;
             if (mr == kMr) {
-                for (; j0 + kNr <= g.n; j0 += kNr) micro_full_direct(g, ap, i0, j0);
+                for (; j0 + kNr <= g.n; j0 += kNr) {
+                    if (micro_simd != nullptr) {
+                        micro_simd(ap, g.b + j0, g.ldb, g.k, g.alpha, g.beta,
+                                   g.c + static_cast<std::int64_t>(i0) * g.ldc + j0,
+                                   g.ldc);
+                    } else {
+                        micro_full_direct(g, ap, i0, j0);
+                    }
+                }
             }
             for (; j0 < g.n; j0 += kNr) {
                 micro_edge(g, ap, nullptr, i0, j0, mr, std::min(kNr, g.n - j0));
@@ -206,7 +219,13 @@ void packed_rows(const GemmArgs& g, int row_begin, int row_end) {
                 const int mr = std::min(kMr, row_end - i0);
                 pack_a(g, i0, mr, ap);
                 if (mr == kMr && nr == kNr) {
-                    micro_full_packed(g, ap, bp, i0, j0);
+                    if (micro_simd != nullptr) {
+                        micro_simd(ap, bp, kNr, g.k, g.alpha, g.beta,
+                                   g.c + static_cast<std::int64_t>(i0) * g.ldc + j0,
+                                   g.ldc);
+                    } else {
+                        micro_full_packed(g, ap, bp, i0, j0);
+                    }
                 } else {
                     micro_edge(g, ap, bp, i0, j0, mr, nr);
                 }
@@ -306,6 +325,54 @@ void gemm_threaded_spawn(const GemmArgs& g, int threads) {
         workers.emplace_back([&g, lo, hi] { legacy_blocked_rows(g, lo, hi); });
     }
     for (auto& w : workers) w.join();
+}
+
+void gemm_halfw(int m, int n, int k, const std::uint16_t* a, int lda,
+                const float* b, int ldb, float* c, int ldc) {
+    if (m < 0 || n < 0 || k < 0) {
+        throw std::invalid_argument("gemm_halfw: negative dimension");
+    }
+    if ((m > 0 && k > 0 && a == nullptr) || (k > 0 && n > 0 && b == nullptr) ||
+        (m > 0 && n > 0 && c == nullptr)) {
+        throw std::invalid_argument("gemm_halfw: null matrix pointer");
+    }
+    if (m <= 0) return;
+    const auto worker = [&](int lo, int hi) {
+        // Widen this worker's A rows once into thread-local scratch, then run
+        // the ordinary packed kernel on them. Accumulation order is therefore
+        // identical to gemm() on a pre-rounded A — the fp16 path adds exactly
+        // one rounding step (the storage format), nothing else.
+        thread_local std::vector<float> a32;
+        const std::size_t rows = static_cast<std::size_t>(hi - lo);
+        const std::size_t need = rows * static_cast<std::size_t>(k);
+        if (a32.size() < need) a32.resize(need);
+        for (int i = lo; i < hi; ++i) {
+            simd::kernels().halfs_to_floats(
+                a + static_cast<std::int64_t>(i) * lda,
+                a32.data() + static_cast<std::size_t>(i - lo) * k,
+                static_cast<std::size_t>(k));
+        }
+        GemmArgs sub;
+        sub.m = hi - lo;
+        sub.n = n;
+        sub.k = k;
+        sub.alpha = 1.0f;
+        sub.a = a32.data();
+        sub.lda = k;
+        sub.b = b;
+        sub.ldb = ldb;
+        sub.beta = 0.0f;
+        sub.c = c + static_cast<std::int64_t>(lo) * ldc;
+        sub.ldc = ldc;
+        packed_rows(sub, 0, sub.m);
+    };
+    const int threads = g_gemm_threads.load(std::memory_order_relaxed);
+    const std::int64_t macs = static_cast<std::int64_t>(m) * n * k;
+    if (threads <= 1 || macs < kMinParallelMacs) {
+        worker(0, m);
+        return;
+    }
+    ThreadPool::instance().parallel_for(0, m, threads, kMr, worker);
 }
 
 void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,

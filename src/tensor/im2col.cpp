@@ -1,7 +1,9 @@
 #include "tensor/im2col.hpp"
 
+#include <algorithm>
 #include <cstdint>
 
+#include "simd/kernels.hpp"
 #include "tensor/thread_pool.hpp"
 
 namespace dronet {
@@ -11,6 +13,7 @@ void im2col_rows(const float* im, const ConvGeometry& geo, float* col,
                  int row_begin, int row_end) {
     const int oh = geo.out_h();
     const int ow = geo.out_w();
+    const auto copy_row = simd::kernels().copy_row;
     for (int r = row_begin; r < row_end; ++r) {
         const int kw = r % geo.ksize;
         const int kh = (r / geo.ksize) % geo.ksize;
@@ -25,6 +28,20 @@ void im2col_rows(const float* im, const ConvGeometry& geo, float* col,
                 continue;
             }
             const float* in_row = plane + static_cast<std::int64_t>(iy) * geo.width;
+            if (geo.stride == 1) {
+                // Stride-1 rows are a contiguous copy once the left/right
+                // padding edges are zero-filled: out x maps to ix = x+kw-pad.
+                const int x_lo = std::max(0, geo.pad - kw);
+                const int x_hi = std::min(ow, geo.width - kw + geo.pad);
+                float* orow = out_row + static_cast<std::int64_t>(y) * ow;
+                for (int x = 0; x < x_lo; ++x) orow[x] = 0.0f;
+                if (x_hi > x_lo) {
+                    copy_row(orow + x_lo, in_row + x_lo + kw - geo.pad,
+                             static_cast<std::size_t>(x_hi - x_lo));
+                }
+                for (int x = std::max(x_lo, x_hi); x < ow; ++x) orow[x] = 0.0f;
+                continue;
+            }
             for (int x = 0; x < ow; ++x) {
                 const int ix = x * geo.stride + kw - geo.pad;
                 out_row[y * ow + x] =

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/kernels.hpp"
+
 namespace dronet {
 namespace {
 
@@ -67,35 +69,38 @@ void channel_variance(std::span<const float> x, std::span<const float> mean,
 void normalize_channels(std::span<float> x, std::span<const float> mean,
                         std::span<const float> variance, int batch, int channels,
                         int spatial, float eps) {
+    const auto row = simd::kernels().normalize_row;
     for (int c = 0; c < channels; ++c) {
         const float m = mean[static_cast<std::size_t>(c)];
         const float inv_std =
             1.0f / std::sqrt(variance[static_cast<std::size_t>(c)] + eps);
         for (int b = 0; b < batch; ++b) {
             float* p = x.data() + (static_cast<std::int64_t>(b) * channels + c) * spatial;
-            for (int i = 0; i < spatial; ++i) p[i] = (p[i] - m) * inv_std;
+            row(p, static_cast<std::size_t>(spatial), m, inv_std);
         }
     }
 }
 
 void add_channel_bias(std::span<float> x, std::span<const float> bias, int batch,
                       int channels, int spatial) {
+    const auto row = simd::kernels().add_bias_row;
     for (int b = 0; b < batch; ++b) {
         for (int c = 0; c < channels; ++c) {
             const float v = bias[static_cast<std::size_t>(c)];
             float* p = x.data() + (static_cast<std::int64_t>(b) * channels + c) * spatial;
-            for (int i = 0; i < spatial; ++i) p[i] += v;
+            row(p, static_cast<std::size_t>(spatial), v);
         }
     }
 }
 
 void scale_channels(std::span<float> x, std::span<const float> scale, int batch,
                     int channels, int spatial) {
+    const auto row = simd::kernels().scale_row;
     for (int b = 0; b < batch; ++b) {
         for (int c = 0; c < channels; ++c) {
             const float v = scale[static_cast<std::size_t>(c)];
             float* p = x.data() + (static_cast<std::int64_t>(b) * channels + c) * spatial;
-            for (int i = 0; i < spatial; ++i) p[i] *= v;
+            row(p, static_cast<std::size_t>(spatial), v);
         }
     }
 }

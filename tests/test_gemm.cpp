@@ -1,14 +1,17 @@
 // GEMM kernels: blocked and threaded kernels must agree with the naive
 // reference across transpose modes, alpha/beta values and shapes
-// (parameterized property sweep). The packed kernels are required to be
-// BIT-exact against gemm_naive (same accumulation order), which the
-// *BitExact* tests check via memcmp.
+// (parameterized property sweep). On the SCALAR dispatch level the packed
+// kernels are required to be BIT-exact against gemm_naive (same accumulation
+// order), which the *BitExact* tests check via memcmp after pinning the
+// level. The AVX2 level's FMA micro-kernel fuses each multiply-add into one
+// rounding and is tolerance-gated instead (test_simd.cpp).
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <tuple>
 #include <vector>
 
+#include "simd/dispatch.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
 
@@ -70,11 +73,13 @@ TEST_P(GemmAgreement, ThreadedMatchesNaive) {
     expect_near(c_ref, c_thr);
 }
 
-// The packed kernels reproduce gemm_naive's exact accumulation order
-// (full-k ascending into a fresh accumulator, then alpha*acc + beta*c), so
-// the results must match bit for bit — not just within tolerance. This is
-// what lets gemm() switch kernels without perturbing checkpoint evaluation.
+// On the scalar level the packed kernels reproduce gemm_naive's exact
+// accumulation order (full-k ascending into a fresh accumulator, then
+// alpha*acc + beta*c), so the results must match bit for bit — not just
+// within tolerance. This is what lets gemm() switch kernels without
+// perturbing checkpoint evaluation.
 TEST_P(GemmAgreement, BlockedBitExactVsNaive) {
+    const simd::ScopedSimdLevel scalar(simd::SimdLevel::kScalar);
     const GemmCase c = GetParam();
     Rng rng(29);
     const auto a = c.ta ? random_matrix(rng, c.k, c.m) : random_matrix(rng, c.m, c.k);
@@ -91,6 +96,7 @@ TEST_P(GemmAgreement, BlockedBitExactVsNaive) {
 }
 
 TEST_P(GemmAgreement, ThreadedBitExactVsNaive) {
+    const simd::ScopedSimdLevel scalar(simd::SimdLevel::kScalar);
     const GemmCase c = GetParam();
     Rng rng(31);
     const auto a = c.ta ? random_matrix(rng, c.k, c.m) : random_matrix(rng, c.m, c.k);

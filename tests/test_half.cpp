@@ -1,0 +1,190 @@
+// IEEE binary16 conversions (simd/half.hpp): the numerics policy is tested
+// exhaustively — every one of the 65536 half bit patterns must survive
+// half -> float -> half unchanged (including NaN payloads), RTNE ties must
+// break to even, and overflow/underflow/subnormal edges must land exactly
+// where the policy says. The F16C hardware path must agree bitwise with the
+// software conversion for all finite values and infinities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "simd/dispatch.hpp"
+#include "simd/half.hpp"
+#include "simd/kernels.hpp"
+
+namespace dronet::simd {
+namespace {
+
+std::uint32_t float_bits(float f) {
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+TEST(Half, ExhaustiveRoundTripIdentity) {
+    // All 65536 patterns: +-zero, subnormals, normals, +-Inf, every NaN
+    // payload. half -> float -> half must be the identity, bit for bit.
+    for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+        const std::uint16_t h = static_cast<std::uint16_t>(bits);
+        const float f = half_to_float(h);
+        const std::uint16_t back = float_to_half_rtne(f);
+        ASSERT_EQ(back, h) << "pattern 0x" << std::hex << bits
+                           << " widened to " << f;
+    }
+}
+
+TEST(Half, ExactSmallIntegers) {
+    // Values representable exactly in both formats convert without error.
+    for (int i = -2048; i <= 2048; ++i) {
+        const float f = static_cast<float>(i);
+        EXPECT_FLOAT_EQ(half_to_float(float_to_half_rtne(f)), f) << i;
+    }
+    EXPECT_EQ(float_to_half_rtne(1.0f), 0x3C00);
+    EXPECT_EQ(float_to_half_rtne(-2.0f), 0xC000);
+    EXPECT_EQ(float_to_half_rtne(0.5f), 0x3800);
+    EXPECT_EQ(float_to_half_rtne(65504.0f), 0x7BFF);  // largest finite half
+}
+
+TEST(Half, RoundsToNearestTiesToEven) {
+    // 1.0 + 2^-11 sits exactly between 1.0 (0x3C00, even) and the next half
+    // (0x3C01, odd): the tie must go to even.
+    EXPECT_EQ(float_to_half_rtne(1.0f + std::ldexp(1.0f, -11)), 0x3C00);
+    // 1.0 + 3*2^-11 ties between 0x3C01 and 0x3C02: even wins again.
+    EXPECT_EQ(float_to_half_rtne(1.0f + 3 * std::ldexp(1.0f, -11)), 0x3C02);
+    // Just above a tie rounds up; just below rounds down.
+    EXPECT_EQ(float_to_half_rtne(1.0f + std::ldexp(1.0f, -11) +
+                                 std::ldexp(1.0f, -20)),
+              0x3C01);
+    EXPECT_EQ(float_to_half_rtne(1.0f + std::ldexp(1.0f, -11) -
+                                 std::ldexp(1.0f, -20)),
+              0x3C01 - 1);
+}
+
+TEST(Half, OverflowSaturatesToInfinity) {
+    // The rounding boundary is 65520: everything at or above rounds to Inf,
+    // everything below rounds to the largest finite half (65504).
+    EXPECT_EQ(float_to_half_rtne(65520.0f), 0x7C00);
+    EXPECT_EQ(float_to_half_rtne(65519.996f), 0x7BFF);
+    EXPECT_EQ(float_to_half_rtne(-65520.0f), 0xFC00);
+    EXPECT_EQ(float_to_half_rtne(1e30f), 0x7C00);
+    EXPECT_EQ(float_to_half_rtne(std::numeric_limits<float>::infinity()), 0x7C00);
+    EXPECT_EQ(float_to_half_rtne(-std::numeric_limits<float>::infinity()), 0xFC00);
+}
+
+TEST(Half, UnderflowAndSubnormals) {
+    // 2^-24 is the smallest subnormal half.
+    EXPECT_EQ(float_to_half_rtne(std::ldexp(1.0f, -24)), 0x0001);
+    // Half of it ties between 0 (even) and 0x0001 (odd): to even -> zero.
+    EXPECT_EQ(float_to_half_rtne(std::ldexp(1.0f, -25)), 0x0000);
+    EXPECT_EQ(float_to_half_rtne(-std::ldexp(1.0f, -25)), 0x8000);
+    // Anything below the tie point is a signed zero.
+    EXPECT_EQ(float_to_half_rtne(std::ldexp(1.0f, -26)), 0x0000);
+    EXPECT_EQ(float_to_half_rtne(-std::ldexp(1.0f, -30)), 0x8000);
+    // Largest subnormal: (1023/1024) * 2^-14.
+    EXPECT_EQ(float_to_half_rtne(std::ldexp(1023.0f, -24)), 0x03FF);
+    // Smallest normal: 2^-14.
+    EXPECT_EQ(float_to_half_rtne(std::ldexp(1.0f, -14)), 0x0400);
+    // Subnormals widen exactly.
+    EXPECT_FLOAT_EQ(half_to_float(0x0001), std::ldexp(1.0f, -24));
+    EXPECT_FLOAT_EQ(half_to_float(0x03FF), std::ldexp(1023.0f, -24));
+}
+
+TEST(Half, SignedZeroPreserved) {
+    EXPECT_EQ(float_to_half_rtne(0.0f), 0x0000);
+    EXPECT_EQ(float_to_half_rtne(-0.0f), 0x8000);
+    EXPECT_EQ(float_bits(half_to_float(0x8000)), 0x80000000u);
+    EXPECT_EQ(float_bits(half_to_float(0x0000)), 0x00000000u);
+}
+
+TEST(Half, NanStaysNan) {
+    const std::uint16_t q = float_to_half_rtne(std::nanf(""));
+    EXPECT_TRUE(std::isnan(half_to_float(q)));
+    // A float NaN whose payload's top 10 bits are zero must still encode NaN
+    // after narrowing (the quiet bit is substituted), never Inf.
+    float sneaky;
+    const std::uint32_t sneaky_bits = 0x7F800001u;  // sNaN, payload in low bits
+    std::memcpy(&sneaky, &sneaky_bits, sizeof(sneaky));
+    const std::uint16_t h = float_to_half_rtne(sneaky);
+    EXPECT_TRUE(std::isnan(half_to_float(h)));
+    EXPECT_NE(h, 0x7C00);  // not Inf
+}
+
+TEST(Half, StorageStructRoundTrips) {
+    const Half h(3.140625f);  // exactly representable: 0x4248
+    EXPECT_EQ(h.bits, 0x4248);
+    EXPECT_FLOAT_EQ(static_cast<float>(h), 3.140625f);
+    EXPECT_EQ(Half::from_bits(0x3C00).bits, 0x3C00);
+}
+
+TEST(Half, BulkConversionsMatchScalar) {
+    std::vector<float> src;
+    for (int i = -300; i < 300; ++i) src.push_back(0.37f * static_cast<float>(i));
+    src.push_back(std::numeric_limits<float>::infinity());
+    src.push_back(-std::numeric_limits<float>::infinity());
+    src.push_back(65519.0f);
+    std::vector<std::uint16_t> bulk(src.size());
+    floats_to_halfs(src.data(), bulk.data(), src.size());
+    std::vector<float> widened(src.size());
+    halfs_to_floats(bulk.data(), widened.data(), src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        EXPECT_EQ(bulk[i], float_to_half_rtne(src[i])) << i;
+        EXPECT_EQ(float_bits(widened[i]), float_bits(half_to_float(bulk[i]))) << i;
+    }
+}
+
+TEST(Half, F16cAgreesWithSoftwareConversions) {
+    if (!cpu_supports_avx2()) {
+        GTEST_SKIP() << "CPU/build lacks AVX2+F16C; hardware path not testable";
+    }
+    const KernelTable* hw = avx2_kernel_table();
+    ASSERT_NE(hw, nullptr);
+    // Dense sweep of float inputs incl. values rounding into subnormals,
+    // ties, and overflow; hardware narrowing must equal software narrowing
+    // bitwise (both are RTNE).
+    std::vector<float> src;
+    for (std::uint32_t h = 0; h <= 0xFFFF; ++h) {
+        const float f = half_to_float(static_cast<std::uint16_t>(h));
+        if (std::isnan(f)) continue;  // NaN payload passthrough differs by ISA
+        src.push_back(f);
+        src.push_back(std::nextafterf(f, 1e30f));
+        src.push_back(std::nextafterf(f, -1e30f));
+    }
+    src.push_back(65520.0f);
+    src.push_back(-65520.0f);
+    std::vector<std::uint16_t> sw(src.size()), fast(src.size());
+    scalar_kernel_table()->floats_to_halfs(src.data(), sw.data(), src.size());
+    hw->floats_to_halfs(src.data(), fast.data(), src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        ASSERT_EQ(fast[i], sw[i]) << "input " << src[i];
+    }
+    // Widening: every non-NaN half pattern must widen identically.
+    std::vector<std::uint16_t> halves;
+    for (std::uint32_t h = 0; h <= 0xFFFF; ++h) {
+        const std::uint16_t hh = static_cast<std::uint16_t>(h);
+        if (!std::isnan(half_to_float(hh))) halves.push_back(hh);
+    }
+    std::vector<float> wide_sw(halves.size()), wide_hw(halves.size());
+    scalar_kernel_table()->halfs_to_floats(halves.data(), wide_sw.data(), halves.size());
+    hw->halfs_to_floats(halves.data(), wide_hw.data(), halves.size());
+    for (std::size_t i = 0; i < halves.size(); ++i) {
+        ASSERT_EQ(float_bits(wide_hw[i]), float_bits(wide_sw[i]))
+            << "pattern 0x" << std::hex << halves[i];
+    }
+}
+
+TEST(Half, RoundTripHelperQuantizesInPlace) {
+    std::vector<float> x = {0.1f, -1.0f, 3.14159f, 65519.0f, 1e-8f};
+    std::vector<float> expect = x;
+    for (float& v : expect) v = half_to_float(float_to_half_rtne(v));
+    fp16_round_trip(x);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(float_bits(x[i]), float_bits(expect[i])) << i;
+    }
+}
+
+}  // namespace
+}  // namespace dronet::simd

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "simd/dispatch.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/thread_pool.hpp"
@@ -99,6 +100,9 @@ TEST(ThreadPool, GemmThreadedCreatesNoThreadsPerCall) {
 // calling pooled gemm concurrently. Every caller must get results identical
 // to the serial reference.
 TEST(ThreadPool, ConcurrentGemmCallersAgreeWithReference) {
+    // Pinned to the scalar dispatch level: bitwise agreement with gemm_naive
+    // is only contracted there (the AVX2 FMA kernel is tolerance-gated).
+    const simd::ScopedSimdLevel scalar(simd::SimdLevel::kScalar);
     const int m = 48, n = 96, k = 57;
     Rng rng(17);
     std::vector<float> a(static_cast<std::size_t>(m) * k);

@@ -1,0 +1,111 @@
+// CLI/help drift gate for the user-facing tools. Each tool's argument parser
+// is the ground truth: this test scans the tool's source for the
+// `a == "--flag"` parser idiom and asserts every parsed flag is documented in
+// the tool's --help output (and that --help itself exits 0). This is what
+// keeps kUsage and the parser from drifting apart — adding a flag without
+// documenting it fails here.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#ifndef DRONET_DETECT_PATH
+#define DRONET_DETECT_PATH ""
+#endif
+#ifndef DRONET_SERVE_BENCH_PATH
+#define DRONET_SERVE_BENCH_PATH ""
+#endif
+#ifndef DRONET_PROFILE_PATH
+#define DRONET_PROFILE_PATH ""
+#endif
+#ifndef DRONET_TOOLS_SRC_DIR
+#define DRONET_TOOLS_SRC_DIR ""
+#endif
+
+namespace {
+
+std::set<std::string> parsed_flags(const std::string& source_path) {
+    std::ifstream in(source_path);
+    EXPECT_TRUE(in.good()) << "cannot read " << source_path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    // The parser idiom: `a == "--flag"` (or `args.x = ...` variants all use
+    // the same comparison on the left).
+    static const std::regex kFlag("==\\s*\"(--[a-z0-9-]+)\"");
+    std::set<std::string> flags;
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kFlag);
+         it != std::sregex_iterator(); ++it) {
+        flags.insert((*it)[1].str());
+    }
+    EXPECT_FALSE(flags.empty()) << "no parsed flags found in " << source_path;
+    return flags;
+}
+
+struct HelpRun {
+    int exit_code = -1;
+    std::string stdout_text;
+};
+
+HelpRun run_help(const std::string& binary) {
+    HelpRun r;
+    FILE* pipe = popen((binary + " --help 2>/dev/null").c_str(), "r");
+    if (pipe == nullptr) return r;
+    char chunk[4096];
+    std::size_t got;
+    while ((got = fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
+        r.stdout_text.append(chunk, got);
+    }
+    const int status = pclose(pipe);
+    r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+void expect_help_covers_parser(const std::string& binary,
+                               const std::string& source) {
+    const HelpRun help = run_help(binary);
+    ASSERT_EQ(help.exit_code, 0) << binary << " --help must exit 0";
+    ASSERT_FALSE(help.stdout_text.empty()) << binary << " --help printed nothing";
+    for (const std::string& flag : parsed_flags(source)) {
+        EXPECT_NE(help.stdout_text.find(flag), std::string::npos)
+            << flag << " is parsed by " << source
+            << " but missing from --help output";
+    }
+}
+
+TEST(ToolsCli, DetectHelpCoversEveryFlag) {
+    expect_help_covers_parser(DRONET_DETECT_PATH,
+                              std::string(DRONET_TOOLS_SRC_DIR) + "/detect.cpp");
+}
+
+TEST(ToolsCli, ServeBenchHelpCoversEveryFlag) {
+    expect_help_covers_parser(
+        DRONET_SERVE_BENCH_PATH,
+        std::string(DRONET_TOOLS_SRC_DIR) + "/serve_bench.cpp");
+}
+
+TEST(ToolsCli, ProfileHelpCoversEveryFlag) {
+    expect_help_covers_parser(
+        DRONET_PROFILE_PATH,
+        std::string(DRONET_TOOLS_SRC_DIR) + "/profile.cpp");
+}
+
+TEST(ToolsCli, UnknownFlagIsAnError) {
+    // The parsers throw on unknown flags; the tools must exit non-zero.
+    FILE* pipe = popen((std::string(DRONET_DETECT_PATH) +
+                        " --definitely-not-a-flag x.ppm >/dev/null 2>&1")
+                           .c_str(),
+                       "r");
+    ASSERT_NE(pipe, nullptr);
+    const int status = pclose(pipe);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_NE(WEXITSTATUS(status), 0);
+}
+
+}  // namespace

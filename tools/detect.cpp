@@ -4,12 +4,14 @@
 // Usage:
 //   detect [--model DroNet] [--size 512] [--weights FILE] [--cfg FILE]
 //          [--thresh 0.3] [--nms 0.45] [--letterbox] [--threads N]
-//          [--batch B] [--profile] image.ppm [more.ppm...]
+//          [--batch B] [--fp16] [--profile] image.ppm [more.ppm...]
 //
 // --threads N enables intra-op GEMM parallelism (tensor/gemm.hpp) for the
 // forward pass; serving-mode (inter-frame) parallelism lives in tools/serve_bench.
 // --batch B > 1 runs the image list through detect_images in chunks of B
 // (one forward pass per chunk; per-image results are bit-identical to B=1).
+// --fp16 stores conv weights and activations as IEEE halves (inference only;
+// accuracy deltas in docs/vectorization.md).
 // --profile prints a per-layer timing table after all images (docs/performance.md).
 //
 // With --cfg the network is built from a darknet cfg file; otherwise the
@@ -32,12 +34,30 @@
 
 namespace {
 
+// One line per parsed flag; tests/test_tools_cli.cpp asserts the parser and
+// this text never drift apart.
+constexpr const char* kUsage =
+    "usage: detect [options] image.ppm [more.ppm...]\n"
+    "  --model NAME     model zoo entry to build (default DroNet)\n"
+    "  --cfg FILE       build the network from a darknet cfg instead\n"
+    "  --weights FILE   load weights from a checkpoint file\n"
+    "  --size N         square input resolution (default 512)\n"
+    "  --thresh T       detection score threshold\n"
+    "  --nms T          non-max-suppression IoU threshold\n"
+    "  --letterbox      aspect-preserving letterbox resize\n"
+    "  --threads N      intra-op GEMM threads\n"
+    "  --batch B        images per forward pass\n"
+    "  --fp16           fp16 weight/activation storage (inference only)\n"
+    "  --profile        per-layer timing table after all images\n"
+    "  --help           print this help\n";
+
 int run(int argc, char** argv) {
     using namespace dronet;
     std::string model_name = "DroNet";
     std::string weights_path, cfg_path;
     int size = 512;
     int batch = 1;
+    bool fp16 = false;
     EvalConfig post;
     std::vector<std::string> images;
     for (int i = 1; i < argc; ++i) {
@@ -55,15 +75,14 @@ int run(int argc, char** argv) {
         else if (a == "--letterbox") post.use_letterbox = true;
         else if (a == "--threads") set_gemm_threads(std::stoi(next()));
         else if (a == "--batch") batch = std::max(1, std::stoi(next()));
+        else if (a == "--fp16") fp16 = true;
         else if (a == "--profile") profile::set_profiling(true);
+        else if (a == "--help") { std::printf("%s", kUsage); return 0; }
         else if (a.rfind("--", 0) == 0) throw std::runtime_error("unknown flag " + a);
         else images.push_back(a);
     }
     if (images.empty()) {
-        std::fprintf(stderr,
-                     "usage: detect [--model NAME|--cfg FILE] [--weights FILE] "
-                     "[--size N] [--thresh T] [--nms T] [--letterbox] "
-                     "[--threads N] [--batch B] [--profile] image.ppm...\n");
+        std::fprintf(stderr, "%s", kUsage);
         return 2;
     }
 
@@ -81,6 +100,7 @@ int run(int argc, char** argv) {
     }();
     if (!weights_path.empty()) load_weights(net, weights_path);
     net.set_batch(1);
+    if (fp16) net.set_fp16(true);  // after weights: enabling encodes halves
     if (net.config().width != size && size > 0) {
         // Honor --size when it divides the model stride.
         try {

@@ -8,11 +8,12 @@
 //
 // Usage:
 //   profile models/DroNet.cfg [--json] [--runs N] [--warmup N]
-//           [--threads N] [--size S] [--weights FILE]
+//           [--threads N] [--size S] [--weights FILE] [--fp16]
 //   profile --model DroNet --size 512 ...
 //
 // --threads N sets intra-op GEMM/im2col parallelism (persistent pool).
 // --size resizes the fully-convolutional network before profiling.
+// --fp16 profiles the half-storage inference mode (docs/vectorization.md).
 #include <cstdio>
 #include <string>
 
@@ -23,6 +24,24 @@
 #include "tensor/gemm.hpp"
 #include "tensor/rng.hpp"
 
+namespace {
+
+// One line per parsed flag; tests/test_tools_cli.cpp asserts the parser and
+// this text never drift apart.
+constexpr const char* kUsage =
+    "usage: profile <model.cfg | --model NAME> [options]\n"
+    "  --model NAME    model zoo entry (alternative to a cfg path)\n"
+    "  --weights FILE  load weights from a checkpoint file\n"
+    "  --runs N        timed forward passes (default 10)\n"
+    "  --warmup N      untimed warm-up passes (default 2)\n"
+    "  --size S        square input resolution\n"
+    "  --threads N     intra-op GEMM/im2col threads\n"
+    "  --fp16          fp16 weight/activation storage (inference only)\n"
+    "  --json          machine-readable report\n"
+    "  --help          print this help\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
     using namespace dronet;
     std::string cfg_path, model_name, weights_path;
@@ -30,6 +49,7 @@ int main(int argc, char** argv) {
     int warmup = 2;
     int size = 0;
     bool json = false;
+    bool fp16 = false;
     try {
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
@@ -44,14 +64,13 @@ int main(int argc, char** argv) {
             else if (a == "--size") size = std::stoi(next());
             else if (a == "--threads") set_gemm_threads(std::stoi(next()));
             else if (a == "--json") json = true;
+            else if (a == "--fp16") fp16 = true;
+            else if (a == "--help") { std::printf("%s", kUsage); return 0; }
             else if (a.rfind("--", 0) == 0) throw std::runtime_error("unknown flag " + a);
             else cfg_path = a;
         }
         if ((cfg_path.empty() && model_name.empty()) || runs < 1) {
-            std::fprintf(stderr,
-                         "usage: profile <model.cfg | --model NAME> [--json] "
-                         "[--runs N] [--warmup N] [--threads N] [--size S] "
-                         "[--weights FILE]\n");
+            std::fprintf(stderr, "%s", kUsage);
             return 2;
         }
 
@@ -62,6 +81,7 @@ int main(int argc, char** argv) {
         if (!weights_path.empty()) load_weights(net, weights_path);
         net.set_batch(1);
         if (size > 0 && net.config().width != size) net.resize_input(size, size);
+        if (fp16) net.set_fp16(true);  // after weights: enabling encodes halves
 
         Tensor input(net.input_shape());
         Rng rng(0xD20);

@@ -9,12 +9,12 @@
 //   serve_bench [--workers N] [--streams M] [--frames-per-stream K]
 //               [--size S] [--capacity Q] [--policy block|reject|drop-oldest]
 //               [--model DroNet] [--gemm-threads N] [--interval-ms T]
-//               [--batch B] [--batch-timeout-us U] [--profile]
+//               [--batch B] [--batch-timeout-us U] [--fp16] [--profile]
 //               [--expect-complete] [--deadline-ms D] [--retries R]
 //               [--degraded-size S] [--degrade-high N] [--degrade-low N]
 //               [--inject PLAN]
 //               [--cluster W] [--worker-bin PATH] [--filter-scale F]
-//               [--inflight-limit N] [--kill-after-ms T]
+//               [--inflight-limit N] [--kill-after-ms T] [--help]
 //
 // --interval-ms > 0 paces each stream like a camera (T ms between submits),
 // which exercises the backpressure policies; 0 submits as fast as possible.
@@ -65,6 +65,37 @@
 
 namespace {
 
+// One line per parsed flag; tests/test_tools_cli.cpp asserts the parser and
+// this text never drift apart.
+constexpr const char* kUsage =
+    "usage: serve_bench [options]\n"
+    "  --workers N           service threads (per worker process with --cluster)\n"
+    "  --streams M           concurrent synthetic camera streams\n"
+    "  --frames-per-stream K frames each stream submits\n"
+    "  --size S              square input resolution\n"
+    "  --capacity Q          admission queue capacity\n"
+    "  --policy P            backpressure: block|reject|drop-oldest\n"
+    "  --model NAME          model zoo entry\n"
+    "  --gemm-threads N      intra-op GEMM threads per forward\n"
+    "  --interval-ms T       per-stream submit pacing (0 = flat out)\n"
+    "  --batch B             worker micro-batch size\n"
+    "  --batch-timeout-us U  micro-batch linger window\n"
+    "  --fp16                fp16 weight/activation storage (inference only)\n"
+    "  --profile             per-layer timing JSON per worker replica\n"
+    "  --expect-complete     exit non-zero unless every frame completed\n"
+    "  --deadline-ms D       per-frame deadline\n"
+    "  --retries R           max retries after worker failure\n"
+    "  --degraded-size S     input size under degraded mode\n"
+    "  --degrade-high N      queue depth entering degraded mode\n"
+    "  --degrade-low N       queue depth leaving degraded mode\n"
+    "  --inject PLAN         deterministic fault plan (site:action[:k=v]*)\n"
+    "  --cluster W           multi-process mode with W worker processes\n"
+    "  --worker-bin PATH     serve_worker binary for --cluster\n"
+    "  --filter-scale F      worker model width multiplier\n"
+    "  --inflight-limit N    per-worker in-flight cap (--cluster)\n"
+    "  --kill-after-ms T     SIGKILL worker 0 after T ms (--cluster chaos)\n"
+    "  --help                print this help\n";
+
 struct Args {
     int workers = 4;
     int streams = 4;
@@ -78,8 +109,10 @@ struct Args {
     double interval_ms = 0;
     int batch = 1;
     std::int64_t batch_timeout_us = 0;
+    bool fp16 = false;
     bool profile = false;
     bool expect_complete = false;
+    bool help = false;
     std::int64_t deadline_ms = 0;
     int retries = 0;
     int degraded_size = 0;
@@ -111,8 +144,10 @@ Args parse_args(int argc, char** argv) {
         else if (a == "--interval-ms") args.interval_ms = std::stod(next());
         else if (a == "--batch") args.batch = std::stoi(next());
         else if (a == "--batch-timeout-us") args.batch_timeout_us = std::stoll(next());
+        else if (a == "--fp16") args.fp16 = true;
         else if (a == "--profile") args.profile = true;
         else if (a == "--expect-complete") args.expect_complete = true;
+        else if (a == "--help") args.help = true;
         else if (a == "--deadline-ms") args.deadline_ms = std::stoll(next());
         else if (a == "--retries") args.retries = std::stoi(next());
         else if (a == "--degraded-size") args.degraded_size = std::stoi(next());
@@ -165,6 +200,7 @@ int run_cluster(const Args& args) {
                       "--deadline-ms", std::to_string(args.deadline_ms),
                       "--retries", std::to_string(args.retries),
                       "--gemm-threads", std::to_string(args.gemm_threads)};
+    if (args.fp16) rc.worker_argv.push_back("--fp16");
     rc.workers = args.cluster;
     rc.worker_inflight_limit = args.inflight_limit;
     cluster::Router router(rc);
@@ -255,6 +291,10 @@ int run_cluster(const Args& args) {
 int run(int argc, char** argv) {
     using namespace dronet;
     const Args args = parse_args(argc, argv);
+    if (args.help) {
+        std::printf("%s", kUsage);
+        return 0;
+    }
     if (args.cluster > 0) return run_cluster(args);
     set_gemm_threads(args.gemm_threads);
     if (!args.inject_plan.empty()) {
@@ -279,6 +319,7 @@ int run(int argc, char** argv) {
     }();
     net.set_batch(1);
     if (net.config().width != args.size) net.resize_input(args.size, args.size);
+    if (args.fp16) net.set_fp16(true);  // after weights: enabling encodes halves
 
     // One shared frame pool; each stream replays it from a different offset
     // so streams are out of phase like real cameras.

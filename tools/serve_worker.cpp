@@ -9,7 +9,7 @@
 //   serve_worker --fd N [--workers N] [--size S] [--model DroNet]
 //                [--filter-scale F] [--capacity Q] [--batch B]
 //                [--batch-timeout-us U] [--deadline-ms D] [--retries R]
-//                [--gemm-threads N]
+//                [--gemm-threads N] [--fp16]
 //
 // Model weights come from the pretrained checkpoint when present, otherwise
 // from the seeded He initializer — build_model is deterministic, so every
@@ -40,6 +40,7 @@ struct Args {
     std::int64_t deadline_ms = 0;
     int retries = 0;
     int gemm_threads = 1;
+    bool fp16 = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -61,6 +62,7 @@ Args parse_args(int argc, char** argv) {
         else if (a == "--deadline-ms") args.deadline_ms = std::stoll(next());
         else if (a == "--retries") args.retries = std::stoi(next());
         else if (a == "--gemm-threads") args.gemm_threads = std::stoi(next());
+        else if (a == "--fp16") args.fp16 = true;
         else throw std::runtime_error("unknown flag " + a);
     }
     if (args.fd < 0) throw std::runtime_error("--fd is required");
@@ -82,6 +84,7 @@ int run(int argc, char** argv) {
     }();
     net.set_batch(1);
     if (net.config().width != args.size) net.resize_input(args.size, args.size);
+    if (args.fp16) net.set_fp16(true);  // after weights: enabling encodes halves
 
     serve::ServiceConfig sc;
     sc.workers = args.workers;
