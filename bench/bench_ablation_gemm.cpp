@@ -9,13 +9,16 @@
 // must stay 0 across the timed iterations (zero per-call thread creation).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "models/model_zoo.hpp"
 #include "nn/network.hpp"
+#include "nn/quantize.hpp"
 #include "simd/dispatch.hpp"
 #include "simd/half.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_i8.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/thread_pool.hpp"
 
@@ -184,6 +187,37 @@ BENCHMARK(BM_GemmSimdLevel)
     ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
+// Int8 GEMM across dispatch levels at the same shapes (docs/quantization.md):
+// the integer kernel is bit-exact between levels, so the delta here is pure
+// throughput. Args mirror BM_GemmSimdLevel: (stage, level) with 0=scalar.
+void BM_GemmI8SimdLevel(benchmark::State& state) {
+    const GemmShape s = kDroNetStages512[state.range(0)];
+    const auto want = state.range(1) == 0 ? simd::SimdLevel::kScalar
+                                          : simd::SimdLevel::kAvx2;
+    if (want == simd::SimdLevel::kAvx2 && !simd::cpu_supports_avx2()) {
+        state.SkipWithError("CPU/build lacks AVX2");
+        return;
+    }
+    const simd::ScopedSimdLevel pin(want);
+    Rng rng(5);
+    std::vector<std::int8_t> a(static_cast<std::size_t>(s.m) * s.k);
+    std::vector<std::int8_t> b(static_cast<std::size_t>(s.k) * s.n);
+    std::vector<std::int32_t> c(static_cast<std::size_t>(s.m) * s.n);
+    for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+    for (auto _ : state) {
+        gemm_i8(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, c.data(), s.n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetLabel(simd::to_string(simd::active_level()));
+    state.counters["GOP/s"] = benchmark::Counter(
+        static_cast<double>(gemm_flops(s.m, s.n, s.k)) * state.iterations() * 1e-9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmI8SimdLevel)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 // FP16 weight-storage GEMM (gemm_halfw: widen half A rows, then the ordinary
 // packed kernel) vs the fp32 GEMM at the same shapes — the per-call widening
 // overhead the --fp16 mode pays for halving weight memory.
@@ -219,6 +253,21 @@ void BM_DroNetForwardFp16(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_DroNetForwardFp16)->Arg(352)->Arg(512)->Unit(benchmark::kMillisecond);
+
+// End-to-end: DroNet forward through the calibrated int8 conv path vs the
+// fp32 baseline at the same sizes (docs/quantization.md records the numbers).
+void BM_DroNetForwardInt8(benchmark::State& state) {
+    Network net = build_model(ModelId::kDroNet,
+                              {.input_size = static_cast<int>(state.range(0))});
+    QuantizedNetwork quant(net);  // self-calibrates; folds BN
+    Tensor in(net.input_shape());
+    Rng rng(13);
+    rng.fill_uniform(in.span(), 0.0f, 1.0f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(quant.forward(in).data());
+    }
+}
+BENCHMARK(BM_DroNetForwardInt8)->Arg(352)->Arg(512)->Unit(benchmark::kMillisecond);
 
 // im2col+GEMM (production path) vs direct convolution (reference path) on a
 // real DroNet stage-3 layer.

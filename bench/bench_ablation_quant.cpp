@@ -1,15 +1,18 @@
 // INT8 quantization ablation — the paper's §V future-work item
 // ("performance improvements by applying finer-level optimizations to reduce
-// bitwidth precisions"). Compares the float and int8 inference paths on the
-// shipped DroNet checkpoint: model size, host latency, and detection
-// accuracy on the synthetic benchmark.
+// bitwidth precisions"). Compares the fp32, fp16-storage, and calibrated
+// int8 inference paths on the shipped DroNet checkpoint: model size, host
+// latency, detection accuracy on the synthetic benchmark, and the paper's
+// weighted composite Score (eq. 3) across the three precisions. The numbers
+// land in docs/performance.md and docs/quantization.md.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "detect/nms.hpp"
 #include "eval/fps_meter.hpp"
-#include "image/resize.hpp"
+#include "eval/score.hpp"
+#include "nn/clone.hpp"
 #include "nn/quantize.hpp"
+#include "simd/dispatch.hpp"
 
 int main() {
     using namespace dronet;
@@ -21,44 +24,56 @@ int main() {
     net.set_batch(1);
     net.resize_input(224, 224);
 
-    // Float baseline accuracy (BN still live).
     EvalConfig ec;
     ec.score_threshold = 0.30f;
-    const DetectionMetrics float_m = evaluate_detector(net, test_set, ec);
+    const DetectionMetrics fp32_m = evaluate_detector(net, test_set, ec);
 
-    // Quantize (folds BN into the float net as a side effect).
-    QuantizedNetwork quant(net);
-    std::printf("== INT8 post-training quantization of DroNet ==\n");
+    // FP16 storage on an independent clone (the int8 snapshot below folds BN
+    // into `net` as a side effect; the clone keeps the comparison honest).
+    Network fp16_net = clone_network(net);
+    fp16_net.set_fp16(true);
+    const DetectionMetrics fp16_m = evaluate_detector(fp16_net, test_set, ec);
+
+    // Calibrated int8: calibrate on the benchmark's train split, evaluate
+    // through the same evaluator as the float paths.
+    std::vector<Image> calib;
+    for (std::size_t i = 0; i < train_set.size() && i < 8; ++i) {
+        calib.push_back(train_set.image(i));
+    }
+    QuantizedNetwork quant(net, calibrate_int8(net, calib, ec));
+    const DetectionMetrics int8_m = evaluate_detector(net, test_set, ec, &quant);
+
+    std::printf("== fp32 / fp16 / int8 ablation of DroNet (input 224, %s dispatch) ==\n",
+                simd::to_string(simd::active_level()));
     std::printf("weight storage: %.1f KB float -> %.1f KB int8 (%.2fx smaller)\n",
                 quant.float_weight_bytes() / 1024.0, quant.weight_bytes() / 1024.0,
                 static_cast<double>(quant.float_weight_bytes()) / quant.weight_bytes());
 
-    // Accuracy of the int8 path.
-    DetectionMetrics int8_m;
-    for (std::size_t i = 0; i < test_set.size(); ++i) {
-        Tensor input(net.input_shape());
-        resize_bilinear(test_set.image(i), net.config().width, net.config().height)
-            .copy_to_batch(input, 0);
-        quant.forward(input);
-        const Detections dets =
-            postprocess(quant.decode(), ec.score_threshold, ec.nms_threshold);
-        int8_m += match_detections(dets, test_set.truths(i), ec.match_iou);
-    }
-    std::printf("\n%-10s %12s %12s %8s\n", "path", "sensitivity", "precision", "IoU");
-    std::printf("%-10s %11.1f%% %11.1f%% %8.3f\n", "float32",
-                100.0f * float_m.sensitivity(), 100.0f * float_m.precision(),
-                float_m.avg_iou());
-    std::printf("%-10s %11.1f%% %11.1f%% %8.3f\n", "int8",
-                100.0f * int8_m.sensitivity(), 100.0f * int8_m.precision(),
-                int8_m.avg_iou());
-
-    // Host latency comparison (int8 kernel here is scalar — the win on real
-    // UAV silicon comes from SIMD int8; this measures overhead/parity).
     Tensor input(net.input_shape());
-    const double fps_float = measure_fps([&] { net.forward(input); }, 1, 3);
+    const double fps_fp32 = measure_fps([&] { net.forward(input); }, 1, 3);
+    const double fps_fp16 = measure_fps([&] { fp16_net.forward(input); }, 1, 3);
     const double fps_int8 = measure_fps([&] { quant.forward(input); }, 1, 3);
-    std::printf("\nhost forward: float %.2f FPS, int8 %.2f FPS (scalar int8 kernel; "
-                "4x weight-memory reduction is the embedded win)\n",
-                fps_float, fps_int8);
+
+    // The paper's composite Score (eq. 3): metrics normalized by their max
+    // across the compared configurations, FPS weighted 0.4.
+    const ScoreInputs rows[] = {
+        {static_cast<float>(fps_fp32), fp32_m.avg_iou(), fp32_m.sensitivity(),
+         fp32_m.precision()},
+        {static_cast<float>(fps_fp16), fp16_m.avg_iou(), fp16_m.sensitivity(),
+         fp16_m.precision()},
+        {static_cast<float>(fps_int8), int8_m.avg_iou(), int8_m.sensitivity(),
+         int8_m.precision()},
+    };
+    const std::vector<float> scores = score_table(rows);
+
+    std::printf("\n%-8s %8s %12s %12s %8s %8s\n", "path", "FPS", "sensitivity",
+                "precision", "IoU", "Score");
+    const char* names[] = {"fp32", "fp16", "int8"};
+    for (int i = 0; i < 3; ++i) {
+        std::printf("%-8s %8.2f %11.1f%% %11.1f%% %8.3f %8.3f\n", names[i],
+                    rows[i].fps, 100.0f * rows[i].sensitivity,
+                    100.0f * rows[i].precision, rows[i].iou,
+                    scores[static_cast<std::size_t>(i)]);
+    }
     return 0;
 }

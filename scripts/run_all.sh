@@ -29,6 +29,16 @@ else
     | tee simd_avx2_output.txt
 fi
 
+# Calibrated int8 serving stage (docs/quantization.md): the int8 label runs
+# in the suite above (and again per SIMD level — test_quantize carries the
+# simd-kernels label too, and its GEMM is memcmp-gated across levels); here
+# the full service path serves a micro-batched int8 run end to end:
+# --expect-complete exits non-zero if any frame resolved as anything but kOk.
+ctest --test-dir build -L int8 --output-on-failure 2>&1 | tee int8_output.txt
+./build/tools/serve_bench --workers 2 --streams 4 --frames-per-stream 8 \
+  --size 96 --batch 4 --batch-timeout-us 1000 --int8 --expect-complete 2>&1 \
+  | tee int8_serve_bench_output.txt
+
 # Documentation hygiene: every relative link in README.md and docs/ must
 # resolve, every docs/ page must be indexed in docs/README.md, and every
 # DRONET_* build/runtime toggle must be documented in docs/build_flags.md.
@@ -102,6 +112,13 @@ cmake -B build-asan -G Ninja -DDRONET_SANITIZE=address \
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure 2>&1 \
   | tee asan_output.txt
+
+# Int8 stage under ASan: the quantized path moves through raw int8/int32
+# scratch with hand-written bounds (im2col columns, per-filter rows) — the
+# exact code ASan exists to check. The full-suite run above covers it too;
+# rerun by label so a failure is attributable at a glance.
+ctest --test-dir build-asan -L int8 --output-on-failure 2>&1 \
+  | tee asan_int8_output.txt
 
 # Chaos stage under ASan: the full suite above already includes the chaos
 # label, but rerun it by name so a failure is attributable at a glance (and

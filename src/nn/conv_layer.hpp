@@ -47,7 +47,9 @@ class ConvolutionalLayer final : public Layer {
     void fold_batchnorm();
 
     [[nodiscard]] Param& weights() noexcept { return weights_; }
+    [[nodiscard]] const Param& weights() const noexcept { return weights_; }
     [[nodiscard]] Param& biases() noexcept { return biases_; }
+    [[nodiscard]] const Param& biases() const noexcept { return biases_; }
     [[nodiscard]] Param& scales() noexcept { return scales_; }
     [[nodiscard]] std::vector<float>& rolling_mean() noexcept { return rolling_mean_; }
     [[nodiscard]] std::vector<float>& rolling_variance() noexcept { return rolling_variance_; }

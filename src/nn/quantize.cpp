@@ -1,17 +1,37 @@
 #include "nn/quantize.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
+#include "tensor/gemm.hpp"
 #include "tensor/gemm_i8.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
 
 namespace dronet {
+namespace {
 
-float QuantizedConv::mean_weight_error(ConvolutionalLayer& source) const {
-    const int fan_in = geo.col_rows();
+[[nodiscard]] float max_abs_of(std::span<const float> data) noexcept {
+    float mx = 0.0f;
+    for (const float v : data) mx = std::max(mx, std::fabs(v));
+    return mx;
+}
+
+/// Live lowering geometry for a quantized layer — derived per call from the
+/// source layer so set_batch / resize_input are picked up automatically.
+[[nodiscard]] ConvGeometry live_geometry(const QuantizedConv& qc,
+                                         const ConvolutionalLayer& conv) noexcept {
+    const Shape& in = conv.input_shape();
+    return ConvGeometry{in.c, in.h, in.w, qc.config.ksize, qc.config.stride,
+                        qc.config.pad};
+}
+
+}  // namespace
+
+float QuantizedConv::mean_weight_error(const ConvolutionalLayer& source) const {
     double err = 0;
     for (int f = 0; f < config.filters; ++f) {
         for (int i = 0; i < fan_in; ++i) {
@@ -23,97 +43,185 @@ float QuantizedConv::mean_weight_error(ConvolutionalLayer& source) const {
     return static_cast<float>(err / (static_cast<double>(config.filters) * fan_in));
 }
 
-QuantizedNetwork::QuantizedNetwork(Network& net) : net_(net) {
-    if (net_.config().batch != 1) {
-        throw std::invalid_argument("QuantizedNetwork: batch size must be 1");
+Int8Calibration QuantizedNetwork::calibrate(Network& net,
+                                            std::span<const Tensor> samples) {
+    if (samples.empty()) {
+        throw std::invalid_argument("QuantizedNetwork::calibrate: no samples");
     }
+    // Fold first: quantized inference runs on the folded network, so the
+    // recorded ranges must come from folded float forwards.
+    net.fold_batchnorm();
+    Int8Calibration calib;
+    for (const Tensor& sample : samples) {
+        if (sample.shape() != net.input_shape()) {
+            throw std::invalid_argument(
+                "QuantizedNetwork::calibrate: sample shape mismatch");
+        }
+        net.forward(sample, /*train=*/false);
+        std::size_t slot = 0;
+        for (std::size_t i = 0; i < net.num_layers(); ++i) {
+            if (net.layer(static_cast<int>(i)).kind() != LayerKind::kConvolutional) {
+                continue;
+            }
+            // The conv's input is the previous layer's output (the network
+            // input for layer 0). im2col only copies or zero-pads, so this
+            // max is exactly the col matrix's max.
+            const Tensor& in = i == 0 ? sample : net.layer(static_cast<int>(i) - 1).output();
+            const float mx = max_abs_of(in.span());
+            if (slot == calib.max_abs.size()) calib.max_abs.push_back(0.0f);
+            calib.max_abs[slot] = std::max(calib.max_abs[slot], mx);
+            ++slot;
+        }
+    }
+    return calib;
+}
+
+Int8Calibration QuantizedNetwork::self_calibrate(Network& net) {
+    const Shape in = net.input_shape();
+    std::vector<Tensor> samples;
+    // Constant frames bound the aligned-filter response, the ramp adds
+    // low-frequency structure, seeded noise adds texture — a deterministic
+    // stand-in for representative [0,1] imagery (docs/quantization.md).
+    samples.emplace_back(in);
+    samples.back().fill(0.5f);
+    samples.emplace_back(in);
+    samples.back().fill(1.0f);
+    Tensor ramp(in);
+    for (int n = 0; n < in.n; ++n) {
+        for (int c = 0; c < in.c; ++c) {
+            for (int h = 0; h < in.h; ++h) {
+                for (int w = 0; w < in.w; ++w) {
+                    const float y = in.h > 1 ? static_cast<float>(h) / static_cast<float>(in.h - 1) : 0.0f;
+                    const float x = in.w > 1 ? static_cast<float>(w) / static_cast<float>(in.w - 1) : 0.0f;
+                    ramp[ramp.index(n, c, h, w)] = 0.5f * (x + y);
+                }
+            }
+        }
+    }
+    samples.push_back(std::move(ramp));
+    Tensor noise(in);
+    Rng rng(0x178cu);
+    rng.fill_uniform(noise.span(), 0.0f, 1.0f);
+    samples.push_back(std::move(noise));
+    return calibrate(net, samples);
+}
+
+QuantizedNetwork::QuantizedNetwork(Network& net, const Int8Calibration& calibration)
+    : net_(net), calibration_(calibration) {
     net_.fold_batchnorm();
-    std::size_t max_col = 0;
+    std::size_t slot = 0;
     for (std::size_t i = 0; i < net_.num_layers(); ++i) {
         auto* conv = dynamic_cast<ConvolutionalLayer*>(&net_.layer(static_cast<int>(i)));
         if (conv == nullptr) continue;
+        if (slot >= calibration_.layer_count()) {
+            throw std::invalid_argument(
+                "QuantizedNetwork: calibration covers fewer conv layers than the network");
+        }
         QuantizedConv qc;
         qc.layer_index = static_cast<int>(i);
         qc.config = conv->config();
-        qc.geo = ConvGeometry{conv->input_shape().c, conv->input_shape().h,
-                              conv->input_shape().w, qc.config.ksize,
-                              qc.config.stride, qc.config.pad};
-        const int fan_in = qc.geo.col_rows();
-        qc.weights.resize(static_cast<std::size_t>(qc.config.filters) * fan_in);
+        qc.fan_in = conv->input_shape().c * qc.config.ksize * qc.config.ksize;
+        const float in_max = calibration_.max_abs[slot];
+        qc.input_scale = in_max > 0.0f ? in_max / 127.0f : 1.0f;
+        qc.weights.resize(static_cast<std::size_t>(qc.config.filters) * qc.fan_in);
         qc.scales.resize(static_cast<std::size_t>(qc.config.filters));
+        qc.requant.resize(static_cast<std::size_t>(qc.config.filters));
         qc.biases = conv->biases().v;
         for (int f = 0; f < qc.config.filters; ++f) {
-            const float* row = conv->weights().v.data() + static_cast<std::int64_t>(f) * fan_in;
-            const float scale = quantization_scale(row, fan_in);
+            const float* row = conv->weights().v.data() + static_cast<std::int64_t>(f) * qc.fan_in;
+            const float scale = quantization_scale(row, qc.fan_in);
             qc.scales[static_cast<std::size_t>(f)] = scale;
-            quantize_buffer(row, fan_in, scale,
-                            qc.weights.data() + static_cast<std::int64_t>(f) * fan_in);
+            qc.requant[static_cast<std::size_t>(f)] = scale * qc.input_scale;
+            quantize_buffer(row, qc.fan_in, scale,
+                            qc.weights.data() + static_cast<std::int64_t>(f) * qc.fan_in);
         }
-        max_col = std::max(max_col, static_cast<std::size_t>(qc.geo.col_rows()) *
-                                        static_cast<std::size_t>(qc.geo.col_cols()));
+        convs_.push_back(conv);
         quantized_.push_back(std::move(qc));
+        ++slot;
     }
-    col_i8_.resize(max_col);
-    col_f32_.resize(max_col);
+    if (slot != calibration_.layer_count()) {
+        throw std::invalid_argument(
+            "QuantizedNetwork: calibration covers more conv layers than the network");
+    }
+    // Pre-size scratch for the construction-time geometry; forwards at this
+    // size or smaller (re-batch, degraded input) never allocate again.
+    ensure_scratch();
+    scratch_grows_ = 0;
+}
+
+QuantizedNetwork::QuantizedNetwork(Network& net)
+    : QuantizedNetwork(net, self_calibrate(net)) {}
+
+void QuantizedNetwork::ensure_scratch() {
+    std::size_t col_need = 0;
+    std::size_t acc_need = 0;
+    for (std::size_t qi = 0; qi < quantized_.size(); ++qi) {
+        const QuantizedConv& qc = quantized_[qi];
+        const ConvGeometry geo = live_geometry(qc, *convs_[qi]);
+        const auto cols = static_cast<std::size_t>(geo.col_cols());
+        col_need = std::max(col_need, static_cast<std::size_t>(geo.col_rows()) * cols);
+        acc_need = std::max(acc_need, static_cast<std::size_t>(qc.config.filters) * cols);
+    }
+    if (col_need <= col_i8_.size() && acc_need <= acc_.size()) return;
+    ++scratch_grows_;
+    if (col_need > col_i8_.size()) {
+        col_i8_.resize(col_need);
+        col_f32_.resize(col_need);
+    }
+    if (acc_need > acc_.size()) acc_.resize(acc_need);
 }
 
 void QuantizedNetwork::forward_quantized_conv(const QuantizedConv& qc,
+                                              const ConvolutionalLayer& conv,
                                               const Tensor& input, Tensor& output) {
-    const int out_hw = qc.geo.col_cols();
-    const int col_rows = qc.geo.col_rows();
-    // Lower to the col matrix (float), then dynamically quantize it with one
-    // per-tensor scale.
-    const float* col_f = nullptr;
-    if (qc.config.ksize == 1 && qc.config.stride == 1 && qc.config.pad == 0) {
-        col_f = input.data();
-    } else {
-        im2col(input.data(), qc.geo, col_f32_.data());
-        col_f = col_f32_.data();
-    }
+    const ConvGeometry geo = live_geometry(qc, conv);
+    const int out_hw = geo.col_cols();
+    const int col_rows = geo.col_rows();
     const std::int64_t col_size = static_cast<std::int64_t>(col_rows) * out_hw;
-    const float in_scale = quantization_scale(col_f, col_size);
-    quantize_buffer(col_f, col_size, in_scale, col_i8_.data());
-
-    acc_.resize(static_cast<std::size_t>(qc.config.filters) * out_hw);
-    gemm_i8(qc.config.filters, out_hw, col_rows, qc.weights.data(), col_rows,
-            col_i8_.data(), out_hw, acc_.data(), out_hw);
-
-    // Dequantize, add bias, activate.
-    for (int f = 0; f < qc.config.filters; ++f) {
-        const float scale = qc.scales[static_cast<std::size_t>(f)] * in_scale;
-        const float bias = qc.biases[static_cast<std::size_t>(f)];
-        const std::int32_t* arow = acc_.data() + static_cast<std::int64_t>(f) * out_hw;
-        float* orow = output.data() + static_cast<std::int64_t>(f) * out_hw;
-        for (int j = 0; j < out_hw; ++j) {
-            orow[j] = activate(qc.config.activation,
-                               static_cast<float>(arow[j]) * scale + bias);
+    const bool is_1x1 = qc.config.ksize == 1 && qc.config.stride == 1 && qc.config.pad == 0;
+    for (int b = 0; b < input.shape().n; ++b) {
+        const float* in_b = input.data() + static_cast<std::int64_t>(b) * input.shape().chw();
+        float* out_b = output.data() + static_cast<std::int64_t>(b) * conv.output_shape().chw();
+        // Lower to the col matrix (float), then quantize with the layer's
+        // static calibrated scale — no per-frame range sweep.
+        const float* col_f = in_b;
+        if (!is_1x1) {
+            im2col_mt(in_b, geo, col_f32_.data(), gemm_threads());
+            col_f = col_f32_.data();
+        }
+        quantize_buffer(col_f, col_size, qc.input_scale, col_i8_.data());
+        gemm_i8(qc.config.filters, out_hw, col_rows, qc.weights.data(), col_rows,
+                col_i8_.data(), out_hw, acc_.data(), out_hw);
+        // Fused requantize epilogue: dequantize + bias + activation in one
+        // pass with the precomputed per-channel multiplier.
+        for (int f = 0; f < qc.config.filters; ++f) {
+            const float scale = qc.requant[static_cast<std::size_t>(f)];
+            const float bias = qc.biases[static_cast<std::size_t>(f)];
+            const std::int32_t* arow = acc_.data() + static_cast<std::int64_t>(f) * out_hw;
+            float* orow = out_b + static_cast<std::int64_t>(f) * out_hw;
+            for (int j = 0; j < out_hw; ++j) {
+                orow[j] = activate(qc.config.activation,
+                                   static_cast<float>(arow[j]) * scale + bias);
+            }
         }
     }
 }
 
 const Tensor& QuantizedNetwork::forward(const Tensor& input) {
-    // The quantized conv path captures per-layer geometry at construction with
-    // batch 1 and indexes raw buffers accordingly. If the source network was
-    // re-batched afterwards (e.g. by the serving micro-batch path), the shape
-    // check below would still pass against the new batch-N input shape while
-    // forward_quantized_conv silently processed only item 0 — so reject it
-    // explicitly here.
-    if (net_.config().batch != 1) {
-        throw std::logic_error(
-            "QuantizedNetwork::forward: source network batch is " +
-            std::to_string(net_.config().batch) +
-            "; it was re-batched after quantization (batch must stay 1)");
-    }
     if (input.shape() != net_.input_shape()) {
         throw std::invalid_argument("QuantizedNetwork::forward: shape mismatch");
     }
+    // Re-batch / resize the scratch to the live geometry (grow-only; a no-op
+    // at construction-time-or-smaller shapes, so serving stays allocation-free).
+    ensure_scratch();
     std::size_t next_q = 0;
     const Tensor* x = &input;
     for (std::size_t i = 0; i < net_.num_layers(); ++i) {
         Layer& layer = net_.layer(static_cast<int>(i));
         if (next_q < quantized_.size() &&
             quantized_[next_q].layer_index == static_cast<int>(i)) {
-            forward_quantized_conv(quantized_[next_q], *x, layer.output());
+            forward_quantized_conv(quantized_[next_q], *convs_[next_q], *x,
+                                   layer.output());
             ++next_q;
         } else {
             layer.forward(*x, net_, /*train=*/false);
@@ -123,17 +231,26 @@ const Tensor& QuantizedNetwork::forward(const Tensor& input) {
     return *x;
 }
 
-Detections QuantizedNetwork::decode() const {
+Detections QuantizedNetwork::decode(int b) const {
     const RegionLayer* head = net_.region();
     if (head == nullptr) throw std::logic_error("QuantizedNetwork::decode: no region layer");
-    return head->decode(0);
+    return head->decode(b);
+}
+
+float QuantizedNetwork::mean_weight_error() const {
+    if (quantized_.empty()) return 0.0f;
+    double total = 0;
+    for (std::size_t qi = 0; qi < quantized_.size(); ++qi) {
+        total += quantized_[qi].mean_weight_error(*convs_[qi]);
+    }
+    return static_cast<float>(total / static_cast<double>(quantized_.size()));
 }
 
 std::size_t QuantizedNetwork::weight_bytes() const noexcept {
     std::size_t total = 0;
     for (const QuantizedConv& qc : quantized_) {
         total += qc.weights.size() * sizeof(std::int8_t) +
-                 qc.scales.size() * sizeof(float) + qc.biases.size() * sizeof(float);
+                 (qc.scales.size() + qc.requant.size() + qc.biases.size()) * sizeof(float);
     }
     return total;
 }

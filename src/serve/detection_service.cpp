@@ -64,8 +64,13 @@ DetectionService::DetectionService(const Network& prototype, ServiceConfig confi
     if (prototype.region() == nullptr) {
         throw std::invalid_argument("DetectionService: network has no region layer");
     }
+    if (config_.int8 && prototype.fp16()) {
+        throw std::invalid_argument(
+            "DetectionService: int8 and fp16 modes are mutually exclusive");
+    }
     full_size_ = prototype.config().width;
     replicas_.reserve(static_cast<std::size_t>(config_.workers));
+    Int8Calibration int8_calib;
     for (int i = 0; i < config_.workers; ++i) {
         auto replica = std::make_unique<Network>(clone_network(prototype));
         // Pre-reserve activations/workspace at the largest batch the worker
@@ -77,6 +82,15 @@ DetectionService::DetectionService(const Network& prototype, ServiceConfig confi
             // front and makes the overload mode switch allocation-free).
             replica->resize_input(config_.degraded_size, config_.degraded_size);
             replica->resize_input(full_size_, full_size_);
+        }
+        if (config_.int8) {
+            // Calibrate once (replica 0) and share the ranges: clones carry
+            // identical weights, so every replica quantizes identically. The
+            // snapshot is taken at max_batch/full-size geometry, so scratch is
+            // pre-sized for everything the worker will serve (re-batching and
+            // the smaller degraded input stay allocation-free).
+            if (i == 0) int8_calib = QuantizedNetwork::self_calibrate(*replica);
+            qnets_.push_back(std::make_unique<QuantizedNetwork>(*replica, int8_calib));
         }
         replica->set_batch(1);
         replicas_.push_back(std::move(replica));
@@ -227,6 +241,7 @@ void DetectionService::apply_degrade_mode(Network& net, bool& degraded_now) {
 void DetectionService::worker_loop(std::size_t worker_id) {
     WorkerSlot& slot = *slots_[worker_id];
     Network& net = *replicas_[worker_id];
+    QuantizedNetwork* qnet = qnets_.empty() ? nullptr : qnets_[worker_id].get();
     const auto max_batch = static_cast<std::size_t>(config_.max_batch);
     const std::chrono::microseconds linger(config_.batch_timeout_us);
     std::vector<Job> jobs;
@@ -241,7 +256,7 @@ void DetectionService::worker_loop(std::size_t worker_id) {
             if (jobs.empty()) continue;
             bool degraded_now = false;
             apply_degrade_mode(net, degraded_now);
-            process_batch(net, jobs, degraded_now);
+            process_batch(net, qnet, jobs, degraded_now);
         }
     } catch (const std::exception& e) {
         on_worker_death(slot, jobs, e.what());
@@ -294,8 +309,8 @@ void DetectionService::watchdog_loop() {
     }
 }
 
-Detections DetectionService::detect_with_retry(Network& net, const Image& frame,
-                                               const Job& job,
+Detections DetectionService::detect_with_retry(Network& net, QuantizedNetwork* qnet,
+                                               const Image& frame, const Job& job,
                                                DetectStageTimings* timings) {
     std::int64_t backoff = std::max<std::int64_t>(config_.retry_backoff_ms, 0);
     for (int attempt = 0;; ++attempt) {
@@ -304,7 +319,7 @@ Detections DetectionService::detect_with_retry(Network& net, const Image& frame,
             throw DeadlineExpired{};
         }
         try {
-            return detect_image_timed(net, frame, config_.pipeline.eval, timings);
+            return detect_image_timed(net, frame, config_.pipeline.eval, timings, qnet);
         } catch (const fault::WorkerKillFault&) {
             throw;  // unrecoverable: escalate to the worker loop / watchdog
         } catch (const std::logic_error&) {
@@ -326,8 +341,8 @@ Detections DetectionService::detect_with_retry(Network& net, const Image& frame,
 // to processing each frame alone. On a batch error every frame is retried
 // solo (with the configured transient-retry budget), so one bad or unlucky
 // frame never fails its batch-mates.
-void DetectionService::process_batch(Network& net, std::vector<Job>& jobs,
-                                     bool degraded) {
+void DetectionService::process_batch(Network& net, QuantizedNetwork* qnet,
+                                     std::vector<Job>& jobs, bool degraded) {
     const std::size_t n = jobs.size();
     stats_.record_batch(n);
     const auto popped = std::chrono::steady_clock::now();
@@ -339,7 +354,7 @@ void DetectionService::process_batch(Network& net, std::vector<Job>& jobs,
     std::vector<Detections> dets;
     bool batch_ok = true;
     try {
-        dets = detect_images_timed(net, frames, config_.pipeline.eval, &stages);
+        dets = detect_images_timed(net, frames, config_.pipeline.eval, &stages, qnet);
     } catch (const fault::WorkerKillFault&) {
         throw;  // worker_loop fails the held jobs and marks the slot dead
     } catch (...) {
@@ -360,7 +375,7 @@ void DetectionService::process_batch(Network& net, std::vector<Job>& jobs,
             DetectStageTimings solo;
             try {
                 r.frame.detections =
-                    detect_with_retry(net, frames[i], job, &solo);
+                    detect_with_retry(net, qnet, frames[i], job, &solo);
                 if (config_.pipeline.altitude_filter_enabled) {
                     const auto t0 = std::chrono::steady_clock::now();
                     r.frame.detections = altitude_filter_.apply(

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "nn/network.hpp"
+#include "nn/quantize.hpp"
 #include "serve/bounded_queue.hpp"
 #include "serve/serve_stats.hpp"
 #include "sync/mutex.hpp"
@@ -114,6 +115,14 @@ struct ServiceConfig {
     /// allocation-free (grow-only tensors). Required when
     /// degrade_high_watermark > 0.
     int degraded_size = 0;
+    /// Serve through the calibrated int8 path: each replica gets its own
+    /// QuantizedNetwork (private scratch), all sharing one calibration
+    /// computed once at construction (clones have identical weights, so the
+    /// activation ranges — and therefore detections — are identical across
+    /// replicas). Micro-batching and degraded-input switching work unchanged:
+    /// the quantized forward follows the replica's live geometry. Mutually
+    /// exclusive with an fp16 prototype.
+    bool int8 = false;
     /// Supervisor thread that respawns dead workers (replica preserved) and
     /// counts the restart in ServeStats. Leave on unless the process manages
     /// worker death externally.
@@ -196,8 +205,10 @@ class DetectionService {
     void worker_loop(std::size_t worker_id);
     void on_worker_death(WorkerSlot& slot, std::vector<Job>& jobs, const char* what);
     void watchdog_loop();
-    void process_batch(Network& net, std::vector<Job>& jobs, bool degraded);
-    Detections detect_with_retry(Network& net, const Image& frame, const Job& job,
+    void process_batch(Network& net, QuantizedNetwork* qnet, std::vector<Job>& jobs,
+                       bool degraded);
+    Detections detect_with_retry(Network& net, QuantizedNetwork* qnet,
+                                 const Image& frame, const Job& job,
                                  DetectStageTimings* timings);
     void resolve(Job& job, ServeResult r);
     void expire_overdue(std::vector<Job>& jobs);
@@ -210,6 +221,9 @@ class DetectionService {
     ServiceConfig config_;
     AltitudeFilter altitude_filter_;
     std::vector<std::unique_ptr<Network>> replicas_;
+    /// Parallel to replicas_ when config_.int8; empty otherwise. Each entry
+    /// wraps its replica and shares the construction-time calibration.
+    std::vector<std::unique_ptr<QuantizedNetwork>> qnets_;
     BoundedQueue<Job> queue_;
     ServeStats stats_;
     std::vector<std::unique_ptr<WorkerSlot>> slots_;

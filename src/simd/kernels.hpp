@@ -12,6 +12,8 @@
 //     levels — results are bitwise equal regardless of dispatch.
 //   * gemm_micro_4x16 is null on the scalar table (the caller keeps its
 //     reference loop); the AVX2 entry uses FMA and is tolerance-gated.
+//   * gemm_i8_row is pure integer arithmetic — results are bitwise identical
+//     across levels (memcmp-gated in test_quantize).
 //   * floats_to_halfs / halfs_to_floats agree bitwise across levels for all
 //     finite values and infinities (RTNE both ways); NaN payloads may differ.
 #pragma once
@@ -38,6 +40,11 @@ struct KernelTable {
     void (*gemm_micro_4x16)(const float* ap, const float* b,
                             std::int64_t b_stride, int k, float alpha,
                             float beta, float* c, std::int64_t ldc);
+    /// One output row of the int8 GEMM with int32 accumulation (overwrites):
+    /// c_row[j] = sum_p a_row[p] * b[p*ldb + j], j in [0, n). Integer math —
+    /// bitwise identical across levels. Overflow-safe for k < 2^16.
+    void (*gemm_i8_row)(const std::int8_t* a_row, const std::int8_t* b,
+                        std::int64_t ldb, int k, int n, std::int32_t* c_row);
 };
 
 /// The table for the active dispatch level (dispatch.hpp).

@@ -59,6 +59,55 @@ void gemm_micro_4x16_fma(const float* ap, const float* b, std::int64_t b_stride,
     }
 }
 
+/// One int8 GEMM output row with paired-k madd accumulation. Two consecutive
+/// B rows are byte-interleaved (unpacklo/hi), widened to int16, and folded by
+/// _mm256_madd_epi16 against a broadcast (a[p], a[p+1]) int16 pair — so lane
+/// i accumulates b[p][j+i]*a[p] + b[p+1][j+i]*a[p+1]. Pure integer math:
+/// bitwise identical to the scalar reference. Odd k pairs the last row with
+/// zeros; a scalar loop covers the n%16 column tail. Overflow-safe for
+/// k < 2^16 (each madd pair <= 2*127*127, summed in int32 over k/2 steps).
+void gemm_i8_row_avx2(const std::int8_t* a_row, const std::int8_t* b,
+                      std::int64_t ldb, int k, int n, std::int32_t* c_row) {
+    const __m128i zero128 = _mm_setzero_si128();
+    int j = 0;
+    for (; j + 16 <= n; j += 16) {
+        __m256i acc_lo = _mm256_setzero_si256();
+        __m256i acc_hi = _mm256_setzero_si256();
+        for (int p = 0; p < k; p += 2) {
+            const std::int32_t a0 = a_row[p];
+            const std::int32_t a1 = (p + 1 < k) ? a_row[p + 1] : 0;
+            if (a0 == 0 && a1 == 0) continue;
+            const std::int8_t* bp = b + static_cast<std::int64_t>(p) * ldb + j;
+            const __m128i b0 =
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp));
+            const __m128i b1 =
+                (p + 1 < k)
+                    ? _mm_loadu_si128(
+                          reinterpret_cast<const __m128i*>(bp + ldb))
+                    : zero128;
+            const __m256i apair =
+                _mm256_set1_epi32((a1 << 16) | (a0 & 0xFFFF));
+            const __m256i wlo =
+                _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(b0, b1));
+            const __m256i whi =
+                _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(b0, b1));
+            acc_lo = _mm256_add_epi32(acc_lo, _mm256_madd_epi16(wlo, apair));
+            acc_hi = _mm256_add_epi32(acc_hi, _mm256_madd_epi16(whi, apair));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c_row + j), acc_lo);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(c_row + j + 8), acc_hi);
+    }
+    for (; j < n; ++j) {
+        std::int32_t sum = 0;
+        for (int p = 0; p < k; ++p) {
+            sum += static_cast<std::int32_t>(a_row[p]) *
+                   static_cast<std::int32_t>(
+                       b[static_cast<std::int64_t>(p) * ldb + j]);
+        }
+        c_row[j] = sum;
+    }
+}
+
 void floats_to_halfs_f16c(const float* src, std::uint16_t* dst, std::size_t n) {
     std::size_t i = 0;
     for (; i + 8 <= n; i += 8) {
@@ -91,6 +140,7 @@ constexpr KernelTable kAvx2Table = {
     floats_to_halfs_f16c,
     halfs_to_floats_f16c,
     gemm_micro_4x16_fma,
+    gemm_i8_row_avx2,
 };
 
 }  // namespace

@@ -3,6 +3,8 @@
 // its reference micro-kernel loop on this level.
 #include "simd/kernels.hpp"
 
+#include <algorithm>
+
 #include "simd/half.hpp"
 #include "simd/kernels_impl.hpp"
 #include "simd/vec_base.hpp"
@@ -18,6 +20,19 @@ void halfs_to_floats_scalar(const std::uint16_t* src, float* dst, std::size_t n)
     for (std::size_t i = 0; i < n; ++i) dst[i] = half_to_float(src[i]);
 }
 
+void gemm_i8_row_scalar(const std::int8_t* a_row, const std::int8_t* b,
+                        std::int64_t ldb, int k, int n, std::int32_t* c_row) {
+    std::fill(c_row, c_row + n, 0);
+    for (int p = 0; p < k; ++p) {
+        const std::int32_t a_p = a_row[p];
+        if (a_p == 0) continue;
+        const std::int8_t* brow = b + static_cast<std::int64_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) {
+            c_row[j] += a_p * static_cast<std::int32_t>(brow[j]);
+        }
+    }
+}
+
 constexpr KernelTable kScalarTable = {
     impl::copy_row<VecScalar>,
     impl::add_bias_row<VecScalar>,
@@ -29,6 +44,7 @@ constexpr KernelTable kScalarTable = {
     floats_to_halfs_scalar,
     halfs_to_floats_scalar,
     nullptr,  // gemm_micro_4x16: scalar level keeps the reference loop
+    gemm_i8_row_scalar,
 };
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include "tensor/gemm_i8.hpp"
 
 #include <algorithm>
+#include <cfloat>
 #include <cmath>
 
+#include "analysis/numerics.hpp"
+#include "simd/kernels.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/thread_pool.hpp"
 
@@ -12,18 +15,10 @@ namespace {
 void gemm_i8_rows(int row_begin, int row_end, int n, int k, const std::int8_t* a,
                   int lda, const std::int8_t* b, int ldb, std::int32_t* c,
                   int ldc) {
+    const auto row_kernel = simd::kernels().gemm_i8_row;
     for (int i = row_begin; i < row_end; ++i) {
-        std::int32_t* crow = c + static_cast<std::int64_t>(i) * ldc;
-        std::fill(crow, crow + n, 0);
-        const std::int8_t* arow = a + static_cast<std::int64_t>(i) * lda;
-        for (int p = 0; p < k; ++p) {
-            const std::int32_t a_ip = arow[p];
-            if (a_ip == 0) continue;
-            const std::int8_t* brow = b + static_cast<std::int64_t>(p) * ldb;
-            for (int j = 0; j < n; ++j) {
-                crow[j] += a_ip * static_cast<std::int32_t>(brow[j]);
-            }
-        }
+        row_kernel(a + static_cast<std::int64_t>(i) * lda, b, ldb, k, n,
+                   c + static_cast<std::int64_t>(i) * ldc);
     }
 }
 
@@ -48,9 +43,21 @@ std::int8_t quantize_value(float x, float scale) noexcept {
     return static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
 }
 
-float quantization_scale(const float* x, std::int64_t n) noexcept {
+float quantization_scale(const float* x, std::int64_t n) {
+    const bool guard = numerics_checks_enabled();
     float mx = 0.0f;
-    for (std::int64_t i = 0; i < n; ++i) mx = std::max(mx, std::fabs(x[i]));
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float v = x[i];
+        if (!std::isfinite(v)) {
+            if (guard) throw NumericsError("quantization_scale input", i, v);
+            // NaN carries no magnitude information — skip it; Inf saturates
+            // the range, so the scale clamps to the largest finite max.
+            if (std::isnan(v)) continue;
+            mx = FLT_MAX;
+            continue;
+        }
+        mx = std::max(mx, std::fabs(v));
+    }
     return mx > 0.0f ? mx / 127.0f : 1.0f;
 }
 

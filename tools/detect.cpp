@@ -12,6 +12,8 @@
 // (one forward pass per chunk; per-image results are bit-identical to B=1).
 // --fp16 stores conv weights and activations as IEEE halves (inference only;
 // accuracy deltas in docs/vectorization.md).
+// --int8 serves through the calibrated quantized conv path: the loaded images
+// double as the calibration set (docs/quantization.md). Exclusive with --fp16.
 // --profile prints a per-layer timing table after all images (docs/performance.md).
 //
 // With --cfg the network is built from a darknet cfg file; otherwise the
@@ -19,6 +21,7 @@
 // checkpoint from the weights/ directory (if present).
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +51,7 @@ constexpr const char* kUsage =
     "  --threads N      intra-op GEMM threads\n"
     "  --batch B        images per forward pass\n"
     "  --fp16           fp16 weight/activation storage (inference only)\n"
+    "  --int8           calibrated int8 conv path (calibrates on the input images)\n"
     "  --profile        per-layer timing table after all images\n"
     "  --help           print this help\n";
 
@@ -58,6 +62,7 @@ int run(int argc, char** argv) {
     int size = 512;
     int batch = 1;
     bool fp16 = false;
+    bool int8 = false;
     EvalConfig post;
     std::vector<std::string> images;
     for (int i = 1; i < argc; ++i) {
@@ -76,6 +81,7 @@ int run(int argc, char** argv) {
         else if (a == "--threads") set_gemm_threads(std::stoi(next()));
         else if (a == "--batch") batch = std::max(1, std::stoi(next()));
         else if (a == "--fp16") fp16 = true;
+        else if (a == "--int8") int8 = true;
         else if (a == "--profile") profile::set_profiling(true);
         else if (a == "--help") { std::printf("%s", kUsage); return 0; }
         else if (a.rfind("--", 0) == 0) throw std::runtime_error("unknown flag " + a);
@@ -84,6 +90,9 @@ int run(int argc, char** argv) {
     if (images.empty()) {
         std::fprintf(stderr, "%s", kUsage);
         return 2;
+    }
+    if (fp16 && int8) {
+        throw std::runtime_error("--fp16 and --int8 are mutually exclusive");
     }
 
     Network net = [&]() -> Network {
@@ -110,6 +119,19 @@ int run(int argc, char** argv) {
         }
     }
 
+    std::optional<QuantizedNetwork> qnet;
+    if (int8) {
+        // Calibrate on the input imagery itself — the most representative
+        // sample set this tool can get (docs/quantization.md).
+        std::vector<Image> calib_frames;
+        for (std::size_t i = 0; i < images.size() && i < 8; ++i) {
+            calib_frames.push_back(read_ppm(images[i]));
+        }
+        qnet.emplace(net, calibrate_int8(net, calib_frames, post));
+        std::printf("# int8: calibrated on %zu frame(s); conv weights %zu -> %zu bytes\n",
+                    calib_frames.size(), qnet->float_weight_bytes(), qnet->weight_bytes());
+    }
+
     for (std::size_t start = 0; start < images.size();
          start += static_cast<std::size_t>(batch)) {
         const std::size_t count =
@@ -119,7 +141,8 @@ int run(int argc, char** argv) {
         for (std::size_t i = 0; i < count; ++i) {
             chunk.push_back(read_ppm(images[start + i]));
         }
-        const std::vector<Detections> results = detect_images(net, chunk, post);
+        const std::vector<Detections> results = detect_images_timed(
+            net, chunk, post, nullptr, qnet ? &*qnet : nullptr);
         for (std::size_t i = 0; i < count; ++i) {
             const std::string& path = images[start + i];
             const Detections& dets = results[i];

@@ -9,7 +9,7 @@
 //   serve_worker --fd N [--workers N] [--size S] [--model DroNet]
 //                [--filter-scale F] [--capacity Q] [--batch B]
 //                [--batch-timeout-us U] [--deadline-ms D] [--retries R]
-//                [--gemm-threads N] [--fp16]
+//                [--gemm-threads N] [--fp16] [--int8]
 //
 // Model weights come from the pretrained checkpoint when present, otherwise
 // from the seeded He initializer — build_model is deterministic, so every
@@ -41,6 +41,7 @@ struct Args {
     int retries = 0;
     int gemm_threads = 1;
     bool fp16 = false;
+    bool int8 = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -63,6 +64,7 @@ Args parse_args(int argc, char** argv) {
         else if (a == "--retries") args.retries = std::stoi(next());
         else if (a == "--gemm-threads") args.gemm_threads = std::stoi(next());
         else if (a == "--fp16") args.fp16 = true;
+        else if (a == "--int8") args.int8 = true;
         else throw std::runtime_error("unknown flag " + a);
     }
     if (args.fd < 0) throw std::runtime_error("--fd is required");
@@ -84,6 +86,9 @@ int run(int argc, char** argv) {
     }();
     net.set_batch(1);
     if (net.config().width != args.size) net.resize_input(args.size, args.size);
+    if (args.fp16 && args.int8) {
+        throw std::runtime_error("--fp16 and --int8 are mutually exclusive");
+    }
     if (args.fp16) net.set_fp16(true);  // after weights: enabling encodes halves
 
     serve::ServiceConfig sc;
@@ -92,6 +97,7 @@ int run(int argc, char** argv) {
     sc.policy = serve::BackpressurePolicy::kBlock;
     sc.max_batch = args.batch;
     sc.batch_timeout_us = args.batch_timeout_us;
+    sc.int8 = args.int8;
     sc.deadline_ms = args.deadline_ms;
     sc.max_retries = args.retries;
     serve::DetectionService service(net, sc);
