@@ -105,6 +105,18 @@ ctest --test-dir build-tsan -L chaos --output-on-failure 2>&1 \
   --inject "network.forward:kill:nth=5:times=1" 2>&1 \
   | tee tsan_chaos_bench_output.txt
 
+# Model lifecycle stage under TSan (docs/robustness.md, "Model lifecycle"):
+# worker threads keep serving while reload_checkpoint canaries and swaps the
+# model set — the exact shared-state handoff TSan exists to check. The label
+# first, then a live reload-under-load through serve_bench: the pretrained
+# checkpoint hot-swaps mid-run and --expect-complete exits non-zero if any
+# future was dropped across the swap.
+ctest --test-dir build-tsan -L reload --output-on-failure 2>&1 \
+  | tee tsan_reload_output.txt
+./build-tsan/tools/serve_bench --workers 2 --streams 4 --frames-per-stream 8 \
+  --size 96 --reload weights/DroNet.weights --reload-after-ms 30 \
+  --expect-complete 2>&1 | tee tsan_reload_bench_output.txt
+
 # AddressSanitizer + UBSan pass over the FULL suite (memory errors and
 # undefined behaviour are not confined to the threaded paths).
 cmake -B build-asan -G Ninja -DDRONET_SANITIZE=address \
@@ -133,6 +145,15 @@ ctest --test-dir build-asan -L chaos --output-on-failure 2>&1 \
 ctest --test-dir build-asan -L cluster --output-on-failure 2>&1 \
   | tee asan_cluster_output.txt
 
+# Model lifecycle under ASan: candidate loading, canary scratch buffers, and
+# the model-set swap are allocation-heavy paths; rerun the label, then the
+# same reload-under-load drive as the TSan stage.
+ctest --test-dir build-asan -L reload --output-on-failure 2>&1 \
+  | tee asan_reload_output.txt
+./build-asan/tools/serve_bench --workers 2 --streams 4 --frames-per-stream 8 \
+  --size 96 --reload weights/DroNet.weights --reload-after-ms 30 \
+  --expect-complete 2>&1 | tee asan_reload_bench_output.txt
+
 # Router + worker fleet end to end through serve_bench's cluster mode: two
 # spawned worker processes, --expect-complete exits non-zero if any frame
 # resolved as anything but kOk. Then the loadgen smoke: a scaling sweep with
@@ -148,6 +169,30 @@ ctest --test-dir build-asan -L cluster --output-on-failure 2>&1 \
 # identity intact — loadgen exits 2 otherwise.
 ./build/tools/loadgen --workers-list 2 --clients 4 --requests 8 --size 96 \
   --filter-scale 0.5 --kill-after-ms 100 2>&1 | tee loadgen_chaos_output.txt
+
+# Model-lifecycle chaos smoke: a corrupt (truncated) candidate checkpoint
+# must be rejected — canary gate, old model byte-identical, zero dropped
+# futures (--expect-complete still enforced on the serving run; the verdict
+# line exits non-zero if the reload was NOT rejected).
+head -c 4096 weights/DroNet.weights > build/corrupt_candidate.weights
+./build/tools/serve_bench --workers 2 --streams 2 --frames-per-stream 8 \
+  --size 96 --reload build/corrupt_candidate.weights --reload-after-ms 30 \
+  --reload-expect-reject --expect-complete 2>&1 \
+  | tee reload_reject_output.txt
+# Rolling fleet reload through loadgen: two spawned pretrained workers,
+# hot-swapped one at a time mid-load — the rollout must commit fleet-wide
+# with every future resolving (exit 2 otherwise)...
+./build/tools/loadgen --workers-list 2 --clients 4 --requests 8 --size 96 \
+  --reload weights/DroNet.weights --reload-after-ms 50 --expect-complete 2>&1 \
+  | tee loadgen_reload_output.txt
+# ...and with a worker SIGKILLed mid-rollout the rollout must abort, roll
+# already-reloaded workers back to the old version, and still resolve every
+# future (serve_bench exits non-zero if the aborted rollout reports success
+# or any future hangs).
+./build/tools/serve_bench --cluster 2 --workers 1 --streams 4 \
+  --frames-per-stream 8 --size 96 --reload weights/DroNet.weights \
+  --reload-after-ms 50 --reload-kill-slot 1 2>&1 \
+  | tee cluster_reload_kill_output.txt
 
 for b in build/bench/*; do
   echo "===== $b ====="

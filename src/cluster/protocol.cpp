@@ -102,6 +102,8 @@ const char* to_string(Opcode op) noexcept {
         case Opcode::kShutdown: return "shutdown";
         case Opcode::kShutdownAck: return "shutdown-ack";
         case Opcode::kError: return "error";
+        case Opcode::kReloadRequest: return "reload-request";
+        case Opcode::kReloadResponse: return "reload-response";
     }
     return "?";
 }
@@ -271,6 +273,10 @@ std::vector<std::uint8_t> encode_stats_response(
     put(buf, snapshot.deadline_expired);
     put(buf, snapshot.worker_restarts);
     put(buf, snapshot.batches);
+    put(buf, snapshot.model_version);
+    put(buf, snapshot.reloads);
+    put(buf, snapshot.reload_failures);
+    put(buf, snapshot.rollbacks);
     put(buf, snapshot.wall_seconds);
     put(buf, snapshot.throughput_fps);
     put_gauges(buf, WorkerGauges{snapshot.queue_depth, snapshot.in_flight,
@@ -291,6 +297,10 @@ WireStats decode_stats_response(const std::vector<std::uint8_t>& payload) {
     s.deadline_expired = c.take<std::uint64_t>("stats");
     s.worker_restarts = c.take<std::uint64_t>("stats");
     s.batches = c.take<std::uint64_t>("stats");
+    s.model_version = c.take<std::uint64_t>("stats");
+    s.reloads = c.take<std::uint64_t>("stats");
+    s.reload_failures = c.take<std::uint64_t>("stats");
+    s.rollbacks = c.take<std::uint64_t>("stats");
     s.wall_seconds = c.take<double>("stats");
     s.throughput_fps = c.take<double>("stats");
     s.gauges = take_gauges(c);
@@ -310,6 +320,53 @@ std::string decode_error(const std::vector<std::uint8_t>& payload) {
     std::string s = c.take_string("error");
     c.expect_consumed("error");
     return s;
+}
+
+std::vector<std::uint8_t> encode_reload_request(const WireReloadRequest& r) {
+    std::vector<std::uint8_t> buf;
+    buf.reserve(5 + r.weights_path.size());
+    put(buf, static_cast<std::uint8_t>(r.rollback ? 1 : 0));
+    put_string(buf, r.weights_path);
+    return buf;
+}
+
+WireReloadRequest decode_reload_request(const std::vector<std::uint8_t>& payload) {
+    Cursor c(payload);
+    WireReloadRequest r;
+    const auto op = c.take<std::uint8_t>("reload-request");
+    if (op > 1) {
+        throw std::runtime_error("protocol: reload-request with unknown op");
+    }
+    r.rollback = op == 1;
+    r.weights_path = c.take_string("reload-request path");
+    if (r.rollback && !r.weights_path.empty()) {
+        throw std::runtime_error("protocol: rollback request carries a path");
+    }
+    c.expect_consumed("reload-request");
+    return r;
+}
+
+std::vector<std::uint8_t> encode_reload_response(const WireReloadResponse& r) {
+    std::vector<std::uint8_t> buf;
+    buf.reserve(13 + r.error.size());
+    put(buf, static_cast<std::uint8_t>(r.ok ? 1 : 0));
+    put(buf, r.model_version);
+    put_string(buf, r.error);
+    return buf;
+}
+
+WireReloadResponse decode_reload_response(const std::vector<std::uint8_t>& payload) {
+    Cursor c(payload);
+    WireReloadResponse r;
+    const auto ok = c.take<std::uint8_t>("reload-response");
+    if (ok > 1) {
+        throw std::runtime_error("protocol: reload-response with unknown flag");
+    }
+    r.ok = ok == 1;
+    r.model_version = c.take<std::uint64_t>("reload-response");
+    r.error = c.take_string("reload-response error");
+    c.expect_consumed("reload-response");
+    return r;
 }
 
 }  // namespace dronet::cluster

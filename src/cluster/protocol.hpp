@@ -32,7 +32,10 @@
 namespace dronet::cluster {
 
 inline constexpr std::uint32_t kMagic = 0x444E5254;  // "DRNT"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2 added the model-lifecycle opcodes (kReloadRequest/kReloadResponse) and
+/// the lifecycle counters in the stats block — the version field doing the
+/// job it was reserved for.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 /// Upper bound on one frame's payload; a 4096x4096 RGB float frame is ~192 MB,
 /// anything past 256 MB is a corrupt length field, not a request.
 inline constexpr std::uint32_t kMaxPayloadBytes = 256u << 20;
@@ -47,6 +50,8 @@ enum class Opcode : std::uint16_t {
     kShutdown = 7,        ///< router -> worker: drain in-flight work and exit
     kShutdownAck = 8,     ///< worker -> router: final frame before exit
     kError = 9,           ///< worker -> router: request-level protocol error
+    kReloadRequest = 10,  ///< router -> worker: hot-swap (or roll back) the model
+    kReloadResponse = 11, ///< worker -> router: reload outcome + live version
 };
 
 [[nodiscard]] const char* to_string(Opcode op) noexcept;
@@ -124,6 +129,10 @@ struct WireStats {
     std::uint64_t deadline_expired = 0;
     std::uint64_t worker_restarts = 0;
     std::uint64_t batches = 0;
+    std::uint64_t model_version = 0;
+    std::uint64_t reloads = 0;
+    std::uint64_t reload_failures = 0;
+    std::uint64_t rollbacks = 0;
     double wall_seconds = 0;
     double throughput_fps = 0;
     WorkerGauges gauges;
@@ -137,5 +146,26 @@ struct WireStats {
 /// count"); the router resolves the matching future as kFailed.
 [[nodiscard]] std::vector<std::uint8_t> encode_error(const std::string& message);
 [[nodiscard]] std::string decode_error(const std::vector<std::uint8_t>& payload);
+
+/// Reload request: u8 op (0 = load the checkpoint at `weights_path`,
+/// 1 = roll back to the previous model set; the path must be empty), then
+/// the path string. The worker answers with exactly one kReloadResponse
+/// (or kError for a malformed payload).
+struct WireReloadRequest {
+    bool rollback = false;
+    std::string weights_path;
+};
+[[nodiscard]] std::vector<std::uint8_t> encode_reload_request(const WireReloadRequest& r);
+[[nodiscard]] WireReloadRequest decode_reload_request(const std::vector<std::uint8_t>& payload);
+
+/// Reload response: u8 ok, u64 model_version now live in the worker, and the
+/// rejection diagnostic (empty on success).
+struct WireReloadResponse {
+    bool ok = false;
+    std::uint64_t model_version = 0;
+    std::string error;
+};
+[[nodiscard]] std::vector<std::uint8_t> encode_reload_response(const WireReloadResponse& r);
+[[nodiscard]] WireReloadResponse decode_reload_response(const std::vector<std::uint8_t>& payload);
 
 }  // namespace dronet::cluster

@@ -69,6 +69,15 @@ std::string FleetStats::to_json() const {
     return os.str();
 }
 
+std::string RolloutReport::to_json() const {
+    std::ostringstream os;
+    os << "{\"ok\":" << (ok ? "true" : "false") << ",\"total\":" << total
+       << ",\"reloaded\":" << reloaded << ",\"rolled_back\":" << rolled_back
+       << ",\"model_version\":" << model_version << ",\"error\":\"" << error
+       << "\"}";
+    return os.str();
+}
+
 Router::Router(RouterConfig config) : config_(std::move(config)) {
     if (config_.workers < 0) {
         throw std::invalid_argument("Router: negative worker count");
@@ -222,9 +231,14 @@ std::future<serve::ServeResult> Router::submit(std::uint64_t client_id,
                 for (;;) {
                     target = pick_worker_locked(false);
                     if (target != nullptr) break;
+                    // A reloading worker counts as coming back: submits wait
+                    // out a rolling reload instead of shedding (matters for
+                    // single-worker fleets, which would otherwise reject
+                    // every frame for the duration of the swap).
                     const bool any_up = std::any_of(
                         workers_.begin(), workers_.end(), [](const auto& w) {
-                            return w->state == WorkerState::kUp;
+                            return w->state == WorkerState::kUp ||
+                                   w->state == WorkerState::kReloading;
                         });
                     if (stopping_ || !any_up) {
                         shed_status = stopping_ ? serve::ServeStatus::kShutdown
@@ -341,6 +355,9 @@ void Router::receiver_loop(Worker& w, int fd) {
                 case Opcode::kStatsResponse:
                     handle_stats_response(w, frame);
                     break;
+                case Opcode::kReloadResponse:
+                    handle_reload_response(w, frame);
+                    break;
                 case Opcode::kShutdownAck:
                     break;  // the worker's final frame; EOF follows
                 default:
@@ -425,10 +442,29 @@ void Router::handle_stats_response(Worker& w, const Frame& frame) {
     }
 }
 
+void Router::handle_reload_response(Worker& w, const Frame& frame) {
+    std::promise<WireReloadResponse> promise;
+    {
+        sync::MutexLock lock(mu_);
+        // A reload reply proves liveness as well as a pong does.
+        w.consecutive_failures = 0;
+        auto it = w.pending_reloads.find(frame.header.request_id);
+        if (it == w.pending_reloads.end()) return;  // probe already timed out
+        promise = std::move(it->second);
+        w.pending_reloads.erase(it);
+    }
+    try {
+        promise.set_value(decode_reload_response(frame.payload));
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+    }
+}
+
 void Router::take_worker_out(Worker& w, WorkerState to_state, const char* reason) {
     (void)reason;
     std::vector<PendingRequest> stranded;
     std::vector<std::promise<WireStats>> broken_stats;
+    std::vector<std::promise<WireReloadResponse>> broken_reloads;
     {
         sync::MutexLock lock(mu_);
         if (w.state == WorkerState::kDead) return;
@@ -449,11 +485,17 @@ void Router::take_worker_out(Worker& w, WorkerState to_state, const char* reason
         w.inflight = 0;
         for (auto& [id, sp] : w.pending_stats) broken_stats.push_back(std::move(sp));
         w.pending_stats.clear();
+        for (auto& [id, rp] : w.pending_reloads) broken_reloads.push_back(std::move(rp));
+        w.pending_reloads.clear();
     }
     capacity_cv_.notify_all();
     for (auto& sp : broken_stats) {
         sp.set_exception(std::make_exception_ptr(
             std::runtime_error("cluster: worker lost before stats reply")));
+    }
+    for (auto& rp : broken_reloads) {
+        rp.set_exception(std::make_exception_ptr(
+            std::runtime_error("cluster: worker lost before reload reply")));
     }
     redispatch_or_shed(std::move(stranded));
 }
@@ -571,6 +613,11 @@ void Router::health_loop() {
                         } else if (!w.ping_outstanding) {
                             action = Action::kPing;
                         }
+                        break;
+                    case WorkerState::kReloading:
+                        // Out of dispatch for a rolling reload; the reload RPC
+                        // itself is the liveness probe, so no pings (a slow
+                        // checkpoint load must not look like a dead worker).
                         break;
                     case WorkerState::kDead:
                         if (config_.respawn && w.pid > 0 && !stopping_) {
@@ -735,6 +782,137 @@ FleetStats Router::fleet_stats(std::int64_t timeout_ms) {
         }
     }
     return out;
+}
+
+std::optional<WireReloadResponse> Router::request_reload(
+    Worker& w, const WireReloadRequest& req, std::int64_t timeout_ms) {
+    std::uint64_t id = 0;
+    std::future<WireReloadResponse> fut;
+    {
+        sync::MutexLock lock(mu_);
+        if (w.state == WorkerState::kDead) return std::nullopt;
+        id = next_request_id_++;
+        std::promise<WireReloadResponse> promise;
+        fut = promise.get_future();
+        w.pending_reloads.emplace(id, std::move(promise));
+    }
+    const std::vector<std::uint8_t> payload = encode_reload_request(req);
+    try {
+        sync::MutexLock wl(w.write_mu);
+        write_frame(w.fd.get(), Opcode::kReloadRequest, id, payload);
+    } catch (const std::exception&) {
+        // The probe's promise was broken by take_worker_out.
+        take_worker_out(w, WorkerState::kDead, "reload write failed");
+        return std::nullopt;
+    }
+    if (fut.wait_for(std::chrono::milliseconds(timeout_ms)) !=
+        std::future_status::ready) {
+        sync::MutexLock lock(mu_);
+        w.pending_reloads.erase(id);
+        return std::nullopt;
+    }
+    try {
+        return fut.get();
+    } catch (const std::exception&) {
+        return std::nullopt;  // worker lost before the reply landed
+    }
+}
+
+RolloutReport Router::rolling_reload(const std::string& weights_path,
+                                     std::int64_t timeout_ms) {
+    sync::MutexLock rollout_lock(rollout_mu_);
+    RolloutReport report;
+    report.total = workers_.size();
+    std::vector<Worker*> committed;
+    for (auto& wp : workers_) {
+        Worker& w = *wp;
+        // Take the slot out of dispatch: pick_worker_locked only selects kUp,
+        // so no new frame lands here while the swap is in flight. Submits
+        // wait on capacity_cv_ rather than shed (see submit()'s any_up).
+        {
+            sync::MutexLock lock(mu_);
+            if (stopping_) {
+                report.error = "router stopped";
+                break;
+            }
+            if (w.state != WorkerState::kUp) {
+                report.error = "worker slot " + std::to_string(w.slot) +
+                               " not up (" + to_string(w.state) + ")";
+                break;
+            }
+            w.state = WorkerState::kReloading;
+            w.ping_outstanding = false;
+        }
+        // Drain: wait for this worker's in-flight frames to come back so the
+        // swap never races a request against the model it was dispatched to.
+        bool drained = false;
+        bool still_ours = false;
+        {
+            sync::MutexLock lock(mu_);
+            const auto deadline =
+                Clock::now() + std::chrono::milliseconds(timeout_ms);
+            while (!w.pending.empty() &&
+                   w.state == WorkerState::kReloading) {
+                if (capacity_cv_.wait_until(mu_, deadline) ==
+                    std::cv_status::timeout) {
+                    break;
+                }
+            }
+            drained = w.pending.empty();
+            still_ours = w.state == WorkerState::kReloading;
+        }
+        if (!drained || !still_ours) {
+            {
+                sync::MutexLock lock(mu_);
+                if (w.state == WorkerState::kReloading) {
+                    w.state = WorkerState::kUp;  // old model, back in dispatch
+                }
+            }
+            capacity_cv_.notify_all();
+            report.error = !still_ours
+                               ? "worker slot " + std::to_string(w.slot) +
+                                     " lost during drain"
+                               : "drain timeout on worker slot " +
+                                     std::to_string(w.slot);
+            break;
+        }
+        WireReloadRequest req;
+        req.weights_path = weights_path;
+        const std::optional<WireReloadResponse> resp =
+            request_reload(w, req, timeout_ms);
+        // Back into dispatch either way: on success it serves the new model,
+        // on failure the worker-side canary left the old model byte-intact.
+        {
+            sync::MutexLock lock(mu_);
+            if (w.state == WorkerState::kReloading) w.state = WorkerState::kUp;
+        }
+        capacity_cv_.notify_all();
+        if (!resp || !resp->ok) {
+            report.error = resp ? ("worker slot " + std::to_string(w.slot) +
+                                   " rejected reload: " + resp->error)
+                                : ("worker slot " + std::to_string(w.slot) +
+                                   " lost or timed out during reload");
+            break;
+        }
+        committed.push_back(&w);
+        ++report.reloaded;
+        report.model_version = resp->model_version;
+    }
+    if (report.reloaded == report.total && report.error.empty()) {
+        report.ok = true;
+        return report;
+    }
+    // Abort: restore the previous version on every already-swapped worker so
+    // the fleet never serves two model versions past the rollout's end.
+    WireReloadRequest rb;
+    rb.rollback = true;
+    for (Worker* w : committed) {
+        const std::optional<WireReloadResponse> resp =
+            request_reload(*w, rb, timeout_ms);
+        if (resp && resp->ok) ++report.rolled_back;
+    }
+    if (report.error.empty()) report.error = "rollout aborted";
+    return report;
 }
 
 std::size_t Router::slots() const noexcept { return workers_.size(); }

@@ -33,6 +33,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,6 +64,7 @@ enum class WorkerState {
     kEjected,   ///< breaker open: too many consecutive health failures
     kHalfOpen,  ///< trial probe outstanding after readmit_ms
     kDead,      ///< connection lost / process exited; awaiting respawn
+    kReloading, ///< drained out of dispatch while a rolling reload swaps it
 };
 
 [[nodiscard]] constexpr const char* to_string(WorkerState s) noexcept {
@@ -71,6 +73,7 @@ enum class WorkerState {
         case WorkerState::kEjected: return "ejected";
         case WorkerState::kHalfOpen: return "half-open";
         case WorkerState::kDead: return "dead";
+        case WorkerState::kReloading: return "reloading";
     }
     return "?";
 }
@@ -150,6 +153,17 @@ struct FleetStats {
     [[nodiscard]] std::string to_json() const;
 };
 
+/// Outcome of one rolling fleet reload (Router::rolling_reload).
+struct RolloutReport {
+    bool ok = false;
+    std::size_t total = 0;        ///< worker slots in the fleet
+    std::size_t reloaded = 0;     ///< workers serving the new version (success only)
+    std::size_t rolled_back = 0;  ///< workers restored after an abort
+    std::uint64_t model_version = 0;  ///< fleet-wide version after a success
+    std::string error;                ///< why the rollout aborted; empty on success
+    [[nodiscard]] std::string to_json() const;
+};
+
 class Router {
   public:
     /// Spawns/adopts the configured workers and starts receiver + health
@@ -190,6 +204,18 @@ class Router {
     /// workers). The fleet reacts exactly as it would to a real crash.
     void kill_worker(std::size_t slot);
 
+    /// Rolling fleet reload: one worker at a time is taken out of dispatch
+    /// (kReloading — traffic keeps flowing to the rest, and submits wait
+    /// rather than shed if every worker is mid-reload), drained of in-flight
+    /// frames, sent a kReloadRequest for `weights_path`, and re-admitted
+    /// once it confirms the swap. The first failure — an unhealthy slot, a
+    /// drain or reload timeout, a canary rejection, or a worker death
+    /// mid-rollout — aborts the rollout and sends a rollback to every
+    /// already-reloaded worker, restoring the previous version fleet-wide.
+    /// Serialized against concurrent rollouts; safe alongside live traffic.
+    [[nodiscard]] RolloutReport rolling_reload(const std::string& weights_path,
+                                               std::int64_t timeout_ms = 30000);
+
   private:
     struct PendingRequest {
         std::promise<serve::ServeResult> promise;
@@ -215,6 +241,7 @@ class Router {
         std::size_t inflight = 0;
         std::map<std::uint64_t, PendingRequest> pending;
         std::map<std::uint64_t, std::promise<WireStats>> pending_stats;
+        std::map<std::uint64_t, std::promise<WireReloadResponse>> pending_reloads;
         int consecutive_failures = 0;
         std::chrono::steady_clock::time_point ejected_at;
         std::chrono::steady_clock::time_point ping_sent_at;  ///< zero = none
@@ -235,6 +262,12 @@ class Router {
     void handle_detect_response(Worker& w, const Frame& frame);
     void handle_pong(Worker& w, const Frame& frame);
     void handle_stats_response(Worker& w, const Frame& frame);
+    void handle_reload_response(Worker& w, const Frame& frame);
+    /// Sends one reload/rollback request and awaits the response (bounded by
+    /// `timeout_ms`). nullopt = worker dead, write failed, timed out, or lost
+    /// mid-reload. mu_ NOT held.
+    [[nodiscard]] std::optional<WireReloadResponse> request_reload(
+        Worker& w, const WireReloadRequest& req, std::int64_t timeout_ms);
     void health_loop();
     void send_ping(Worker& w);
     /// Marks the worker dead/ejected and strands its in-flight work.
@@ -278,6 +311,7 @@ class Router {
     bool health_stop_ GUARDED_BY(health_mu_) = false;
 
     sync::Mutex stop_mu_{"Router::stop_mu"};  ///< serializes stop() callers
+    sync::Mutex rollout_mu_{"Router::rollout_mu"};  ///< one rolling reload at a time
     std::atomic<bool> stopped_{false};
 };
 

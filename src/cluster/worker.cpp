@@ -38,6 +38,50 @@ void WorkerServer::respond(std::uint64_t request_id, const serve::ServeResult& r
     write_frame(fd_, Opcode::kDetectResponse, request_id, payload);
 }
 
+void WorkerServer::start_reload(std::uint64_t request_id, bool rollback,
+                                std::string path) {
+    auto respond_reload = [this, request_id](const serve::ReloadOutcome& out) {
+        WireReloadResponse wire;
+        wire.ok = out.ok;
+        wire.model_version = out.model_version;
+        wire.error = out.error;
+        if (peer_gone_.load(std::memory_order_acquire)) return;
+        try {
+            sync::MutexLock lock(write_mu_);
+            write_frame(fd_, Opcode::kReloadResponse, request_id,
+                        encode_reload_response(wire));
+        } catch (const std::exception&) {
+            peer_gone_.store(true, std::memory_order_release);
+        }
+    };
+    if (reload_busy_.exchange(true, std::memory_order_acq_rel)) {
+        serve::ReloadOutcome busy;
+        busy.model_version = service_.model_version();
+        busy.error = "reload already in progress";
+        respond_reload(busy);
+        return;
+    }
+    // The previous reload thread (if any) has finished its work — busy was
+    // false — but still needs joining before we reuse the slot.
+    if (reload_thread_.joinable()) reload_thread_.join();
+    reload_thread_ = std::thread([this, rollback, path = std::move(path),
+                                  respond_reload] {
+        serve::ReloadOutcome out;
+        try {
+            out = rollback ? service_.rollback()
+                           : service_.reload_checkpoint(path);
+        } catch (const std::exception& e) {
+            out.ok = false;
+            out.model_version = service_.model_version();
+            out.error = e.what();
+        }
+        // Clear busy before replying: a router that serializes reloads on the
+        // reply must never race the flag into a spurious busy rejection.
+        reload_busy_.store(false, std::memory_order_release);
+        respond_reload(out);
+    });
+}
+
 void WorkerServer::resolver_loop() {
     while (auto pending = pending_.pop()) {
         // The service contract: every submitted future resolves (success,
@@ -94,6 +138,18 @@ std::uint64_t WorkerServer::run() {
                     write_frame(fd_, Opcode::kStatsResponse, id, payload);
                     break;
                 }
+                case Opcode::kReloadRequest: {
+                    WireReloadRequest req;
+                    try {
+                        req = decode_reload_request(frame.payload);
+                    } catch (const std::exception& e) {
+                        sync::MutexLock lock(write_mu_);
+                        write_frame(fd_, Opcode::kError, id, encode_error(e.what()));
+                        break;
+                    }
+                    start_reload(id, req.rollback, std::move(req.weights_path));
+                    break;
+                }
                 case Opcode::kShutdown:
                     shutdown_requested = true;
                     break;
@@ -117,6 +173,7 @@ std::uint64_t WorkerServer::run() {
     // accepted frame before the queue reports empty-and-closed.
     pending_.close();
     resolver.join();
+    if (reload_thread_.joinable()) reload_thread_.join();
     if (shutdown_requested && !peer_gone_.load(std::memory_order_acquire)) {
         try {
             sync::MutexLock lock(write_mu_);

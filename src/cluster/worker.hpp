@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <string>
 #include <thread>
 
 #include "serve/bounded_queue.hpp"
@@ -47,6 +48,7 @@ class WorkerServer {
 
     void resolver_loop();
     void respond(std::uint64_t request_id, const serve::ServeResult& r);
+    void start_reload(std::uint64_t request_id, bool rollback, std::string path);
 
     serve::DetectionService& service_;
     int fd_;
@@ -57,6 +59,11 @@ class WorkerServer {
     serve::BoundedQueue<Pending> pending_;
     std::atomic<bool> peer_gone_{false};  ///< stop writing after EPIPE
     std::uint64_t served_ = 0;
+    /// Reloads run on their own thread so the reader keeps answering pings
+    /// (and accepting frames) while the candidate loads and canaries; one at
+    /// a time — a second request while busy is answered with a rejection.
+    std::thread reload_thread_;
+    std::atomic<bool> reload_busy_{false};
 };
 
 }  // namespace dronet::cluster

@@ -50,6 +50,12 @@ inline constexpr const char* kSiteWeightsWrite = "weights.write";
 inline constexpr const char* kSiteImageRead = "image.read";
 inline constexpr const char* kSiteQueuePush = "queue.push";
 inline constexpr const char* kSiteQueuePop = "queue.pop";
+/// Candidate checkpoint read during a hot reload (DetectionService).
+inline constexpr const char* kSiteReloadRead = "reload.read";
+/// Canary forward validating a reload candidate before the swap commits.
+inline constexpr const char* kSiteReloadCanary = "reload.canary";
+/// Parent-directory fsync that durably commits a checkpoint rename.
+inline constexpr const char* kSiteWeightsDirFsync = "weights.dir_fsync";
 
 /// Transient injected failure: retryable by the serving layer (derives from
 /// std::runtime_error like real transient I/O and numerics errors).

@@ -76,6 +76,18 @@ void save_weights(const Network& net, const std::filesystem::path& path) {
             }
         }
         std::filesystem::rename(tmp, path);  // atomic on POSIX
+        // The rename is only durable once the directory entry itself is on
+        // disk: fsync the parent directory, or a crash right here could roll
+        // the directory back and lose the just-committed checkpoint even
+        // though its data blocks were synced.
+        const std::filesystem::path dir =
+            path.has_parent_path() ? path.parent_path() : ".";
+        DRONET_FAULT_POINT(fault::kSiteWeightsDirFsync);
+        io::UniqueFd dfd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+        if (!dfd || ::fsync(dfd.get()) != 0) {
+            throw std::runtime_error("save_weights: cannot fsync directory " +
+                                     dir.string());
+        }
     } catch (...) {
         std::error_code ec;
         std::filesystem::remove(tmp, ec);  // best-effort; a real crash leaves it

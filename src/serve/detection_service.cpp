@@ -1,11 +1,15 @@
 #include "serve/detection_service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "eval/evaluator.hpp"
 #include "fault/fault.hpp"
 #include "nn/clone.hpp"
+#include "nn/weights_io.hpp"
+#include "tensor/rng.hpp"
 
 namespace dronet::serve {
 
@@ -68,32 +72,16 @@ DetectionService::DetectionService(const Network& prototype, ServiceConfig confi
         throw std::invalid_argument(
             "DetectionService: int8 and fp16 modes are mutually exclusive");
     }
+    if (config_.canary_max_divergence <= 0 || config_.reload_probation_ms < 0 ||
+        config_.reload_rollback_failures <= 0) {
+        throw std::invalid_argument("DetectionService: bad model-lifecycle knob");
+    }
     full_size_ = prototype.config().width;
-    replicas_.reserve(static_cast<std::size_t>(config_.workers));
-    Int8Calibration int8_calib;
-    for (int i = 0; i < config_.workers; ++i) {
-        auto replica = std::make_unique<Network>(clone_network(prototype));
-        // Pre-reserve activations/workspace at the largest batch the worker
-        // will ever run: tensor storage is grow-only, so later per-batch
-        // set_batch() calls in detect_images are allocation-free.
-        replica->set_batch(config_.max_batch);
-        if (config_.degrade_high_watermark > 0) {
-            // Warm the degraded geometry too (validates the fallback size up
-            // front and makes the overload mode switch allocation-free).
-            replica->resize_input(config_.degraded_size, config_.degraded_size);
-            replica->resize_input(full_size_, full_size_);
-        }
-        if (config_.int8) {
-            // Calibrate once (replica 0) and share the ranges: clones carry
-            // identical weights, so every replica quantizes identically. The
-            // snapshot is taken at max_batch/full-size geometry, so scratch is
-            // pre-sized for everything the worker will serve (re-batching and
-            // the smaller degraded input stay allocation-free).
-            if (i == 0) int8_calib = QuantizedNetwork::self_calibrate(*replica);
-            qnets_.push_back(std::make_unique<QuantizedNetwork>(*replica, int8_calib));
-        }
-        replica->set_batch(1);
-        replicas_.push_back(std::move(replica));
+    {
+        auto set = build_model_set(clone_network(prototype));
+        set->version = 1;
+        sync::MutexLock lock(model_mu_);
+        live_set_ = std::move(set);
     }
     slots_.reserve(static_cast<std::size_t>(config_.workers));
     for (int i = 0; i < config_.workers; ++i) {
@@ -109,6 +97,48 @@ DetectionService::DetectionService(const Network& prototype, ServiceConfig confi
 }
 
 DetectionService::~DetectionService() { stop(); }
+
+// Mirrors construction for every generation: per-worker clones pre-reserved
+// at the largest batch (tensor storage is grow-only, so later per-batch
+// set_batch() calls in detect_images are allocation-free), the degraded
+// geometry warmed when degradation is configured, and — under int8 — one
+// calibration computed on replica 0 and shared (clones carry identical
+// weights, so every replica quantizes identically).
+std::shared_ptr<DetectionService::ModelSet>
+DetectionService::build_model_set(Network candidate) {
+    auto set = std::make_shared<ModelSet>();
+    set->replicas.reserve(static_cast<std::size_t>(config_.workers));
+    Int8Calibration int8_calib;
+    for (int i = 0; i < config_.workers; ++i) {
+        auto replica = std::make_unique<Network>(clone_network(candidate));
+        replica->set_batch(config_.max_batch);
+        if (config_.degrade_high_watermark > 0) {
+            replica->resize_input(config_.degraded_size, config_.degraded_size);
+            replica->resize_input(full_size_, full_size_);
+        }
+        if (config_.int8) {
+            if (i == 0) int8_calib = QuantizedNetwork::self_calibrate(*replica);
+            set->qnets.push_back(
+                std::make_unique<QuantizedNetwork>(*replica, int8_calib));
+        }
+        replica->set_batch(1);
+        set->replicas.push_back(std::move(replica));
+    }
+    candidate.set_batch(1);
+    set->reference = std::make_unique<Network>(std::move(candidate));
+    return set;
+}
+
+std::shared_ptr<const DetectionService::ModelSet>
+DetectionService::current_set() const {
+    sync::MutexLock lock(model_mu_);
+    return live_set_;
+}
+
+std::uint64_t DetectionService::model_version() const {
+    sync::MutexLock lock(model_mu_);
+    return live_set_ ? live_set_->version : 0;
+}
 
 std::future<ServeResult> DetectionService::submit(Image frame) {
     Job job;
@@ -240,8 +270,6 @@ void DetectionService::apply_degrade_mode(Network& net, bool& degraded_now) {
 
 void DetectionService::worker_loop(std::size_t worker_id) {
     WorkerSlot& slot = *slots_[worker_id];
-    Network& net = *replicas_[worker_id];
-    QuantizedNetwork* qnet = qnets_.empty() ? nullptr : qnets_[worker_id].get();
     const auto max_batch = static_cast<std::size_t>(config_.max_batch);
     const std::chrono::microseconds linger(config_.batch_timeout_us);
     std::vector<Job> jobs;
@@ -254,6 +282,15 @@ void DetectionService::worker_loop(std::size_t worker_id) {
             }
             expire_overdue(jobs);
             if (jobs.empty()) continue;
+            // Re-fetch the live generation per batch: this is the hot-swap
+            // commit point. The shared_ptr pins the set for the whole batch,
+            // so a concurrent swap never pulls the replica out from under an
+            // in-flight forward, and the old generation is freed once the
+            // last worker moves on.
+            const std::shared_ptr<const ModelSet> set = current_set();
+            Network& net = *set->replicas[worker_id];
+            QuantizedNetwork* qnet =
+                set->qnets.empty() ? nullptr : set->qnets[worker_id].get();
             bool degraded_now = false;
             apply_degrade_mode(net, degraded_now);
             process_batch(net, qnet, jobs, degraded_now);
@@ -458,20 +495,188 @@ bool DetectionService::breaker_allows() {
 }
 
 void DetectionService::note_frame_failure() {
-    if (config_.breaker_threshold <= 0) return;
-    sync::MutexLock lock(breaker_mu_);
-    ++breaker_failures_;
-    if (!breaker_open_ && breaker_failures_ >= config_.breaker_threshold) {
-        breaker_open_ = true;
-        breaker_opened_at_ = std::chrono::steady_clock::now();
-        stats_.record_breaker_opened();
+    bool opened = false;
+    if (config_.breaker_threshold > 0) {
+        sync::MutexLock lock(breaker_mu_);
+        ++breaker_failures_;
+        if (!breaker_open_ && breaker_failures_ >= config_.breaker_threshold) {
+            breaker_open_ = true;
+            breaker_opened_at_ = std::chrono::steady_clock::now();
+            stats_.record_breaker_opened();
+            opened = true;
+        }
     }
+    // Outside breaker_mu_: the rollback path takes model_mu_, and holding
+    // both here would order them against reload (model lock order).
+    maybe_probation_failure(opened);
 }
 
 void DetectionService::note_frame_success() {
     if (config_.breaker_threshold <= 0) return;
     sync::MutexLock lock(breaker_mu_);
     breaker_failures_ = 0;
+}
+
+namespace {
+
+std::int64_t steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+void DetectionService::maybe_probation_failure(bool breaker_opened) {
+    if (config_.reload_probation_ms <= 0) return;
+    std::int64_t deadline = probation_deadline_ns_.load(std::memory_order_acquire);
+    if (deadline == 0) return;
+    if (steady_now_ns() > deadline) {
+        // Window expired: the new model survived probation; stop counting.
+        probation_deadline_ns_.compare_exchange_strong(deadline, 0,
+                                                       std::memory_order_acq_rel);
+        return;
+    }
+    const int fails = probation_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (breaker_opened || fails >= config_.reload_rollback_failures) {
+        // Close the window first so concurrent failures don't pile up more
+        // rollbacks; roll_back_internal is a no-op if prev is already gone.
+        probation_deadline_ns_.store(0, std::memory_order_release);
+        (void)roll_back_internal(breaker_opened
+                                     ? "probation: circuit breaker opened"
+                                     : "probation: frame-failure budget exhausted");
+    }
+}
+
+ReloadOutcome DetectionService::roll_back_internal(const std::string& why) {
+    ReloadOutcome out;
+    sync::MutexLock lock(model_mu_);
+    if (!prev_set_) {
+        out.model_version = live_set_ ? live_set_->version : 0;
+        out.error = "rollback: no previous model set (" + why + ")";
+        return out;
+    }
+    live_set_ = std::move(prev_set_);
+    prev_set_.reset();
+    out.ok = true;
+    out.model_version = live_set_->version;
+    stats_.record_rollback();
+    return out;
+}
+
+ReloadOutcome DetectionService::rollback() {
+    sync::MutexLock lock(reload_mu_);
+    probation_deadline_ns_.store(0, std::memory_order_release);
+    return roll_back_internal("explicit rollback");
+}
+
+// Deterministic synthetic canary batch, the same family of frames the int8
+// self-calibration uses: a constant, a low-frequency ramp, and seeded noise —
+// all in the [0,1] range real preprocessed imagery occupies.
+void DetectionService::run_canary(Network& candidate, Network& reference) {
+    DRONET_FAULT_POINT(fault::kSiteReloadCanary);
+    const Shape in = reference.input_shape();
+    std::vector<Tensor> samples;
+    samples.emplace_back(in);
+    samples.back().fill(0.5f);
+    Tensor ramp(in);
+    for (int n = 0; n < in.n; ++n) {
+        for (int c = 0; c < in.c; ++c) {
+            for (int h = 0; h < in.h; ++h) {
+                for (int w = 0; w < in.w; ++w) {
+                    const float y = in.h > 1
+                                        ? static_cast<float>(h) / static_cast<float>(in.h - 1)
+                                        : 0.0f;
+                    const float x = in.w > 1
+                                        ? static_cast<float>(w) / static_cast<float>(in.w - 1)
+                                        : 0.0f;
+                    ramp[ramp.index(n, c, h, w)] = 0.5f * (x + y);
+                }
+            }
+        }
+    }
+    samples.push_back(std::move(ramp));
+    Tensor noise(in);
+    Rng rng(0x178cu);
+    rng.fill_uniform(noise.span(), 0.0f, 1.0f);
+    samples.push_back(std::move(noise));
+
+    double max_div = 0;
+    for (const Tensor& x : samples) {
+        const Tensor& cand = candidate.forward(x);
+        for (const float v : cand.span()) {
+            if (!std::isfinite(v)) {
+                throw std::runtime_error(
+                    "reload canary: candidate produced non-finite outputs");
+            }
+        }
+        const Tensor& live = reference.forward(x);
+        const auto cs = cand.span();
+        const auto ls = live.span();
+        if (cs.size() != ls.size()) {
+            throw std::runtime_error("reload canary: output shape mismatch");
+        }
+        for (std::size_t i = 0; i < cs.size(); ++i) {
+            max_div = std::max(max_div,
+                               static_cast<double>(std::fabs(cs[i] - ls[i])));
+        }
+    }
+    if (max_div > config_.canary_max_divergence) {
+        throw std::runtime_error(
+            "reload canary: divergence " + std::to_string(max_div) +
+            " exceeds limit " + std::to_string(config_.canary_max_divergence));
+    }
+}
+
+ReloadOutcome DetectionService::reload_checkpoint(
+    const std::filesystem::path& weights) {
+    ReloadOutcome out;
+    sync::MutexLock lock(reload_mu_);
+    if (stopped_.load(std::memory_order_acquire)) {
+        out.model_version = model_version();
+        out.error = "reload: service stopped";
+        stats_.record_reload_failure();
+        return out;
+    }
+    // The live reference network is only touched under reload_mu_, so using
+    // it as both the architecture source and the canary baseline is safe
+    // while workers keep serving from their replicas.
+    const std::shared_ptr<const ModelSet> live = current_set();
+    Network& reference = *live->reference;
+    try {
+        Network candidate = clone_network(reference);
+        const bool fp16 = candidate.fp16();
+        // load_weights pre-checks the exact byte size (truncated or padded
+        // files are rejected before any state changes) and restores every
+        // parameter block, so the fp16 re-encode below sees the new floats.
+        if (fp16) candidate.set_fp16(false);
+        DRONET_FAULT_POINT(fault::kSiteReloadRead);
+        load_weights(candidate, weights);
+        if (fp16) candidate.set_fp16(true);
+        run_canary(candidate, reference);
+        auto set = build_model_set(std::move(candidate));
+        {
+            sync::MutexLock ml(model_mu_);
+            set->version = next_version_++;
+            out.model_version = set->version;
+            prev_set_ = std::move(live_set_);
+            live_set_ = std::move(set);
+        }
+        out.ok = true;
+        stats_.record_reload();
+        if (config_.reload_probation_ms > 0) {
+            probation_failures_.store(0, std::memory_order_release);
+            probation_deadline_ns_.store(
+                steady_now_ns() + config_.reload_probation_ms * 1'000'000,
+                std::memory_order_release);
+        }
+    } catch (const std::exception& e) {
+        out.ok = false;
+        out.model_version = model_version();
+        out.error = e.what();
+        stats_.record_reload_failure();
+    }
+    return out;
 }
 
 ServeStatsSnapshot DetectionService::stats() const {
@@ -482,6 +687,7 @@ ServeStatsSnapshot DetectionService::stats() const {
             s.breaker_open_ms += ms_since(breaker_opened_at_);
         }
     }
+    s.model_version = model_version();
     s.queue_depth = queue_.size();
     {
         sync::MutexLock lock(inflight_mu_);
@@ -538,7 +744,8 @@ void DetectionService::stop() {
 
 std::vector<std::string> DetectionService::profile_reports() const {
     std::vector<std::string> reports;
-    for (const auto& replica : replicas_) {
+    const std::shared_ptr<const ModelSet> set = current_set();
+    for (const auto& replica : set->replicas) {
         const profile::ForwardProfiler* prof = replica->profiler();
         if (prof != nullptr && prof->forwards() > 0) {
             reports.push_back(prof->report_json());

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <string>
@@ -129,9 +130,34 @@ struct ServiceConfig {
     bool watchdog = true;
     std::int64_t watchdog_interval_ms = 10;
 
+    // --- model lifecycle knobs (docs/robustness.md, "Model lifecycle") ---
+
+    /// Canary gate: maximum |candidate - live| output divergence tolerated on
+    /// the fixed synthetic canary batch before a reload candidate is rejected.
+    /// The finite-output check always runs regardless of this threshold. The
+    /// default is deliberately permissive (any healthy checkpoint of the same
+    /// architecture passes); tests tighten it to force rejections.
+    double canary_max_divergence = 1e6;
+    /// Probation window after a committed swap: while it is open, frame
+    /// failures and breaker opens count against the new model, and reaching
+    /// `reload_rollback_failures` (or any breaker open) auto-rolls back to
+    /// the previous model set. 0 disables probation.
+    std::int64_t reload_probation_ms = 0;
+    /// Frame failures within the probation window that trigger auto-rollback.
+    int reload_rollback_failures = 3;
+
     /// Post-processing thresholds and the optional altitude prior, shared
     /// with the serial DetectionPipeline for identical results.
     PipelineConfig pipeline;
+};
+
+/// Outcome of a reload / rollback attempt. `model_version` is the version
+/// serving after the call returned (the new version on success, the
+/// still-live one on rejection).
+struct ReloadOutcome {
+    bool ok = false;
+    std::uint64_t model_version = 0;
+    std::string error;  ///< empty on success
 };
 
 class DetectionService {
@@ -177,6 +203,30 @@ class DetectionService {
         return degraded_.load(std::memory_order_acquire);
     }
 
+    /// Hot-swaps the serving model to the checkpoint at `weights`, without
+    /// dropping a single in-flight future. Runs entirely on the calling
+    /// thread (never a worker thread): a candidate network is cloned from
+    /// the live model's architecture, the checkpoint is loaded (exact
+    /// byte-size pre-check, fp16 re-encode / int8 re-calibration per the
+    /// active mode), and a canary gate — deterministic synthetic forwards
+    /// checked for finite outputs and bounded divergence vs the live model
+    /// (`canary_max_divergence`) — must pass before fresh replicas are built
+    /// and swapped in. Workers pick up the new set at their next batch, so
+    /// every in-flight frame finishes on the model it started on. Any
+    /// failure (unreadable/truncated file, NaN outputs, divergence) rejects
+    /// the candidate and leaves serving byte-identical to before the call.
+    /// Reloads are serialized; concurrent callers queue. Thread-safe.
+    [[nodiscard]] ReloadOutcome reload_checkpoint(const std::filesystem::path& weights);
+
+    /// Restores the model set that was live before the last committed swap
+    /// (kept until the next successful reload). Fails if there has been no
+    /// swap, or the previous set was already consumed by a rollback.
+    [[nodiscard]] ReloadOutcome rollback();
+
+    /// Version of the live model set: 1 at construction, +1 per committed
+    /// swap; a rollback restores the previous version number.
+    [[nodiscard]] std::uint64_t model_version() const;
+
     /// Per-worker profiler JSON (profile/profiler.hpp), one entry per replica
     /// that recorded at least one forward; empty unless DRONET_PROFILE /
     /// profile::set_profiling was enabled. Call only while the service is
@@ -202,6 +252,19 @@ class DetectionService {
         std::atomic<int> state{kRunning};
     };
 
+    /// One versioned generation of the serving model: per-worker replicas
+    /// (plus parallel QuantizedNetworks when int8) and a `reference` network
+    /// workers never touch — the canary baseline and the architecture source
+    /// for the next candidate. Shared pointers let an in-flight batch finish
+    /// on the generation it started with after a swap; the old generation is
+    /// freed when its last worker releases it.
+    struct ModelSet {
+        std::uint64_t version = 0;
+        std::vector<std::unique_ptr<Network>> replicas;
+        std::vector<std::unique_ptr<QuantizedNetwork>> qnets;
+        std::unique_ptr<Network> reference;  ///< forwarded only under reload_mu_
+    };
+
     void worker_loop(std::size_t worker_id);
     void on_worker_death(WorkerSlot& slot, std::vector<Job>& jobs, const char* what);
     void watchdog_loop();
@@ -218,12 +281,24 @@ class DetectionService {
     void note_frame_success() EXCLUDES(breaker_mu_);
     void finish_one() EXCLUDES(inflight_mu_);
 
+    /// Builds one complete model generation (replicas + int8 calibration +
+    /// degrade warm-up, mirroring construction) from `candidate`, which is
+    /// consumed and becomes the set's reference network.
+    [[nodiscard]] std::shared_ptr<ModelSet> build_model_set(Network candidate);
+    [[nodiscard]] std::shared_ptr<const ModelSet> current_set() const
+        EXCLUDES(model_mu_);
+    /// Canary gate: deterministic synthetic forwards of `candidate` vs the
+    /// live reference. Throws std::runtime_error on non-finite outputs or
+    /// divergence beyond config_.canary_max_divergence.
+    void run_canary(Network& candidate, Network& reference);
+    /// Counts one frame failure (and breaker-open edge) against an open
+    /// probation window; rolls back when the window's budget is exhausted.
+    void maybe_probation_failure(bool breaker_opened) EXCLUDES(model_mu_);
+    [[nodiscard]] ReloadOutcome roll_back_internal(const std::string& why)
+        EXCLUDES(model_mu_);
+
     ServiceConfig config_;
     AltitudeFilter altitude_filter_;
-    std::vector<std::unique_ptr<Network>> replicas_;
-    /// Parallel to replicas_ when config_.int8; empty otherwise. Each entry
-    /// wraps its replica and shares the construction-time calibration.
-    std::vector<std::unique_ptr<QuantizedNetwork>> qnets_;
     BoundedQueue<Job> queue_;
     ServeStats stats_;
     std::vector<std::unique_ptr<WorkerSlot>> slots_;
@@ -258,6 +333,21 @@ class DetectionService {
     sync::CondVar inflight_cv_;
     std::uint64_t accepted_ GUARDED_BY(inflight_mu_) = 0;
     std::uint64_t resolved_ GUARDED_BY(inflight_mu_) = 0;
+
+    // Model lifecycle. model_mu_ guards only the set pointers (held for a
+    // pointer copy per worker batch); reload_mu_ serializes whole reload /
+    // rollback operations, which run on caller threads and do the expensive
+    // work (load, canary, replica builds) outside model_mu_.
+    mutable sync::Mutex model_mu_{"DetectionService::model_mu"};
+    std::shared_ptr<ModelSet> live_set_ GUARDED_BY(model_mu_);
+    /// Previous generation, retained until the next committed swap so
+    /// probation (and the fleet rollout abort) can always roll back.
+    std::shared_ptr<ModelSet> prev_set_ GUARDED_BY(model_mu_);
+    std::uint64_t next_version_ GUARDED_BY(model_mu_) = 2;
+    sync::Mutex reload_mu_{"DetectionService::reload_mu"};
+    /// Probation window end (steady-clock ns since epoch); 0 = no window.
+    std::atomic<std::int64_t> probation_deadline_ns_{0};
+    std::atomic<int> probation_failures_{0};
 };
 
 }  // namespace dronet::serve

@@ -154,6 +154,21 @@ void ServeStats::record_breaker_open_ms(double ms) noexcept {
     if (ms > 0) breaker_open_ms_ += ms;
 }
 
+void ServeStats::record_reload() noexcept {
+    sync::MutexLock lock(mu_);
+    ++reloads_;
+}
+
+void ServeStats::record_reload_failure() noexcept {
+    sync::MutexLock lock(mu_);
+    ++reload_failures_;
+}
+
+void ServeStats::record_rollback() noexcept {
+    sync::MutexLock lock(mu_);
+    ++rollbacks_;
+}
+
 void ServeStats::record_batch(std::size_t size) noexcept {
     if (size == 0) return;
     sync::MutexLock lock(mu_);
@@ -189,6 +204,9 @@ ServeStatsSnapshot ServeStats::snapshot() const {
     s.degrade_transitions = degrade_transitions_;
     s.breaker_opens = breaker_opens_;
     s.breaker_open_ms = breaker_open_ms_;
+    s.reloads = reloads_;
+    s.reload_failures = reload_failures_;
+    s.rollbacks = rollbacks_;
     for (std::size_t i = 0; i < kMaxTrackedBatch; ++i) {
         if (batch_size_counts_[i] > 0) {
             s.batch_sizes.emplace_back(static_cast<int>(i + 1), batch_size_counts_[i]);
@@ -218,6 +236,10 @@ std::string ServeStatsSnapshot::to_json() const {
        << ",\"degrade_transitions\":" << degrade_transitions
        << ",\"breaker_opens\":" << breaker_opens
        << ",\"breaker_open_ms\":" << breaker_open_ms
+       << ",\"model_version\":" << model_version
+       << ",\"reloads\":" << reloads
+       << ",\"reload_failures\":" << reload_failures
+       << ",\"rollbacks\":" << rollbacks
        << ",\"queue_depth\":" << queue_depth
        << ",\"in_flight\":" << in_flight
        << ",\"uptime_ms\":" << uptime_ms

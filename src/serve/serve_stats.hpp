@@ -82,6 +82,13 @@ struct ServeStatsSnapshot {
     std::uint64_t degrade_transitions = 0;  ///< full<->degraded mode flips
     std::uint64_t breaker_opens = 0;        ///< circuit-breaker open transitions
     double breaker_open_ms = 0;             ///< cumulative time the breaker was open
+    // Model lifecycle (docs/robustness.md, "Model lifecycle"). model_version
+    // is a gauge: 1 for the construction-time model, +1 per committed swap
+    // (a rollback restores the previous version number).
+    std::uint64_t model_version = 0;    ///< version of the live model set
+    std::uint64_t reloads = 0;          ///< committed hot swaps
+    std::uint64_t reload_failures = 0;  ///< candidates rejected before swap
+    std::uint64_t rollbacks = 0;        ///< probation/explicit reversions
     // Live gauges (point-in-time, not counters). DetectionService::stats()
     // fills them; a bare ServeStats::snapshot() leaves them zero. They feed
     // the cluster router's least-loaded dispatch and the fleet-aggregated
@@ -124,6 +131,10 @@ class ServeStats {
     void record_breaker_opened() noexcept;
     /// Accumulates one closed open-interval of the circuit breaker.
     void record_breaker_open_ms(double ms) noexcept;
+    // Model lifecycle events (see ServeStatsSnapshot field docs).
+    void record_reload() noexcept;
+    void record_reload_failure() noexcept;
+    void record_rollback() noexcept;
 
     static constexpr std::size_t kMaxTrackedBatch = 64;
 
@@ -144,6 +155,9 @@ class ServeStats {
     std::uint64_t degrade_transitions_ GUARDED_BY(mu_) = 0;
     std::uint64_t breaker_opens_ GUARDED_BY(mu_) = 0;
     double breaker_open_ms_ GUARDED_BY(mu_) = 0;
+    std::uint64_t reloads_ GUARDED_BY(mu_) = 0;
+    std::uint64_t reload_failures_ GUARDED_BY(mu_) = 0;
+    std::uint64_t rollbacks_ GUARDED_BY(mu_) = 0;
     std::array<std::uint64_t, kMaxTrackedBatch> batch_size_counts_
         GUARDED_BY(mu_){};
     bool clock_started_ GUARDED_BY(mu_) = false;

@@ -335,6 +335,43 @@ TEST(Chaos, MidSaveCrashLeavesPreviousCheckpointIntact) {
     std::filesystem::remove_all(dir);
 }
 
+TEST(Chaos, DirFsyncFaultAfterRenameSurfacesWithoutCorruptingCheckpoint) {
+    if (!fault::compiled_in()) GTEST_SKIP() << "DRONET_FAULTS is off";
+    const auto dir =
+        std::filesystem::temp_directory_path() / "dronet_chaos_dirsync";
+    std::filesystem::create_directories(dir);
+    const auto path = dir / "model.weights";
+    const auto tmp = std::filesystem::path(path.string() + ".tmp");
+
+    Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});
+    save_weights(net, path);
+    auto& conv = dynamic_cast<ConvolutionalLayer&>(net.layer(0));
+    conv.weights().v[0] += 1.0f;
+
+    {
+        // Fault between rename(2) and the parent-directory fsync: the new
+        // checkpoint's data and name are in place, but the directory entry's
+        // durability is not guaranteed yet — save_weights must surface that
+        // instead of reporting success.
+        fault::ScopedFaultPlan plan("weights.dir_fsync:throw");
+        EXPECT_THROW(save_weights(net, path), fault::FaultInjected);
+        auto& inj = fault::FaultInjector::instance();
+        EXPECT_EQ(inj.calls(fault::kSiteWeightsDirFsync), 1u);
+        EXPECT_EQ(inj.fires(fault::kSiteWeightsDirFsync), 1u);
+    }
+    EXPECT_FALSE(std::filesystem::exists(tmp)) << "temp file leaked";
+
+    // Whichever generation the crash would leave behind, the visible file is
+    // a complete, loadable checkpoint — never a torn one.
+    Network fresh = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});
+    EXPECT_NO_THROW(load_weights(fresh, path));
+
+    // A clean retry commits durably.
+    EXPECT_NO_THROW(save_weights(net, path));
+    EXPECT_NO_THROW(load_weights(fresh, path));
+    std::filesystem::remove_all(dir);
+}
+
 TEST(Chaos, StopSweepsQueuedFramesSoNoFutureBlocksForever) {
     if (!fault::compiled_in()) GTEST_SKIP() << "DRONET_FAULTS is off";
     Network net = build_model(ModelId::kDroNet, {.input_size = 96, .filter_scale = 0.35f});

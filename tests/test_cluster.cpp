@@ -6,12 +6,17 @@
 // AddressSanitizer. The worker-kill chaos runs live in test_cluster_chaos.
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <mutex>
@@ -25,7 +30,11 @@
 #include "data/dataset.hpp"
 #include "io/fdio.hpp"
 #include "models/model_zoo.hpp"
+#include "nn/clone.hpp"
+#include "nn/conv_layer.hpp"
+#include "nn/weights_io.hpp"
 #include "serve/detection_service.hpp"
+#include "tensor/rng.hpp"
 #include "video/pipeline.hpp"
 
 #ifndef DRONET_SERVE_WORKER_PATH
@@ -68,6 +77,40 @@ Image patterned_image(int w, int h, int c, float scale) {
         img.data()[i] = scale * static_cast<float>(i % 97) / 97.0f;
     }
     return img;
+}
+
+void randomize_params(Network& net, std::uint64_t seed) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+        for (Param* p : net.layer(static_cast<int>(i)).params()) {
+            rng.fill_uniform(p->v, -1.0f, 1.0f);
+        }
+        if (auto* conv = dynamic_cast<ConvolutionalLayer*>(
+                &net.layer(static_cast<int>(i)))) {
+            if (conv->config().batch_normalize) {
+                rng.fill_uniform(conv->rolling_mean(), -0.5f, 0.5f);
+                rng.fill_uniform(conv->rolling_variance(), 0.5f, 1.5f);
+            }
+        }
+    }
+}
+
+/// Saves a same-architecture checkpoint with different (seeded) weights —
+/// the rollout candidate. Spawned serve_worker processes at the same size and
+/// filter scale build the identical deterministic model, so the candidate is
+/// loadable by every worker in the fleet.
+std::filesystem::path save_perturbed_checkpoint(const Network& live,
+                                                const char* name,
+                                                std::uint64_t seed) {
+    Network cand = clone_network(live);
+    randomize_params(cand, seed);
+    // Per-process filename: ctest runs test_cluster and test_cluster_inproc
+    // (same binary, different filter) concurrently.
+    const auto path = std::filesystem::temp_directory_path() /
+                      (std::string(name) + "." + std::to_string(::getpid()) +
+                       ".weights");
+    save_weights(cand, path);
+    return path;
 }
 
 // ---- protocol ---------------------------------------------------------------
@@ -277,6 +320,62 @@ TEST(WorkerServer, MalformedDetectRequestGetsErrorReply) {
     EXPECT_TRUE(got_error);
 }
 
+TEST(WorkerServer, ReloadSwapsRollsBackAndRejectsBadCandidates) {
+    Network net = build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f});
+    const auto path =
+        save_perturbed_checkpoint(net, "dronet_worker_reload", 0x31);
+    serve::ServiceConfig sc;
+    sc.workers = 1;
+    sc.pipeline = low_threshold_pipeline();
+    serve::DetectionService service(net, sc);
+
+    SocketPair sp;
+    std::thread worker([&, fd = sp.b.get()] {
+        cluster::WorkerServer server(service, fd);
+        (void)server.run();
+        sp.b.reset();
+    });
+
+    auto roundtrip = [&](const cluster::WireReloadRequest& req,
+                         std::uint64_t id) {
+        cluster::write_frame(sp.a.get(), Opcode::kReloadRequest, id,
+                             cluster::encode_reload_request(req));
+        Frame f;
+        while (cluster::read_frame(sp.a.get(), f)) {
+            if (static_cast<Opcode>(f.header.opcode) == Opcode::kReloadResponse &&
+                f.header.request_id == id) {
+                return cluster::decode_reload_response(f.payload);
+            }
+        }
+        throw std::runtime_error("worker hung up before the reload reply");
+    };
+
+    // Commit the candidate, roll it back, then watch a bad path get rejected
+    // with the live model untouched — all over the wire, on the worker's
+    // dedicated reload thread (the reader keeps answering in the meantime).
+    const cluster::WireReloadResponse swapped =
+        roundtrip({.rollback = false, .weights_path = path.string()}, 301);
+    EXPECT_TRUE(swapped.ok) << swapped.error;
+    EXPECT_EQ(swapped.model_version, 2u);
+    const cluster::WireReloadResponse rolled =
+        roundtrip({.rollback = true, .weights_path = ""}, 302);
+    EXPECT_TRUE(rolled.ok) << rolled.error;
+    EXPECT_EQ(rolled.model_version, 1u);
+    const cluster::WireReloadResponse rejected = roundtrip(
+        {.rollback = false, .weights_path = "/nonexistent/nope.weights"}, 303);
+    EXPECT_FALSE(rejected.ok);
+    EXPECT_FALSE(rejected.error.empty());
+    EXPECT_EQ(rejected.model_version, 1u);
+
+    cluster::write_frame(sp.a.get(), Opcode::kShutdown, 0, nullptr, 0);
+    Frame f;
+    while (cluster::read_frame(sp.a.get(), f)) {
+    }
+    worker.join();
+    service.stop();
+    EXPECT_EQ(service.model_version(), 1u);
+}
+
 // ---- a scriptable fake worker for deterministic Router tests ----------------
 
 /// Speaks the wire protocol on one socketpair end but only answers when the
@@ -303,6 +402,12 @@ class FakeWorker {
     }
 
     void set_answer_pings(bool v) { answer_pings_.store(v); }
+
+    /// Scripted verdict for subsequent reload requests (rollbacks always
+    /// succeed, like the real service keeping prev_set_ around).
+    void set_reload_ok(bool v) { reload_ok_.store(v); }
+    int reload_requests() { return reload_requests_.load(); }
+    int rollback_requests() { return rollback_requests_.load(); }
 
     std::size_t held() {
         std::lock_guard<std::mutex> lock(mu_);
@@ -355,6 +460,26 @@ class FakeWorker {
                                                  cluster::encode_pong({}));
                         }
                         break;
+                    case Opcode::kReloadRequest: {
+                        const cluster::WireReloadRequest req =
+                            cluster::decode_reload_request(f.payload);
+                        cluster::WireReloadResponse resp;
+                        if (req.rollback) {
+                            rollback_requests_.fetch_add(1);
+                            resp.ok = true;
+                            resp.model_version = 1;
+                        } else {
+                            reload_requests_.fetch_add(1);
+                            resp.ok = reload_ok_.load();
+                            resp.model_version = resp.ok ? 2 : 1;
+                            if (!resp.ok) resp.error = "canary rejected candidate";
+                        }
+                        std::lock_guard<std::mutex> wl(write_mu_);
+                        cluster::write_frame(fd_.get(), Opcode::kReloadResponse,
+                                             f.header.request_id,
+                                             cluster::encode_reload_response(resp));
+                        break;
+                    }
                     case Opcode::kShutdown: {
                         release_all();  // drain like a real worker would
                         std::lock_guard<std::mutex> wl(write_mu_);
@@ -376,6 +501,9 @@ class FakeWorker {
     std::vector<std::uint64_t> held_;
     std::mutex write_mu_;
     std::atomic<bool> answer_pings_{true};
+    std::atomic<bool> reload_ok_{true};
+    std::atomic<int> reload_requests_{0};
+    std::atomic<int> rollback_requests_{0};
     std::thread thread_;
 };
 
@@ -628,6 +756,108 @@ TEST(Router, StopResolvesHeldFramesAsShutdown) {
     EXPECT_EQ(router.submit(1, img).get().status, ServeStatus::kShutdown);
 }
 
+// ---- rolling fleet reload (scripted fakes: deterministic, TSan-visible) -----
+
+TEST(Router, RollingReloadDrainsThenSwapsEveryWorker) {
+    SocketPair spa;
+    SocketPair spb;
+    const int fd_a = spa.a.release();
+    const int fd_b = spb.a.release();
+    FakeWorker fake_a(std::move(spa.b));
+    FakeWorker fake_b(std::move(spb.b));
+    cluster::RouterConfig rc = adopt_config({fd_a, fd_b});
+    rc.dispatch = cluster::DispatchPolicy::kRoundRobin;
+    rc.worker_inflight_limit = 0;
+    cluster::Router router(rc);
+
+    const Image img = patterned_image(8, 8, 3, 1.0f);
+    auto f0 = router.submit(1, img);  // slot 0 (fake_a), held
+    auto f1 = router.submit(1, img);  // slot 1 (fake_b), held
+    ASSERT_TRUE(fake_a.wait_for_held(1));
+    ASSERT_TRUE(fake_b.wait_for_held(1));
+
+    // The rollout must drain each worker's in-flight frames before swapping:
+    // with both fakes holding a frame, it cannot complete (or even send the
+    // first reload request) until we release them.
+    std::atomic<bool> done{false};
+    cluster::RolloutReport report;
+    std::thread rollout([&] {
+        report = router.rolling_reload("fake-candidate.weights",
+                                       /*timeout_ms=*/30000);
+        done.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(done.load());
+    EXPECT_EQ(fake_a.reload_requests(), 0);
+    fake_a.release_all();
+    fake_b.release_all();
+    rollout.join();
+
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.total, 2u);
+    EXPECT_EQ(report.reloaded, 2u);
+    EXPECT_EQ(report.rolled_back, 0u);
+    EXPECT_EQ(report.model_version, 2u);
+    EXPECT_EQ(fake_a.reload_requests(), 1);
+    EXPECT_EQ(fake_b.reload_requests(), 1);
+    EXPECT_EQ(fake_a.rollback_requests(), 0);
+    EXPECT_NE(report.to_json().find("\"reloaded\":2"), std::string::npos)
+        << report.to_json();
+    EXPECT_EQ(f0.get().status, ServeStatus::kOk);
+    EXPECT_EQ(f1.get().status, ServeStatus::kOk);
+
+    // Both slots are dispatchable again after the rollout.
+    auto after = router.submit(2, img);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (fake_a.held() + fake_b.held() < 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    fake_a.release_all();
+    fake_b.release_all();
+    EXPECT_EQ(after.get().status, ServeStatus::kOk);
+    router.stop();
+}
+
+TEST(Router, RollingReloadAbortsAndRollsBackCommittedWorkers) {
+    SocketPair spa;
+    SocketPair spb;
+    const int fd_a = spa.a.release();
+    const int fd_b = spb.a.release();
+    FakeWorker fake_a(std::move(spa.b));
+    FakeWorker fake_b(std::move(spb.b));
+    fake_b.set_reload_ok(false);  // slot 1's canary will reject the candidate
+    cluster::Router router(adopt_config({fd_a, fd_b}));
+
+    const cluster::RolloutReport report =
+        router.rolling_reload("fake-candidate.weights", /*timeout_ms=*/30000);
+    EXPECT_FALSE(report.ok);
+    EXPECT_EQ(report.total, 2u);
+    EXPECT_EQ(report.reloaded, 1u);     // slot 0 swapped before the abort...
+    EXPECT_EQ(report.rolled_back, 1u);  // ...and was restored by it
+    EXPECT_NE(report.error.find("canary rejected"), std::string::npos)
+        << report.error;
+    EXPECT_EQ(fake_a.rollback_requests(), 1);
+    EXPECT_EQ(fake_b.rollback_requests(), 0);
+
+    // The fleet keeps serving the old version after the abort.
+    const Image img = patterned_image(8, 8, 3, 1.0f);
+    auto f0 = router.submit(1, img);
+    auto f1 = router.submit(1, img);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (fake_a.held() + fake_b.held() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    fake_a.release_all();
+    fake_b.release_all();
+    EXPECT_EQ(f0.get().status, ServeStatus::kOk);
+    EXPECT_EQ(f1.get().status, ServeStatus::kOk);
+    router.stop();
+}
+
 // ---- spawned serve_worker processes -----------------------------------------
 
 TEST(Router, SpawnedWorkersEndToEnd) {
@@ -659,6 +889,130 @@ TEST(Router, SpawnedWorkersEndToEnd) {
     EXPECT_EQ(router.alive_workers(), 2);
     router.stop();
     router.stop();  // idempotent
+}
+
+TEST(Router, SpawnedFleetRollingReloadMatchesColdStart) {
+    const std::string worker_bin = DRONET_SERVE_WORKER_PATH;
+    ASSERT_FALSE(worker_bin.empty());
+    // The spawned workers build the same deterministic model at this size and
+    // filter scale, so a local clone can author the rollout candidate.
+    Network local =
+        build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f});
+    const auto path =
+        save_perturbed_checkpoint(local, "dronet_rollout_cand", 0x90d);
+
+    cluster::RouterConfig rc;
+    rc.worker_argv = {worker_bin,  "--size",           "64",
+                      "--filter-scale", "0.25",        "--workers",
+                      "1",         "--score-threshold", "0.0005"};
+    rc.workers = 2;
+    cluster::Router router(rc);
+
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(64), 8, /*seed=*/21);
+    std::vector<std::future<ServeResult>> futures;
+    for (int i = 0; i < 8; ++i) {
+        futures.push_back(router.submit(1 + (i % 2), frames.image(i)));
+    }
+    const cluster::RolloutReport report =
+        router.rolling_reload(path.string(), /*timeout_ms=*/60000);
+    // Every future accepted before/during the rollout resolves kOk.
+    for (auto& f : futures) EXPECT_EQ(f.get().status, ServeStatus::kOk);
+    ASSERT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.reloaded, 2u);
+    EXPECT_EQ(report.model_version, 2u);
+
+    // Every worker reports the new version in its wire stats...
+    router.drain();
+    const cluster::FleetStats fs = router.fleet_stats();
+    EXPECT_TRUE(fs.accounting_ok()) << fs.to_json();
+    ASSERT_EQ(fs.workers.size(), 2u);
+    for (const auto& w : fs.workers) {
+        EXPECT_EQ(w.model_version, 2u);
+        EXPECT_EQ(w.reloads, 1u);
+        EXPECT_EQ(w.rollbacks, 0u);
+    }
+
+    // ...and post-rollout fleet outputs are bit-identical to a cold start of
+    // the candidate checkpoint.
+    Network cold =
+        build_model(ModelId::kDroNet, {.input_size = 64, .filter_scale = 0.25f});
+    load_weights(cold, path);
+    serve::ServiceConfig sc;
+    sc.workers = 1;
+    // Match the spawned workers' pipeline exactly: default NMS threshold,
+    // score threshold from their --score-threshold flag.
+    sc.pipeline.eval.score_threshold = 0.0005f;
+    serve::DetectionService reference(cold, sc);
+    bool any_detection = false;
+    for (int i = 0; i < 4; ++i) {
+        const ServeResult got = router.submit(3, frames.image(i)).get();
+        ASSERT_EQ(got.status, ServeStatus::kOk);
+        const ServeResult want = reference.submit(frames.image(i)).get();
+        ASSERT_EQ(want.status, ServeStatus::kOk);
+        ASSERT_EQ(got.frame.detections.size(), want.frame.detections.size())
+            << "frame " << i;
+        for (std::size_t d = 0; d < want.frame.detections.size(); ++d) {
+            EXPECT_EQ(std::memcmp(&got.frame.detections[d].box,
+                                  &want.frame.detections[d].box, sizeof(Box)), 0);
+            EXPECT_EQ(got.frame.detections[d].objectness,
+                      want.frame.detections[d].objectness);
+            EXPECT_EQ(got.frame.detections[d].class_prob,
+                      want.frame.detections[d].class_prob);
+        }
+        any_detection = any_detection || !want.frame.detections.empty();
+    }
+    EXPECT_TRUE(any_detection);  // the bit-identical comparison was non-vacuous
+    reference.stop();
+    router.stop();
+}
+
+TEST(SpawnedWorker, SigtermDrainsAcceptedFramesAndExitsZero) {
+    const std::string worker_bin = DRONET_SERVE_WORKER_PATH;
+    ASSERT_FALSE(worker_bin.empty());
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ::close(sv[0]);
+        const std::string fd_arg = std::to_string(sv[1]);
+        ::execl(worker_bin.c_str(), worker_bin.c_str(), "--fd", fd_arg.c_str(),
+                "--size", "64", "--filter-scale", "0.25", "--workers", "1",
+                static_cast<char*>(nullptr));
+        ::_exit(127);  // exec failed
+    }
+    ::close(sv[1]);
+    io::UniqueFd fd(sv[0]);
+
+    const DetectionDataset frames =
+        generate_dataset(benchmark_scene_config(64), 2, /*seed=*/9);
+    // Prove the worker is serving (and so its signal handlers are installed)
+    // before the signal lands.
+    cluster::write_frame(fd.get(), Opcode::kDetectRequest, 1,
+                         cluster::encode_detect_request(frames.image(0)));
+    Frame f;
+    ASSERT_TRUE(cluster::read_frame(fd.get(), f));
+    EXPECT_EQ(static_cast<Opcode>(f.header.opcode), Opcode::kDetectResponse);
+
+    // SIGTERM with a frame possibly in flight: the handler half-closes the
+    // read side, the worker drains whatever it accepted, replies, and closes
+    // the socket at a frame boundary — a clean EOF, then exit code 0.
+    cluster::write_frame(fd.get(), Opcode::kDetectRequest, 2,
+                         cluster::encode_detect_request(frames.image(1)));
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    int responses = 1;
+    while (cluster::read_frame(fd.get(), f)) {
+        if (static_cast<Opcode>(f.header.opcode) == Opcode::kDetectResponse) {
+            ++responses;
+        }
+    }
+    EXPECT_LE(responses, 2);  // frame 2 raced the signal: served or never read
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << status;
+    EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
 }  // namespace

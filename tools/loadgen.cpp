@@ -13,7 +13,8 @@
 //           [--small-every N] [--small-size S] [--stats-every N]
 //           [--dispatch least-loaded|round-robin] [--inflight-limit N]
 //           [--max-inflight N] [--rate R] [--burst B] [--retries N]
-//           [--kill-after-ms T] [--expect-complete] [--json]
+//           [--kill-after-ms T] [--reload PATH] [--reload-after-ms T]
+//           [--reload-kill-slot N] [--expect-complete] [--json]
 //
 // Request mix: every --small-every'th request submits a --small-size frame
 // (mixed resolutions exercise the worker's preprocess path), and every
@@ -28,6 +29,13 @@
 // --kill-after-ms T SIGKILLs worker slot 0 mid-run (chaos): the run must
 // still resolve every request (ok / retried / kRejected / kShutdown) and keep
 // the fleet accounting invariant, or loadgen exits non-zero.
+//
+// --reload PATH runs a rolling fleet reload onto checkpoint PATH after
+// --reload-after-ms, concurrent with the client load; the run fails unless
+// the rollout commits on every worker and every request still resolves.
+// --reload-kill-slot N SIGKILLs slot N as the rollout starts: the rollout
+// must then abort and roll already-updated workers back (docs/robustness.md,
+// "Model lifecycle").
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -73,6 +81,9 @@ struct Args {
     double burst = 8;
     int retries = 1;
     std::int64_t kill_after_ms = 0;
+    std::string reload_path;
+    std::int64_t reload_after_ms = 0;
+    int reload_kill_slot = -1;
     bool expect_complete = false;
     bool json = false;
 };
@@ -112,6 +123,9 @@ Args parse_args(int argc, char** argv) {
         else if (a == "--burst") args.burst = std::stod(next());
         else if (a == "--retries") args.retries = std::stoi(next());
         else if (a == "--kill-after-ms") args.kill_after_ms = std::stoll(next());
+        else if (a == "--reload") args.reload_path = next();
+        else if (a == "--reload-after-ms") args.reload_after_ms = std::stoll(next());
+        else if (a == "--reload-kill-slot") args.reload_kill_slot = std::stoi(next());
         else if (a == "--expect-complete") args.expect_complete = true;
         else if (a == "--json") args.json = true;
         else if (a == "--dispatch") {
@@ -135,6 +149,8 @@ struct RunResult {
     std::uint64_t abandoned = 0;  ///< futures that missed the hard deadline
     double client_fps = 0;        ///< ok frames / measured client wall
     dronet::cluster::FleetStats fleet;
+    bool rollout_ran = false;
+    dronet::cluster::RolloutReport rollout;
 };
 
 /// Hard ceiling on any single future; the router contract says every future
@@ -184,6 +200,20 @@ RunResult run_once(const Args& args, int workers,
         });
     }
 
+    std::thread rollout;
+    if (!args.reload_path.empty()) {
+        res.rollout_ran = true;
+        rollout = std::thread([&] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(args.reload_after_ms));
+            if (args.reload_kill_slot >= 0 &&
+                args.reload_kill_slot < static_cast<int>(router.slots())) {
+                router.kill_worker(static_cast<std::size_t>(args.reload_kill_slot));
+            }
+            res.rollout = router.rolling_reload(args.reload_path);
+        });
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> clients;
     clients.reserve(static_cast<std::size_t>(args.clients));
@@ -230,6 +260,7 @@ RunResult run_once(const Args& args, int workers,
     for (auto& t : clients) t.join();
     const auto t1 = std::chrono::steady_clock::now();
     if (chaos.joinable()) chaos.join();
+    if (rollout.joinable()) rollout.join();
 
     router.drain();
     res.fleet = router.fleet_stats();
@@ -287,6 +318,18 @@ int run(int argc, char** argv) {
                     static_cast<unsigned long long>(fs.worker_respawns),
                     res.client_fps);
         if (args.json) std::printf("%s\n", fs.to_json().c_str());
+        if (res.rollout_ran) {
+            std::fprintf(stderr, "# rollout: %s\n", res.rollout.to_json().c_str());
+            // A mid-rollout kill must abort; otherwise the rollout must
+            // commit on every worker.
+            const bool want_ok = args.reload_kill_slot < 0;
+            if (res.rollout.ok != want_ok) {
+                std::fprintf(stderr, "# FAIL: rollout %s but expected %s\n",
+                             res.rollout.ok ? "committed" : "failed",
+                             want_ok ? "commit" : "abort");
+                exit_code = 2;
+            }
+        }
         if (res.abandoned > 0) {
             std::fprintf(stderr, "# FAIL: %llu future(s) never resolved\n",
                          static_cast<unsigned long long>(res.abandoned));

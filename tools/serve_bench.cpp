@@ -14,7 +14,9 @@
 //               [--degraded-size S] [--degrade-high N] [--degrade-low N]
 //               [--inject PLAN]
 //               [--cluster W] [--worker-bin PATH] [--filter-scale F]
-//               [--inflight-limit N] [--kill-after-ms T] [--help]
+//               [--inflight-limit N] [--kill-after-ms T]
+//               [--reload PATH] [--reload-after-ms T]
+//               [--reload-expect-reject] [--reload-kill-slot N] [--help]
 //
 // --interval-ms > 0 paces each stream like a camera (T ms between submits),
 // which exercises the backpressure policies; 0 submits as fast as possible.
@@ -41,6 +43,15 @@
 // --kill-after-ms T SIGKILLs worker 0 mid-run; the run still must resolve
 // every future (ok, retried onto a healthy worker, kRejected by admission, or
 // kShutdown) — a hung or abandoned future is a non-zero exit.
+//
+// Model lifecycle (docs/robustness.md): --reload PATH hot-swaps the service
+// (or, with --cluster, rolls the fleet) onto checkpoint PATH after
+// --reload-after-ms, while the streams keep submitting — the run fails unless
+// the swap commits AND every future still resolves. --reload-expect-reject
+// inverts the assertion: the canary must reject the candidate (the chaos
+// stage feeds it a truncated checkpoint and asserts the old model kept
+// serving). --reload-kill-slot N SIGKILLs worker slot N as the rollout
+// starts (--cluster): the rollout must abort and roll the fleet back.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -95,6 +106,10 @@ constexpr const char* kUsage =
     "  --filter-scale F      worker model width multiplier\n"
     "  --inflight-limit N    per-worker in-flight cap (--cluster)\n"
     "  --kill-after-ms T     SIGKILL worker 0 after T ms (--cluster chaos)\n"
+    "  --reload PATH         hot-reload checkpoint PATH mid-run\n"
+    "  --reload-after-ms T   delay before the reload fires\n"
+    "  --reload-expect-reject  require the canary gate to reject the candidate\n"
+    "  --reload-kill-slot N  SIGKILL slot N as the rollout starts (--cluster chaos)\n"
     "  --help                print this help\n";
 
 struct Args {
@@ -126,6 +141,10 @@ struct Args {
     float filter_scale = 1.0f;
     std::size_t inflight_limit = 4;
     std::int64_t kill_after_ms = 0;
+    std::string reload_path;
+    std::int64_t reload_after_ms = 0;
+    bool reload_expect_reject = false;
+    int reload_kill_slot = -1;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -162,6 +181,10 @@ Args parse_args(int argc, char** argv) {
         else if (a == "--filter-scale") args.filter_scale = std::stof(next());
         else if (a == "--inflight-limit") args.inflight_limit = static_cast<std::size_t>(std::stoul(next()));
         else if (a == "--kill-after-ms") args.kill_after_ms = std::stoll(next());
+        else if (a == "--reload") args.reload_path = next();
+        else if (a == "--reload-after-ms") args.reload_after_ms = std::stoll(next());
+        else if (a == "--reload-expect-reject") args.reload_expect_reject = true;
+        else if (a == "--reload-kill-slot") args.reload_kill_slot = std::stoi(next());
         else if (a == "--policy") {
             const std::string p = next();
             using dronet::serve::BackpressurePolicy;
@@ -220,6 +243,21 @@ int run_cluster(const Args& args) {
         });
     }
 
+    std::thread rollout;
+    cluster::RolloutReport rollout_report;
+    if (!args.reload_path.empty()) {
+        rollout = std::thread([&] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(args.reload_after_ms));
+            if (args.reload_kill_slot >= 0) {
+                std::fprintf(stderr, "# chaos: SIGKILL slot %d at rollout start\n",
+                             args.reload_kill_slot);
+                router.kill_worker(static_cast<std::size_t>(args.reload_kill_slot));
+            }
+            rollout_report = router.rolling_reload(args.reload_path);
+        });
+    }
+
     std::atomic<std::uint64_t> resolved_by_status[6] = {};
     std::vector<std::thread> streams;
     streams.reserve(static_cast<std::size_t>(args.streams));
@@ -246,11 +284,15 @@ int run_cluster(const Args& args) {
     }
     for (auto& t : streams) t.join();
     if (chaos.joinable()) chaos.join();
+    if (rollout.joinable()) rollout.join();
     router.drain();
     const cluster::FleetStats fs = router.fleet_stats();
     router.stop();
 
     std::printf("%s\n", fs.to_json().c_str());
+    if (!args.reload_path.empty()) {
+        std::printf("%s\n", rollout_report.to_json().c_str());
+    }
     std::uint64_t resolved = 0;
     for (int s = 0; s < 6; ++s) resolved += resolved_by_status[s].load();
     std::fprintf(stderr,
@@ -278,7 +320,21 @@ int run_cluster(const Args& args) {
         std::fprintf(stderr, "# FAIL: fleet accounting invariant violated\n");
         return 1;
     }
+    if (!args.reload_path.empty()) {
+        // A mid-rollout kill must abort the rollout; otherwise the verdict
+        // is dictated by --reload-expect-reject.
+        const bool want_ok =
+            !args.reload_expect_reject && args.reload_kill_slot < 0;
+        if (rollout_report.ok != want_ok) {
+            std::fprintf(stderr, "# FAIL: rollout %s but expected %s: %s\n",
+                         rollout_report.ok ? "committed" : "failed",
+                         want_ok ? "commit" : "reject/abort",
+                         rollout_report.to_json().c_str());
+            return 1;
+        }
+    }
     if (args.expect_complete && args.kill_after_ms == 0 &&
+        args.reload_kill_slot < 0 &&
         (fs.ok != fs.submitted || fs.rejected != 0 || fs.shutdown != 0)) {
         std::fprintf(stderr,
                      "# FAIL --expect-complete: submitted=%llu ok=%llu "
@@ -350,6 +406,16 @@ int run(int argc, char** argv) {
     }
     serve::DetectionService service(net, sc);
 
+    std::thread reloader;
+    serve::ReloadOutcome reload_out;
+    if (!args.reload_path.empty()) {
+        reloader = std::thread([&] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(args.reload_after_ms));
+            reload_out = service.reload_checkpoint(args.reload_path);
+        });
+    }
+
     std::vector<std::thread> streams;
     streams.reserve(static_cast<std::size_t>(args.streams));
     for (int s = 0; s < args.streams; ++s) {
@@ -370,6 +436,7 @@ int run(int argc, char** argv) {
         });
     }
     for (auto& t : streams) t.join();
+    if (reloader.joinable()) reloader.join();
     service.drain();
     service.stop();  // quiesce workers so profiler reads below are safe
     if (!args.inject_plan.empty()) fault::FaultInjector::instance().clear();
@@ -394,6 +461,20 @@ int run(int argc, char** argv) {
                  static_cast<unsigned long long>(snap.deadline_expired),
                  static_cast<unsigned long long>(snap.worker_restarts),
                  static_cast<unsigned long long>(snap.degraded_frames));
+    if (!args.reload_path.empty()) {
+        std::fprintf(stderr, "# reload %s: %s (model_version %llu)%s%s\n",
+                     args.reload_path.c_str(),
+                     reload_out.ok ? "committed" : "rejected",
+                     static_cast<unsigned long long>(reload_out.model_version),
+                     reload_out.error.empty() ? "" : " — ",
+                     reload_out.error.c_str());
+        if (reload_out.ok == args.reload_expect_reject) {
+            std::fprintf(stderr, "# FAIL: reload %s but expected %s\n",
+                         reload_out.ok ? "committed" : "rejected",
+                         args.reload_expect_reject ? "reject" : "commit");
+            return 1;
+        }
+    }
     if (args.expect_complete &&
         (snap.dropped != 0 || snap.rejected != 0 || snap.completed != snap.submitted)) {
         std::fprintf(stderr,

@@ -10,11 +10,22 @@
 //                [--filter-scale F] [--capacity Q] [--batch B]
 //                [--batch-timeout-us U] [--deadline-ms D] [--retries R]
 //                [--gemm-threads N] [--fp16] [--int8]
+//                [--score-threshold T]
 //
 // Model weights come from the pretrained checkpoint when present, otherwise
 // from the seeded He initializer — build_model is deterministic, so every
 // worker in a fleet serves identical weights either way and fleet results
 // match a single in-process service frame for frame.
+//
+// SIGTERM/SIGINT trigger a graceful drain: the handler half-closes the
+// router socket's read side, the reader loop sees clean EOF, every accepted
+// frame still resolves (the service sweep answers stragglers as kShutdown),
+// and the process exits 0 — so fleet orchestration can restart workers
+// without stranding futures or tripping non-zero-exit alarms.
+#include <signal.h>
+#include <sys/socket.h>
+
+#include <atomic>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -42,7 +53,18 @@ struct Args {
     int gemm_threads = 1;
     bool fp16 = false;
     bool int8 = false;
+    float score_threshold = -1.0f;  ///< < 0: keep the pipeline default
 };
+
+/// Router socket fd for the signal handler; -1 until serving starts.
+std::atomic<int> g_serve_fd{-1};
+
+/// Async-signal-safe graceful drain: shutdown(SHUT_RD) unblocks the reader's
+/// read_full with a clean EOF, after which run() drains and returns normally.
+extern "C" void on_terminate_signal(int /*signo*/) {
+    const int fd = g_serve_fd.load(std::memory_order_relaxed);
+    if (fd >= 0) ::shutdown(fd, SHUT_RD);
+}
 
 Args parse_args(int argc, char** argv) {
     Args args;
@@ -65,6 +87,7 @@ Args parse_args(int argc, char** argv) {
         else if (a == "--gemm-threads") args.gemm_threads = std::stoi(next());
         else if (a == "--fp16") args.fp16 = true;
         else if (a == "--int8") args.int8 = true;
+        else if (a == "--score-threshold") args.score_threshold = std::stof(next());
         else throw std::runtime_error("unknown flag " + a);
     }
     if (args.fd < 0) throw std::runtime_error("--fd is required");
@@ -100,7 +123,16 @@ int run(int argc, char** argv) {
     sc.int8 = args.int8;
     sc.deadline_ms = args.deadline_ms;
     sc.max_retries = args.retries;
+    if (args.score_threshold >= 0.0f) {
+        sc.pipeline.eval.score_threshold = args.score_threshold;
+    }
     serve::DetectionService service(net, sc);
+
+    g_serve_fd.store(args.fd, std::memory_order_relaxed);
+    struct sigaction sa = {};
+    sa.sa_handler = on_terminate_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
 
     cluster::WorkerServer server(service, args.fd);
     const std::uint64_t served = server.run();
